@@ -1,0 +1,244 @@
+// Package cellnpdp is a Go reproduction of "Efficient Nonserial Polyadic
+// Dynamic Programming on the Cell Processor" (Liu, Wang, Jiang, Li, Yang —
+// IPDPS 2011).
+//
+// It solves the NPDP recurrence
+//
+//	d[i][j] = min(d[i][j], d[i][k] + d[k][j])   for i ≤ k < j
+//
+// over the upper triangle of an n-point table, with four interchangeable
+// engines:
+//
+//   - Serial: the original Figure 1 loop (the correctness reference).
+//   - Tiled: the serial tiled algorithm on the paper's block-sequential
+//     "new data layout", using the two-stage memory-block procedure with
+//     4×4 computing blocks.
+//   - Parallel: the tier-2 task-queue procedure on real goroutines —
+//     the fastest way to actually solve big instances on the host.
+//   - Cell: the full CellNPDP algorithm executed on a simulated IBM QS20
+//     Cell blade (SPE local stores, asynchronous DMA, dual-issue pipeline
+//     cost model), returning both the answer and the modeled hardware
+//     time and DMA traffic.
+//
+// Applications built on the engines are exposed too: RNA secondary-
+// structure prediction (FoldRNA — the Zuker bifurcation layer the paper
+// targets), optimal matrix-chain parenthesization and optimal binary
+// search trees.
+package cellnpdp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"cellnpdp/internal/cellsim"
+	"cellnpdp/internal/npdp"
+	"cellnpdp/internal/pipeline"
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tri"
+)
+
+// Elem constrains table element types: float32 (the paper's single
+// precision) or float64 (double).
+type Elem = semiring.Elem
+
+// Inf is the "no solution yet" initial value for unset cells.
+func Inf[E Elem]() E { return semiring.Inf[E]() }
+
+// Engine selects the solver backend.
+type Engine int
+
+// The available engines.
+const (
+	Serial Engine = iota
+	Tiled
+	Parallel
+	Cell
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case Serial:
+		return "serial"
+	case Tiled:
+		return "tiled"
+	case Parallel:
+		return "parallel"
+	case Cell:
+		return "cell"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// Options configures Solve.
+type Options struct {
+	// Engine selects the backend; the zero value is Serial.
+	Engine Engine
+	// Workers is the worker count for Parallel (goroutines) and Cell
+	// (SPEs, ≤ 16). Defaults to GOMAXPROCS, capped at 16 for Cell.
+	Workers int
+	// BlockBytes is the memory-block budget the tile side is derived
+	// from; defaults to the paper's 32 KB.
+	BlockBytes int
+	// SchedSide is the scheduling-block side in memory blocks; defaults
+	// to 1 (one task per memory block).
+	SchedSide int
+	// SingleChip runs the Cell engine on a one-chip, 8-SPE machine
+	// instead of the dual-Cell QS20 blade.
+	SingleChip bool
+}
+
+// Result reports a solve.
+type Result struct {
+	// Engine that ran.
+	Engine Engine
+	// Relaxations is the scalar-equivalent relaxation count performed.
+	Relaxations int64
+	// WallSeconds is the measured host wall-clock time of the solve.
+	WallSeconds float64
+	// ModeledSeconds is the simulated QS20 execution time (Cell engine
+	// only, 0 otherwise).
+	ModeledSeconds float64
+	// DMABytes is the simulated local-store traffic (Cell engine only).
+	DMABytes int64
+}
+
+// Table is an n-point upper-triangular DP table. Cells (i, j) with
+// 0 ≤ i ≤ j < n are stored; unset cells start at Inf and the diagonal
+// at 0 (the ⊗ identity, so d[i][i]+d[i][j] never wins spuriously).
+type Table[E Elem] struct {
+	rm *tri.RowMajor[E]
+}
+
+// NewTable allocates an n-point table.
+func NewTable[E Elem](n int) (*Table[E], error) {
+	if err := tri.CheckSize(n); err != nil {
+		return nil, err
+	}
+	rm := tri.NewRowMajor[E](n)
+	for i := 0; i < n; i++ {
+		rm.Set(i, i, 0)
+	}
+	return &Table[E]{rm: rm}, nil
+}
+
+// Len returns the problem size n.
+func (t *Table[E]) Len() int { return t.rm.Len() }
+
+// At returns cell (i, j); i ≤ j required.
+func (t *Table[E]) At(i, j int) (E, error) {
+	if err := tri.CheckCell(t.rm.Len(), i, j); err != nil {
+		var zero E
+		return zero, err
+	}
+	return t.rm.At(i, j), nil
+}
+
+// Set stores v into cell (i, j); i ≤ j required.
+func (t *Table[E]) Set(i, j int, v E) error {
+	if err := tri.CheckCell(t.rm.Len(), i, j); err != nil {
+		return err
+	}
+	t.rm.Set(i, j, v)
+	return nil
+}
+
+// Clone returns a deep copy.
+func (t *Table[E]) Clone() *Table[E] { return &Table[E]{rm: t.rm.Clone()} }
+
+// precisionOf maps the element type to the paper's precision enum.
+func precisionOf[E Elem]() npdp.Precision {
+	var e E
+	if _, ok := any(e).(float64); ok {
+		return npdp.Double
+	}
+	return npdp.Single
+}
+
+// cbStepCycles returns the modeled computing-block step cost for E.
+func cbStepCycles[E Elem]() float64 {
+	if precisionOf[E]() == npdp.Double {
+		return pipeline.CBStepCyclesDP()
+	}
+	return pipeline.CBStepCyclesSP()
+}
+
+// Solve runs the NPDP recurrence in place on t with the selected engine.
+// All engines produce bit-identical tables.
+func Solve[E Elem](t *Table[E], opts Options) (*Result, error) {
+	if t == nil || t.rm == nil {
+		return nil, fmt.Errorf("cellnpdp: nil table")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	blockBytes := opts.BlockBytes
+	if blockBytes <= 0 {
+		blockBytes = 32 * 1024
+	}
+	schedSide := opts.SchedSide
+	if schedSide <= 0 {
+		schedSide = 1
+	}
+	prec := precisionOf[E]()
+	tile, err := npdp.DefaultTile(blockBytes, prec)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Engine: opts.Engine}
+	start := time.Now()
+	switch opts.Engine {
+	case Serial:
+		res.Relaxations = npdp.SolveSerial(t.rm)
+	case Tiled:
+		tt := tri.ToTiled(t.rm, tile)
+		st, err := npdp.SolveTiled(tt)
+		if err != nil {
+			return nil, err
+		}
+		res.Relaxations = st.Relaxations()
+		tri.Copy[E](tri.Table[E](t.rm), tt)
+	case Parallel:
+		tt := tri.ToTiled(t.rm, tile)
+		st, err := npdp.SolveParallel(tt, npdp.ParallelOptions{Workers: workers, SchedSide: schedSide})
+		if err != nil {
+			return nil, err
+		}
+		res.Relaxations = st.Relaxations()
+		tri.Copy[E](tri.Table[E](t.rm), tt)
+	case Cell:
+		cfg := cellsim.QS20()
+		if opts.SingleChip {
+			cfg = cellsim.SingleCell()
+		}
+		mach, err := cellsim.NewMachine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if workers > len(mach.SPEs) {
+			workers = len(mach.SPEs)
+		}
+		tt := tri.ToTiled(t.rm, tile)
+		cres, err := npdp.SolveCell(tt, mach, npdp.CellOptions{
+			Workers:           workers,
+			SchedSide:         schedSide,
+			UseSIMD:           true,
+			DoubleBuffer:      true,
+			CBStepCycles:      cbStepCycles[E](),
+			ScalarRelaxCycles: npdp.ScalarRelaxCyclesFor(prec),
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Relaxations = cres.Stats.Relaxations()
+		res.ModeledSeconds = cres.Seconds
+		res.DMABytes = cres.DMA.TotalBytes()
+		tri.Copy[E](tri.Table[E](t.rm), tt)
+	default:
+		return nil, fmt.Errorf("cellnpdp: unknown engine %v", opts.Engine)
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package cellnpdp
+
+import (
+	"fmt"
+	"runtime"
+
+	"cellnpdp/internal/apps"
+	"cellnpdp/internal/zuker"
+)
+
+// FoldOptions configures FoldRNA.
+type FoldOptions struct {
+	// Engine selects the NPDP backend for the O(n³) bifurcation layer.
+	Engine Engine
+	// Workers for the Parallel and Cell engines.
+	Workers int
+	// Constraints is an optional per-base constraint line aligned with
+	// the sequence: '.' leaves a base free, 'x' forces it unpaired.
+	Constraints string
+}
+
+// FoldResult is a predicted RNA secondary structure.
+type FoldResult struct {
+	// Sequence is the normalized input (upper-case, T→U).
+	Sequence string
+	// MFE is the minimum free energy in kcal/mol (≤ 0; 0 = unfolded).
+	MFE float32
+	// DotBracket is the structure in dot-bracket notation.
+	DotBracket string
+	// Pairs lists the base pairs (i, j), 0-based, i < j.
+	Pairs [][2]int
+	// ModeledCellSeconds is the simulated QS20 time of the bifurcation
+	// layer (Cell engine only).
+	ModeledCellSeconds float64
+}
+
+// FoldRNA predicts the minimum-free-energy secondary structure of an RNA
+// sequence under the library's simplified hairpin+stacking energy model,
+// running the Zuker bifurcation layer on the selected NPDP engine.
+func FoldRNA(sequence string, opts FoldOptions) (*FoldResult, error) {
+	seq, err := zuker.ParseSeq(sequence)
+	if err != nil {
+		return nil, err
+	}
+	var eng zuker.Engine
+	switch opts.Engine {
+	case Serial:
+		eng = zuker.EngineSerial
+	case Tiled:
+		eng = zuker.EngineTiled
+	case Parallel:
+		eng = zuker.EngineParallel
+	case Cell:
+		eng = zuker.EngineCell
+	default:
+		return nil, fmt.Errorf("cellnpdp: unknown engine %v", opts.Engine)
+	}
+	zopts := zuker.Options{Engine: eng, Workers: opts.Workers}
+	if opts.Constraints != "" {
+		cons, err := zuker.ParseConstraints(opts.Constraints)
+		if err != nil {
+			return nil, err
+		}
+		zopts.Constraints = cons
+	}
+	res, err := zuker.Fold(seq, zopts)
+	if err != nil {
+		return nil, err
+	}
+	st, err := res.Traceback()
+	if err != nil {
+		return nil, err
+	}
+	return &FoldResult{
+		Sequence:           seq.String(),
+		MFE:                res.MFE,
+		DotBracket:         st.DotBracket(),
+		Pairs:              st.Pairs,
+		ModeledCellSeconds: res.CellTime,
+	}, nil
+}
+
+// MatrixChain returns the minimal scalar-multiplication count and an
+// optimal parenthesization for a chain of len(dims)-1 matrices, where
+// matrix t has shape dims[t] × dims[t+1]. The weighted NPDP recurrence
+// runs on the block-wavefront parallel engine with `workers` goroutines
+// (0 = GOMAXPROCS).
+func MatrixChain(dims []int, workers int) (cost int64, parenthesization string, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r, err := apps.MatrixChain(dims, workers, 0)
+	if err != nil {
+		return 0, "", err
+	}
+	return r.Cost, r.Paren(), nil
+}
+
+// OptimalBST builds the optimal binary search tree over keys with the
+// given access weights and returns the expected comparison cost and each
+// key's depth (root = 1).
+func OptimalBST(weights []float64, workers int) (cost float64, depths []int, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r, err := apps.OptimalBST(weights, workers, 0)
+	if err != nil {
+		return 0, nil, err
+	}
+	return r.Cost, r.Depths(), nil
+}
+
+// FoldRNAFull predicts RNA secondary structure with the complete Zuker
+// recurrence set — hairpins, bulge/internal loops AND multibranch loops —
+// using the serial reference implementation. The engine-accelerated
+// FoldRNA covers the paper's bifurcation-layer simplification; FoldRNAFull
+// is the ground truth it approximates (multibranch couples the pairing
+// layer back into the O(n³) recurrence, which breaks the pure min-plus
+// closure the Cell kernel needs).
+func FoldRNAFull(sequence string) (*FoldResult, error) {
+	seq, err := zuker.ParseSeq(sequence)
+	if err != nil {
+		return nil, err
+	}
+	res, err := zuker.FoldFull(seq, nil, zuker.DefaultMulti())
+	if err != nil {
+		return nil, err
+	}
+	st, err := res.Traceback()
+	if err != nil {
+		return nil, err
+	}
+	return &FoldResult{
+		Sequence:   seq.String(),
+		MFE:        res.MFE,
+		DotBracket: st.DotBracket(),
+		Pairs:      st.Pairs,
+	}, nil
+}
+
+// Grammar re-exports the weighted CNF grammar type for ParseCYK.
+type Grammar = apps.Grammar
+
+// BinaryRule is a CNF rule A -> B C with a log-probability weight.
+type BinaryRule = apps.BinaryRule
+
+// LexicalRule is a CNF rule A -> terminal with a log-probability weight.
+type LexicalRule = apps.LexicalRule
+
+// ParseCYK runs the Viterbi CYK parse of a weighted CNF grammar — the
+// grammar-shaped NPDP instance — on the block-wavefront parallel engine.
+// It returns the max log-probability of deriving the input from symbol 0
+// and whether any derivation exists.
+func ParseCYK(g *Grammar, input []byte, workers int) (logProb float64, recognized bool, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r, err := apps.CYKParse(g, input, workers, 0)
+	if err != nil {
+		return 0, false, err
+	}
+	return r.LogProb, r.Recognized, nil
+}
+
+// Point is a polygon vertex for MinWeightTriangulation.
+type Point = apps.Point
+
+// MinWeightTriangulation computes the minimum-total-perimeter
+// triangulation of a convex polygon — the geometric NPDP instance — and
+// returns the weight and the triangle list as vertex-index triples.
+func MinWeightTriangulation(vertices []Point, workers int) (weight float64, triangles [][3]int, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r, err := apps.MinWeightTriangulation(vertices, workers, 0)
+	if err != nil {
+		return 0, nil, err
+	}
+	return r.Weight, r.Triangles(), nil
+}

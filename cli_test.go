@@ -1,0 +1,140 @@
+package cellnpdp_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildCLI compiles a command once per test binary run and returns the
+// executable path.
+var (
+	cliOnce  sync.Once
+	cliDir   string
+	cliErr   error
+	cliNames = []string{"cellnpdp", "benchtables", "rnafold", "speviz"}
+)
+
+func cliPath(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI builds in -short mode")
+	}
+	cliOnce.Do(func() {
+		cliDir, cliErr = os.MkdirTemp("", "cellnpdp-cli")
+		if cliErr != nil {
+			return
+		}
+		for _, n := range cliNames {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(cliDir, n), "./cmd/"+n)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				cliErr = &buildError{name: n, out: string(out), err: err}
+				return
+			}
+		}
+	})
+	if cliErr != nil {
+		t.Fatal(cliErr)
+	}
+	return filepath.Join(cliDir, name)
+}
+
+type buildError struct {
+	name string
+	out  string
+	err  error
+}
+
+func (e *buildError) Error() string {
+	return "building " + e.name + ": " + e.err.Error() + "\n" + e.out
+}
+
+func runCLI(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(cliPath(t, name), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLISolverEnginesAgreeOnChecksum(t *testing.T) {
+	var checks []string
+	for _, eng := range []string{"serial", "tiled", "parallel", "cell"} {
+		out := runCLI(t, "cellnpdp", "-n", "300", "-engine", eng, "-seed", "9")
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "d[0][n-1]=") {
+				checks = append(checks, line)
+			}
+		}
+	}
+	if len(checks) != 4 {
+		t.Fatalf("got %d checksum lines: %v", len(checks), checks)
+	}
+	for _, c := range checks[1:] {
+		if c != checks[0] {
+			t.Fatalf("engines disagree:\n%s\n%s", checks[0], c)
+		}
+	}
+}
+
+func TestCLISaveAndCrossCheck(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "t.npdp")
+	runCLI(t, "cellnpdp", "-n", "200", "-engine", "serial", "-save", file)
+	out := runCLI(t, "cellnpdp", "-n", "200", "-engine", "cell", "-check", file)
+	if !strings.Contains(out, "identical") {
+		t.Fatalf("cross-check did not verify:\n%s", out)
+	}
+	// A different seed must fail the check (non-zero exit).
+	cmd := exec.Command(cliPath(t, "cellnpdp"), "-n", "200", "-seed", "2", "-check", file)
+	if combined, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("mismatch not detected:\n%s", combined)
+	}
+}
+
+func TestCLIBenchtablesListAndRun(t *testing.T) {
+	list := runCLI(t, "benchtables", "-list")
+	for _, want := range []string{"table1", "fig13", "ablations", "utilization"} {
+		if !strings.Contains(list, want) {
+			t.Errorf("-list missing %q", want)
+		}
+	}
+	out := runCLI(t, "benchtables", "-run", "table1")
+	if !strings.Contains(out, "54 cycles") {
+		t.Errorf("table1 output missing the 54-cycle note:\n%s", out)
+	}
+	csv := runCLI(t, "benchtables", "-run", "table1", "-csv")
+	if !strings.HasPrefix(csv, "Instruction,") {
+		t.Errorf("CSV output malformed:\n%s", csv)
+	}
+}
+
+func TestCLIRnafold(t *testing.T) {
+	out := runCLI(t, "rnafold", "GGGAAAACCC")
+	if !strings.Contains(out, "(((....)))") {
+		t.Errorf("hairpin not folded:\n%s", out)
+	}
+	full := runCLI(t, "rnafold", "-full", "GGGGGAAGGGGAAAACCCCAAGGGGAAAACCCCAACCCCC")
+	if !strings.Contains(full, "(((((..((((") {
+		t.Errorf("multibranch fold missing:\n%s", full)
+	}
+	constrained := runCLI(t, "rnafold", "-constraints", "x.........", "GGGAAAACCC")
+	lines := strings.Split(constrained, "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[1], ".") {
+		t.Errorf("constraint ignored:\n%s", constrained)
+	}
+}
+
+func TestCLISpeviz(t *testing.T) {
+	out := runCLI(t, "speviz", "-kernel")
+	if !strings.Contains(out, "list-scheduled") || !strings.Contains(out, "pipe0") {
+		t.Errorf("kernel view malformed:\n%s", out)
+	}
+	run := runCLI(t, "speviz", "-run", "-n", "300", "-spes", "4", "-tile", "16")
+	if !strings.Contains(run, "SPE0") || !strings.Contains(run, "legend") {
+		t.Errorf("gantt view malformed:\n%s", run)
+	}
+}

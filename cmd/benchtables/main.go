@@ -1,0 +1,60 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	benchtables                 # all experiments at scaled sizes
+//	benchtables -full           # additionally model the paper's sizes
+//	benchtables -run fig10a     # one experiment
+//	benchtables -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cellnpdp/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtables: ")
+	var (
+		full    = flag.Bool("full", false, "include paper-size (4096-16384) modeled runs and larger measured sizes")
+		run     = flag.String("run", "", "run a single experiment by name")
+		list    = flag.Bool("list", false, "list experiment names and exit")
+		workers = flag.Int("workers", 0, "CPU workers for measured runs (0 = min(GOMAXPROCS, 8))")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables (with -run)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-14s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+	cfg := harness.Config{Full: *full, Workers: *workers, Seed: *seed, Out: os.Stdout}
+	if *run != "" {
+		e, ok := harness.Lookup(*run)
+		if !ok {
+			log.Fatalf("unknown experiment %q (use -list)", *run)
+		}
+		t, err := e.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+		return
+	}
+	if err := harness.RunAll(cfg); err != nil {
+		log.Fatal(err)
+	}
+}

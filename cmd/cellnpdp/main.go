@@ -1,0 +1,154 @@
+// Command cellnpdp solves a seeded NPDP instance with a chosen engine and
+// reports timing, work counts and (for the cell engine) the modeled QS20
+// execution time and DMA traffic.
+//
+// Usage:
+//
+//	cellnpdp -n 2048 -engine parallel -workers 8
+//	cellnpdp -n 1024 -engine cell -prec double
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"cellnpdp"
+	"cellnpdp/internal/tableio"
+	"cellnpdp/internal/tri"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cellnpdp: ")
+	var (
+		n       = flag.Int("n", 1024, "problem size (DP points)")
+		engine  = flag.String("engine", "parallel", "engine: serial, tiled, parallel or cell")
+		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		block   = flag.Int("block", 32*1024, "memory-block budget in bytes")
+		prec    = flag.String("prec", "single", "precision: single or double")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		save    = flag.String("save", "", "write the solved table to this file")
+		check   = flag.String("check", "", "compare the solved table against this saved file")
+	)
+	flag.Parse()
+
+	eng, err := parseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := cellnpdp.Options{Engine: eng, Workers: *workers, BlockBytes: *block}
+	io := fileOps{save: *save, check: *check}
+	switch *prec {
+	case "single":
+		if err := run[float32](*n, *seed, opts, io); err != nil {
+			log.Fatal(err)
+		}
+	case "double":
+		if err := run[float64](*n, *seed, opts, io); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown precision %q (want single or double)", *prec)
+	}
+}
+
+// fileOps carries the optional save/check actions.
+type fileOps struct {
+	save  string
+	check string
+}
+
+func parseEngine(s string) (cellnpdp.Engine, error) {
+	switch s {
+	case "serial":
+		return cellnpdp.Serial, nil
+	case "tiled":
+		return cellnpdp.Tiled, nil
+	case "parallel":
+		return cellnpdp.Parallel, nil
+	case "cell":
+		return cellnpdp.Cell, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want serial, tiled, parallel or cell)", s)
+}
+
+func run[E cellnpdp.Elem](n int, seed int64, opts cellnpdp.Options, io fileOps) error {
+	tbl, err := cellnpdp.NewTable[E](n)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i+1 < n; i++ {
+		if err := tbl.Set(i, i+1, E(1+rng.Float64()*99)); err != nil {
+			return err
+		}
+	}
+	res, err := cellnpdp.Solve(tbl, opts)
+	if err != nil {
+		return err
+	}
+	// A stable checksum so different engines can be diffed from the shell.
+	var sum float64
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			v, err := tbl.At(i, j)
+			if err != nil {
+				return err
+			}
+			if float64(v) < 1e29 {
+				sum += float64(v)
+			}
+		}
+	}
+	if io.save != "" || io.check != "" {
+		solved := tri.NewRowMajor[E](n)
+		for j := 0; j < n; j++ {
+			for i := 0; i <= j; i++ {
+				v, err := tbl.At(i, j)
+				if err != nil {
+					return err
+				}
+				solved.Set(i, j, v)
+			}
+		}
+		if io.save != "" {
+			f, err := os.Create(io.save)
+			if err != nil {
+				return err
+			}
+			if err := tableio.Write(f, solved); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("saved solved table to %s\n", io.save)
+		}
+		if io.check != "" {
+			f, err := os.Open(io.check)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			want, err := tableio.Read[E](f)
+			if err != nil {
+				return err
+			}
+			if i, j, av, bv, diff := tri.FirstDiff[E](want, solved); diff {
+				return fmt.Errorf("mismatch against %s at (%d,%d): file %v vs computed %v", io.check, i, j, av, bv)
+			}
+			fmt.Printf("verified against %s: identical\n", io.check)
+		}
+	}
+	top, _ := tbl.At(0, n-1)
+	fmt.Fprintf(os.Stdout, "engine=%v n=%d relaxations=%d wall=%.3fs\n", res.Engine, n, res.Relaxations, res.WallSeconds)
+	if res.Engine == cellnpdp.Cell {
+		fmt.Fprintf(os.Stdout, "modeled QS20 time=%.6fs dma=%d bytes\n", res.ModeledSeconds, res.DMABytes)
+	}
+	fmt.Fprintf(os.Stdout, "d[0][n-1]=%v checksum=%.6g\n", top, sum)
+	return nil
+}

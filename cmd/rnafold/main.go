@@ -1,0 +1,97 @@
+// Command rnafold predicts RNA secondary structure by free-energy
+// minimization, running the Zuker bifurcation layer on a selected NPDP
+// engine.
+//
+// Usage:
+//
+//	rnafold GGGAAAACCC
+//	echo GGGAAAACCC | rnafold
+//	rnafold -random 500 -engine parallel
+//	rnafold -engine cell -seq GCGCUUCGAAAGCGC   # also prints modeled QS20 time
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cellnpdp"
+	"cellnpdp/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rnafold: ")
+	var (
+		engine  = flag.String("engine", "serial", "engine: serial, tiled, parallel or cell")
+		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		seq     = flag.String("seq", "", "sequence (overrides positional argument and stdin)")
+		random  = flag.Int("random", 0, "fold a random sequence of this length instead")
+		seed    = flag.Int64("seed", 1, "seed for -random")
+		full    = flag.Bool("full", false, "use the complete recurrences (multibranch loops, serial)")
+		cons    = flag.String("constraints", "", "constraint line: '.' free, 'x' forced unpaired")
+	)
+	flag.Parse()
+
+	var eng cellnpdp.Engine
+	switch *engine {
+	case "serial":
+		eng = cellnpdp.Serial
+	case "tiled":
+		eng = cellnpdp.Tiled
+	case "parallel":
+		eng = cellnpdp.Parallel
+	case "cell":
+		eng = cellnpdp.Cell
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+
+	input := *seq
+	switch {
+	case *random > 0:
+		input = workload.RNA(*random, *seed)
+	case input == "":
+		if flag.NArg() > 0 {
+			input = flag.Arg(0)
+		} else {
+			sc := bufio.NewScanner(os.Stdin)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			var b strings.Builder
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if strings.HasPrefix(line, ">") { // FASTA header
+					continue
+				}
+				b.WriteString(line)
+			}
+			if err := sc.Err(); err != nil {
+				log.Fatal(err)
+			}
+			input = b.String()
+		}
+	}
+	if input == "" {
+		log.Fatal("no sequence given (argument, -seq, -random or stdin)")
+	}
+
+	var res *cellnpdp.FoldResult
+	var err2 error
+	if *full {
+		res, err2 = cellnpdp.FoldRNAFull(input)
+	} else {
+		res, err2 = cellnpdp.FoldRNA(input, cellnpdp.FoldOptions{Engine: eng, Workers: *workers, Constraints: *cons})
+	}
+	if err2 != nil {
+		log.Fatal(err2)
+	}
+	fmt.Println(res.Sequence)
+	fmt.Println(res.DotBracket)
+	fmt.Printf("MFE = %.2f kcal/mol, %d pairs, engine=%s\n", res.MFE, len(res.Pairs), *engine)
+	if res.ModeledCellSeconds > 0 {
+		fmt.Printf("modeled QS20 time for the bifurcation layer: %.6f s\n", res.ModeledCellSeconds)
+	}
+}

@@ -1,0 +1,102 @@
+package cellnpdp_test
+
+import (
+	"fmt"
+
+	"cellnpdp"
+)
+
+// ExampleSolve solves a tiny matrix-chain-shaped instance on the
+// simulated Cell and prints the optimum.
+func ExampleSolve() {
+	tbl, _ := cellnpdp.NewTable[float32](6)
+	costs := []float32{3, 1, 4, 1, 5}
+	for i, c := range costs {
+		tbl.Set(i, i+1, c)
+	}
+	res, _ := cellnpdp.Solve(tbl, cellnpdp.Options{Engine: cellnpdp.Cell, Workers: 4})
+	v, _ := tbl.At(0, 5)
+	fmt.Println(v, res.Relaxations > 0)
+	// Output: 14 true
+}
+
+// ExampleSolve_engineAgreement shows that every engine produces the same
+// bits.
+func ExampleSolve_engineAgreement() {
+	build := func() *cellnpdp.Table[float32] {
+		t, _ := cellnpdp.NewTable[float32](40)
+		for i := 0; i+1 < 40; i++ {
+			t.Set(i, i+1, float32(i%5+1))
+		}
+		return t
+	}
+	var vals []float32
+	for _, eng := range []cellnpdp.Engine{cellnpdp.Serial, cellnpdp.Tiled, cellnpdp.Parallel, cellnpdp.Cell} {
+		t := build()
+		cellnpdp.Solve(t, cellnpdp.Options{Engine: eng, Workers: 2})
+		v, _ := t.At(0, 39)
+		vals = append(vals, v)
+	}
+	fmt.Println(vals[0] == vals[1], vals[1] == vals[2], vals[2] == vals[3])
+	// Output: true true true
+}
+
+// ExampleFoldRNA folds a hairpin.
+func ExampleFoldRNA() {
+	res, _ := cellnpdp.FoldRNA("GGGAAAACCC", cellnpdp.FoldOptions{Engine: cellnpdp.Serial})
+	fmt.Println(res.DotBracket)
+	// Output: (((....)))
+}
+
+// ExampleFoldRNAFull shows a multibranch (cloverleaf) fold that the
+// simplified engine-accelerated model cannot express.
+func ExampleFoldRNAFull() {
+	res, _ := cellnpdp.FoldRNAFull("GGGGGAAGGGGAAAACCCCAAGGGGAAAACCCCAACCCCC")
+	fmt.Println(res.DotBracket)
+	// Output: (((((..((((....))))..((((....))))..)))))
+}
+
+// ExampleMatrixChain reproduces the classic CLRS instance.
+func ExampleMatrixChain() {
+	cost, paren, _ := cellnpdp.MatrixChain([]int{30, 35, 15, 5, 10, 20, 25}, 2)
+	fmt.Println(cost, paren)
+	// Output: 15125 ((A0 (A1 A2)) ((A3 A4) A5))
+}
+
+// ExampleOptimalBST puts the hot key at the root.
+func ExampleOptimalBST() {
+	_, depths, _ := cellnpdp.OptimalBST([]float64{0.05, 0.9, 0.05}, 2)
+	fmt.Println(depths[1])
+	// Output: 1
+}
+
+// ExampleParseCYK recognizes balanced parentheses with a weighted CNF
+// grammar.
+func ExampleParseCYK() {
+	g := &cellnpdp.Grammar{
+		Symbols: 4,
+		Binary: []cellnpdp.BinaryRule{
+			{A: 0, B: 0, C: 0, W: -1},
+			{A: 0, B: 2, C: 1, W: -1},
+			{A: 0, B: 2, C: 3, W: -1},
+			{A: 1, B: 0, C: 3, W: 0},
+		},
+		Lexical: []cellnpdp.LexicalRule{
+			{A: 2, T: '(', W: 0},
+			{A: 3, T: ')', W: 0},
+		},
+	}
+	_, ok1, _ := cellnpdp.ParseCYK(g, []byte("(()())"), 2)
+	_, ok2, _ := cellnpdp.ParseCYK(g, []byte("(()"), 2)
+	fmt.Println(ok1, ok2)
+	// Output: true false
+}
+
+// ExampleMinWeightTriangulation triangulates a square.
+func ExampleMinWeightTriangulation() {
+	_, tris, _ := cellnpdp.MinWeightTriangulation([]cellnpdp.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1},
+	}, 2)
+	fmt.Println(len(tris))
+	// Output: 2
+}

@@ -1,0 +1,71 @@
+// Cell-simulator tour: what the substrate enforces and reports. Shows the
+// six-buffer local-store constraint rejecting an oversized tile, the
+// modeled run statistics at several SPE counts, and a per-SPE Gantt chart
+// of the parallel procedure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellnpdp/internal/cellsim"
+	"cellnpdp/internal/npdp"
+	"cellnpdp/internal/pipeline"
+	"cellnpdp/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	mach, err := cellsim.NewMachine(cellsim.QS20())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IBM QS20 model: %d SPEs, %d KB local store (%d KB for data), %.1f GB/s per chip\n\n",
+		len(mach.SPEs), mach.Config.LocalStoreBytes/1024, mach.Config.DataBytes()/1024,
+		mach.Config.ChannelBandwidth/1e9)
+
+	opts := func(w int) npdp.CellOptions {
+		return npdp.CellOptions{
+			Workers: w, SchedSide: 1, UseSIMD: true, DoubleBuffer: true,
+			CBStepCycles:      pipeline.CBStepCyclesSP(),
+			ScalarRelaxCycles: npdp.DefaultScalarRelaxCycles,
+		}
+	}
+
+	// 1. The local store is a hard budget: six tile² buffers must fit in
+	//    208 KB. Tile 128 needs 6 × 64 KB = 384 KB and is rejected.
+	if _, err := npdp.ModelCell(1024, 128, npdp.Single, mach, opts(4)); err != nil {
+		fmt.Printf("tile 128 rejected, as on real hardware:\n  %v\n\n", err)
+	} else {
+		log.Fatal("oversized tile unexpectedly accepted")
+	}
+
+	// 2. Modeled scaling at the paper's block size.
+	fmt.Println("n=2048, 32 KB memory blocks (tile 88):")
+	var one float64
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		res, err := npdp.ModelCell(2048, 88, npdp.Single, mach, opts(w))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if w == 1 {
+			one = res.Seconds
+		}
+		fmt.Printf("  %2d SPEs: %8.4fs modeled  speedup %5.2fx  efficiency %5.1f%%  DMA %6.1f MiB\n",
+			w, res.Seconds, one/res.Seconds, res.ParallelEfficiency()*100,
+			float64(res.DMA.TotalBytes())/(1<<20))
+	}
+	fmt.Println()
+
+	// 3. Where the time goes: trace one run and draw it.
+	lg := &trace.Log{}
+	tracedOpts := opts(8)
+	tracedOpts.Trace = lg
+	if _, err := npdp.ModelCell(1024, 88, npdp.Single, mach, tracedOpts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("n=1024 on 8 SPEs:")
+	fmt.Print(lg.Gantt(90))
+	fmt.Println()
+	fmt.Print(lg.String())
+}

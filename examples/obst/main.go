@@ -1,0 +1,67 @@
+// Optimal binary search tree example: the third classic NPDP application.
+// Builds the cost-optimal BST for a Zipf-distributed dictionary and
+// compares its expected lookup cost to a balanced tree's.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellnpdp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A Zipf-like access distribution over 1000 keys: a few keys take
+	// most of the traffic, which is where an optimal BST beats balance.
+	const m = 1000
+	weights := make([]float64, m)
+	var total float64
+	for k := range weights {
+		weights[k] = 1 / float64(k+1)
+		total += weights[k]
+	}
+	for k := range weights {
+		weights[k] /= total
+	}
+
+	cost, depths, err := cellnpdp.OptimalBST(weights, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Balanced-tree expected cost under the same distribution.
+	balDepth := balancedDepths(m)
+	var balCost float64
+	maxDepth := 0
+	for k, w := range weights {
+		balCost += w * float64(balDepth[k])
+		if depths[k] > maxDepth {
+			maxDepth = depths[k]
+		}
+	}
+
+	fmt.Printf("%d keys, Zipf access distribution\n", m)
+	fmt.Printf("optimal BST expected comparisons: %.3f (depth up to %d)\n", cost, maxDepth)
+	fmt.Printf("balanced BST expected comparisons: %.3f\n", balCost)
+	fmt.Printf("optimal saves %.1f%%; hot key depths: #1→%d #2→%d #3→%d\n",
+		100*(balCost-cost)/balCost, depths[0], depths[1], depths[2])
+}
+
+// balancedDepths returns key depths in a perfectly balanced BST.
+func balancedDepths(m int) []int {
+	d := make([]int, m)
+	var build func(lo, hi, depth int)
+	build = func(lo, hi, depth int) {
+		if lo >= hi {
+			return
+		}
+		mid := (lo + hi) / 2
+		d[mid] = depth
+		build(lo, mid, depth+1)
+		build(mid+1, hi, depth+1)
+	}
+	build(0, m, 1)
+	return d
+}

@@ -1,0 +1,40 @@
+// RNA folding example: predict the secondary structure of a tRNA-like
+// sequence on the parallel engine, then re-run the bifurcation layer on
+// the simulated Cell to see the paper's modeled hardware time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellnpdp"
+)
+
+func main() {
+	log.SetFlags(0)
+	// A cloverleaf-prone test sequence: four GC-rich stems separated by
+	// A/U linkers, similar in shape to a tRNA.
+	seq := "GCGGCGAAAACGCCGC" + "AUAU" +
+		"GGCCGGAAAACCGGCC" + "AUAU" +
+		"GCCGCGAAAACGCGGC" + "AUAU" +
+		"CGGCGGAAAACCGCCG"
+
+	res, err := cellnpdp.FoldRNA(seq, cellnpdp.FoldOptions{Engine: cellnpdp.Parallel, Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Sequence)
+	fmt.Println(res.DotBracket)
+	fmt.Printf("MFE = %.2f kcal/mol across %d base pairs\n\n", res.MFE, len(res.Pairs))
+
+	// Same fold on the simulated Cell Broadband Engine: identical result,
+	// plus the modeled QS20 time of the O(n³) layer.
+	cell, err := cellnpdp.FoldRNA(seq, cellnpdp.FoldOptions{Engine: cellnpdp.Cell, Workers: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cell.MFE != res.MFE {
+		log.Fatalf("cell engine disagrees: %g vs %g", cell.MFE, res.MFE)
+	}
+	fmt.Printf("simulated QS20 (16 SPEs) bifurcation layer: %.6f s modeled\n", cell.ModeledCellSeconds)
+}

@@ -1,0 +1,3 @@
+module cellnpdp
+
+go 1.22

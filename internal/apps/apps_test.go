@@ -1,0 +1,217 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// bruteChain enumerates every parenthesization of chain [i, j).
+func bruteChain(dims []int, i, j int) int64 {
+	if j == i+1 {
+		return 0
+	}
+	best := int64(-1)
+	for k := i + 1; k < j; k++ {
+		c := bruteChain(dims, i, k) + bruteChain(dims, k, j) + int64(dims[i])*int64(dims[k])*int64(dims[j])
+		if best < 0 || c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func TestMatrixChainKnown(t *testing.T) {
+	// CLRS example: dims 30,35,15,5,10,20,25 → 15125 multiplications.
+	r, err := MatrixChain([]int{30, 35, 15, 5, 10, 20, 25}, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 15125 {
+		t.Errorf("cost = %d, want 15125", r.Cost)
+	}
+	if got := r.Paren(); got != "((A0 (A1 A2)) ((A3 A4) A5))" {
+		t.Errorf("parenthesization %q", got)
+	}
+}
+
+func TestMatrixChainMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.Intn(8)
+		dims := make([]int, m+1)
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(40)
+		}
+		r, err := MatrixChain(dims, 1+rng.Intn(4), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := bruteChain(dims, 0, m); r.Cost != want {
+			t.Errorf("dims %v: cost %d, want %d", dims, r.Cost, want)
+		}
+	}
+}
+
+func TestMatrixChainParenConsistent(t *testing.T) {
+	// The rendered parenthesization must mention every matrix once and
+	// balance its parentheses.
+	r, err := MatrixChain([]int{4, 7, 3, 9, 2, 8, 5, 6}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Paren()
+	if strings.Count(p, "(") != strings.Count(p, ")") {
+		t.Errorf("unbalanced: %q", p)
+	}
+	for i := 0; i < 7; i++ {
+		if strings.Count(p, "A"+string(rune('0'+i))) != 1 {
+			t.Errorf("matrix A%d not exactly once in %q", i, p)
+		}
+	}
+}
+
+func TestMatrixChainSingleMatrix(t *testing.T) {
+	r, err := MatrixChain([]int{3, 5}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 0 || r.Paren() != "A0" {
+		t.Errorf("single matrix: cost=%d paren=%q", r.Cost, r.Paren())
+	}
+}
+
+func TestMatrixChainRejects(t *testing.T) {
+	if _, err := MatrixChain([]int{5}, 2, 8); err == nil {
+		t.Error("too few dims accepted")
+	}
+	if _, err := MatrixChain([]int{5, 0, 3}, 2, 8); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	if _, err := MatrixChain([]int{5, 3}, 0, 8); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+// bruteBST enumerates every BST over keys [i, j).
+func bruteBST(prefix []float64, i, j int) float64 {
+	if i >= j {
+		return 0
+	}
+	w := prefix[j] - prefix[i]
+	best := math.Inf(1)
+	for r := i; r < j; r++ {
+		if c := bruteBST(prefix, i, r) + bruteBST(prefix, r+1, j) + w; c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func TestOBSTMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.Intn(9)
+		probs := make([]float64, m)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		r, err := OptimalBST(probs, 1+rng.Intn(4), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := make([]float64, m+1)
+		for i, p := range probs {
+			prefix[i+1] = prefix[i] + p
+		}
+		want := bruteBST(prefix, 0, m)
+		if math.Abs(r.Cost-want) > 1e-9 {
+			t.Errorf("probs %v: cost %g, want %g", probs, r.Cost, want)
+		}
+	}
+}
+
+func TestOBSTDepthIdentity(t *testing.T) {
+	// Expected cost must equal Σ p[k]·depth[k] of the reconstructed tree.
+	probs := []float64{0.15, 0.10, 0.05, 0.10, 0.20, 0.40}
+	r, err := OptimalBST(probs, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths := r.Depths()
+	var sum float64
+	for k, p := range probs {
+		if depths[k] < 1 {
+			t.Fatalf("key %d missing from tree", k)
+		}
+		sum += p * float64(depths[k])
+	}
+	if math.Abs(sum-r.Cost) > 1e-9 {
+		t.Errorf("Σ p·depth = %g, cost = %g", sum, r.Cost)
+	}
+}
+
+func TestOBSTSkewedPrefersHotRoot(t *testing.T) {
+	// With one overwhelmingly hot key, it must be the root.
+	probs := []float64{0.01, 0.01, 0.9, 0.01, 0.01}
+	r, err := OptimalBST(probs, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Root(0, 5) != 2 {
+		t.Errorf("root = %d, want the hot key 2", r.Root(0, 5))
+	}
+	if r.Depths()[2] != 1 {
+		t.Error("hot key not at depth 1")
+	}
+}
+
+func TestOBSTRejects(t *testing.T) {
+	if _, err := OptimalBST(nil, 2, 4); err == nil {
+		t.Error("empty keys accepted")
+	}
+	if _, err := OptimalBST([]float64{0.5, -0.1}, 2, 4); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestWavefrontCoversTriangleOnce(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 17, 40} {
+		for _, tile := range []int{1, 4, 7, 16} {
+			var mu sync.Mutex
+			seen := map[[2]int]int{}
+			err := Wavefront(n, tile, 4, func(i, j int) {
+				mu.Lock()
+				seen[[2]int{i, j}]++
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := n * (n - 1) / 2
+			if len(seen) != want {
+				t.Fatalf("n=%d tile=%d: %d cells, want %d", n, tile, len(seen), want)
+			}
+			for c, k := range seen {
+				if k != 1 || c[0] >= c[1] {
+					t.Fatalf("cell %v computed %d times", c, k)
+				}
+			}
+		}
+	}
+}
+
+func TestWavefrontRejects(t *testing.T) {
+	noop := func(int, int) {}
+	if err := Wavefront(0, 4, 2, noop); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := Wavefront(8, 0, 2, noop); err == nil {
+		t.Error("tile=0 accepted")
+	}
+	if err := Wavefront(8, 4, 0, noop); err == nil {
+		t.Error("workers=0 accepted")
+	}
+}

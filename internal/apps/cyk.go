@@ -1,0 +1,161 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+)
+
+// CYK parsing is the grammar-shaped member of the NPDP family: the
+// Viterbi (max-probability) parse of a weighted context-free grammar in
+// Chomsky normal form fills the same triangular table with the same
+// nonuniform dependences — score[i][j][A] over spans [i, j) combines
+// score[i][k][B] and score[k][j][C] across every split k — and
+// parallelizes on the same block wavefront.
+
+// Grammar is a weighted CNF grammar. Symbols are small integers;
+// terminals are bytes.
+type Grammar struct {
+	Symbols int // nonterminal count; symbol 0 is the start symbol
+	// Binary rules A -> B C with weight (log-probability, ≤ 0).
+	Binary []BinaryRule
+	// Lexical rules A -> t with weight.
+	Lexical []LexicalRule
+}
+
+// BinaryRule is A -> B C.
+type BinaryRule struct {
+	A, B, C int
+	W       float64
+}
+
+// LexicalRule is A -> terminal.
+type LexicalRule struct {
+	A int
+	T byte
+	W float64
+}
+
+// Validate checks symbol ranges.
+func (g *Grammar) Validate() error {
+	if g.Symbols <= 0 {
+		return fmt.Errorf("apps: grammar needs at least one symbol")
+	}
+	for _, r := range g.Binary {
+		if r.A < 0 || r.A >= g.Symbols || r.B < 0 || r.B >= g.Symbols || r.C < 0 || r.C >= g.Symbols {
+			return fmt.Errorf("apps: binary rule %v out of range", r)
+		}
+	}
+	for _, r := range g.Lexical {
+		if r.A < 0 || r.A >= g.Symbols {
+			return fmt.Errorf("apps: lexical rule %v out of range", r)
+		}
+	}
+	if len(g.Lexical) == 0 {
+		return fmt.Errorf("apps: grammar has no lexical rules")
+	}
+	return nil
+}
+
+// ParseResult is a Viterbi parse.
+type ParseResult struct {
+	// LogProb is the max log-probability of deriving the input from the
+	// start symbol; -Inf when the input is not in the language.
+	LogProb float64
+	// Recognized reports whether any derivation exists.
+	Recognized bool
+}
+
+// CYKParse runs weighted CYK over the input with `workers` goroutines on
+// the block wavefront. The table is indexed over the n+1 span boundaries,
+// so cell (i, j) holds the scores of span [i, j).
+func CYKParse(g *Grammar, input []byte, workers, tile int) (*ParseResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(input)
+	if n == 0 {
+		return nil, fmt.Errorf("apps: empty input")
+	}
+	if tile <= 0 {
+		tile = 16
+	}
+	neg := math.Inf(-1)
+	// score[i][j][A]; allocate the upper triangle of an (n+1)-point table.
+	score := make([][][]float64, n+1)
+	for i := range score {
+		score[i] = make([][]float64, n+1)
+		for j := i; j <= n; j++ {
+			row := make([]float64, g.Symbols)
+			for a := range row {
+				row[a] = neg
+			}
+			score[i][j] = row
+		}
+	}
+	// Lexical layer: spans of length 1.
+	for i := 0; i < n; i++ {
+		for _, r := range g.Lexical {
+			if r.T == input[i] && r.W > score[i][i+1][r.A] {
+				score[i][i+1][r.A] = r.W
+			}
+		}
+	}
+	// Binary layer on the wavefront: cell (i, j) of the (n+1)-boundary
+	// triangle combines all splits — exactly the NPDP dependence set.
+	err := Wavefront(n+1, tile, max(workers, 1), func(i, j int) {
+		if j-i < 2 {
+			return // lexical spans are seeded above
+		}
+		cell := score[i][j]
+		for k := i + 1; k < j; k++ {
+			left, right := score[i][k], score[k][j]
+			for _, r := range g.Binary {
+				if lb, rc := left[r.B], right[r.C]; lb != neg && rc != neg {
+					if s := lb + rc + r.W; s > cell[r.A] {
+						cell[r.A] = s
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	lp := score[0][n][0]
+	return &ParseResult{LogProb: lp, Recognized: !math.IsInf(lp, -1)}, nil
+}
+
+// BalancedParens returns the CNF grammar of balanced parentheses:
+//
+//	S -> S S | ( S ) | ()
+//
+// in CNF: S -> S S | L R' | L R ; R' -> S R ; L -> '(' ; R -> ')'.
+// Weights make longer derivations cheaper to verify Viterbi maximization.
+func BalancedParens() *Grammar {
+	const (
+		S = iota
+		Rp
+		L
+		R
+	)
+	return &Grammar{
+		Symbols: 4,
+		Binary: []BinaryRule{
+			{A: S, B: S, C: S, W: -1},
+			{A: S, B: L, C: Rp, W: -1},
+			{A: S, B: L, C: R, W: -1},
+			{A: Rp, B: S, C: R, W: 0},
+		},
+		Lexical: []LexicalRule{
+			{A: L, T: '(', W: 0},
+			{A: R, T: ')', W: 0},
+		},
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

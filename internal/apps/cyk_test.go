@@ -1,0 +1,187 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCYKRecognizesBalancedParens(t *testing.T) {
+	g := BalancedParens()
+	good := []string{"()", "()()", "(())", "(()())", "((()))()", strings.Repeat("()", 30)}
+	for _, s := range good {
+		r, err := CYKParse(g, []byte(s), 4, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Recognized {
+			t.Errorf("%q not recognized", s)
+		}
+	}
+	bad := []string{"(", ")", ")(", "(()", "())", "()(", "((", "x"}
+	for _, s := range bad {
+		r, err := CYKParse(g, []byte(s), 4, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Recognized {
+			t.Errorf("%q wrongly recognized", s)
+		}
+	}
+}
+
+// bruteCYK is an independent serial reference.
+func bruteCYK(g *Grammar, input []byte) float64 {
+	n := len(input)
+	neg := math.Inf(-1)
+	score := map[[3]int]float64{}
+	get := func(i, j, a int) float64 {
+		if v, ok := score[[3]int{i, j, a}]; ok {
+			return v
+		}
+		return neg
+	}
+	for i := 0; i < n; i++ {
+		for _, r := range g.Lexical {
+			if r.T == input[i] && r.W > get(i, i+1, r.A) {
+				score[[3]int{i, i + 1, r.A}] = r.W
+			}
+		}
+	}
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span <= n; i++ {
+			j := i + span
+			for k := i + 1; k < j; k++ {
+				for _, r := range g.Binary {
+					lb, rc := get(i, k, r.B), get(k, j, r.C)
+					if lb != neg && rc != neg {
+						if s := lb + rc + r.W; s > get(i, j, r.A) {
+							score[[3]int{i, j, r.A}] = s
+						}
+					}
+				}
+			}
+		}
+	}
+	return get(0, n, 0)
+}
+
+func TestCYKMatchesBruteForce(t *testing.T) {
+	g := BalancedParens()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + rng.Intn(12)
+		b := make([]byte, m)
+		for i := range b {
+			if rng.Intn(2) == 0 {
+				b[i] = '('
+			} else {
+				b[i] = ')'
+			}
+		}
+		got, err := CYKParse(g, b, 1+rng.Intn(4), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteCYK(g, b)
+		both := got.LogProb == want ||
+			(math.IsInf(got.LogProb, -1) && math.IsInf(want, -1))
+		if !both {
+			t.Errorf("%q: parallel %g vs brute %g", b, got.LogProb, want)
+		}
+	}
+}
+
+func TestCYKViterbiWeight(t *testing.T) {
+	// "()()" derives via S->SS from two S->LR: weight -1 + (-1) + (-1) = -3.
+	g := BalancedParens()
+	r, err := CYKParse(g, []byte("()()"), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LogProb != -3 {
+		t.Errorf("log-prob = %g, want -3", r.LogProb)
+	}
+}
+
+func TestCYKRejectsBad(t *testing.T) {
+	g := BalancedParens()
+	if _, err := CYKParse(g, nil, 2, 4); err == nil {
+		t.Error("empty input accepted")
+	}
+	bad := &Grammar{Symbols: 1, Binary: []BinaryRule{{A: 0, B: 5, C: 0}}}
+	if bad.Validate() == nil {
+		t.Error("out-of-range rule accepted")
+	}
+	empty := &Grammar{Symbols: 1}
+	if empty.Validate() == nil {
+		t.Error("grammar without lexical rules accepted")
+	}
+}
+
+func TestTriangulationSquare(t *testing.T) {
+	// Unit square: both diagonals are equivalent by symmetry; total
+	// weight = two triangles, each with perimeter 2 + √2.
+	sq := []Point{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+	r, err := MinWeightTriangulation(sq, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (2 + math.Sqrt2)
+	if math.Abs(r.Weight-want) > 1e-9 {
+		t.Errorf("weight = %g, want %g", r.Weight, want)
+	}
+	tris := r.Triangles()
+	if len(tris) != 2 {
+		t.Errorf("triangles = %v", tris)
+	}
+}
+
+// bruteTriangulation enumerates every triangulation.
+func bruteTriangulation(v []Point, i, j int) float64 {
+	if j-i < 2 {
+		return 0
+	}
+	best := math.Inf(1)
+	for k := i + 1; k < j; k++ {
+		p := math.Hypot(v[i].X-v[k].X, v[i].Y-v[k].Y) +
+			math.Hypot(v[k].X-v[j].X, v[k].Y-v[j].Y) +
+			math.Hypot(v[i].X-v[j].X, v[i].Y-v[j].Y)
+		if c := bruteTriangulation(v, i, k) + bruteTriangulation(v, k, j) + p; c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func TestTriangulationMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		m := 3 + rng.Intn(8)
+		// Random convex polygon: sorted angles on a wobbly circle.
+		v := make([]Point, m)
+		for i := range v {
+			ang := 2 * math.Pi * float64(i) / float64(m)
+			rad := 1 + 0.3*rng.Float64()
+			v[i] = Point{rad * math.Cos(ang), rad * math.Sin(ang)}
+		}
+		r, err := MinWeightTriangulation(v, 1+rng.Intn(3), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteTriangulation(v, 0, m-1)
+		if math.Abs(r.Weight-want) > 1e-9 {
+			t.Errorf("trial %d: weight %g vs brute %g", trial, r.Weight, want)
+		}
+		if got := len(r.Triangles()); got != m-2 {
+			t.Errorf("trial %d: %d triangles, want %d", trial, got, m-2)
+		}
+	}
+}
+
+func TestTriangulationRejectsBad(t *testing.T) {
+	if _, err := MinWeightTriangulation([]Point{{0, 0}, {1, 1}}, 2, 4); err == nil {
+		t.Error("degenerate polygon accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MatChainResult is an optimal matrix-chain parenthesization.
+type MatChainResult struct {
+	Dims  []int
+	Cost  int64   // minimal scalar multiplications
+	split [][]int // split[i][j]: the k realizing the optimum for chain [i, j)
+}
+
+// MatrixChain solves the optimal matrix parenthesization problem for a
+// chain of len(dims)-1 matrices, where matrix t has shape
+// dims[t] × dims[t+1]. The recurrence is the weighted NPDP
+//
+//	c[i][j] = min_{i<k<j} c[i][k] + c[k][j] + dims[i]·dims[k]·dims[j]
+//
+// over the n = len(dims) boundary points, run on the block-wavefront
+// engine with `workers` goroutines.
+func MatrixChain(dims []int, workers, tile int) (*MatChainResult, error) {
+	n := len(dims)
+	if n < 2 {
+		return nil, fmt.Errorf("apps: need at least one matrix (2 dims), got %d dims", n)
+	}
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("apps: dimension %d is %d, must be positive", i, d)
+		}
+	}
+	if tile <= 0 {
+		tile = 32
+	}
+	cost := make([][]int64, n)
+	split := make([][]int, n)
+	for i := range cost {
+		cost[i] = make([]int64, n)
+		split[i] = make([]int, n)
+	}
+	err := Wavefront(n, tile, workers, func(i, j int) {
+		if j == i+1 {
+			return // single matrix: zero cost
+		}
+		best := int64(-1)
+		bestK := -1
+		for k := i + 1; k < j; k++ {
+			c := cost[i][k] + cost[k][j] + int64(dims[i])*int64(dims[k])*int64(dims[j])
+			if best < 0 || c < best {
+				best, bestK = c, k
+			}
+		}
+		cost[i][j] = best
+		split[i][j] = bestK
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MatChainResult{Dims: dims, Cost: cost[0][n-1], split: split}, nil
+}
+
+// Paren renders the optimal parenthesization, naming matrices A0, A1, …
+func (r *MatChainResult) Paren() string {
+	var b strings.Builder
+	r.render(&b, 0, len(r.Dims)-1)
+	return b.String()
+}
+
+func (r *MatChainResult) render(b *strings.Builder, i, j int) {
+	if j == i+1 {
+		fmt.Fprintf(b, "A%d", i)
+		return
+	}
+	k := r.split[i][j]
+	b.WriteByte('(')
+	r.render(b, i, k)
+	b.WriteByte(' ')
+	r.render(b, k, j)
+	b.WriteByte(')')
+}

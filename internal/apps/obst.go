@@ -1,0 +1,83 @@
+package apps
+
+import "fmt"
+
+// OBSTResult is an optimal binary search tree.
+type OBSTResult struct {
+	Probs []float64
+	Cost  float64 // expected comparisons under the access distribution
+	root  [][]int // root[i][j]: optimal root key index for keys [i, j)
+}
+
+// OptimalBST builds the optimal binary search tree over keys 0..m-1 with
+// access probabilities probs (they need not sum to 1; weights work too).
+// The recurrence over half-open key ranges [i, j) is the weighted NPDP
+//
+//	e[i][j] = min_{i≤r<j} e[i][r] + e[r+1][j] + w(i,j),  w(i,j) = Σ probs[i..j-1]
+//
+// run on the block-wavefront engine.
+func OptimalBST(probs []float64, workers, tile int) (*OBSTResult, error) {
+	m := len(probs)
+	if m == 0 {
+		return nil, fmt.Errorf("apps: need at least one key")
+	}
+	for i, p := range probs {
+		if p < 0 {
+			return nil, fmt.Errorf("apps: probability %d is negative (%g)", i, p)
+		}
+	}
+	if tile <= 0 {
+		tile = 32
+	}
+	n := m + 1 // boundary points
+	// prefix[i] = Σ probs[0..i-1], so w(i,j) = prefix[j] - prefix[i].
+	prefix := make([]float64, n)
+	for i, p := range probs {
+		prefix[i+1] = prefix[i] + p
+	}
+	e := make([][]float64, n)
+	root := make([][]int, n)
+	for i := range e {
+		e[i] = make([]float64, n)
+		root[i] = make([]int, n)
+	}
+	err := Wavefront(n, tile, workers, func(i, j int) {
+		// Keys [i, j), at least one key since j > i.
+		w := prefix[j] - prefix[i]
+		best := -1.0
+		bestR := -1
+		for r := i; r < j; r++ {
+			c := e[i][r] + e[r+1][j] + w
+			if bestR < 0 || c < best {
+				best, bestR = c, r
+			}
+		}
+		e[i][j] = best
+		root[i][j] = bestR
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &OBSTResult{Probs: probs, Cost: e[0][m], root: root}, nil
+}
+
+// Root returns the optimal root key for the key range [i, j).
+func (r *OBSTResult) Root(i, j int) int { return r.root[i][j] }
+
+// Depths returns each key's depth (root = 1) in the optimal tree; the
+// expected cost equals Σ probs[k]·depth[k].
+func (r *OBSTResult) Depths() []int {
+	d := make([]int, len(r.Probs))
+	var walk func(i, j, depth int)
+	walk = func(i, j, depth int) {
+		if i >= j {
+			return
+		}
+		k := r.root[i][j]
+		d[k] = depth
+		walk(i, k, depth+1)
+		walk(k+1, j, depth+1)
+	}
+	walk(0, len(r.Probs), 1)
+	return d
+}

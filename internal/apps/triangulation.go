@@ -1,0 +1,79 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2D vertex.
+type Point struct{ X, Y float64 }
+
+// TriangulationResult is a minimum-weight triangulation of a convex
+// polygon, the geometric member of the NPDP family (same recurrence as
+// matrix parenthesization with a triangle-perimeter weight).
+type TriangulationResult struct {
+	Vertices []Point
+	Weight   float64 // total perimeter of the chosen triangles
+	split    [][]int
+}
+
+// MinWeightTriangulation triangulates the convex polygon given by its
+// vertices in order, minimizing the summed triangle perimeters:
+//
+//	w[i][j] = min_{i<k<j} w[i][k] + w[k][j] + perim(v_i, v_k, v_j)
+//
+// run on the block-wavefront engine.
+func MinWeightTriangulation(vertices []Point, workers, tile int) (*TriangulationResult, error) {
+	n := len(vertices)
+	if n < 3 {
+		return nil, fmt.Errorf("apps: a polygon needs at least 3 vertices, got %d", n)
+	}
+	if tile <= 0 {
+		tile = 32
+	}
+	w := make([][]float64, n)
+	split := make([][]int, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		split[i] = make([]int, n)
+	}
+	dist := func(a, b Point) float64 {
+		return math.Hypot(a.X-b.X, a.Y-b.Y)
+	}
+	err := Wavefront(n, tile, max(workers, 1), func(i, j int) {
+		if j-i < 2 {
+			return // an edge is not a triangle
+		}
+		best := math.Inf(1)
+		bestK := -1
+		for k := i + 1; k < j; k++ {
+			p := dist(vertices[i], vertices[k]) + dist(vertices[k], vertices[j]) + dist(vertices[i], vertices[j])
+			if c := w[i][k] + w[k][j] + p; c < best {
+				best, bestK = c, k
+			}
+		}
+		w[i][j] = best
+		split[i][j] = bestK
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TriangulationResult{Vertices: vertices, Weight: w[0][n-1], split: split}, nil
+}
+
+// Triangles lists the chosen triangles as vertex-index triples.
+func (r *TriangulationResult) Triangles() [][3]int {
+	var out [][3]int
+	var walk func(i, j int)
+	walk = func(i, j int) {
+		if j-i < 2 {
+			return
+		}
+		k := r.split[i][j]
+		out = append(out, [3]int{i, k, j})
+		walk(i, k)
+		walk(k, j)
+	}
+	walk(0, len(r.Vertices)-1)
+	return out
+}

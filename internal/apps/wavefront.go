@@ -1,0 +1,57 @@
+// Package apps implements the other NPDP applications the paper's
+// introduction names alongside the Zuker algorithm: the optimal matrix
+// parenthesization problem and the optimal binary search tree. Both have
+// weighted recurrences (the combine cost depends on the split point), so
+// they run on a generic block-wavefront engine built over the same
+// Section IV-B task-queue model as the min-plus engines.
+package apps
+
+import (
+	"fmt"
+
+	"cellnpdp/internal/sched"
+)
+
+// Wavefront runs compute(i, j) for every upper-triangle cell (i < j ≤ n-1)
+// of an n-point table, in parallel over blocks of side tile using the
+// simplified two-dependence task graph. When compute(i, j) runs, every
+// cell (i, k) with k < j and (k, j) with k > i has completed — exactly
+// the NPDP dependence set — so recurrences may read those freely.
+func Wavefront(n, tile, workers int, compute func(i, j int)) error {
+	if n <= 0 {
+		return fmt.Errorf("apps: size must be positive, got %d", n)
+	}
+	if tile <= 0 {
+		return fmt.Errorf("apps: tile must be positive, got %d", tile)
+	}
+	if workers <= 0 {
+		return fmt.Errorf("apps: workers must be positive, got %d", workers)
+	}
+	blocks := (n + tile - 1) / tile
+	graph, err := sched.NewGraph(blocks, 1)
+	if err != nil {
+		return err
+	}
+	return sched.RunPool(graph, workers, func(_ int, task sched.Task) error {
+		rowLo, colLo := task.RowLo*tile, task.ColLo*tile
+		rowHi, colHi := rowLo+tile, colLo+tile
+		if rowHi > n {
+			rowHi = n
+		}
+		if colHi > n {
+			colHi = n
+		}
+		// Columns ascending, rows descending: within the block, (i, k)
+		// and (k, j) neighbors are finished before (i, j).
+		for j := colLo; j < colHi; j++ {
+			iTop := j - 1
+			if iTop >= rowHi {
+				iTop = rowHi - 1
+			}
+			for i := iTop; i >= rowLo; i-- {
+				compute(i, j)
+			}
+		}
+		return nil
+	})
+}

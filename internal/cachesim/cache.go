@@ -1,0 +1,127 @@
+// Package cachesim is a trace-driven set-associative cache simulator for
+// the paper's CPU-platform experiments: Figure 9(b) compares the memory
+// traffic (64-byte cache lines) of the original row-major layout against
+// the new data layout on the Nehalem platform. Address streams for both
+// layouts are generated from the same loop nests the engines execute;
+// traffic does not depend on data values, so the traces carry addresses
+// only.
+package cachesim
+
+import "fmt"
+
+// Stats counts one cache level's activity.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	Misses     int64
+	WriteBacks int64 // dirty evictions
+}
+
+// Accesses returns reads + writes.
+func (s Stats) Accesses() int64 { return s.Reads + s.Writes }
+
+// MissRate returns misses / accesses.
+func (s Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+// Cache is one set-associative write-back, write-allocate cache level
+// with LRU replacement.
+type Cache struct {
+	Name      string
+	LineBytes int
+	Sets      int
+	Ways      int
+	Stats     Stats
+
+	tags  []uint64 // Sets × Ways entries; 0 = invalid (tag values are shifted +1)
+	dirty []bool
+	age   []int64 // LRU timestamps
+	tick  int64
+}
+
+// NewCache builds a cache of the given total size. sizeBytes must be
+// lineBytes × sets × ways with power-of-two sets.
+func NewCache(name string, sizeBytes, lineBytes, ways int) (*Cache, error) {
+	if lineBytes <= 0 || ways <= 0 || sizeBytes <= 0 {
+		return nil, fmt.Errorf("cachesim: non-positive geometry for %s", name)
+	}
+	if sizeBytes%(lineBytes*ways) != 0 {
+		return nil, fmt.Errorf("cachesim: %s size %d not divisible by line %d × ways %d", name, sizeBytes, lineBytes, ways)
+	}
+	sets := sizeBytes / (lineBytes * ways)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cachesim: %s set count %d not a power of two", name, sets)
+	}
+	return &Cache{
+		Name:      name,
+		LineBytes: lineBytes,
+		Sets:      sets,
+		Ways:      ways,
+		tags:      make([]uint64, sets*ways),
+		dirty:     make([]bool, sets*ways),
+		age:       make([]int64, sets*ways),
+	}, nil
+}
+
+// SizeBytes returns the cache capacity.
+func (c *Cache) SizeBytes() int { return c.LineBytes * c.Sets * c.Ways }
+
+// access looks up the line containing addr. On a miss it allocates the
+// line, evicting LRU; writeBack reports whether a dirty line was evicted
+// and victimAddr is that line's address (for propagation to the next
+// level). write marks the line dirty.
+func (c *Cache) access(addr uint64, write bool) (miss, writeBack bool, victimAddr uint64) {
+	c.tick++
+	line := addr / uint64(c.LineBytes)
+	set := int(line) & (c.Sets - 1)
+	tag := line + 1 // +1 so 0 means invalid
+	base := set * c.Ways
+	victim := base
+	for w := 0; w < c.Ways; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.age[i] = c.tick
+			if write {
+				c.dirty[i] = true
+				c.Stats.Writes++
+			} else {
+				c.Stats.Reads++
+			}
+			return false, false, 0
+		}
+		if c.age[i] < c.age[victim] {
+			victim = i
+		}
+	}
+	// Miss: evict LRU, allocate.
+	writeBack = c.tags[victim] != 0 && c.dirty[victim]
+	if writeBack {
+		c.Stats.WriteBacks++
+		victimAddr = (c.tags[victim] - 1) * uint64(c.LineBytes)
+	}
+	c.tags[victim] = tag
+	c.dirty[victim] = write
+	c.age[victim] = c.tick
+	c.Stats.Misses++
+	if write {
+		c.Stats.Writes++
+	} else {
+		c.Stats.Reads++
+	}
+	return true, writeBack, victimAddr
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.dirty[i] = false
+		c.age[i] = 0
+	}
+	c.tick = 0
+	c.Stats = Stats{}
+}

@@ -1,0 +1,238 @@
+package cachesim
+
+import (
+	"testing"
+
+	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/tri"
+)
+
+func TestNewCacheGeometry(t *testing.T) {
+	c, err := NewCache("L1", 32*1024, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sets != 64 || c.SizeBytes() != 32*1024 {
+		t.Errorf("sets=%d size=%d", c.Sets, c.SizeBytes())
+	}
+	bad := [][3]int{{0, 64, 8}, {32768, 0, 8}, {32768, 64, 0}, {1000, 64, 8}, {64 * 48, 64, 16}}
+	for _, b := range bad {
+		if _, err := NewCache("x", b[0], b[1], b[2]); err == nil {
+			t.Errorf("geometry %v accepted", b)
+		}
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c, _ := NewCache("c", 1024, 64, 2) // 8 sets
+	if miss, _, _ := c.access(0, false); !miss {
+		t.Error("cold access hit")
+	}
+	if miss, _, _ := c.access(4, false); miss {
+		t.Error("same-line access missed")
+	}
+	if miss, _, _ := c.access(64, false); !miss {
+		t.Error("next-line access hit")
+	}
+	if c.Stats.Misses != 2 || c.Stats.Reads != 3 {
+		t.Errorf("stats: %+v", c.Stats)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, _ := NewCache("c", 128, 64, 2) // 1 set, 2 ways
+	c.access(0, false)
+	c.access(64, false)
+	c.access(0, false) // touch line 0: line 64 is now LRU
+	if m, _, _ := c.access(128, false); !m {
+		t.Fatal("third line hit")
+	}
+	if m, _, _ := c.access(0, false); m {
+		t.Error("MRU line was evicted")
+	}
+	if m, _, _ := c.access(64, false); !m {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestDirtyWriteBack(t *testing.T) {
+	c, _ := NewCache("c", 128, 64, 2)
+	c.access(0, true) // dirty
+	c.access(64, false)
+	_, wb, victim := c.access(128, false) // evicts dirty line 0
+	if !wb || victim != 0 {
+		t.Errorf("writeback=%v victim=%d, want true, 0", wb, victim)
+	}
+	if c.Stats.WriteBacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats.WriteBacks)
+	}
+}
+
+func TestHierarchyTrafficReadWrite(t *testing.T) {
+	l1, _ := NewCache("L1", 128, 64, 2)
+	l2, _ := NewCache("L2", 256, 64, 2)
+	h, err := NewHierarchy(l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Write(0)
+	if h.MemReadBytes != 64 {
+		t.Errorf("write-allocate read traffic = %d, want 64", h.MemReadBytes)
+	}
+	// Evict line 0 out of both levels by filling the sets.
+	for a := uint64(128); a <= 512; a += 128 {
+		h.Read(a)
+	}
+	if h.MemWriteBytes != 64 {
+		t.Errorf("dirty line never reached memory: write bytes = %d", h.MemWriteBytes)
+	}
+}
+
+func TestHierarchyDirtyPropagation(t *testing.T) {
+	// A line written in L1 and evicted must land dirty in L2, and only
+	// reach memory when evicted from the last level.
+	l1, _ := NewCache("L1", 128, 64, 2)
+	l2, _ := NewCache("L2", 512, 64, 2)
+	h, _ := NewHierarchy(l1, l2)
+	h.Write(0)
+	h.Read(128)
+	h.Read(256) // evicts line 0 from L1 (dirty) into L2
+	if h.MemWriteBytes != 0 {
+		t.Errorf("dirty L1 eviction went straight to memory")
+	}
+	// Now force it out of L2: its set holds lines {0,256,512,...} mapping
+	// to set 0 of 4 sets... fill set 0 of L2.
+	h.Read(512)
+	h.Read(1024)
+	h.Read(1536)
+	if h.MemWriteBytes == 0 {
+		t.Error("dirty line lost during L2 eviction")
+	}
+}
+
+func TestNehalemShape(t *testing.T) {
+	h, err := Nehalem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels) != 3 {
+		t.Fatalf("levels = %d", len(h.Levels))
+	}
+	if h.Levels[0].SizeBytes() != 32*1024 || h.LLC().SizeBytes() != 8*1024*1024 {
+		t.Error("Nehalem cache sizes wrong")
+	}
+	for _, l := range h.Levels {
+		if l.LineBytes != 64 {
+			t.Errorf("%s line = %d, want 64", l.Name, l.LineBytes)
+		}
+	}
+}
+
+func TestNewHierarchyRejects(t *testing.T) {
+	if _, err := NewHierarchy(); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	if _, err := NewHierarchy(nil); err == nil {
+		t.Error("nil level accepted")
+	}
+}
+
+func TestTraceOriginalAccessCount(t *testing.T) {
+	h, _ := Nehalem()
+	const n = 40
+	TraceOriginal(h, n, 4)
+	relax := int64(n) * (int64(n)*int64(n) - 1) / 6
+	cells := int64(tri.CellCount(n) - n) // off-diagonal cells
+	wantReads := 2*relax + cells
+	gotReads := h.Levels[0].Stats.Reads
+	if gotReads != wantReads {
+		t.Errorf("L1 reads = %d, want %d", gotReads, wantReads)
+	}
+	if h.Levels[0].Stats.Writes != cells {
+		t.Errorf("L1 writes = %d, want %d", h.Levels[0].Stats.Writes, cells)
+	}
+}
+
+func TestTraceTiledAccessCountMatchesKernelStats(t *testing.T) {
+	// The replayed stream must perform exactly the engine's work: per CB
+	// step 48 reads + 16 writes, per scalar relaxation 2 reads, plus one
+	// read+write per cell per inner pass.
+	h, _ := Nehalem()
+	const n, tile = 64, 16
+	TraceTiled(h, n, tile, 4)
+	m := n / tile
+	var want kernel.Stats
+	for bj := 0; bj < m; bj++ {
+		for bi := bj; bi >= 0; bi-- {
+			want.Add(kernel.StatsMemoryBlock(tile, bi, bj))
+		}
+	}
+	cbm := int64(tile / kernel.CB)
+	// Cells visited by inner passes: 16 per off-diag CB, plus 6 per
+	// diagonal CB (the strictly-upper cells of a 4×4 triangle), plus 16
+	// per CB of Stage2Diag's p<q blocks.
+	offDiagBlocks := int64(m * (m - 1) / 2)
+	diagBlocks := int64(m)
+	innerCells := offDiagBlocks*cbm*cbm*16 + diagBlocks*(cbm*(cbm-1)/2*16+cbm*6)
+	wantReads := want.CBSteps*48 + want.ScalarRelax*2 + innerCells
+	wantWrites := want.CBSteps*16 + innerCells
+	if got := h.Levels[0].Stats.Reads; got != wantReads {
+		t.Errorf("L1 reads = %d, want %d", got, wantReads)
+	}
+	if got := h.Levels[0].Stats.Writes; got != wantWrites {
+		t.Errorf("L1 writes = %d, want %d", got, wantWrites)
+	}
+}
+
+func TestNDLReducesMemoryTraffic(t *testing.T) {
+	// Figure 9(b)'s point at equal tiling: the block-sequential layout
+	// must move at most as many bytes as the scattered row-major tiling,
+	// and far fewer than the untiled original, once the table exceeds
+	// the LLC. Use a small LLC so a modest n is "large".
+	l1, _ := NewCache("L1", 8*1024, 64, 8)
+	l2, _ := NewCache("L2", 64*1024, 64, 8)
+	mk := func() *Hierarchy { h, _ := NewHierarchy(l1, l2); h.Reset(); return h }
+	const n, tile = 320, 16
+
+	h := mk()
+	TraceOriginal(h, n, 4)
+	orig := h.MemBytes()
+
+	h = mk()
+	TraceTiledRowMajor(h, n, tile, 4)
+	rowTiled := h.MemBytes()
+
+	h = mk()
+	TraceTiled(h, n, tile, 4)
+	ndl := h.MemBytes()
+
+	if ndl >= orig/2 {
+		t.Errorf("NDL traffic %d not well below original %d", ndl, orig)
+	}
+	if ndl > rowTiled {
+		t.Errorf("NDL traffic %d above row-major tiled %d", ndl, rowTiled)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h, _ := Nehalem()
+	TraceOriginal(h, 32, 4)
+	h.Reset()
+	if h.MemBytes() != 0 || h.Levels[0].Stats != (Stats{}) {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	s := Stats{Reads: 30, Writes: 10, Misses: 4}
+	if s.Accesses() != 40 {
+		t.Errorf("Accesses = %d", s.Accesses())
+	}
+	if s.MissRate() != 0.1 {
+		t.Errorf("MissRate = %g", s.MissRate())
+	}
+	var z Stats
+	if z.MissRate() != 0 {
+		t.Error("empty MissRate not 0")
+	}
+}

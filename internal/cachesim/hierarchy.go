@@ -1,0 +1,118 @@
+package cachesim
+
+import "fmt"
+
+// Hierarchy is an inclusive multi-level cache: an access missing level i
+// proceeds to level i+1; a miss in the last level costs one memory line
+// fetch, and dirty last-level evictions cost one line of write traffic.
+type Hierarchy struct {
+	Levels []*Cache
+	// MemReadBytes and MemWriteBytes tally main-memory traffic — the
+	// quantity Figure 9(b) plots.
+	MemReadBytes  int64
+	MemWriteBytes int64
+}
+
+// Nehalem returns the cache hierarchy of the paper's CPU platform (one
+// core's view of a quad-core Nehalem): 32 KB 8-way L1D, 256 KB 8-way L2,
+// 8 MB 16-way shared L3, all 64-byte lines.
+func Nehalem() (*Hierarchy, error) {
+	l1, err := NewCache("L1D", 32*1024, 64, 8)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache("L2", 256*1024, 64, 8)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := NewCache("L3", 8*1024*1024, 64, 16)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{Levels: []*Cache{l1, l2, l3}}, nil
+}
+
+// NewHierarchy builds a hierarchy from explicit levels.
+func NewHierarchy(levels ...*Cache) (*Hierarchy, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("cachesim: hierarchy needs at least one level")
+	}
+	for _, l := range levels {
+		if l == nil {
+			return nil, fmt.Errorf("cachesim: nil cache level")
+		}
+	}
+	return &Hierarchy{Levels: levels}, nil
+}
+
+// Read simulates a load of the line containing addr.
+func (h *Hierarchy) Read(addr uint64) { h.access(addr, false) }
+
+// Write simulates a store to the line containing addr.
+func (h *Hierarchy) Write(addr uint64) { h.access(addr, true) }
+
+func (h *Hierarchy) access(addr uint64, write bool) {
+	for i, c := range h.Levels {
+		miss, wb, victim := c.access(addr, write)
+		if wb {
+			h.writeBack(i+1, victim)
+		}
+		if !miss {
+			return
+		}
+		if i == len(h.Levels)-1 {
+			h.MemReadBytes += int64(c.LineBytes)
+		}
+	}
+}
+
+// writeBack propagates a dirty eviction from level-1 into the given level
+// (or main memory past the last level), cascading further evictions.
+func (h *Hierarchy) writeBack(level int, addr uint64) {
+	if level >= len(h.Levels) {
+		h.MemWriteBytes += int64(h.LLC().LineBytes)
+		return
+	}
+	c := h.Levels[level]
+	_, wb, victim := c.access(addr, true)
+	if wb {
+		h.writeBack(level+1, victim)
+	}
+}
+
+// LLC returns the last-level cache.
+func (h *Hierarchy) LLC() *Cache { return h.Levels[len(h.Levels)-1] }
+
+// MemBytes returns total main-memory traffic in both directions.
+func (h *Hierarchy) MemBytes() int64 { return h.MemReadBytes + h.MemWriteBytes }
+
+// Reset clears all levels and traffic counters.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.Levels {
+		c.Reset()
+	}
+	h.MemReadBytes = 0
+	h.MemWriteBytes = 0
+}
+
+// ScaledNehalem returns the Nehalem geometry scaled down 128×
+// (8 KB / 32 KB / 64 KB, 64-byte lines): trace-driven simulation is
+// O(n³), so the harness runs scaled problem sizes against scaled caches
+// to reproduce the capacity relationships of Figure 9(b) — a 512-point
+// table (513 KB) stands in for the paper's 4096-point table (32 MB)
+// against the 8 MB LLC.
+func ScaledNehalem() (*Hierarchy, error) {
+	l1, err := NewCache("L1D/128", 8*1024, 64, 8)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache("L2/128", 32*1024, 64, 8)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := NewCache("L3/128", 64*1024, 64, 16)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{Levels: []*Cache{l1, l2, l3}}, nil
+}

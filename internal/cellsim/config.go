@@ -1,0 +1,115 @@
+// Package cellsim is a timed functional simulator of the Cell Broadband
+// Engine features CellNPDP depends on (Section II-C): SPEs with private
+// 256 KB local stores holding both code and data, asynchronous DMA with
+// tag groups between local stores and main memory, shared memory-channel
+// bandwidth, and per-SPE virtual clocks.
+//
+// The simulator enforces the constraints structurally — local-store
+// capacity, DMA granularity, bandwidth contention — while executing the
+// real computation on ordinary Go slices, so a CellNPDP run both produces
+// the correct DP table and yields a modeled QS20 execution time plus DMA
+// statistics. Machines are not safe for concurrent use: the discrete-
+// event executor (internal/sched) drives them single-threaded in virtual
+// time, which also keeps modeled runs deterministic.
+package cellsim
+
+import "fmt"
+
+// Config describes the simulated machine.
+type Config struct {
+	// NumSPEs is the number of synergistic processor elements. A single
+	// Cell has 8; the IBM QS20 blade has 16 across two chips.
+	NumSPEs int
+	// LocalStoreBytes is the per-SPE local store capacity (256 KB).
+	LocalStoreBytes int
+	// CodeBytes is the local-store share reserved for instructions and
+	// stack; Section VI-A sizes memory blocks "smaller than 1/6 of the
+	// local store size, because the local stores also hold instructions".
+	CodeBytes int
+	// ClockHz is the SPE clock (3.2 GHz on the QS20).
+	ClockHz float64
+	// MemChannels is the number of independent main-memory channels; the
+	// QS20 has one XDR channel per Cell chip. SPEs are striped across
+	// channels in contiguous groups.
+	MemChannels int
+	// ChannelBandwidth is the peak bytes/second of one memory channel
+	// (25.6 GB/s on the Cell).
+	ChannelBandwidth float64
+	// DMALatency is the unloaded seconds from issuing a DMA command to
+	// first data, covering command setup and memory access latency. It
+	// is what makes many small transfers slow (Sections III and VI-D).
+	DMALatency float64
+	// DMACommandOverhead is the memory-controller occupancy per DMA
+	// command, in seconds of channel time, independent of size. Many
+	// small commands therefore consume channel capacity beyond their
+	// bytes — the transfer-size-dependent DMA efficiency of Section VI-D.
+	DMACommandOverhead float64
+	// DispatchOverhead is the PPE's per-task scheduling cost in seconds —
+	// the overhead scheduling blocks exist to amortize (Section IV-B).
+	DispatchOverhead float64
+	// InterChipBandwidth is the effective bytes/second of the QS20's
+	// inter-Cell interface for remote memory accesses. Data is homed on
+	// one chip's XDR; an SPE on the other chip pulls it across this link,
+	// which measured far below the XDR channels on real blades. 0
+	// disables the NUMA model (single-chip configurations).
+	InterChipBandwidth float64
+}
+
+// QS20 returns the IBM QS20 dual-Cell blade configuration the paper
+// evaluates on (Section VI).
+func QS20() Config {
+	return Config{
+		NumSPEs:            16,
+		LocalStoreBytes:    256 * 1024,
+		CodeBytes:          48 * 1024,
+		ClockHz:            3.2e9,
+		MemChannels:        2,
+		ChannelBandwidth:   25.6e9,
+		DMALatency:         250e-9,
+		DMACommandOverhead: 100e-9,
+		DispatchOverhead:   1e-6,
+		InterChipBandwidth: 3e9,
+	}
+}
+
+// SingleCell returns a one-chip, 8-SPE configuration.
+func SingleCell() Config {
+	c := QS20()
+	c.NumSPEs = 8
+	c.MemChannels = 1
+	c.InterChipBandwidth = 0
+	return c
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.NumSPEs <= 0:
+		return fmt.Errorf("cellsim: NumSPEs must be positive, got %d", c.NumSPEs)
+	case c.LocalStoreBytes <= 0:
+		return fmt.Errorf("cellsim: LocalStoreBytes must be positive, got %d", c.LocalStoreBytes)
+	case c.CodeBytes < 0 || c.CodeBytes >= c.LocalStoreBytes:
+		return fmt.Errorf("cellsim: CodeBytes %d must be in [0, LocalStoreBytes %d)", c.CodeBytes, c.LocalStoreBytes)
+	case c.ClockHz <= 0:
+		return fmt.Errorf("cellsim: ClockHz must be positive, got %g", c.ClockHz)
+	case c.MemChannels <= 0:
+		return fmt.Errorf("cellsim: MemChannels must be positive, got %d", c.MemChannels)
+	case c.ChannelBandwidth <= 0:
+		return fmt.Errorf("cellsim: ChannelBandwidth must be positive, got %g", c.ChannelBandwidth)
+	case c.DMALatency < 0:
+		return fmt.Errorf("cellsim: DMALatency must be non-negative, got %g", c.DMALatency)
+	case c.DMACommandOverhead < 0:
+		return fmt.Errorf("cellsim: DMACommandOverhead must be non-negative, got %g", c.DMACommandOverhead)
+	case c.DispatchOverhead < 0:
+		return fmt.Errorf("cellsim: DispatchOverhead must be non-negative, got %g", c.DispatchOverhead)
+	case c.InterChipBandwidth < 0:
+		return fmt.Errorf("cellsim: InterChipBandwidth must be non-negative, got %g", c.InterChipBandwidth)
+	}
+	return nil
+}
+
+// DataBytes returns the local-store bytes available for data buffers.
+func (c Config) DataBytes() int { return c.LocalStoreBytes - c.CodeBytes }
+
+// Seconds converts SPE cycles to seconds.
+func (c Config) Seconds(cycles float64) float64 { return cycles / c.ClockHz }

@@ -1,0 +1,47 @@
+package cellsim
+
+import "fmt"
+
+// Mailbox models the SPU mailbox channels the PPE procedure of Figure 8
+// communicates through: a 4-entry inbound queue (PPE → SPU, the hardware
+// depth) and an outbound queue the PPE drains. Values are 32-bit, as on
+// the hardware. Sends block when the queue is full and reads block when
+// it is empty, exactly the stall behaviour mailbox code deals with.
+type Mailbox struct {
+	in  chan uint32
+	out chan uint32
+}
+
+// HardwareInboundDepth is the SPU inbound mailbox depth.
+const HardwareInboundDepth = 4
+
+// NewMailbox creates a mailbox with the given queue depths (the hardware
+// has a 4-entry inbound and 1-entry outbound; outCap may be raised when
+// the PPE's consumer is modeled as an interrupt queue).
+func NewMailbox(inCap, outCap int) (*Mailbox, error) {
+	if inCap <= 0 || outCap <= 0 {
+		return nil, fmt.Errorf("cellsim: mailbox depths must be positive, got %d/%d", inCap, outCap)
+	}
+	return &Mailbox{in: make(chan uint32, inCap), out: make(chan uint32, outCap)}, nil
+}
+
+// Send delivers a value to the SPU (PPE side); blocks while the inbound
+// queue is full.
+func (m *Mailbox) Send(v uint32) { m.in <- v }
+
+// CloseInbound signals the SPU that no further work will arrive.
+func (m *Mailbox) CloseInbound() { close(m.in) }
+
+// ReadInbound blocks until a value arrives (SPU side); ok is false after
+// CloseInbound drains.
+func (m *Mailbox) ReadInbound() (uint32, bool) {
+	v, ok := <-m.in
+	return v, ok
+}
+
+// WriteOutbound posts a value toward the PPE (SPU side); blocks while
+// the outbound queue is full.
+func (m *Mailbox) WriteOutbound(v uint32) { m.out <- v }
+
+// Outbound exposes the PPE-side receive end.
+func (m *Mailbox) Outbound() <-chan uint32 { return m.out }

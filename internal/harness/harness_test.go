@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cellnpdp/internal/npdp"
+)
+
+// fastCfg keeps measured experiments tiny for tests.
+func fastCfg() Config {
+	return Config{Workers: 2, Seed: 1, Sizes: []int{96, 180}}
+}
+
+func TestTable1(t *testing.T) {
+	tbl, err := Table1(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"Load", "12", "Shuffle", "16", "Store", "54 cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2ShapeHolds(t *testing.T) {
+	tbl, err := Table2(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("Table2 has %d rows, want 6", len(tbl.Rows))
+	}
+	out := tbl.String()
+	for _, want := range []string{"original, one PPE", "original, one SPE", "CellNPDP, 16 SPEs", "single", "double"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q", want)
+		}
+	}
+}
+
+func TestTable2Verify(t *testing.T) {
+	tbl, err := Table2Verify(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(tbl.String(), "false") {
+		t.Errorf("cross-check reported a mismatch:\n%s", tbl)
+	}
+}
+
+func TestFig9a(t *testing.T) {
+	tbl, err := Fig9a(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("Fig9a rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig10aShape(t *testing.T) {
+	tbl, err := Fig10a(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("Fig10a rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig11aShape(t *testing.T) {
+	if _, err := Fig11a(fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tbl, err := Fig13(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("Fig13 rows = %d, want 4 block sizes", len(tbl.Rows))
+	}
+	// The 32 KB / 1 SPE cell is the baseline: exactly 1.0x.
+	if tbl.Rows[0][1] != "1.0x" {
+		t.Errorf("baseline cell = %q, want 1.0x", tbl.Rows[0][1])
+	}
+}
+
+func TestModelReport(t *testing.T) {
+	tbl, err := ModelReport(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "compute") {
+		t.Errorf("QS20 SP should be compute-bound:\n%s", tbl)
+	}
+}
+
+func TestUtilizationReport(t *testing.T) {
+	if _, err := UtilizationReport(fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupAndAll(t *testing.T) {
+	if len(All()) < 14 {
+		t.Errorf("only %d experiments registered", len(All()))
+	}
+	if _, ok := Lookup("table1"); !ok {
+		t.Error("table1 not found")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("bogus name found")
+	}
+	names := map[string]bool{}
+	for _, e := range All() {
+		if names[e.Name] {
+			t.Errorf("duplicate experiment %q", e.Name)
+		}
+		names[e.Name] = true
+		if e.Desc == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.Name)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.workers() < 1 || c.workers() > 8 {
+		t.Errorf("default workers = %d", c.workers())
+	}
+	if c.out() == nil {
+		t.Error("default out nil")
+	}
+	if len(c.measuredSizes()) == 0 {
+		t.Error("no measured sizes")
+	}
+	full := Config{Full: true}
+	if len(full.measuredSizes()) <= len(c.measuredSizes()) {
+		t.Error("full mode should add sizes")
+	}
+}
+
+func TestPaperTile(t *testing.T) {
+	if paperTile(npdp.Single) != 88 || paperTile(npdp.Double) != 64 {
+		t.Errorf("paper tiles = %d/%d, want 88/64", paperTile(npdp.Single), paperTile(npdp.Double))
+	}
+}
+
+func TestFig10aBreakdownDirections(t *testing.T) {
+	// Every stage of the Cell breakdown must be a genuine speedup (>1x).
+	tbl, err := Fig10a(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		for col := 1; col < len(row); col++ {
+			if strings.HasPrefix(row[col], "0.") {
+				t.Errorf("stage %d at n=%s is a slowdown: %s", col, row[0], row[col])
+			}
+		}
+	}
+}
+
+// TestRunAllSmoke exercises the full pipeline once on a tiny config; the
+// measured experiments shrink via Workers and the small default sizes.
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run in -short mode")
+	}
+	var buf bytes.Buffer
+	cfg := fastCfg()
+	cfg.Out = &buf
+	if err := RunAll(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "Table II", "Table III", "Figure 9(a)", "Figure 9(b)",
+		"Figure 10(a)", "Figure 10(b)", "Figure 11(a)", "Figure 11(b)",
+		"Figure 12(a)", "Figure 12(b)", "Figure 13", "Section V", "utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}
+
+func TestTable1DP(t *testing.T) {
+	tbl, err := Table1DP(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"24", "32", "13", "true", "144"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1DP missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured ablations in -short mode")
+	}
+	tbl, err := Ablations(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("ablations rows = %d, want 7", len(tbl.Rows))
+	}
+	// The modeled rows must show genuine benefits.
+	for _, row := range tbl.Rows {
+		if strings.Contains(row[0], "software pipelining") && !strings.HasPrefix(row[3], "3.9") {
+			t.Errorf("software pipelining effect = %s, want 3.9x", row[3])
+		}
+	}
+}

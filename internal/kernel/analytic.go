@@ -1,0 +1,55 @@
+package kernel
+
+// Analytic work counts for the three memory-block operations. The
+// paper-scale performance model (Table II at n = 16384 would need 7·10¹¹
+// scalar relaxations to run functionally) walks the task graph with these
+// closed forms instead of touching data. Tests pin each formula to the
+// stats the real kernels return.
+
+// StatsMulMinPlus returns the work of one stage-1 block product on tile
+// side t: (t/4)³ computing-block steps.
+func StatsMulMinPlus(t int) Stats {
+	cb := int64(t / CB)
+	return Stats{CBSteps: cb * cb * cb}
+}
+
+// StatsStage2OffDiag returns the work of stage 2 on an off-diagonal
+// memory block: cbm²(cbm-1) CB steps plus 64 scalar relaxations per
+// computing block, where cbm = t/4.
+func StatsStage2OffDiag(t int) Stats {
+	cbm := int64(t / CB)
+	return Stats{
+		CBSteps:     cbm * cbm * (cbm - 1),
+		ScalarRelax: 64 * cbm * cbm,
+	}
+}
+
+// StatsStage2Diag returns the work of computing a diagonal memory block:
+// C(cbm,3) CB steps, 64 scalar relaxations per strictly-upper computing
+// block and 10 per diagonal computing block.
+func StatsStage2Diag(t int) Stats {
+	cbm := int64(t / CB)
+	return Stats{
+		CBSteps:     cbm * (cbm - 1) * (cbm - 2) / 6,
+		ScalarRelax: 32*cbm*(cbm-1) + 10*cbm,
+	}
+}
+
+// StatsMemoryBlock returns the full work of computing memory block
+// (bi, bj) of a tiled table: stage 1 over the bj-bi-1 middle tiles plus
+// stage 2, or the diagonal-block procedure when bi == bj.
+func StatsMemoryBlock(t, bi, bj int) Stats {
+	if bi == bj {
+		return StatsStage2Diag(t)
+	}
+	st := StatsStage2OffDiag(t)
+	mid := int64(bj - bi - 1)
+	mul := StatsMulMinPlus(t)
+	st.CBSteps += mid * mul.CBSteps
+	return st
+}
+
+// Relaxations returns the total scalar-equivalent relaxations of a stats
+// record: each CB step covers the 64 relaxations of a 4×4×4 min-plus
+// update.
+func (s Stats) Relaxations() int64 { return s.CBSteps*64 + s.ScalarRelax }

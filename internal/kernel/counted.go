@@ -1,0 +1,70 @@
+package kernel
+
+import "cellnpdp/internal/simd"
+
+// CountedStepF32 executes one single-precision computing-block step
+// through the emulated SPE SIMD operations, tallying every instruction
+// into counts. It is functionally identical to Step4x4[float32] and is
+// the program Table I characterizes: with A, B and C register-blocked,
+// 12 loads + 16 shuffles + 16 adds + 16 compares + 16 selects + 4 stores.
+func CountedStepF32(c, a, b []float32, stride int, counts *simd.Counts) {
+	var av, bv, cv [CB]simd.F32x4
+	for r := 0; r < CB; r++ {
+		av[r] = simd.LoadF32(a[r*stride:])
+		bv[r] = simd.LoadF32(b[r*stride:])
+		cv[r] = simd.LoadF32(c[r*stride:])
+	}
+	counts.Add(simd.OpLoad, 3*CB)
+	for r := 0; r < CB; r++ {
+		for k := 0; k < CB; k++ {
+			s := simd.SplatF32(av[r], k)
+			u := simd.AddF32(s, bv[k])
+			m := simd.CmpGtF32(cv[r], u)
+			cv[r] = simd.SelF32(cv[r], u, m)
+		}
+	}
+	counts.Add(simd.OpShuffle, CB*CB)
+	counts.Add(simd.OpAdd, CB*CB)
+	counts.Add(simd.OpCmp, CB*CB)
+	counts.Add(simd.OpSel, CB*CB)
+	for r := 0; r < CB; r++ {
+		simd.StoreF32(c[r*stride:], cv[r])
+	}
+	counts.Add(simd.OpStore, CB)
+}
+
+// CountedStepF64 executes one double-precision computing-block step
+// through the emulated SIMD operations. A 4×4 block of doubles spans two
+// 128-bit registers per row, so the step costs 24 loads, 16 shuffles,
+// 32 adds, 32 compares, 32 selects and 8 stores.
+func CountedStepF64(c, a, b []float64, stride int, counts *simd.Counts) {
+	var av, bv, cv [CB][2]simd.F64x2
+	for r := 0; r < CB; r++ {
+		for h := 0; h < 2; h++ {
+			av[r][h] = simd.LoadF64(a[r*stride+2*h:])
+			bv[r][h] = simd.LoadF64(b[r*stride+2*h:])
+			cv[r][h] = simd.LoadF64(c[r*stride+2*h:])
+		}
+	}
+	counts.Add(simd.OpLoad, 6*CB)
+	for r := 0; r < CB; r++ {
+		for k := 0; k < CB; k++ {
+			s := simd.SplatF64(av[r][k/2], k%2)
+			for h := 0; h < 2; h++ {
+				u := simd.AddF64(s, bv[k][h])
+				m := simd.CmpGtF64(cv[r][h], u)
+				cv[r][h] = simd.SelF64(cv[r][h], u, m)
+			}
+		}
+	}
+	counts.Add(simd.OpShuffle, CB*CB)
+	counts.Add(simd.OpAdd, 2*CB*CB)
+	counts.Add(simd.OpCmp, 2*CB*CB)
+	counts.Add(simd.OpSel, 2*CB*CB)
+	for r := 0; r < CB; r++ {
+		for h := 0; h < 2; h++ {
+			simd.StoreF64(c[r*stride+2*h:], cv[r][h])
+		}
+	}
+	counts.Add(simd.OpStore, 2*CB)
+}

@@ -1,0 +1,76 @@
+package kernel
+
+import "cellnpdp/internal/semiring"
+
+// Scalar counterparts of the computing-block kernels: the same two-stage
+// memory-block decomposition and the same contiguous block slices, but
+// plain element loops instead of 4×4 register blocking. They isolate the
+// "new data layout" contribution from the "SPE procedure" contribution in
+// the Figure 10/11 breakdowns, and serve as oracles for the blocked
+// kernels.
+
+// ScalarMulMinPlus is stage 1 without computing blocks:
+// C = min(C, A ⊗ B) over whole tile×tile blocks, row-streamed.
+func ScalarMulMinPlus[E semiring.Elem](c, a, b []E, t int) int64 {
+	for i := 0; i < t; i++ {
+		ci := c[i*t : i*t+t]
+		ai := a[i*t : i*t+t]
+		for k := 0; k < t; k++ {
+			s := ai[k]
+			bk := b[k*t : k*t+t]
+			for j := 0; j < t; j++ {
+				if w := s + bk[j]; w < ci[j] {
+					ci[j] = w
+				}
+			}
+		}
+	}
+	return int64(t) * int64(t) * int64(t)
+}
+
+// ScalarStage2OffDiag resolves an off-diagonal block's inner dependences
+// with plain loops: cells bottom-up/left-to-right, the k ranges split
+// between the diagonal blocks L and R and the block itself.
+func ScalarStage2OffDiag[E semiring.Elem](d, l, r []E, t int) int64 {
+	var relax int64
+	for a := t - 1; a >= 0; a-- {
+		da := d[a*t : a*t+t]
+		la := l[a*t : a*t+t]
+		for b := 0; b < t; b++ {
+			v := da[b]
+			for k := a; k < t; k++ {
+				if w := la[k] + d[k*t+b]; w < v {
+					v = w
+				}
+			}
+			for k := 0; k < b; k++ {
+				if w := da[k] + r[k*t+b]; w < v {
+					v = w
+				}
+			}
+			da[b] = v
+			relax += int64(t-a) + int64(b)
+		}
+	}
+	return relax
+}
+
+// ScalarStage2Diag computes a diagonal block in place with the original
+// Figure 1 loop over the tile.
+func ScalarStage2Diag[E semiring.Elem](d []E, t int) int64 {
+	var relax int64
+	for j := 0; j < t; j++ {
+		for i := j - 1; i >= 0; i-- {
+			di := d[i*t : i*t+t]
+			v := di[j]
+			for k := i; k < j; k++ {
+				if w := di[k] + d[k*t+j]; w < v {
+					v = w
+				}
+			}
+			di[j] = v
+			relax += int64(j - i)
+		}
+	}
+	return relax
+}

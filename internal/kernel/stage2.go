@@ -1,0 +1,117 @@
+package kernel
+
+import "cellnpdp/internal/semiring"
+
+// Stage2OffDiag resolves the inner dependences of an off-diagonal memory
+// block D = MB(I,J) after stage 1 has accumulated every middle-tile
+// contribution (Section IV-A, steps 10–12 of Figure 8). L = MB(I,I) and
+// R = MB(J,J) are the two finished diagonal blocks the paper's tiled
+// flowchart (Figure 4(b)) applies last. All three are tile×tile row-major
+// slices with tile side t.
+//
+// In tile-local coordinates the remaining recurrence is
+//
+//	D[a][b] = min(D[a][b],
+//	              min_{k=a..t-1} L[a][k] + D[k][b],   // k still in tile I
+//	              min_{k=0..b-1} D[a][k] + R[k][b])   // k already in tile J
+//
+// so cell (a,b) depends on cells below it in its column and left of it in
+// its row. Computing blocks are therefore processed bottom-up and
+// left-to-right; per CB, contributions from finished CBs use the 4×4 SIMD
+// step and the boundary k-ranges that touch the CB itself fall back to
+// the original scalar code.
+func Stage2OffDiag[E semiring.Elem](d, l, r []E, t int) Stats {
+	cbm := t / CB
+	var st Stats
+	for p := cbm - 1; p >= 0; p-- {
+		for q := 0; q < cbm; q++ {
+			// Finished CBs below in this column, weighted by L's row-band p.
+			for kp := p + 1; kp < cbm; kp++ {
+				Step4x4(d[p*CB*t+q*CB:], l[p*CB*t+kp*CB:], d[kp*CB*t+q*CB:], t)
+				st.CBSteps++
+			}
+			// Finished CBs left in this row, weighted by R's column-band q.
+			for kq := 0; kq < q; kq++ {
+				Step4x4(d[p*CB*t+q*CB:], d[p*CB*t+kq*CB:], r[kq*CB*t+q*CB:], t)
+				st.CBSteps++
+			}
+			st.ScalarRelax += innerScalar(d, l, r, t, p, q)
+		}
+	}
+	return st
+}
+
+// innerScalar processes the k-ranges of CB (p,q) that involve the CB's
+// own cells — the original Figure 1 code of Figure 8's step 12. Rows run
+// bottom-up and columns left-to-right so every D value read is final.
+// It returns the number of scalar relaxations performed.
+func innerScalar[E semiring.Elem](d, l, r []E, t, p, q int) int64 {
+	var relax int64
+	for a := p*CB + CB - 1; a >= p*CB; a-- {
+		for b := q * CB; b < q*CB+CB; b++ {
+			v := d[a*t+b]
+			// k in this CB's row band: L[a][k] + D[k][b], k = a..(p+1)*CB-1.
+			for k := a; k < (p+1)*CB; k++ {
+				if w := l[a*t+k] + d[k*t+b]; w < v {
+					v = w
+				}
+			}
+			// k in this CB's column band: D[a][k] + R[k][b], k = q*CB..b-1.
+			for k := q * CB; k < b; k++ {
+				if w := d[a*t+k] + r[k*t+b]; w < v {
+					v = w
+				}
+			}
+			d[a*t+b] = v
+			relax += int64((p+1)*CB-a) + int64(b-q*CB)
+		}
+	}
+	return relax
+}
+
+// Stage2Diag computes a diagonal memory block D = MB(J,J) in place. A
+// diagonal block depends only on itself: for cell (a,b), every k in
+// [a, b) stays inside the tile. Computing blocks are processed in the
+// Figure 1 column order lifted to CB granularity (q ascending, p
+// descending), with middle CBs applied via the SIMD step and the two
+// boundary bands via the scalar inner code. The diagonal CBs themselves
+// are pure 4×4 triangles solved scalar.
+func Stage2Diag[E semiring.Elem](d []E, t int) Stats {
+	cbm := t / CB
+	var st Stats
+	for q := 0; q < cbm; q++ {
+		for p := q; p >= 0; p-- {
+			if p == q {
+				st.ScalarRelax += diagScalarCB(d, t, q)
+				continue
+			}
+			for kp := p + 1; kp < q; kp++ {
+				Step4x4(d[p*CB*t+q*CB:], d[p*CB*t+kp*CB:], d[kp*CB*t+q*CB:], t)
+				st.CBSteps++
+			}
+			st.ScalarRelax += innerScalar(d, d, d, t, p, q)
+		}
+	}
+	return st
+}
+
+// diagScalarCB solves the triangular 4×4 computing block (q,q) of a
+// diagonal tile with the original recurrence. For its cells, every k in
+// [a, b) lies inside the same CB. Returns scalar relaxations performed.
+func diagScalarCB[E semiring.Elem](d []E, t, q int) int64 {
+	var relax int64
+	lo := q * CB
+	for b := lo; b < lo+CB; b++ {
+		for a := b - 1; a >= lo; a-- {
+			v := d[a*t+b]
+			for k := a; k < b; k++ {
+				if w := d[a*t+k] + d[k*t+b]; w < v {
+					v = w
+				}
+			}
+			d[a*t+b] = v
+			relax += int64(b - a)
+		}
+	}
+	return relax
+}

@@ -1,0 +1,122 @@
+package npdp
+
+import (
+	"fmt"
+	"sync"
+
+	"cellnpdp/internal/cellsim"
+	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/sched"
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tri"
+)
+
+// SolveCellConcurrent executes Figure 8's control flow literally, with
+// real concurrency: one PPE goroutine manages the task queue and notifies
+// dependents; one goroutine per SPE loops "fetch a ready task, compute
+// its memory blocks, report completion"; and every control word crosses a
+// cellsim.Mailbox, as on the hardware. Completions from all SPEs funnel
+// into one queue, modeling the PPE's mailbox-interrupt path.
+//
+// This mode validates the distributed protocol (no shared ready-queue
+// state between workers, only mailbox messages); the DES-based SolveCell
+// is the one that models time. Results are bit-identical to every other
+// engine.
+func SolveCellConcurrent[E semiring.Elem](t *tri.Tiled[E], workers int) (kernel.Stats, error) {
+	if err := kernel.CheckTile(t.Tile()); err != nil {
+		return kernel.Stats{}, err
+	}
+	if workers <= 0 {
+		return kernel.Stats{}, fmt.Errorf("npdp: workers must be positive, got %d", workers)
+	}
+	graph, err := sched.NewGraph(t.Blocks(), 1)
+	if err != nil {
+		return kernel.Stats{}, err
+	}
+	n := len(graph.Tasks)
+	if n > 1<<31-1 {
+		return kernel.Stats{}, fmt.Errorf("npdp: %d tasks exceed the 32-bit mailbox word", n)
+	}
+
+	// One mailbox per SPE; completions share one outbound queue (create
+	// via a common channel by wiring each mailbox's out to a forwarder).
+	boxes := make([]*cellsim.Mailbox, workers)
+	complete := make(chan [2]uint32, workers) // (spe, task)
+	for w := range boxes {
+		if boxes[w], err = cellsim.NewMailbox(cellsim.HardwareInboundDepth, 1); err != nil {
+			return kernel.Stats{}, err
+		}
+	}
+
+	perWorker := make([]kernel.Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(spe int) {
+			defer wg.Done()
+			// SPEprocedure, Figure 8 steps 6–13.
+			for {
+				taskID, ok := boxes[spe].ReadInbound()
+				if !ok {
+					return
+				}
+				task := graph.Tasks[taskID]
+				for _, mb := range task.MemoryBlockOrder() {
+					perWorker[spe].Add(computeMemoryBlock(t, mb[0], mb[1]))
+				}
+				boxes[spe].WriteOutbound(taskID)
+				complete <- [2]uint32{uint32(spe), taskID}
+			}
+		}(w)
+	}
+
+	// PPEprocedure, Figure 8 steps 1–5.
+	pending := make([]int, n)
+	var ready []uint32
+	for i, task := range graph.Tasks {
+		pending[i] = len(task.Deps)
+		if pending[i] == 0 {
+			ready = append(ready, uint32(i))
+		}
+	}
+	idle := make([]int, 0, workers)
+	for w := 0; w < workers; w++ {
+		idle = append(idle, w)
+	}
+	remaining := n
+	dispatch := func() {
+		for len(ready) > 0 && len(idle) > 0 {
+			taskID := ready[0]
+			ready = ready[1:]
+			spe := idle[len(idle)-1]
+			idle = idle[:len(idle)-1]
+			boxes[spe].Send(taskID)
+		}
+	}
+	dispatch()
+	for remaining > 0 {
+		done := <-complete
+		spe, taskID := int(done[0]), done[1]
+		// Drain the SPE's outbound word (the interrupt already carried it).
+		<-boxes[spe].Outbound()
+		remaining--
+		idle = append(idle, spe)
+		for _, s := range graph.Tasks[taskID].Succs {
+			pending[s]--
+			if pending[s] == 0 {
+				ready = append(ready, uint32(s))
+			}
+		}
+		dispatch()
+	}
+	for _, b := range boxes {
+		b.CloseInbound()
+	}
+	wg.Wait()
+
+	var st kernel.Stats
+	for _, s := range perWorker {
+		st.Add(s)
+	}
+	return st, nil
+}

@@ -1,0 +1,140 @@
+package npdp
+
+import (
+	"fmt"
+	"strings"
+
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tri"
+)
+
+// Choices records, for every cell the recurrence improved, the split
+// point k that realized its final value — the information a traceback
+// needs to reconstruct an optimal derivation (a parenthesization tree, a
+// secondary structure, a BST shape). Cells whose initial value was never
+// beaten keep NoSplit: they are leaves of the derivation.
+type Choices struct {
+	n     int
+	split []int32
+}
+
+// NoSplit marks a cell whose optimal value is its initial value.
+const NoSplit = int32(-1)
+
+// NewChoices allocates a choice table for an n-point problem.
+func NewChoices(n int) *Choices {
+	c := &Choices{n: n, split: make([]int32, tri.CellCount(n))}
+	for i := range c.split {
+		c.split[i] = NoSplit
+	}
+	return c
+}
+
+// idx maps (i, j) to the dense upper-triangle index.
+func (c *Choices) idx(i, j int) int { return i*(2*c.n-i+1)/2 + (j - i) }
+
+// Split returns the winning k of cell (i, j), or NoSplit.
+func (c *Choices) Split(i, j int) int32 { return c.split[c.idx(i, j)] }
+
+// set records the winning k.
+func (c *Choices) set(i, j int, k int32) { c.split[c.idx(i, j)] = k }
+
+// SolveSerialChoices runs the Figure 1 recurrence recording argmin splits.
+// The DP values are bit-identical to SolveSerial (same evaluation order,
+// same float operations); only the bookkeeping differs.
+func SolveSerialChoices[E semiring.Elem](m *tri.RowMajor[E]) *Choices {
+	n := m.Len()
+	ch := NewChoices(n)
+	for j := 0; j < n; j++ {
+		for i := j - 1; i >= 0; i-- {
+			v := m.At(i, j)
+			best := NoSplit
+			for k := i; k < j; k++ {
+				if w := m.At(i, k) + m.At(k, j); w < v {
+					v = w
+					best = int32(k)
+				}
+			}
+			m.Set(i, j, v)
+			ch.set(i, j, best)
+		}
+	}
+	return ch
+}
+
+// Derivation is a binary derivation tree for one cell: either a leaf
+// (the cell's initial value was optimal) or a split at K into [I,K] and
+// [K,J].
+type Derivation struct {
+	I, J        int
+	K           int32
+	Left, Right *Derivation
+}
+
+// Leaf reports whether this node keeps its initial value.
+func (d *Derivation) Leaf() bool { return d.K == NoSplit }
+
+// Tree reconstructs the derivation of cell (i, j) from recorded choices.
+func (c *Choices) Tree(i, j int) (*Derivation, error) {
+	if err := tri.CheckCell(c.n, i, j); err != nil {
+		return nil, err
+	}
+	return c.tree(i, j, 0)
+}
+
+func (c *Choices) tree(i, j, depth int) (*Derivation, error) {
+	if depth > c.n {
+		return nil, fmt.Errorf("npdp: derivation of (%d,%d) exceeds depth %d (cyclic choices?)", i, j, c.n)
+	}
+	d := &Derivation{I: i, J: j, K: NoSplit}
+	if i == j {
+		return d, nil
+	}
+	k := c.Split(i, j)
+	if k == NoSplit {
+		return d, nil
+	}
+	if int(k) < i || int(k) >= j {
+		return nil, fmt.Errorf("npdp: split %d outside [%d,%d)", k, i, j)
+	}
+	d.K = k
+	var err error
+	if d.Left, err = c.tree(i, int(k), depth+1); err != nil {
+		return nil, err
+	}
+	if d.Right, err = c.tree(int(k), j, depth+1); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// String renders the derivation with parentheses: leaves as "[i,j]",
+// splits as "(left right)".
+func (d *Derivation) String() string {
+	var b strings.Builder
+	d.render(&b)
+	return b.String()
+}
+
+func (d *Derivation) render(b *strings.Builder) {
+	if d.Leaf() {
+		fmt.Fprintf(b, "[%d,%d]", d.I, d.J)
+		return
+	}
+	b.WriteByte('(')
+	d.Left.render(b)
+	b.WriteByte(' ')
+	d.Right.render(b)
+	b.WriteByte(')')
+}
+
+// Value recomputes the derivation's value from an *unsolved* copy of the
+// instance: leaves contribute their initial value, splits add their
+// children. Used to verify that a traceback really derives the DP's
+// optimum.
+func Value[E semiring.Elem](d *Derivation, init *tri.RowMajor[E]) E {
+	if d.Leaf() {
+		return init.At(d.I, d.J)
+	}
+	return Value(d.Left, init) + Value(d.Right, init)
+}

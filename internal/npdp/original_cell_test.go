@@ -1,0 +1,142 @@
+package npdp
+
+import (
+	"math"
+	"testing"
+
+	"cellnpdp/internal/cellsim"
+	"cellnpdp/internal/tri"
+	"cellnpdp/internal/workload"
+)
+
+func TestOriginalSPEMatchesSerial(t *testing.T) {
+	mach, _ := cellsim.NewMachine(cellsim.QS20())
+	for _, n := range []int{4, 16, 48, 100} {
+		src := workload.Chain[float32](n, int64(n))
+		ref := solveRef(src)
+		got := src.Clone()
+		res, err := SolveOriginalSPE(got, mach, DefaultScalarRelaxCycles)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !tri.Equal[float32](ref, got) {
+			t.Fatalf("n=%d: original-on-SPE differs from serial", n)
+		}
+		if res.Relax != int64(n)*(int64(n)*int64(n)-1)/6 {
+			t.Errorf("n=%d: relax = %d", n, res.Relax)
+		}
+	}
+}
+
+func TestModelOriginalSPEMatchesFunctional(t *testing.T) {
+	// The closed-form accounting must match the functional simulation
+	// exactly: same commands, same bytes, same modeled seconds.
+	cfg := cellsim.QS20()
+	for _, n := range []int{8, 33, 96} {
+		mach, _ := cellsim.NewMachine(cfg)
+		src := workload.Chain[float32](n, 7)
+		fun, err := SolveOriginalSPE(src, mach, DefaultScalarRelaxCycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := ModelOriginalSPE(n, Single, cfg, DefaultScalarRelaxCycles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fun.DMA != mod.DMA {
+			t.Errorf("n=%d: DMA stats differ: functional %+v vs model %+v", n, fun.DMA, mod.DMA)
+		}
+		if math.Abs(fun.Seconds-mod.Seconds) > 1e-9*math.Max(fun.Seconds, 1) {
+			t.Errorf("n=%d: seconds differ: functional %g vs model %g", n, fun.Seconds, mod.Seconds)
+		}
+		if fun.Relax != mod.Relax {
+			t.Errorf("n=%d: relax differ: %d vs %d", n, fun.Relax, mod.Relax)
+		}
+	}
+}
+
+func TestOriginalSPEDominatedByDMALatency(t *testing.T) {
+	// The baseline's defining property: per-element column DMAs make the
+	// run latency-bound, ≥ relax × DMALatency.
+	cfg := cellsim.QS20()
+	res, err := ModelOriginalSPE(512, Single, cfg, DefaultScalarRelaxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := float64(res.Relax) * cfg.DMALatency
+	if res.Seconds < floor {
+		t.Errorf("seconds %g below the DMA-latency floor %g", res.Seconds, floor)
+	}
+}
+
+func TestModelOriginalSPENearPaperTable2(t *testing.T) {
+	// Table II: original algorithm, one SPE, single precision,
+	// n=4096 → 3061 s. The model must land within 2×.
+	res, err := ModelOriginalSPE(4096, Single, cellsim.QS20(), DefaultScalarRelaxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds < 3061/2 || res.Seconds > 3061*2 {
+		t.Errorf("modeled original-on-SPE at n=4096 = %.0f s, paper measured 3061 s", res.Seconds)
+	}
+}
+
+func TestModelOriginalPPENearPaperTable2(t *testing.T) {
+	// Table II: original algorithm, one PPE, single precision,
+	// n=4096 → 715 s. Within 2×.
+	got, err := ModelOriginalPPE(4096, Single, DefaultPPEModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 715/2.0 || got > 715*2.0 {
+		t.Errorf("modeled original-on-PPE at n=4096 = %.0f s, paper measured 715 s", got)
+	}
+}
+
+func TestModelOriginalPPESuperlinearCliff(t *testing.T) {
+	// Table II's PPE row jumps superlinearly from 715 s (n=4096) to
+	// 21961 s (n=8192) — a ~30× step for a 2× size. The model reproduces
+	// the cliff through the page-table working set outgrowing the L2.
+	m := DefaultPPEModel()
+	a, err := ModelOriginalPPE(4096, Single, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ModelOriginalPPE(8192, Single, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := b / a; r < 12 {
+		t.Errorf("PPE 8192/4096 time ratio = %g, want superlinear (>12; paper shows ≈30)", r)
+	}
+	c, err := ModelOriginalPPE(16384, Single, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c / b; math.Abs(r-8) > 1 {
+		t.Errorf("PPE 16384/8192 ratio = %g, want ≈8 past the cliff (paper shows 8.6)", r)
+	}
+}
+
+func TestOriginalModelsRejectBadArgs(t *testing.T) {
+	cfg := cellsim.QS20()
+	if _, err := ModelOriginalSPE(0, Single, cfg, 27); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ModelOriginalSPE(16, Single, cfg, 0); err == nil {
+		t.Error("zero relax cycles accepted")
+	}
+	if _, err := ModelOriginalPPE(0, Single, DefaultPPEModel()); err == nil {
+		t.Error("n=0 accepted by PPE model")
+	}
+	bad := DefaultPPEModel()
+	bad.ClockHz = 0
+	if _, err := ModelOriginalPPE(64, Single, bad); err == nil {
+		t.Error("zero clock accepted by PPE model")
+	}
+	mach, _ := cellsim.NewMachine(cfg)
+	src := workload.Chain[float32](8, 1)
+	if _, err := SolveOriginalSPE(src, mach, -1); err == nil {
+		t.Error("negative relax cycles accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package npdp
+
+import (
+	"fmt"
+
+	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/sched"
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tri"
+)
+
+// ParallelOptions configures SolveParallel.
+type ParallelOptions struct {
+	Workers   int // concurrent workers (the paper's SPE count / CPU cores); required > 0
+	SchedSide int // memory blocks per scheduling-block side; 0 means 1 (one task per memory block)
+	// FullDeps uses the unsimplified dependence graph (every left/below
+	// task) instead of the paper's two-edge simplification — the
+	// Section IV-B ablation.
+	FullDeps bool
+}
+
+// computeMemoryBlock runs the two-stage SPE procedure for memory block
+// (bi, bj) directly on the shared tiled table. All dependence blocks are
+// finished before this runs (guaranteed by the task graph), so concurrent
+// tasks only ever read them.
+func computeMemoryBlock[E semiring.Elem](t *tri.Tiled[E], bi, bj int) kernel.Stats {
+	ts := t.Tile()
+	if bi == bj {
+		return kernel.Stage2Diag(t.Block(bj, bj), ts)
+	}
+	var st kernel.Stats
+	d := t.Block(bi, bj)
+	for k := bi + 1; k < bj; k++ {
+		st.Add(kernel.MulMinPlus(d, t.Block(bi, k), t.Block(k, bj), ts))
+	}
+	st.Add(kernel.Stage2OffDiag(d, t.Block(bi, bi), t.Block(bj, bj), ts))
+	return st
+}
+
+// SolveParallel runs the tier-2 parallel procedure (Section IV-B) on real
+// goroutine workers: the task-queue model over scheduling blocks with the
+// simplified two-dependence graph, each worker computing the memory
+// blocks of its tasks with the two-stage SPE procedure. This is the
+// engine behind the paper's CPU-platform numbers (Tables III, Figures
+// 9(b)–12(b)); on the Cell itself the cellsim-backed SolveCell adds the
+// local-store and DMA modeling.
+func SolveParallel[E semiring.Elem](t *tri.Tiled[E], opts ParallelOptions) (kernel.Stats, error) {
+	if err := kernel.CheckTile(t.Tile()); err != nil {
+		return kernel.Stats{}, err
+	}
+	if opts.Workers <= 0 {
+		return kernel.Stats{}, fmt.Errorf("npdp: Workers must be positive, got %d", opts.Workers)
+	}
+	g := opts.SchedSide
+	if g == 0 {
+		g = 1
+	}
+	newGraph := sched.NewGraph
+	if opts.FullDeps {
+		newGraph = sched.NewFullGraph
+	}
+	graph, err := newGraph(t.Blocks(), g)
+	if err != nil {
+		return kernel.Stats{}, err
+	}
+	perWorker := make([]kernel.Stats, opts.Workers)
+	err = sched.RunPool(graph, opts.Workers, func(worker int, task sched.Task) error {
+		for _, mb := range task.MemoryBlockOrder() {
+			perWorker[worker].Add(computeMemoryBlock(t, mb[0], mb[1]))
+		}
+		return nil
+	})
+	var st kernel.Stats
+	for _, s := range perWorker {
+		st.Add(s)
+	}
+	return st, err
+}

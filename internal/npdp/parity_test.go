@@ -1,0 +1,137 @@
+package npdp
+
+import (
+	"testing"
+
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tri"
+	"cellnpdp/internal/workload"
+)
+
+// solveRef computes the reference answer for an instance without mutating it.
+func solveRef[E semiring.Elem](src *tri.RowMajor[E]) *tri.RowMajor[E] {
+	ref := src.Clone()
+	SolveSerial(ref)
+	return ref
+}
+
+func checkTiledParity[E semiring.Elem](t *testing.T, src *tri.RowMajor[E], tile int) {
+	t.Helper()
+	ref := solveRef(src)
+	tt := tri.ToTiled(src, tile)
+	if _, err := SolveTiled(tt); err != nil {
+		t.Fatalf("SolveTiled(tile=%d): %v", tile, err)
+	}
+	got := tri.ToRowMajor(tt)
+	if i, j, av, bv, diff := tri.FirstDiff[E](ref, got); diff {
+		t.Fatalf("tile=%d n=%d: first diff at (%d,%d): serial=%v tiled=%v", tile, src.Len(), i, j, av, bv)
+	}
+}
+
+func TestTiledMatchesSerialF32(t *testing.T) {
+	for _, n := range []int{1, 3, 4, 5, 8, 16, 17, 31, 32, 33, 64, 100, 129, 200} {
+		for _, tile := range []int{4, 8, 12, 16, 32} {
+			src := workload.Chain[float32](n, int64(n*1000+tile))
+			checkTiledParity(t, src, tile)
+		}
+	}
+}
+
+func TestTiledMatchesSerialF64(t *testing.T) {
+	for _, n := range []int{1, 4, 7, 16, 33, 64, 100, 129} {
+		for _, tile := range []int{4, 8, 16, 24} {
+			src := workload.Chain[float64](n, int64(n*7+tile))
+			checkTiledParity(t, src, tile)
+		}
+	}
+}
+
+func TestTiledMatchesSerialDenseInit(t *testing.T) {
+	for _, n := range []int{6, 16, 40, 96, 130} {
+		for _, tile := range []int{4, 16, 20} {
+			src := workload.Dense[float32](n, int64(n+tile))
+			checkTiledParity(t, src, tile)
+		}
+	}
+}
+
+func TestTiledRejectsBadTile(t *testing.T) {
+	src := workload.Chain[float32](16, 1)
+	for _, tile := range []int{1, 2, 3, 5, 6, 7, 9} {
+		tt := tri.ToTiled(src, tile)
+		if _, err := SolveTiled(tt); err == nil {
+			t.Errorf("SolveTiled accepted tile side %d (not a multiple of 4)", tile)
+		}
+	}
+}
+
+func TestSerialRelaxCount(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 50} {
+		src := workload.Chain[float32](n, 9)
+		got := SolveSerial(src)
+		// sum over j of sum over i<j of (j-i) = n(n^2-1)/6
+		want := int64(n) * (int64(n)*int64(n) - 1) / 6
+		if got != want {
+			t.Errorf("n=%d: relaxations = %d, want n(n²-1)/6 = %d", n, got, want)
+		}
+	}
+}
+
+func TestDefaultTile(t *testing.T) {
+	cases := []struct {
+		bytes int
+		prec  Precision
+		want  int
+	}{
+		{32 * 1024, Single, 88}, // the paper's 32 KB single-precision block
+		{32 * 1024, Double, 64},
+		{16 * 1024, Single, 64}, // 64²·4B = 16 KB exactly
+		{8 * 1024, Single, 44},
+		{4 * 1024, Single, 32}, // 32²·4B = 4 KB exactly
+		{64, Single, 4},
+	}
+	for _, c := range cases {
+		got, err := DefaultTile(c.bytes, c.prec)
+		if err != nil {
+			t.Fatalf("DefaultTile(%d, %v): %v", c.bytes, c.prec, err)
+		}
+		if got != c.want {
+			t.Errorf("DefaultTile(%d, %v) = %d, want %d", c.bytes, c.prec, got, c.want)
+		}
+		if got*got*c.prec.ElemBytes() > c.bytes {
+			t.Errorf("DefaultTile(%d, %v) = %d overflows the budget", c.bytes, c.prec, got)
+		}
+	}
+	if _, err := DefaultTile(32, Single); err == nil {
+		t.Error("DefaultTile accepted a budget below one computing block")
+	}
+}
+
+func TestTiledScalarMatchesSerial(t *testing.T) {
+	for _, n := range []int{4, 16, 33, 64, 130} {
+		for _, tile := range []int{4, 8, 16, 20} {
+			src := workload.Chain[float32](n, int64(n*5+tile))
+			ref := solveRef(src)
+			tt := tri.ToTiled(src, tile)
+			relax, err := SolveTiledScalar(tt)
+			if err != nil {
+				t.Fatalf("SolveTiledScalar(n=%d tile=%d): %v", n, tile, err)
+			}
+			// The scalar engine performs exactly the blocked engine's
+			// relaxations (padding included): the two decompositions cover
+			// the same (i,k,j) triples.
+			tt2 := tri.ToTiled(src, tile)
+			st, err := SolveTiled(tt2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relax != st.Relaxations() {
+				t.Errorf("n=%d tile=%d: scalar relax = %d, blocked = %d", n, tile, relax, st.Relaxations())
+			}
+			got := tri.ToRowMajor(tt)
+			if i, j, av, bv, diff := tri.FirstDiff[float32](ref, got); diff {
+				t.Fatalf("n=%d tile=%d: first diff at (%d,%d): serial=%v tiledscalar=%v", n, tile, i, j, av, bv)
+			}
+		}
+	}
+}

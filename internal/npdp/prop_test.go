@@ -1,0 +1,149 @@
+package npdp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tri"
+	"cellnpdp/internal/workload"
+)
+
+// TestTriangleInequalityInvariant: after any engine finishes, no
+// relaxation can still improve a cell — d[i][j] ≤ d[i][k] + d[k][j]
+// exactly, for every (i, k, j). This is the fixed-point definition of the
+// recurrence and must hold bit-exactly.
+func TestTriangleInequalityInvariant(t *testing.T) {
+	check := func(m *tri.RowMajor[float32]) {
+		t.Helper()
+		n := m.Len()
+		for j := 0; j < n; j++ {
+			for i := 0; i < j; i++ {
+				v := m.At(i, j)
+				for k := i; k < j; k++ {
+					if w := m.At(i, k) + m.At(k, j); w < v {
+						t.Fatalf("triangle inequality violated at (%d,%d) via k=%d: %v > %v", i, j, k, v, w)
+					}
+				}
+			}
+		}
+	}
+	src := workload.Chain[float32](80, 3)
+	ser := src.Clone()
+	SolveSerial(ser)
+	check(ser)
+	tt := tri.ToTiled(src, 16)
+	if _, err := SolveParallel(tt, ParallelOptions{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	check(tri.ToRowMajor(tt))
+}
+
+// TestSolveIdempotent: a solved table is a fixed point — solving again
+// changes nothing.
+func TestSolveIdempotent(t *testing.T) {
+	m := workload.Dense[float32](60, 9)
+	SolveSerial(m)
+	again := m.Clone()
+	SolveSerial(again)
+	if !tri.Equal[float32](m, again) {
+		t.Error("second solve changed a solved table")
+	}
+}
+
+// TestSolveMonotone: lowering any initial cell can never raise any output
+// cell (min-plus closure is monotone in its inputs).
+func TestSolveMonotone(t *testing.T) {
+	if err := quick.Check(func(seed int64, cellPick uint16, delta uint8) bool {
+		const n = 40
+		rng := rand.New(rand.NewSource(seed))
+		base := workload.Dense[float32](n, seed)
+		// Pick an off-diagonal cell and lower it.
+		i := rng.Intn(n - 1)
+		j := i + 1 + int(cellPick)%(n-1-i)
+		lowered := base.Clone()
+		lowered.Set(i, j, base.At(i, j)-float32(delta)-1)
+		SolveSerial(base)
+		SolveSerial(lowered)
+		for jj := 0; jj < n; jj++ {
+			for ii := 0; ii <= jj; ii++ {
+				if lowered.At(ii, jj) > base.At(ii, jj) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClosureEqualsAllPairsMinPath: with the chain workload the closure
+// equals the min-cost "path" over the adjacency costs — compare against
+// an independent Floyd-Warshall-style reference on an interval DAG.
+func TestClosureEqualsIntervalShortestPath(t *testing.T) {
+	const n = 48
+	src := workload.Chain[float32](n, 21)
+	// Independent reference: dist over interval graph where edge
+	// (i → i+1) costs the adjacent-span init, composition by splitting.
+	ref := make([][]float32, n)
+	for i := range ref {
+		ref[i] = make([]float32, n)
+		for j := range ref[i] {
+			ref[i][j] = semiring.Inf[float32]()
+		}
+		ref[i][i] = 0
+	}
+	for i := 0; i+1 < n; i++ {
+		ref[i][i+1] = src.At(i, i+1)
+	}
+	for span := 2; span < n; span++ {
+		for i := 0; i+span < n; i++ {
+			j := i + span
+			for k := i + 1; k < j; k++ {
+				if w := ref[i][k] + ref[k][j]; w < ref[i][j] {
+					ref[i][j] = w
+				}
+			}
+		}
+	}
+	got := src.Clone()
+	SolveSerial(got)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if got.At(i, j) != ref[i][j] {
+				t.Fatalf("cell (%d,%d): engine %v vs interval reference %v", i, j, got.At(i, j), ref[i][j])
+			}
+		}
+	}
+}
+
+// TestEnginesAgreeQuick fuzzes sizes/tiles/workers across all engines.
+func TestEnginesAgreeQuick(t *testing.T) {
+	mach := newTestMachine(t)
+	if err := quick.Check(func(seed int64, n16 uint8, tilePick, workerPick uint8) bool {
+		n := 8 + int(n16)%120
+		tile := 4 * (1 + int(tilePick)%5)
+		workers := 1 + int(workerPick)%8
+		src := workload.Chain[float32](n, seed)
+		ref := solveRef(src)
+
+		tt := tri.ToTiled(src, tile)
+		if _, err := SolveTiled(tt); err != nil || !tri.Equal[float32](ref, tri.ToRowMajor(tt)) {
+			return false
+		}
+		tp := tri.ToTiled(src, tile)
+		if _, err := SolveParallel(tp, ParallelOptions{Workers: workers}); err != nil || !tri.Equal[float32](ref, tri.ToRowMajor(tp)) {
+			return false
+		}
+		tc := tri.ToTiled(src, tile)
+		opts := cellOpts(1 + workers%8)
+		if _, err := SolveCell(tc, mach, opts); err != nil || !tri.Equal[float32](ref, tri.ToRowMajor(tc)) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package npdp
+
+import (
+	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tri"
+)
+
+// SolveTiledScalar runs the tiled algorithm on the new data layout with
+// plain scalar per-element loops — the same block staging and contiguous
+// block slices as SolveTiled, but no 4×4 computing-block register
+// blocking. It isolates the "new data layout" bar of the paper's speedup
+// breakdown (Figures 10 and 11) from the SPE-procedure bar: NDL fixes the
+// memory behaviour, the SPE procedure then fixes the instruction stream.
+// Returns the number of scalar relaxations (including padded cells).
+func SolveTiledScalar[E semiring.Elem](t *tri.Tiled[E]) (int64, error) {
+	if err := kernel.CheckTile(t.Tile()); err != nil {
+		return 0, err
+	}
+	ts := t.Tile()
+	m := t.Blocks()
+	var relax int64
+	for bj := 0; bj < m; bj++ {
+		for bi := bj; bi >= 0; bi-- {
+			if bi == bj {
+				relax += kernel.ScalarStage2Diag(t.Block(bj, bj), ts)
+				continue
+			}
+			d := t.Block(bi, bj)
+			for k := bi + 1; k < bj; k++ {
+				relax += kernel.ScalarMulMinPlus(d, t.Block(bi, k), t.Block(k, bj), ts)
+			}
+			relax += kernel.ScalarStage2OffDiag(d, t.Block(bi, bi), t.Block(bj, bj), ts)
+		}
+	}
+	return relax, nil
+}

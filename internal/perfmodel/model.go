@@ -1,0 +1,159 @@
+// Package perfmodel implements the Section V performance model: closed
+// forms for the DMA-bound time T_M and the compute-bound time T_C of
+// CellNPDP, the bandwidth constraint under which the SPEs stay busy, and
+// the processor-utilization accounting of Sections VI-A.4 and VI-B.4.
+// The model's headline property — utilization independent of the problem
+// size — falls out of T_M and T_C sharing the N₁³ factor.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the model inputs, named as in Section V.
+type Params struct {
+	ProblemSize float64 // N₁: DP points
+	LocalStore  float64 // L_S: local store bytes available for data
+	ElemBytes   float64 // S: bytes per element (4 or 8)
+	Bandwidth   float64 // B: aggregate memory bandwidth, bytes/s
+	Clock       float64 // f: core clock, Hz
+	Cores       float64 // C_N: number of SPEs/cores
+	CBSide      float64 // N₃: computing-block side (4)
+	CBCycles    float64 // C_C: cycles per computing-block step (54 SP)
+}
+
+// QS20SP returns the paper's single-precision QS20 instantiation for a
+// given problem size and SPE count.
+func QS20SP(n, cores int) Params {
+	return Params{
+		ProblemSize: float64(n),
+		LocalStore:  float64(208 * 1024), // 256 KB minus code/stack
+		ElemBytes:   4,
+		Bandwidth:   2 * 25.6e9,
+		Clock:       3.2e9,
+		Cores:       float64(cores),
+		CBSide:      4,
+		CBCycles:    54,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	vals := map[string]float64{
+		"ProblemSize": p.ProblemSize, "LocalStore": p.LocalStore,
+		"ElemBytes": p.ElemBytes, "Bandwidth": p.Bandwidth,
+		"Clock": p.Clock, "Cores": p.Cores, "CBSide": p.CBSide, "CBCycles": p.CBCycles,
+	}
+	for name, v := range vals {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("perfmodel: %s must be positive and finite, got %g", name, v)
+		}
+	}
+	return nil
+}
+
+// BlockSide returns N₂ = √(L_S / 6S), the largest memory-block side under
+// the six-buffer rule (Section III).
+func (p Params) BlockSide() float64 {
+	return math.Sqrt(p.LocalStore / (6 * p.ElemBytes))
+}
+
+// FetchedBytes returns the total bytes DMAed into local stores: block
+// (i,j) re-fetches its 2(j−i) dependence blocks, summing to ≈ N₁³S/(3N₂)
+// (write-back is a single pass and is neglected, as in the paper).
+func (p Params) FetchedBytes() float64 {
+	n1 := p.ProblemSize
+	return n1 * n1 * n1 * p.ElemBytes / (3 * p.BlockSide())
+}
+
+// MemoryTime returns T_M = N₁³S / (3·N₂·B).
+func (p Params) MemoryTime() float64 {
+	return p.FetchedBytes() / p.Bandwidth
+}
+
+// CBStepCount returns the number of computing-block steps,
+// ≈ N₁³ / (6·N₃³).
+func (p Params) CBStepCount() float64 {
+	n1 := p.ProblemSize
+	n3 := p.CBSide
+	return n1 * n1 * n1 / (6 * n3 * n3 * n3)
+}
+
+// ComputeTime returns T_C = CBStepCount·C_C / (f·C_N).
+func (p Params) ComputeTime() float64 {
+	return p.CBStepCount() * p.CBCycles / (p.Clock * p.Cores)
+}
+
+// Time returns T_All = max(T_M, T_C): with double buffering, DMA and
+// compute overlap and the slower side dominates.
+func (p Params) Time() float64 {
+	return math.Max(p.MemoryTime(), p.ComputeTime())
+}
+
+// ComputeBound reports whether the SPEs, not the memory system, limit the
+// run (T_C ≥ T_M).
+func (p Params) ComputeBound() bool { return p.ComputeTime() >= p.MemoryTime() }
+
+// MinBandwidth returns the smallest aggregate bandwidth under which the
+// configuration stays compute-bound: B ≥ 2√6·S^{3/2}·N₃³·f·C_N / (√L_S·C_C).
+func (p Params) MinBandwidth() float64 {
+	n3 := p.CBSide
+	return 2 * math.Sqrt(6) * math.Pow(p.ElemBytes, 1.5) * n3 * n3 * n3 *
+		p.Clock * p.Cores / (math.Sqrt(p.LocalStore) * p.CBCycles)
+}
+
+// Utilization returns the modeled processor utilization
+// U = U_C · T_C / T_All, where uC is the utilization achieved while
+// computing one computing block with two others (the kernel's useful
+// 32-bit operations per peak operations).
+func (p Params) Utilization(uC float64) float64 {
+	return uC * p.ComputeTime() / p.Time()
+}
+
+// KernelUtilizationSP returns U_C for the single-precision kernel: one
+// computing-block step performs 64 useful min-plus relaxations, each a
+// 2-op (add + min) update on 32-bit data, against a peak of 8 32-bit
+// operations per cycle (two pipelines × 4 lanes) over CBCycles cycles.
+func (p Params) KernelUtilizationSP() float64 {
+	const usefulOps = 64 * 2
+	peak := 8 * p.CBCycles
+	return usefulOps / peak
+}
+
+// BlockSweepPoint is one row of the Section VI-D analytic sweep.
+type BlockSweepPoint struct {
+	LocalStore   float64 // modeled local-store budget (bytes, six-buffer rule)
+	BlockSide    float64 // N₂
+	MemoryTime   float64
+	ComputeTime  float64
+	ComputeBound bool
+}
+
+// SweepLocalStore evaluates the model across local-store budgets — the
+// analytic companion to Figure 13 and Section VI-D: shrinking the local
+// store shrinks N₂, inflating T_M ∝ 1/√L_S until the configuration turns
+// memory-bound.
+func (p Params) SweepLocalStore(budgets []float64) []BlockSweepPoint {
+	out := make([]BlockSweepPoint, 0, len(budgets))
+	for _, ls := range budgets {
+		q := p
+		q.LocalStore = ls
+		out = append(out, BlockSweepPoint{
+			LocalStore:   ls,
+			BlockSide:    q.BlockSide(),
+			MemoryTime:   q.MemoryTime(),
+			ComputeTime:  q.ComputeTime(),
+			ComputeBound: q.ComputeBound(),
+		})
+	}
+	return out
+}
+
+// CriticalLocalStore returns the local-store budget below which the
+// configuration turns memory-bound (T_M = T_C): L_S* = 6S·(N₁³S/(3B·T_C))².
+func (p Params) CriticalLocalStore() float64 {
+	n1 := p.ProblemSize
+	n2Star := n1 * n1 * n1 * p.ElemBytes / (3 * p.Bandwidth * p.ComputeTime())
+	return 6 * p.ElemBytes * n2Star * n2Star
+}

@@ -1,0 +1,158 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := QS20SP(4096, 16).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := QS20SP(4096, 16)
+	bad.Clock = 0
+	if bad.Validate() == nil {
+		t.Error("zero clock accepted")
+	}
+	bad = QS20SP(4096, 16)
+	bad.Bandwidth = math.Inf(1)
+	if bad.Validate() == nil {
+		t.Error("infinite bandwidth accepted")
+	}
+}
+
+func TestBlockSideMatchesSixBufferRule(t *testing.T) {
+	p := QS20SP(4096, 16)
+	n2 := p.BlockSide()
+	// 6 blocks of side N₂ must exactly fill the local store.
+	if got := 6 * n2 * n2 * p.ElemBytes; math.Abs(got-p.LocalStore) > 1e-6 {
+		t.Errorf("6·N₂²·S = %g, want L_S = %g", got, p.LocalStore)
+	}
+}
+
+func TestUtilizationIndependentOfProblemSize(t *testing.T) {
+	// The paper's Section V claim: T_C/T_M has no N₁ dependence, so the
+	// utilization at any uC is the same for every problem size.
+	uAt := func(n int) float64 { return QS20SP(n, 16).Utilization(0.5) }
+	base := uAt(1024)
+	for _, n := range []int{2048, 4096, 16384, 65536} {
+		if u := uAt(n); math.Abs(u-base) > 1e-12 {
+			t.Errorf("utilization at n=%d is %g, differs from %g", n, u, base)
+		}
+	}
+}
+
+func TestQS20IsComputeBound(t *testing.T) {
+	// With 32 KB-scale blocks and 51.2 GB/s, the paper's configuration is
+	// compute-bound — that is why its utilization exceeds 60%.
+	p := QS20SP(8192, 16)
+	if !p.ComputeBound() {
+		t.Errorf("QS20 SP modeled memory-bound: T_M=%g T_C=%g", p.MemoryTime(), p.ComputeTime())
+	}
+	if p.Time() != p.ComputeTime() {
+		t.Error("Time() should equal the dominant side")
+	}
+}
+
+func TestMinBandwidthIsThreshold(t *testing.T) {
+	p := QS20SP(4096, 16)
+	p.Bandwidth = p.MinBandwidth()
+	if r := p.MemoryTime() / p.ComputeTime(); math.Abs(r-1) > 1e-9 {
+		t.Errorf("at MinBandwidth, T_M/T_C = %g, want 1", r)
+	}
+	p.Bandwidth *= 0.5
+	if p.ComputeBound() {
+		t.Error("below MinBandwidth should be memory-bound")
+	}
+}
+
+func TestComputeTimeScalesInverselyWithCores(t *testing.T) {
+	one := QS20SP(4096, 1).ComputeTime()
+	sixteen := QS20SP(4096, 16).ComputeTime()
+	if math.Abs(one/sixteen-16) > 1e-9 {
+		t.Errorf("T_C(1)/T_C(16) = %g, want 16", one/sixteen)
+	}
+}
+
+func TestModelNearPaperTable2(t *testing.T) {
+	// Table II: CellNPDP, 16 SPEs, single precision, n=4096 → 0.22 s.
+	// The model must land within 2× (it ignores scalar boundary work and
+	// scheduling overhead).
+	got := QS20SP(4096, 16).Time()
+	if got < 0.11 || got > 0.44 {
+		t.Errorf("modeled n=4096 time = %g s, paper measured 0.22 s", got)
+	}
+}
+
+func TestSmallerLocalStoreNeedsMoreBandwidth(t *testing.T) {
+	// Section VI-D's effect: shrinking the local store shrinks blocks and
+	// raises the bandwidth needed to stay compute-bound.
+	big := QS20SP(4096, 16)
+	small := big
+	small.LocalStore = big.LocalStore / 4
+	if small.MinBandwidth() <= big.MinBandwidth() {
+		t.Error("smaller local store did not raise the bandwidth requirement")
+	}
+	if small.MemoryTime() <= big.MemoryTime() {
+		t.Error("smaller local store did not raise T_M")
+	}
+}
+
+func TestKernelUtilizationSP(t *testing.T) {
+	p := QS20SP(4096, 16)
+	u := p.KernelUtilizationSP()
+	// 128 useful ops over 54 cycles × 8 ops/cycle ≈ 0.296; with T_C
+	// dominating, overall utilization ≈ U_C. The paper quotes >60% by
+	// counting all executed SIMD lanes as useful; both accountings are
+	// reported by the harness.
+	if u <= 0.2 || u >= 0.5 {
+		t.Errorf("kernel utilization = %g, want ≈ 0.3", u)
+	}
+}
+
+func TestFetchedBytesGrowsWithProblemCubed(t *testing.T) {
+	a := QS20SP(1024, 16).FetchedBytes()
+	b := QS20SP(2048, 16).FetchedBytes()
+	if math.Abs(b/a-8) > 1e-9 {
+		t.Errorf("fetched bytes ratio = %g, want 8 for 2× problem size", b/a)
+	}
+}
+
+func TestSweepLocalStoreMonotone(t *testing.T) {
+	p := QS20SP(4096, 16)
+	pts := p.SweepLocalStore([]float64{208 * 1024, 96 * 1024, 48 * 1024, 24 * 1024, 6 * 1024})
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MemoryTime <= pts[i-1].MemoryTime {
+			t.Errorf("T_M not increasing as the local store shrinks: %+v", pts[i])
+		}
+		if pts[i].ComputeTime != pts[0].ComputeTime {
+			t.Errorf("T_C should not depend on the local store")
+		}
+	}
+}
+
+func TestCriticalLocalStore(t *testing.T) {
+	p := QS20SP(4096, 16)
+	crit := p.CriticalLocalStore()
+	if crit <= 0 {
+		t.Fatalf("critical budget = %g", crit)
+	}
+	// At the critical budget, T_M = T_C; below it, memory-bound.
+	q := p
+	q.LocalStore = crit
+	if r := q.MemoryTime() / q.ComputeTime(); math.Abs(r-1) > 1e-9 {
+		t.Errorf("at critical budget T_M/T_C = %g, want 1", r)
+	}
+	q.LocalStore = crit / 2
+	if q.ComputeBound() {
+		t.Error("below critical budget should be memory-bound")
+	}
+	// The QS20's actual budget sits far above critical — the paper's
+	// headroom claim.
+	if crit >= 208*1024 {
+		t.Errorf("critical budget %g should be well below the QS20's 208 KB", crit)
+	}
+}

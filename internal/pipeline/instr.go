@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"cellnpdp/internal/simd"
+)
+
+// NoReg marks an unused register operand slot.
+const NoReg = -1
+
+// Instr is one instruction of a straight-line kernel program. Operands
+// are virtual register ids; the evaluators assume renaming (the SPE has
+// 128 registers, enough to rename the whole computing-block kernel), so
+// only true (read-after-write) dependences order instructions.
+type Instr struct {
+	Op  simd.Op
+	Dst int    // destination register, NoReg for stores
+	Src [3]int // source registers, NoReg for unused slots
+}
+
+// Program is a straight-line sequence of instructions.
+type Program []Instr
+
+// Mix tallies the program's instructions per class, the quantity Table I
+// reports in its "execution number" column.
+func (p Program) Mix() simd.Counts {
+	var c simd.Counts
+	for _, in := range p {
+		c.Add(in.Op, 1)
+	}
+	return c
+}
+
+// MaxReg returns one past the highest register id used.
+func (p Program) MaxReg() int {
+	max := 0
+	for _, in := range p {
+		if in.Dst+1 > max {
+			max = in.Dst + 1
+		}
+		for _, s := range in.Src {
+			if s+1 > max {
+				max = s + 1
+			}
+		}
+	}
+	return max
+}
+
+// Validate checks structural sanity: every source register is written by
+// an earlier instruction or is a declared live-in.
+func (p Program) Validate(liveIn []int) error {
+	written := make(map[int]bool, len(p))
+	for _, r := range liveIn {
+		written[r] = true
+	}
+	for idx, in := range p {
+		for _, s := range in.Src {
+			if s == NoReg {
+				continue
+			}
+			if !written[s] {
+				return fmt.Errorf("pipeline: instr %d (%v) reads register r%d before any write", idx, in.Op, s)
+			}
+		}
+		if in.Dst != NoReg {
+			written[in.Dst] = true
+		}
+	}
+	return nil
+}
+
+// deps returns, for each instruction, the indices of the instructions
+// producing its source operands (true dependences only). liveIn registers
+// have no producer.
+func (p Program) deps() [][]int {
+	producer := make(map[int]int) // register -> instr index of last write so far
+	out := make([][]int, len(p))
+	for idx, in := range p {
+		var d []int
+		for _, s := range in.Src {
+			if s == NoReg {
+				continue
+			}
+			if pi, ok := producer[s]; ok {
+				d = append(d, pi)
+			}
+		}
+		out[idx] = d
+		if in.Dst != NoReg {
+			producer[in.Dst] = idx
+		}
+	}
+	return out
+}

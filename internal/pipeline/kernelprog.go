@@ -1,0 +1,160 @@
+package pipeline
+
+import "cellnpdp/internal/simd"
+
+// regAlloc hands out fresh virtual register ids; the evaluators assume
+// full renaming (the SPE's 128 registers cover the kernel's live set, as
+// Section IV-A's register-blocking argument requires).
+type regAlloc int
+
+func (r *regAlloc) next() int {
+	v := int(*r)
+	*r++
+	return v
+}
+
+// BuildCBStepSP builds the paper's 80-instruction single-precision
+// computing-block step (Section IV-A): with A, B and C buffered in
+// registers, C = min(C, splat(A[r][k]) + B[k]) over the 16 (row, k)
+// pairs. Instruction mix: 12 loads, 16 shuffles, 16 adds, 16 compares,
+// 16 selects, 4 stores — exactly Table I.
+func BuildCBStepSP() Program {
+	var r regAlloc
+	return appendCBStepSP(nil, &r)
+}
+
+func appendCBStepSP(p Program, r *regAlloc) Program {
+	var a, b, c [4]int
+	for i := 0; i < 4; i++ {
+		a[i] = r.next()
+		p = append(p, Instr{Op: simd.OpLoad, Dst: a[i], Src: [3]int{NoReg, NoReg, NoReg}})
+	}
+	for i := 0; i < 4; i++ {
+		b[i] = r.next()
+		p = append(p, Instr{Op: simd.OpLoad, Dst: b[i], Src: [3]int{NoReg, NoReg, NoReg}})
+	}
+	for i := 0; i < 4; i++ {
+		c[i] = r.next()
+		p = append(p, Instr{Op: simd.OpLoad, Dst: c[i], Src: [3]int{NoReg, NoReg, NoReg}})
+	}
+	for row := 0; row < 4; row++ {
+		for k := 0; k < 4; k++ {
+			t := r.next()
+			p = append(p, Instr{Op: simd.OpShuffle, Dst: t, Src: [3]int{a[row], NoReg, NoReg}})
+			u := r.next()
+			p = append(p, Instr{Op: simd.OpAdd, Dst: u, Src: [3]int{t, b[k], NoReg}})
+			m := r.next()
+			p = append(p, Instr{Op: simd.OpCmp, Dst: m, Src: [3]int{c[row], u, NoReg}})
+			cNew := r.next()
+			p = append(p, Instr{Op: simd.OpSel, Dst: cNew, Src: [3]int{c[row], u, m}})
+			c[row] = cNew
+		}
+	}
+	for row := 0; row < 4; row++ {
+		p = append(p, Instr{Op: simd.OpStore, Dst: NoReg, Src: [3]int{c[row], NoReg, NoReg}})
+	}
+	return p
+}
+
+// BuildCBStepsSP builds iters independent single-precision computing-block
+// steps back to back, the unrolled form the software-pipelining estimate
+// schedules.
+func BuildCBStepsSP(iters int) Program {
+	var r regAlloc
+	var p Program
+	for i := 0; i < iters; i++ {
+		p = appendCBStepSP(p, &r)
+	}
+	return p
+}
+
+// BuildCBStepDP builds the double-precision computing-block step. A 4×4
+// block of doubles needs two 128-bit registers per row, so the step costs
+// 24 loads, 16 shuffles, 32 adds, 32 compares, 32 selects and 8 stores
+// (144 instructions) — and the DPFP adds and compares carry the 13-cycle
+// latency and 6-cycle stall that Section VI-A.5 blames for the DP slowdown.
+func BuildCBStepDP() Program {
+	var r regAlloc
+	return appendCBStepDP(nil, &r)
+}
+
+func appendCBStepDP(p Program, r *regAlloc) Program {
+	var a, b, c [4][2]int
+	load := func(dst *[4][2]int) {
+		for i := 0; i < 4; i++ {
+			for h := 0; h < 2; h++ {
+				dst[i][h] = r.next()
+				p = append(p, Instr{Op: simd.OpLoad, Dst: dst[i][h], Src: [3]int{NoReg, NoReg, NoReg}})
+			}
+		}
+	}
+	load(&a)
+	load(&b)
+	load(&c)
+	for row := 0; row < 4; row++ {
+		for k := 0; k < 4; k++ {
+			// One shuffle splats A[row][k] (lane k%2 of half k/2) for both halves.
+			t := r.next()
+			p = append(p, Instr{Op: simd.OpShuffle, Dst: t, Src: [3]int{a[row][k/2], NoReg, NoReg}})
+			for h := 0; h < 2; h++ {
+				u := r.next()
+				p = append(p, Instr{Op: simd.OpAdd, Dst: u, Src: [3]int{t, b[k][h], NoReg}})
+				m := r.next()
+				p = append(p, Instr{Op: simd.OpCmp, Dst: m, Src: [3]int{c[row][h], u, NoReg}})
+				cNew := r.next()
+				p = append(p, Instr{Op: simd.OpSel, Dst: cNew, Src: [3]int{c[row][h], u, m}})
+				c[row][h] = cNew
+			}
+		}
+	}
+	for row := 0; row < 4; row++ {
+		for h := 0; h < 2; h++ {
+			p = append(p, Instr{Op: simd.OpStore, Dst: NoReg, Src: [3]int{c[row][h], NoReg, NoReg}})
+		}
+	}
+	return p
+}
+
+// BuildCBStepsDP builds iters independent double-precision steps.
+func BuildCBStepsDP(iters int) Program {
+	var r regAlloc
+	var p Program
+	for i := 0; i < iters; i++ {
+		p = appendCBStepDP(p, &r)
+	}
+	return p
+}
+
+// CBStepCyclesSP returns the modeled steady-state cycles of one software-
+// pipelined single-precision computing-block step. The paper reports 54.
+func CBStepCyclesSP() float64 {
+	return SteadyStateCycles(BuildCBStepsSP, 4, 12, SinglePrecision())
+}
+
+// CBStepCyclesDP returns the modeled steady-state cycles of one double-
+// precision computing-block step in program order. Unlike the SP kernel,
+// the DP step is modeled without software pipelining: each DPFP
+// instruction stalls both issue pipelines for six cycles, so reordering
+// recovers little, and the step's doubled register demand (two 128-bit
+// registers per row of each operand) leaves no room to overlap
+// iterations. This matches the paper's measured DP times (Table II);
+// CBStepCyclesDPScheduled gives the idealized software-pipelined cost.
+func CBStepCyclesDP() float64 {
+	c4 := SimulateInOrder(BuildCBStepsDP(4), DoublePrecision()).Cycles
+	c12 := SimulateInOrder(BuildCBStepsDP(12), DoublePrecision()).Cycles
+	return float64(c12-c4) / 8
+}
+
+// CBStepCyclesDPScheduled returns the double-precision step cost under
+// idealized list scheduling (unbounded registers), for the ablation
+// comparison against CBStepCyclesDP.
+func CBStepCyclesDPScheduled() float64 {
+	return SteadyStateCycles(BuildCBStepsDP, 4, 12, DoublePrecision())
+}
+
+// CBStepCyclesSPNaive returns the cycles of one SP step issued in program
+// order with no software pipelining — the ablation baseline for the
+// 10-cycle pipe-0 startup latency discussion in Section IV-A.
+func CBStepCyclesSPNaive() float64 {
+	return float64(SimulateInOrder(BuildCBStepSP(), SinglePrecision()).Cycles)
+}

@@ -1,0 +1,197 @@
+package pipeline
+
+import (
+	"testing"
+
+	"cellnpdp/internal/simd"
+)
+
+func TestISAsValidate(t *testing.T) {
+	if err := SinglePrecision().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := DoublePrecision().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := SinglePrecision()
+	bad.Spec[simd.OpAdd].Latency = 0
+	if bad.Validate() == nil {
+		t.Error("zero latency accepted")
+	}
+	bad = SinglePrecision()
+	bad.Spec[simd.OpAdd].Gap = 0
+	if bad.Validate() == nil {
+		t.Error("zero gap accepted")
+	}
+	bad = SinglePrecision()
+	bad.Spec[simd.OpAdd].Pipe = 7
+	if bad.Validate() == nil {
+		t.Error("invalid pipe accepted")
+	}
+}
+
+func TestTableILatencies(t *testing.T) {
+	isa := SinglePrecision()
+	want := map[simd.Op]Spec{
+		simd.OpLoad:    {Latency: 6, Pipe: Pipe1, Gap: 1},
+		simd.OpShuffle: {Latency: 4, Pipe: Pipe1, Gap: 1},
+		simd.OpAdd:     {Latency: 6, Pipe: Pipe0, Gap: 1},
+		simd.OpCmp:     {Latency: 2, Pipe: Pipe0, Gap: 1},
+		simd.OpSel:     {Latency: 2, Pipe: Pipe0, Gap: 1},
+		simd.OpStore:   {Latency: 6, Pipe: Pipe1, Gap: 1},
+	}
+	for op, w := range want {
+		if isa.Spec[op] != w {
+			t.Errorf("%v spec = %+v, want Table I %+v", op, isa.Spec[op], w)
+		}
+	}
+}
+
+func TestCBStepProgramMix(t *testing.T) {
+	p := BuildCBStepSP()
+	if len(p) != 80 {
+		t.Fatalf("SP CB step has %d instructions, want 80", len(p))
+	}
+	mix := p.Mix()
+	want := map[simd.Op]int64{
+		simd.OpLoad: 12, simd.OpShuffle: 16, simd.OpAdd: 16,
+		simd.OpCmp: 16, simd.OpSel: 16, simd.OpStore: 4,
+	}
+	for op, w := range want {
+		if mix.Get(op) != w {
+			t.Errorf("%v = %d, want %d", op, mix.Get(op), w)
+		}
+	}
+	if err := p.Validate(nil); err != nil {
+		t.Errorf("SP program invalid: %v", err)
+	}
+	dp := BuildCBStepDP()
+	if len(dp) != 144 {
+		t.Errorf("DP CB step has %d instructions, want 144", len(dp))
+	}
+	if err := dp.Validate(nil); err != nil {
+		t.Errorf("DP program invalid: %v", err)
+	}
+}
+
+func TestPipeInstructionSplit(t *testing.T) {
+	// 48 arithmetic instructions on pipe 0, 32 memory/permute on pipe 1
+	// (Section IV-A's pipeline-type imbalance discussion).
+	res := ListSchedule(BuildCBStepSP(), SinglePrecision())
+	if res.Pipe0Issued != 48 || res.Pipe1Issued != 32 {
+		t.Errorf("pipe split = %d/%d, want 48/32", res.Pipe0Issued, res.Pipe1Issued)
+	}
+	if res.Issued != 80 {
+		t.Errorf("issued %d, want 80", res.Issued)
+	}
+}
+
+func TestSoftwarePipelinedCBStepIs54Cycles(t *testing.T) {
+	// The paper's headline kernel number: "it takes only 54 cycles to
+	// execute the 80 SIMD instructions" (Section IV-A).
+	got := CBStepCyclesSP()
+	if got != 54 {
+		t.Errorf("software-pipelined SP CB step = %g cycles, paper reports 54", got)
+	}
+}
+
+func TestDPStepMuchSlowerThanSP(t *testing.T) {
+	sp, dp := CBStepCyclesSP(), CBStepCyclesDP()
+	if dp < 5*sp {
+		t.Errorf("DP step %g cycles vs SP %g: expected ≥5× from 13-cycle latency + 6-cycle stall", dp, sp)
+	}
+}
+
+func TestInOrderSlowerThanScheduled(t *testing.T) {
+	p := BuildCBStepSP()
+	isa := SinglePrecision()
+	inOrder := SimulateInOrder(p, isa).Cycles
+	listed := ListSchedule(p, isa).Cycles
+	if listed > inOrder {
+		t.Errorf("list schedule (%d) worse than program order (%d)", listed, inOrder)
+	}
+	if inOrder < 80/2 {
+		t.Errorf("in-order %d cycles below the dual-issue floor", inOrder)
+	}
+}
+
+func TestListScheduleResourceBound(t *testing.T) {
+	// Makespan can never beat the busiest pipeline's instruction count.
+	p := BuildCBStepsSP(8)
+	res := ListSchedule(p, SinglePrecision())
+	if res.Cycles < res.Pipe0Issued {
+		t.Errorf("makespan %d below pipe-0 resource bound %d", res.Cycles, res.Pipe0Issued)
+	}
+}
+
+func TestDPGapEnforced(t *testing.T) {
+	// Two dependent DP adds: issue distance must respect latency, and two
+	// independent DP adds on pipe 0 must respect the 7-cycle gap.
+	isa := DoublePrecision()
+	dep := Program{
+		{Op: simd.OpLoad, Dst: 0, Src: [3]int{NoReg, NoReg, NoReg}},
+		{Op: simd.OpAdd, Dst: 1, Src: [3]int{0, 0, NoReg}},
+		{Op: simd.OpAdd, Dst: 2, Src: [3]int{1, 1, NoReg}},
+	}
+	res := SimulateInOrder(dep, isa)
+	// load at 0 (lat 6), add1 at 6 (lat 13) -> done 19, add2 at 19 -> done 32.
+	if res.Cycles != 32 {
+		t.Errorf("dependent DP chain = %d cycles, want 32", res.Cycles)
+	}
+	indep := Program{
+		{Op: simd.OpAdd, Dst: 0, Src: [3]int{NoReg, NoReg, NoReg}},
+		{Op: simd.OpAdd, Dst: 1, Src: [3]int{NoReg, NoReg, NoReg}},
+	}
+	res = SimulateInOrder(indep, isa)
+	// add at 0, gap 7 -> second at 7, done 20.
+	if res.Cycles != 20 {
+		t.Errorf("independent DP adds = %d cycles, want 20", res.Cycles)
+	}
+}
+
+func TestDualIssueHappens(t *testing.T) {
+	// An add (pipe 0) and an independent load (pipe 1) dual-issue.
+	p := Program{
+		{Op: simd.OpAdd, Dst: 0, Src: [3]int{NoReg, NoReg, NoReg}},
+		{Op: simd.OpLoad, Dst: 1, Src: [3]int{NoReg, NoReg, NoReg}},
+	}
+	res := SimulateInOrder(p, SinglePrecision())
+	if res.DualIssued != 1 {
+		t.Errorf("dual-issued cycles = %d, want 1", res.DualIssued)
+	}
+	if res.Cycles != 6 {
+		t.Errorf("cycles = %d, want 6", res.Cycles)
+	}
+}
+
+func TestValidateCatchesUseBeforeDef(t *testing.T) {
+	p := Program{{Op: simd.OpAdd, Dst: 1, Src: [3]int{0, NoReg, NoReg}}}
+	if p.Validate(nil) == nil {
+		t.Error("use-before-def not caught")
+	}
+	if err := p.Validate([]int{0}); err != nil {
+		t.Errorf("live-in not honored: %v", err)
+	}
+}
+
+func TestSteadyStateMonotone(t *testing.T) {
+	// More unrolling can only help or hold steady, never hurt per-iteration cost.
+	isa := SinglePrecision()
+	c2 := SteadyStateCycles(BuildCBStepsSP, 1, 2, isa)
+	c8 := SteadyStateCycles(BuildCBStepsSP, 4, 12, isa)
+	if c8 > c2+1e-9 {
+		t.Errorf("steady state worsened with unrolling: %g vs %g", c8, c2)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	res := ListSchedule(BuildCBStepsSP(8), SinglePrecision())
+	ipc := res.IPC()
+	if ipc <= 1 || ipc > 2 {
+		t.Errorf("IPC = %g, want in (1, 2] for the dual-issue SP kernel", ipc)
+	}
+	var zero Result
+	if zero.IPC() != 0 {
+		t.Error("IPC of empty result should be 0")
+	}
+}

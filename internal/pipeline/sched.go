@@ -1,0 +1,188 @@
+package pipeline
+
+import "cellnpdp/internal/simd"
+
+// Result summarizes one timing evaluation of a program.
+type Result struct {
+	Cycles      int // makespan: cycle after the last result is available
+	Issued      int // instructions issued
+	DualIssued  int // cycles in which both pipelines issued
+	Pipe0Issued int // instructions issued on pipeline 0
+	Pipe1Issued int // instructions issued on pipeline 1
+	Mix         simd.Counts
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Issued) / float64(r.Cycles)
+}
+
+// SimulateInOrder runs the program through the dual-issue in-order
+// pipeline model in exactly the given order. An instruction issues when
+// (a) all earlier instructions have issued, (b) its operands' producing
+// latencies have elapsed, and (c) its pipeline is free (the previous
+// instruction on that pipeline issued at least Gap cycles earlier). Two
+// consecutive instructions dual-issue in one cycle only when they target
+// different pipelines — the fetch-group type restriction Section IV-A
+// works around with software pipelining.
+func SimulateInOrder(p Program, isa ISA) Result {
+	ready := make([]int, p.MaxReg()) // cycle at which each register's value is available
+	pipeFree := [2]int{0, 0}
+	issueAt := make([]int, len(p))
+	last := 0 // issue cycle of the previous instruction (in-order constraint)
+	var res Result
+	perCycle := map[int]int{}
+	for idx, in := range p {
+		spec := isa.Spec[in.Op]
+		c := last
+		if f := pipeFree[spec.Pipe]; f > c {
+			c = f
+		}
+		for _, s := range in.Src {
+			if s != NoReg && ready[s] > c {
+				c = ready[s]
+			}
+		}
+		issueAt[idx] = c
+		last = c
+		if spec.StallBoth {
+			// DPFP issue freezes the whole machine for the stall window.
+			pipeFree[Pipe0] = c + spec.Gap
+			pipeFree[Pipe1] = c + spec.Gap
+		}
+		pipeFree[spec.Pipe] = c + spec.Gap
+		if in.Dst != NoReg {
+			ready[in.Dst] = c + spec.Latency
+		}
+		if end := c + spec.Latency; end > res.Cycles {
+			res.Cycles = end
+		}
+		perCycle[c]++
+		if spec.Pipe == Pipe0 {
+			res.Pipe0Issued++
+		} else {
+			res.Pipe1Issued++
+		}
+		res.Issued++
+	}
+	for _, k := range perCycle {
+		if k >= 2 {
+			res.DualIssued++
+		}
+	}
+	res.Mix = p.Mix()
+	return res
+}
+
+// ListSchedule reorders the program greedily (critical-path-first list
+// scheduling over the true-dependence DAG) and returns the resulting
+// timing. This models the paper's software pipelining: the scheduler is
+// free to interleave the 16 independent steps of the computing-block
+// kernel to hide instruction latency, subject to dual-issue and the
+// per-pipeline gap constraints.
+func ListSchedule(p Program, isa ISA) Result {
+	n := len(p)
+	deps := p.deps()
+	succs := make([][]int, n)
+	indeg := make([]int, n)
+	for i, ds := range deps {
+		indeg[i] = len(ds)
+		for _, d := range ds {
+			succs[d] = append(succs[d], i)
+		}
+	}
+	// Priority: longest latency-weighted path to any sink.
+	prio := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		lat := isa.Spec[p[i].Op].Latency
+		best := lat
+		for _, s := range succs[i] {
+			if v := lat + prio[s]; v > best {
+				best = v
+			}
+		}
+		prio[i] = best
+	}
+
+	earliest := make([]int, n) // data-ready cycle once indeg hits 0
+	readyList := []int{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			readyList = append(readyList, i)
+		}
+	}
+	pipeFree := [2]int{0, 0}
+	scheduled := 0
+	cycle := 0
+	var res Result
+	for scheduled < n {
+		issuedThisCycle := 0
+		for pipe := Pipe0; pipe <= Pipe1; pipe++ {
+			if pipeFree[pipe] > cycle {
+				continue
+			}
+			// Pick the ready instruction for this pipe with the highest priority.
+			best, bestPos := -1, -1
+			for pos, idx := range readyList {
+				if isa.Spec[p[idx].Op].Pipe != pipe || earliest[idx] > cycle {
+					continue
+				}
+				if best == -1 || prio[idx] > prio[best] {
+					best, bestPos = idx, pos
+				}
+			}
+			if best == -1 {
+				continue
+			}
+			readyList = append(readyList[:bestPos], readyList[bestPos+1:]...)
+			spec := isa.Spec[p[best].Op]
+			if spec.StallBoth {
+				pipeFree[Pipe0] = cycle + spec.Gap
+				pipeFree[Pipe1] = cycle + spec.Gap
+			}
+			pipeFree[pipe] = cycle + spec.Gap
+			done := cycle + spec.Latency
+			if done > res.Cycles {
+				res.Cycles = done
+			}
+			for _, s := range succs[best] {
+				if e := done; e > earliest[s] {
+					earliest[s] = e
+				}
+				indeg[s]--
+				if indeg[s] == 0 {
+					readyList = append(readyList, s)
+				}
+			}
+			if pipe == Pipe0 {
+				res.Pipe0Issued++
+			} else {
+				res.Pipe1Issued++
+			}
+			res.Issued++
+			scheduled++
+			issuedThisCycle++
+		}
+		if issuedThisCycle == 2 {
+			res.DualIssued++
+		}
+		cycle++
+	}
+	res.Mix = p.Mix()
+	return res
+}
+
+// SteadyStateCycles estimates the software-pipelined per-iteration cost
+// of a kernel: it list-schedules lo and hi back-to-back independent
+// iterations of the program produced by build and returns the marginal
+// cost per iteration, (C(hi) - C(lo)) / (hi - lo). This removes pipeline
+// fill/drain from the estimate, matching how the paper accounts the
+// 54-cycle steady-state cost of a computing-block step.
+func SteadyStateCycles(build func(iters int) Program, lo, hi int, isa ISA) float64 {
+	cl := ListSchedule(build(lo), isa).Cycles
+	ch := ListSchedule(build(hi), isa).Cycles
+	return float64(ch-cl) / float64(hi-lo)
+}

@@ -1,0 +1,213 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cellnpdp/internal/simd"
+)
+
+// Schedule is a fully resolved issue plan for a program: which cycle each
+// instruction issues on, and on which pipeline. It supports verification
+// against the machine constraints and a textual timeline rendering — the
+// view Section IV-A reasons about when it interleaves the kernel's 16
+// steps by hand.
+type Schedule struct {
+	Program Program
+	ISA     ISA
+	IssueAt []int // per instruction
+	Result  Result
+}
+
+// ScheduleInOrder resolves the program in program order.
+func ScheduleInOrder(p Program, isa ISA) *Schedule {
+	s := &Schedule{Program: p, ISA: isa, IssueAt: make([]int, len(p))}
+	ready := make([]int, p.MaxReg())
+	pipeFree := [2]int{0, 0}
+	last := 0
+	for idx, in := range p {
+		spec := isa.Spec[in.Op]
+		c := last
+		if f := pipeFree[spec.Pipe]; f > c {
+			c = f
+		}
+		for _, src := range in.Src {
+			if src != NoReg && ready[src] > c {
+				c = ready[src]
+			}
+		}
+		s.IssueAt[idx] = c
+		last = c
+		if spec.StallBoth {
+			pipeFree[Pipe0] = c + spec.Gap
+			pipeFree[Pipe1] = c + spec.Gap
+		}
+		pipeFree[spec.Pipe] = c + spec.Gap
+		if in.Dst != NoReg {
+			ready[in.Dst] = c + spec.Latency
+		}
+	}
+	s.Result = SimulateInOrder(p, isa)
+	return s
+}
+
+// ScheduleList resolves the program with the greedy list scheduler and
+// records each instruction's issue cycle.
+func ScheduleList(p Program, isa ISA) *Schedule {
+	s := &Schedule{Program: p, ISA: isa, IssueAt: make([]int, len(p))}
+	n := len(p)
+	deps := p.deps()
+	succs := make([][]int, n)
+	indeg := make([]int, n)
+	for i, ds := range deps {
+		indeg[i] = len(ds)
+		for _, d := range ds {
+			succs[d] = append(succs[d], i)
+		}
+	}
+	prio := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		lat := isa.Spec[p[i].Op].Latency
+		best := lat
+		for _, sc := range succs[i] {
+			if v := lat + prio[sc]; v > best {
+				best = v
+			}
+		}
+		prio[i] = best
+	}
+	earliest := make([]int, n)
+	var readyList []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			readyList = append(readyList, i)
+		}
+	}
+	pipeFree := [2]int{0, 0}
+	scheduled := 0
+	cycle := 0
+	for scheduled < n {
+		for pipe := Pipe0; pipe <= Pipe1; pipe++ {
+			if pipeFree[pipe] > cycle {
+				continue
+			}
+			best, bestPos := -1, -1
+			for pos, idx := range readyList {
+				if isa.Spec[p[idx].Op].Pipe != pipe || earliest[idx] > cycle {
+					continue
+				}
+				if best == -1 || prio[idx] > prio[best] {
+					best, bestPos = idx, pos
+				}
+			}
+			if best == -1 {
+				continue
+			}
+			readyList = append(readyList[:bestPos], readyList[bestPos+1:]...)
+			spec := isa.Spec[p[best].Op]
+			if spec.StallBoth {
+				pipeFree[Pipe0] = cycle + spec.Gap
+				pipeFree[Pipe1] = cycle + spec.Gap
+			}
+			pipeFree[pipe] = cycle + spec.Gap
+			s.IssueAt[best] = cycle
+			for _, sc := range succs[best] {
+				if e := cycle + spec.Latency; e > earliest[sc] {
+					earliest[sc] = e
+				}
+				indeg[sc]--
+				if indeg[sc] == 0 {
+					readyList = append(readyList, sc)
+				}
+			}
+			scheduled++
+		}
+		cycle++
+	}
+	s.Result = ListSchedule(p, isa)
+	return s
+}
+
+// Verify checks the schedule against every machine constraint: true
+// dependences wait for producer latency, at most one instruction per
+// pipeline per cycle, per-pipeline issue gaps, and whole-machine stalls
+// after StallBoth instructions.
+func (s *Schedule) Verify() error {
+	type slot struct{ cycle, pipe int }
+	occupied := map[slot]int{}
+	producedAt := map[int]int{} // register -> availability cycle
+	// Register renaming is assumed: track last producer wins in order of
+	// issue cycle, so sort instruction indices by issue.
+	order := make([]int, len(s.Program))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return s.IssueAt[order[a]] < s.IssueAt[order[b]] })
+
+	lastOnPipe := map[int]int{} // pipe -> earliest next issue
+	globalFree := 0
+	for _, idx := range order {
+		in := s.Program[idx]
+		spec := s.ISA.Spec[in.Op]
+		c := s.IssueAt[idx]
+		pipe := int(spec.Pipe)
+		if prev, dup := occupied[slot{c, pipe}]; dup {
+			return fmt.Errorf("pipeline: instructions %d and %d both issue on pipe %d at cycle %d", prev, idx, pipe, c)
+		}
+		occupied[slot{c, pipe}] = idx
+		if c < lastOnPipe[pipe] {
+			return fmt.Errorf("pipeline: instruction %d violates the pipe-%d issue gap at cycle %d", idx, pipe, c)
+		}
+		if c < globalFree {
+			return fmt.Errorf("pipeline: instruction %d issues at %d inside a machine stall window (free at %d)", idx, c, globalFree)
+		}
+		for _, src := range in.Src {
+			if src == NoReg {
+				continue
+			}
+			if avail, ok := producedAt[src]; ok && c < avail {
+				return fmt.Errorf("pipeline: instruction %d reads r%d at cycle %d before it is ready at %d", idx, src, c, avail)
+			}
+		}
+		lastOnPipe[pipe] = c + spec.Gap
+		if spec.StallBoth {
+			globalFree = c + spec.Gap
+		}
+		if in.Dst != NoReg {
+			producedAt[in.Dst] = c + spec.Latency
+		}
+	}
+	return nil
+}
+
+// Timeline renders the schedule as a two-row cycle chart, one row per
+// pipeline, one column per cycle, with each instruction shown by the
+// first letter of its class (L/S/H/A/C/E for load/store/shuffle/add/
+// cmp/sel) and '.' for idle cycles.
+func (s *Schedule) Timeline() string {
+	letter := map[simd.Op]byte{
+		simd.OpLoad: 'L', simd.OpStore: 'S', simd.OpShuffle: 'H',
+		simd.OpAdd: 'A', simd.OpCmp: 'C', simd.OpSel: 'E',
+	}
+	end := 0
+	for _, c := range s.IssueAt {
+		if c+1 > end {
+			end = c + 1
+		}
+	}
+	rows := [2][]byte{make([]byte, end), make([]byte, end)}
+	for p := 0; p < 2; p++ {
+		for i := range rows[p] {
+			rows[p][i] = '.'
+		}
+	}
+	for idx, in := range s.Program {
+		rows[s.ISA.Spec[in.Op].Pipe][s.IssueAt[idx]] = letter[in.Op]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles 0..%d (%s)\n", end-1, s.ISA.Name)
+	fmt.Fprintf(&b, "pipe0 %s\n", rows[0])
+	fmt.Fprintf(&b, "pipe1 %s\n", rows[1])
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"cellnpdp/internal/simd"
+)
+
+func TestScheduleListVerifies(t *testing.T) {
+	for _, iters := range []int{1, 2, 4} {
+		p := BuildCBStepsSP(iters)
+		s := ScheduleList(p, SinglePrecision())
+		if err := s.Verify(); err != nil {
+			t.Fatalf("SP iters=%d: %v", iters, err)
+		}
+		dp := BuildCBStepsDP(iters)
+		sd := ScheduleList(dp, DoublePrecision())
+		if err := sd.Verify(); err != nil {
+			t.Fatalf("DP iters=%d: %v", iters, err)
+		}
+	}
+}
+
+func TestScheduleInOrderVerifies(t *testing.T) {
+	s := ScheduleInOrder(BuildCBStepSP(), SinglePrecision())
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	sd := ScheduleInOrder(BuildCBStepDP(), DoublePrecision())
+	if err := sd.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleMatchesSimulators(t *testing.T) {
+	p := BuildCBStepSP()
+	isa := SinglePrecision()
+	if got, want := ScheduleInOrder(p, isa).Result.Cycles, SimulateInOrder(p, isa).Cycles; got != want {
+		t.Errorf("in-order schedule result %d != simulator %d", got, want)
+	}
+	if got, want := ScheduleList(p, isa).Result.Cycles, ListSchedule(p, isa).Cycles; got != want {
+		t.Errorf("list schedule result %d != simulator %d", got, want)
+	}
+}
+
+func TestScheduleIssueCyclesConsistent(t *testing.T) {
+	// The recorded issue cycles must reproduce the simulator's makespan:
+	// last issue + its latency == Cycles.
+	p := BuildCBStepSP()
+	isa := SinglePrecision()
+	s := ScheduleList(p, isa)
+	end := 0
+	for idx, c := range s.IssueAt {
+		if e := c + isa.Spec[p[idx].Op].Latency; e > end {
+			end = e
+		}
+	}
+	if end != s.Result.Cycles {
+		t.Errorf("issue cycles imply makespan %d, simulator says %d", end, s.Result.Cycles)
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	p := BuildCBStepSP()
+	isa := SinglePrecision()
+	s := ScheduleList(p, isa)
+	// Force two instructions of the same pipe into one cycle.
+	bad := *s
+	bad.IssueAt = append([]int(nil), s.IssueAt...)
+	// Find two pipe-0 instructions and collide them.
+	var p0 []int
+	for idx, in := range p {
+		if isa.Spec[in.Op].Pipe == Pipe0 {
+			p0 = append(p0, idx)
+		}
+	}
+	bad.IssueAt[p0[1]] = bad.IssueAt[p0[0]]
+	if bad.Verify() == nil {
+		t.Error("pipe collision not caught")
+	}
+	// Force a use-before-ready.
+	bad2 := *s
+	bad2.IssueAt = append([]int(nil), s.IssueAt...)
+	// The first shuffle depends on a load; issue it at cycle 0.
+	for idx, in := range p {
+		if in.Op == simd.OpShuffle {
+			bad2.IssueAt[idx] = 0
+			break
+		}
+	}
+	if bad2.Verify() == nil {
+		t.Error("use-before-ready not caught")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	s := ScheduleList(BuildCBStepSP(), SinglePrecision())
+	out := s.Timeline()
+	if !strings.Contains(out, "pipe0") || !strings.Contains(out, "pipe1") {
+		t.Fatalf("timeline missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline has %d lines", len(lines))
+	}
+	// 48 arithmetic letters on pipe0, 32 memory/permute letters on pipe1.
+	p0 := lines[1]
+	count := strings.Count(p0, "A") + strings.Count(p0, "C") + strings.Count(p0, "E")
+	if count != 48 {
+		t.Errorf("pipe0 shows %d instructions, want 48", count)
+	}
+	p1 := lines[2]
+	count1 := strings.Count(p1, "L") + strings.Count(p1, "S") + strings.Count(p1, "H")
+	if count1 != 32 {
+		t.Errorf("pipe1 shows %d instructions, want 32", count1)
+	}
+}

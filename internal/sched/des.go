@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Exec is a task body under the discrete-event executor. It runs when the
+// task is dispatched to a virtual worker: it both performs the real
+// computation and returns the task's virtual finish time, given the
+// worker index and the virtual start time (seconds).
+type Exec func(worker int, t Task, start float64) (end float64, err error)
+
+// DESResult reports a virtual-time execution.
+type DESResult struct {
+	Makespan   float64   // virtual seconds until the last task finishes
+	WorkerBusy []float64 // per-worker busy virtual seconds
+	Executed   int
+}
+
+// workerHeap orders workers by availability time.
+type workerHeap struct {
+	avail []float64
+	idx   []int
+}
+
+func (h workerHeap) Len() int { return len(h.idx) }
+func (h workerHeap) Less(i, j int) bool {
+	if h.avail[h.idx[i]] != h.avail[h.idx[j]] {
+		return h.avail[h.idx[i]] < h.avail[h.idx[j]]
+	}
+	return h.idx[i] < h.idx[j]
+}
+func (h workerHeap) Swap(i, j int)       { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *workerHeap) Push(x interface{}) { h.idx = append(h.idx, x.(int)) }
+func (h *workerHeap) Pop() interface{} {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+// readyItem is one entry of the ready set.
+type readyItem struct {
+	id    int
+	ready float64
+	prio  float64 // urgency; larger = more urgent
+}
+
+// RunDES executes the graph deterministically in virtual time on
+// `workers` virtual SPEs. Dispatch policy: the earliest-available worker
+// takes, among the tasks already ready at that moment, the one with the
+// highest critical-path urgency (in the block-triangular DAG the longest
+// and most expensive chains run toward the final top-right block, so
+// urgency = remaining hops toward it; plain FIFO starves the critical
+// column and costs ~20% of the 16-SPE speedup at moderate block counts).
+// If nothing is ready yet, the worker waits for the earliest-ready task.
+// Each dispatch also pays dispatchOverhead, the PPE's per-task scheduling
+// cost that scheduling blocks exist to amortize (Section IV-B). Task
+// bodies run exactly once in a deterministic order, so functional results
+// are reproducible.
+func RunDES(g *Graph, workers int, dispatchOverhead float64, exec Exec) (DESResult, error) {
+	prio := make([]float64, len(g.Tasks))
+	for i, t := range g.Tasks {
+		prio[i] = float64(t.Bi + (g.SchedTiles - 1 - t.Bj))
+	}
+	return RunDESWithPriority(g, workers, dispatchOverhead, prio, exec)
+}
+
+// RunDESWithPriority is RunDES with caller-supplied urgencies, indexed by
+// task ID (higher runs first). Engines that can estimate task costs pass
+// longest-remaining-cost-path priorities, which brings list scheduling
+// within a few percent of the work/critical-path bound; the default
+// hop-count heuristic loses ~20% on coarse-task graphs.
+func RunDESWithPriority(g *Graph, workers int, dispatchOverhead float64, priority []float64, exec Exec) (DESResult, error) {
+	if workers <= 0 {
+		return DESResult{}, fmt.Errorf("sched: worker count must be positive, got %d", workers)
+	}
+	n := len(g.Tasks)
+	if len(priority) != n {
+		return DESResult{}, fmt.Errorf("sched: priority slice has %d entries for %d tasks", len(priority), n)
+	}
+	pending := make([]int, n)
+	readyAt := make([]float64, n)
+	prio := func(t Task) float64 { return priority[t.ID] }
+	var ready []readyItem
+	for i, t := range g.Tasks {
+		pending[i] = len(t.Deps)
+		if pending[i] == 0 {
+			ready = append(ready, readyItem{id: i, ready: 0, prio: prio(t)})
+		}
+	}
+	wh := &workerHeap{avail: make([]float64, workers)}
+	for w := 0; w < workers; w++ {
+		heap.Push(wh, w)
+	}
+	res := DESResult{WorkerBusy: make([]float64, workers)}
+	// better reports whether a beats b for dispatch at worker time T.
+	better := func(a, b readyItem, T float64) bool {
+		aNow, bNow := a.ready <= T, b.ready <= T
+		if aNow != bNow {
+			return aNow // anything already ready beats waiting
+		}
+		if !aNow {
+			// Neither ready yet: take the earliest-ready.
+			if a.ready != b.ready {
+				return a.ready < b.ready
+			}
+		}
+		if a.prio != b.prio {
+			return a.prio > b.prio
+		}
+		if a.ready != b.ready {
+			return a.ready < b.ready
+		}
+		return a.id < b.id
+	}
+	for len(ready) > 0 {
+		w := heap.Pop(wh).(int)
+		T := wh.avail[w]
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if better(ready[i], ready[best], T) {
+				best = i
+			}
+		}
+		it := ready[best]
+		ready[best] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+
+		start := it.ready
+		if T > start {
+			start = T
+		}
+		start += dispatchOverhead
+		end, err := exec(w, g.Tasks[it.id], start)
+		if err != nil {
+			return res, err
+		}
+		if end < start {
+			return res, fmt.Errorf("sched: task %d finished at %g before its start %g", it.id, end, start)
+		}
+		wh.avail[w] = end
+		res.WorkerBusy[w] += end - start
+		heap.Push(wh, w)
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		res.Executed++
+		for _, s := range g.Tasks[it.id].Succs {
+			if end > readyAt[s] {
+				readyAt[s] = end
+			}
+			pending[s]--
+			if pending[s] == 0 {
+				ready = append(ready, readyItem{id: s, ready: readyAt[s], prio: prio(g.Tasks[s])})
+			}
+		}
+	}
+	if res.Executed != n {
+		return res, fmt.Errorf("sched: executed %d of %d tasks (dependence cycle?)", res.Executed, n)
+	}
+	return res, nil
+}

@@ -1,0 +1,179 @@
+// Package sched implements the paper's tier-2 parallel procedure
+// (Section IV-B): the task dependence graph over scheduling blocks with
+// the simplified two-predecessor rule, the ready queue, and two
+// executors — a real goroutine worker pool (wall-clock runs on the host
+// CPU) and a deterministic virtual-time discrete-event executor (modeled
+// runs on the simulated Cell processor).
+package sched
+
+import "fmt"
+
+// Task is a node of the dependence graph: one scheduling block, a square
+// of memory blocks. Bi/Bj are the scheduling-block coordinates; the
+// memory-block ranges are [RowLo, RowHi) × [ColLo, ColHi) in tile
+// coordinates.
+type Task struct {
+	ID     int
+	Bi, Bj int
+	RowLo  int
+	RowHi  int
+	ColLo  int
+	ColHi  int
+	Deps   []int // predecessor task IDs (at most 2: nearest left, nearest below)
+	Succs  []int // successor task IDs
+}
+
+// Graph is the task dependence graph of Figure 7: scheduling blocks of
+// the upper block triangle, each depending on at most the nearest task on
+// its left and the nearest below it. A task is scheduled only after being
+// notified by every predecessor.
+type Graph struct {
+	Tiles      int // memory blocks per side (m)
+	SchedSide  int // memory blocks per scheduling-block side (g)
+	SchedTiles int // scheduling blocks per side (ceil(m/g))
+	Tasks      []Task
+	ids        map[[2]int]int
+}
+
+// NewGraph builds the dependence graph for m×m upper-triangle memory
+// blocks grouped into scheduling blocks of side g memory blocks. g = 1
+// degenerates to one task per memory block.
+func NewGraph(m, g int) (*Graph, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("sched: tile count must be positive, got %d", m)
+	}
+	if g <= 0 {
+		return nil, fmt.Errorf("sched: scheduling-block side must be positive, got %d", g)
+	}
+	ms := (m + g - 1) / g
+	gr := &Graph{Tiles: m, SchedSide: g, SchedTiles: ms, ids: make(map[[2]int]int)}
+	for bi := 0; bi < ms; bi++ {
+		for bj := bi; bj < ms; bj++ {
+			t := Task{
+				ID:    len(gr.Tasks),
+				Bi:    bi,
+				Bj:    bj,
+				RowLo: bi * g,
+				RowHi: min(bi*g+g, m),
+				ColLo: bj * g,
+				ColHi: min(bj*g+g, m),
+			}
+			gr.ids[[2]int{bi, bj}] = t.ID
+			gr.Tasks = append(gr.Tasks, t)
+		}
+	}
+	// Simplified dependences: nearest task on the left and nearest below.
+	// Diagonal scheduling blocks have neither and are ready immediately.
+	for i := range gr.Tasks {
+		t := &gr.Tasks[i]
+		if left, ok := gr.ids[[2]int{t.Bi, t.Bj - 1}]; ok && t.Bj-1 >= t.Bi {
+			t.Deps = append(t.Deps, left)
+			gr.Tasks[left].Succs = append(gr.Tasks[left].Succs, t.ID)
+		}
+		if below, ok := gr.ids[[2]int{t.Bi + 1, t.Bj}]; ok && t.Bi+1 <= t.Bj {
+			t.Deps = append(t.Deps, below)
+			gr.Tasks[below].Succs = append(gr.Tasks[below].Succs, t.ID)
+		}
+	}
+	return gr, nil
+}
+
+// TaskID returns the task id of scheduling block (bi, bj).
+func (g *Graph) TaskID(bi, bj int) (int, bool) {
+	id, ok := g.ids[[2]int{bi, bj}]
+	return id, ok
+}
+
+// Roots returns the IDs of tasks with no predecessors (the diagonal
+// scheduling blocks).
+func (g *Graph) Roots() []int {
+	var out []int
+	for _, t := range g.Tasks {
+		if len(t.Deps) == 0 {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// CheckCoverage verifies that the scheduling blocks partition the upper
+// block triangle exactly: every memory block (i, j), i ≤ j, belongs to
+// exactly one task's rectangle intersected with the triangle.
+func (g *Graph) CheckCoverage() error {
+	seen := make(map[[2]int]int)
+	for _, t := range g.Tasks {
+		for i := t.RowLo; i < t.RowHi; i++ {
+			for j := max(t.ColLo, i); j < t.ColHi; j++ {
+				key := [2]int{i, j}
+				if prev, dup := seen[key]; dup {
+					return fmt.Errorf("sched: memory block (%d,%d) covered by tasks %d and %d", i, j, prev, t.ID)
+				}
+				seen[key] = t.ID
+			}
+		}
+	}
+	want := g.Tiles * (g.Tiles + 1) / 2
+	if len(seen) != want {
+		return fmt.Errorf("sched: covered %d memory blocks, want %d", len(seen), want)
+	}
+	return nil
+}
+
+// MemoryBlockOrder returns the order in which a task's memory blocks must
+// be computed inside the SPE procedure: "the memory blocks on the left
+// side and closer to the bottom are computed earlier" (Section IV-B) —
+// columns ascending, rows descending, skipping the lower triangle.
+func (t Task) MemoryBlockOrder() [][2]int {
+	var out [][2]int
+	for j := t.ColLo; j < t.ColHi; j++ {
+		for i := t.RowHi - 1; i >= t.RowLo; i-- {
+			if i <= j {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// NewFullGraph builds the unsimplified dependence graph: every task
+// depends on *all* tasks to its left in its block row and below it in its
+// block column, not just the nearest two. Functionally equivalent to
+// NewGraph (the simplified edges cover the rest transitively); it exists
+// as the ablation baseline for the paper's Section IV-B simplification —
+// edge count and notification traffic grow from O(m²) to O(m³).
+func NewFullGraph(m, g int) (*Graph, error) {
+	gr, err := NewGraph(m, g)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild edges from scratch with the full sets.
+	for i := range gr.Tasks {
+		gr.Tasks[i].Deps = nil
+		gr.Tasks[i].Succs = nil
+	}
+	addDep := func(t *Task, bi, bj int) {
+		if id, ok := gr.ids[[2]int{bi, bj}]; ok && bj >= bi {
+			t.Deps = append(t.Deps, id)
+			gr.Tasks[id].Succs = append(gr.Tasks[id].Succs, t.ID)
+		}
+	}
+	for i := range gr.Tasks {
+		t := &gr.Tasks[i]
+		for bj := t.Bi; bj < t.Bj; bj++ {
+			addDep(t, t.Bi, bj)
+		}
+		for bi := t.Bi + 1; bi <= t.Bj; bi++ {
+			addDep(t, bi, t.Bj)
+		}
+	}
+	return gr, nil
+}
+
+// EdgeCount returns the number of dependence edges in the graph.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, t := range g.Tasks {
+		n += len(t.Deps)
+	}
+	return n
+}

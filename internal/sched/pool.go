@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RunPool executes the graph on `workers` concurrent goroutines,
+// mirroring Figure 8: a dispatcher (the PPE procedure) keeps a queue of
+// ready tasks; workers (the SPE procedures) fetch ready tasks, execute
+// them, and report completion, which notifies successors; a task enters
+// the ready queue once every predecessor has notified it.
+//
+// exec runs the task body; it receives the worker index (0-based) and the
+// task. RunPool returns the first error reported by any exec; remaining
+// tasks are still drained so no goroutine leaks.
+func RunPool(g *Graph, workers int, exec func(worker int, t Task) error) error {
+	if workers <= 0 {
+		return fmt.Errorf("sched: worker count must be positive, got %d", workers)
+	}
+	n := len(g.Tasks)
+	ready := make(chan int, n)
+
+	var mu sync.Mutex
+	pending := make([]int, n) // remaining notifications per task
+	remaining := n
+	var firstErr error
+
+	for i, t := range g.Tasks {
+		pending[i] = len(t.Deps)
+		if pending[i] == 0 {
+			ready <- i
+		}
+	}
+
+	complete := func(id int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, s := range g.Tasks[id].Succs {
+			pending[s]--
+			if pending[s] == 0 {
+				ready <- s
+			}
+		}
+		remaining--
+		if remaining == 0 {
+			close(ready)
+		}
+	}
+
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for id := range ready {
+				mu.Lock()
+				errored := firstErr != nil
+				mu.Unlock()
+				if !errored {
+					if err := exec(worker, g.Tasks[id]); err != nil {
+						fail(err)
+					}
+				}
+				complete(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	if remaining != 0 {
+		return fmt.Errorf("sched: %d tasks never became ready (dependence cycle?)", remaining)
+	}
+	return nil
+}

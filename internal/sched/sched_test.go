@@ -1,0 +1,307 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphShape(t *testing.T) {
+	g, err := NewGraph(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tasks) != 15 {
+		t.Fatalf("task count = %d, want 15", len(g.Tasks))
+	}
+	// Diagonal tasks are roots; every off-diagonal task has exactly 2 deps.
+	roots := g.Roots()
+	if len(roots) != 5 {
+		t.Fatalf("roots = %d, want 5 (the diagonal blocks)", len(roots))
+	}
+	for _, task := range g.Tasks {
+		if task.Bi == task.Bj {
+			if len(task.Deps) != 0 {
+				t.Errorf("diagonal task (%d,%d) has deps %v", task.Bi, task.Bj, task.Deps)
+			}
+		} else if len(task.Deps) != 2 {
+			t.Errorf("task (%d,%d) has %d deps, want 2 (nearest left + below)", task.Bi, task.Bj, len(task.Deps))
+		}
+	}
+	// Spot-check Figure 7's rule for one block.
+	id, _ := g.TaskID(1, 3)
+	left, _ := g.TaskID(1, 2)
+	below, _ := g.TaskID(2, 3)
+	deps := g.Tasks[id].Deps
+	if !(deps[0] == left && deps[1] == below) && !(deps[0] == below && deps[1] == left) {
+		t.Errorf("deps of (1,3) = %v, want {left (1,2)=%d, below (2,3)=%d}", deps, left, below)
+	}
+}
+
+func TestGraphCoverage(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		for g := 1; g <= 4; g++ {
+			gr, err := NewGraph(m, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := gr.CheckCoverage(); err != nil {
+				t.Errorf("m=%d g=%d: %v", m, g, err)
+			}
+		}
+	}
+}
+
+func TestGraphRejectsBadArgs(t *testing.T) {
+	if _, err := NewGraph(0, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewGraph(4, 0); err == nil {
+		t.Error("g=0 accepted")
+	}
+}
+
+func TestMemoryBlockOrderRespectsDeps(t *testing.T) {
+	// Within a task, MB (i,j) must come after (i,j-1) and (i+1,j) when
+	// those belong to the same task.
+	g, _ := NewGraph(10, 3)
+	for _, task := range g.Tasks {
+		order := task.MemoryBlockOrder()
+		pos := map[[2]int]int{}
+		for k, mb := range order {
+			pos[mb] = k
+		}
+		for mb, k := range pos {
+			if p, in := pos[[2]int{mb[0], mb[1] - 1}]; in && p > k {
+				t.Fatalf("task (%d,%d): MB %v before its left neighbor", task.Bi, task.Bj, mb)
+			}
+			if p, in := pos[[2]int{mb[0] + 1, mb[1]}]; in && p > k {
+				t.Fatalf("task (%d,%d): MB %v before its below neighbor", task.Bi, task.Bj, mb)
+			}
+		}
+	}
+}
+
+// execOrderLegal verifies the fundamental schedule invariant: when a task
+// runs, every memory block it depends on (entire rows to the left and
+// columns below, not just the simplified 2-dep edges) has been computed.
+func execOrderLegal(m, g, workers int) error {
+	gr, err := NewGraph(m, g)
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	done := map[[2]int]bool{}
+	return RunPool(gr, workers, func(_ int, task Task) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, mb := range task.MemoryBlockOrder() {
+			i, j := mb[0], mb[1]
+			// MB(i,j) reads row blocks MB(i,k) for k in [i, j) and column
+			// blocks MB(k,j) for k in (i, j] — including both diagonals.
+			for k := i; k < j; k++ {
+				if !done[[2]int{i, k}] {
+					return fmt.Errorf("MB(%d,%d) ran before its row dependence MB(%d,%d)", i, j, i, k)
+				}
+			}
+			for k := i + 1; k <= j; k++ {
+				if !done[[2]int{k, j}] {
+					return fmt.Errorf("MB(%d,%d) ran before its column dependence MB(%d,%d)", i, j, k, j)
+				}
+			}
+			done[[2]int{i, j}] = true
+		}
+		return nil
+	})
+}
+
+func TestSimplifiedGraphIsSufficient(t *testing.T) {
+	// The paper's claim: the 2-dep graph transitively covers the full
+	// dependence set. Check on many shapes with real concurrency.
+	for _, m := range []int{1, 2, 3, 5, 8, 13} {
+		for _, g := range []int{1, 2, 3} {
+			for _, w := range []int{1, 3, 8} {
+				if err := execOrderLegal(m, g, w); err != nil {
+					t.Errorf("m=%d g=%d w=%d: %v", m, g, w, err)
+				}
+			}
+		}
+	}
+}
+
+func TestSimplifiedGraphSufficientQuick(t *testing.T) {
+	if err := quick.Check(func(m8, g4, w8 uint8) bool {
+		m := 1 + int(m8)%15
+		g := 1 + int(g4)%4
+		w := 1 + int(w8)%8
+		return execOrderLegal(m, g, w) == nil
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunPoolExecutesEachTaskOnce(t *testing.T) {
+	g, _ := NewGraph(9, 2)
+	var mu sync.Mutex
+	count := map[int]int{}
+	err := RunPool(g, 4, func(_ int, task Task) error {
+		mu.Lock()
+		count[task.ID]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(count) != len(g.Tasks) {
+		t.Fatalf("executed %d distinct tasks, want %d", len(count), len(g.Tasks))
+	}
+	for id, c := range count {
+		if c != 1 {
+			t.Errorf("task %d executed %d times", id, c)
+		}
+	}
+}
+
+func TestRunPoolPropagatesError(t *testing.T) {
+	g, _ := NewGraph(6, 1)
+	boom := errors.New("boom")
+	err := RunPool(g, 3, func(_ int, task Task) error {
+		if task.Bi == 1 && task.Bj == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestRunPoolRejectsBadWorkers(t *testing.T) {
+	g, _ := NewGraph(3, 1)
+	if err := RunPool(g, 0, func(int, Task) error { return nil }); err == nil {
+		t.Error("0 workers accepted")
+	}
+}
+
+func TestRunDESDeterministic(t *testing.T) {
+	g, _ := NewGraph(8, 2)
+	run := func() (float64, []int) {
+		var order []int
+		res, err := RunDES(g, 4, 1e-6, func(w int, task Task, start float64) (float64, error) {
+			order = append(order, task.ID)
+			return start + float64(len(task.MemoryBlockOrder()))*1e-3, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan, order
+	}
+	m1, o1 := run()
+	m2, o2 := run()
+	if m1 != m2 {
+		t.Errorf("makespan not deterministic: %g vs %g", m1, m2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("execution order not deterministic at %d", i)
+		}
+	}
+}
+
+func TestRunDESRespectsDeps(t *testing.T) {
+	g, _ := NewGraph(7, 1)
+	finish := make(map[int]float64)
+	_, err := RunDES(g, 3, 0, func(w int, task Task, start float64) (float64, error) {
+		for _, d := range task.Deps {
+			if f, ok := finish[d]; !ok || f > start {
+				return 0, fmt.Errorf("task %d started at %g before dep %d finished at %g", task.ID, start, d, f)
+			}
+		}
+		end := start + 1e-3
+		finish[task.ID] = end
+		return end, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDESScalesWithWorkers(t *testing.T) {
+	g, _ := NewGraph(16, 1)
+	cost := func(w int, task Task, start float64) (float64, error) {
+		return start + 1e-3, nil
+	}
+	r1, err := RunDES(g, 1, 0, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := RunDES(g, 8, 0, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.Makespan >= r1.Makespan {
+		t.Errorf("8 workers (%g) not faster than 1 (%g)", r8.Makespan, r1.Makespan)
+	}
+	if r1.Executed != len(g.Tasks) || r8.Executed != len(g.Tasks) {
+		t.Error("not all tasks executed")
+	}
+}
+
+func TestRunDESErrors(t *testing.T) {
+	g, _ := NewGraph(3, 1)
+	if _, err := RunDES(g, 0, 0, nil); err == nil {
+		t.Error("0 workers accepted")
+	}
+	boom := errors.New("boom")
+	if _, err := RunDES(g, 2, 0, func(int, Task, float64) (float64, error) {
+		return 0, boom
+	}); !errors.Is(err, boom) {
+		t.Errorf("exec error not propagated: %v", err)
+	}
+	if _, err := RunDES(g, 2, 0, func(w int, task Task, start float64) (float64, error) {
+		return start - 1, nil
+	}); err == nil {
+		t.Error("time-travel task accepted")
+	}
+}
+
+func TestFullGraphEquivalentButDenser(t *testing.T) {
+	simple, err := NewGraph(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewFullGraph(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.EdgeCount() <= simple.EdgeCount() {
+		t.Errorf("full graph edges %d not denser than simplified %d", full.EdgeCount(), simple.EdgeCount())
+	}
+	// Same execution legality under the full graph.
+	var mu sync.Mutex
+	done := map[int]bool{}
+	err = RunPool(full, 4, func(_ int, task Task) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, d := range task.Deps {
+			if !done[d] {
+				return fmt.Errorf("task %d ran before dep %d", task.ID, d)
+			}
+		}
+		done[task.ID] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != len(full.Tasks) {
+		t.Errorf("executed %d of %d", len(done), len(full.Tasks))
+	}
+	// Diagonal scheduling blocks remain the only roots.
+	if len(full.Roots()) != len(simple.Roots()) {
+		t.Errorf("roots differ: %d vs %d", len(full.Roots()), len(simple.Roots()))
+	}
+}

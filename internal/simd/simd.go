@@ -1,0 +1,82 @@
+// Package simd emulates the 128-bit SPE vector operations the paper's
+// kernel is written in (Section IV-A): load, store, shuffle (splat), add,
+// compare and select. A register holds four single-precision or two
+// double-precision lanes, exactly as on the SPU.
+//
+// Go has no SIMD intrinsics, so each operation executes as scalar code;
+// what the package preserves is the *structure* of the kernel — the exact
+// instruction sequence, operand shapes and instruction counts of Table I —
+// so the pipeline model (internal/pipeline) and the instruction-mix
+// experiments run against the same program the paper describes.
+package simd
+
+// Op identifies an emulated SPE instruction kind. The six kinds are the
+// ones Table I characterizes for the computing-block kernel.
+type Op int
+
+// The emulated instruction kinds.
+const (
+	OpLoad Op = iota
+	OpStore
+	OpShuffle
+	OpAdd
+	OpCmp
+	OpSel
+	numOps
+)
+
+// String returns the Table I name of the instruction kind.
+func (o Op) String() string {
+	switch o {
+	case OpLoad:
+		return "Load"
+	case OpStore:
+		return "Store"
+	case OpShuffle:
+		return "Shuffle"
+	case OpAdd:
+		return "Add"
+	case OpCmp:
+		return "Cmp"
+	case OpSel:
+		return "Sel"
+	}
+	return "Op(?)"
+}
+
+// NumOps is the number of distinct instruction kinds.
+const NumOps = int(numOps)
+
+// Ops lists all instruction kinds in Table I order.
+var Ops = [NumOps]Op{OpLoad, OpShuffle, OpAdd, OpCmp, OpSel, OpStore}
+
+// Counts tallies executed instructions per kind. The counted kernel
+// variants increment it; Table I is regenerated from these tallies.
+type Counts struct {
+	N [NumOps]int64
+}
+
+// Add increments the tally for op by k.
+func (c *Counts) Add(op Op, k int64) { c.N[op] += k }
+
+// Get returns the tally for op.
+func (c *Counts) Get(op Op) int64 { return c.N[op] }
+
+// Total returns the total instruction count.
+func (c *Counts) Total() int64 {
+	var t int64
+	for _, v := range c.N {
+		t += v
+	}
+	return t
+}
+
+// Merge adds other's tallies into c.
+func (c *Counts) Merge(other *Counts) {
+	for i := range c.N {
+		c.N[i] += other.N[i]
+	}
+}
+
+// Reset zeroes all tallies.
+func (c *Counts) Reset() { c.N = [NumOps]int64{} }

@@ -1,0 +1,154 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mathFloat32bits(f float32) uint32 { return math.Float32bits(f) }
+
+func TestLoadStoreF32(t *testing.T) {
+	src := []float32{1, 2, 3, 4, 5}
+	v := LoadF32(src)
+	dst := make([]float32, 4)
+	StoreF32(dst, v)
+	for i := 0; i < 4; i++ {
+		if dst[i] != src[i] {
+			t.Fatalf("lane %d: %v != %v", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestLoadF32PanicsShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LoadF32 accepted a 3-lane slice")
+		}
+	}()
+	LoadF32([]float32{1, 2, 3})
+}
+
+func TestSplatF32(t *testing.T) {
+	v := F32x4{10, 20, 30, 40}
+	for lane := 0; lane < 4; lane++ {
+		s := SplatF32(v, lane)
+		for i := 0; i < 4; i++ {
+			if s[i] != v[lane] {
+				t.Errorf("SplatF32 lane %d broadcast wrong: %v", lane, s)
+			}
+		}
+	}
+}
+
+func TestCmpSelIsMin(t *testing.T) {
+	// The paper's cmp+sel idiom must compute the lane-wise minimum.
+	if err := quick.Check(func(a, b [4]float32) bool {
+		va, vb := F32x4(a), F32x4(b)
+		m := CmpGtF32(va, vb)
+		sel := SelF32(va, vb, m)
+		min := MinF32(va, vb)
+		return sel == min
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddF32(t *testing.T) {
+	got := AddF32(F32x4{1, 2, 3, 4}, F32x4{10, 20, 30, 40})
+	if got != (F32x4{11, 22, 33, 44}) {
+		t.Errorf("AddF32 = %v", got)
+	}
+}
+
+func TestF64Ops(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		a := F64x2{rng.Float64(), rng.Float64()}
+		b := F64x2{rng.Float64(), rng.Float64()}
+		if got := SelF64(a, b, CmpGtF64(a, b)); got != MinF64(a, b) {
+			t.Fatalf("cmp+sel != min for %v, %v", a, b)
+		}
+		sum := AddF64(a, b)
+		if sum[0] != a[0]+b[0] || sum[1] != a[1]+b[1] {
+			t.Fatalf("AddF64 wrong")
+		}
+	}
+	v := F64x2{7, 9}
+	if SplatF64(v, 0) != (F64x2{7, 7}) || SplatF64(v, 1) != (F64x2{9, 9}) {
+		t.Error("SplatF64 broadcast wrong")
+	}
+	dst := make([]float64, 2)
+	StoreF64(dst, LoadF64([]float64{3, 4}))
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Error("F64 load/store round trip failed")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	var c Counts
+	c.Add(OpLoad, 12)
+	c.Add(OpAdd, 16)
+	c.Add(OpAdd, 4)
+	if c.Get(OpLoad) != 12 || c.Get(OpAdd) != 20 {
+		t.Errorf("Get wrong: %+v", c)
+	}
+	if c.Total() != 32 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	var d Counts
+	d.Add(OpSel, 5)
+	c.Merge(&d)
+	if c.Get(OpSel) != 5 || c.Total() != 37 {
+		t.Errorf("Merge wrong: %+v", c)
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Error("Reset did not zero")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{
+		OpLoad: "Load", OpStore: "Store", OpShuffle: "Shuffle",
+		OpAdd: "Add", OpCmp: "Cmp", OpSel: "Sel",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if Op(99).String() != "Op(?)" {
+		t.Error("unknown op String")
+	}
+}
+
+func TestMaskBitPatterns(t *testing.T) {
+	m := CmpGtF32(F32x4{2, 1, 5, 0}, F32x4{1, 2, 5, -1})
+	want := Mask4{0xFFFFFFFF, 0, 0, 0xFFFFFFFF}
+	if m != want {
+		t.Errorf("CmpGtF32 mask = %x, want %x", m, want)
+	}
+	m64 := CmpGtF64(F64x2{1, 0}, F64x2{0, 1})
+	if m64 != (Mask2{0xFFFFFFFFFFFFFFFF, 0}) {
+		t.Errorf("CmpGtF64 mask = %x", m64)
+	}
+}
+
+func TestSelIsBitwise(t *testing.T) {
+	// A partial mask (never produced by compares, but selb is bitwise)
+	// must merge bit patterns, proving the emulation is not a branch.
+	a := F32x4{1, 1, 1, 1}
+	b := F32x4{2, 2, 2, 2}
+	m := Mask4{0xFFFF0000, 0, 0xFFFFFFFF, 0}
+	r := SelF32(a, b, m)
+	if r[2] != 2 || r[3] != 1 {
+		t.Errorf("full/zero lanes wrong: %v", r)
+	}
+	// Lane 0 mixes the high half of 2.0f with the low half of 1.0f.
+	wantBits := (mathFloat32bits(1) &^ 0xFFFF0000) | (mathFloat32bits(2) & 0xFFFF0000)
+	if mathFloat32bits(r[0]) != wantBits {
+		t.Errorf("bitwise merge wrong: %08x vs %08x", mathFloat32bits(r[0]), wantBits)
+	}
+}

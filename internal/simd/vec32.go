@@ -1,0 +1,74 @@
+package simd
+
+import "math"
+
+// F32x4 is a 128-bit register holding four single-precision lanes.
+type F32x4 [4]float32
+
+// Mask4 is the result of a four-lane compare, represented exactly as the
+// SPU produces it: each lane is all-ones (0xFFFFFFFF) where the predicate
+// held and all-zeros where it did not. Select consumes it bitwise, like
+// the selb instruction.
+type Mask4 [4]uint32
+
+// LoadF32 emulates a quadword load of four consecutive floats starting at
+// src[0]. It panics (like a misaligned SPU access traps) if src is
+// shorter than four lanes.
+func LoadF32(src []float32) F32x4 {
+	_ = src[3]
+	return F32x4{src[0], src[1], src[2], src[3]}
+}
+
+// StoreF32 emulates a quadword store of v to dst[0..3].
+func StoreF32(dst []float32, v F32x4) {
+	_ = dst[3]
+	dst[0], dst[1], dst[2], dst[3] = v[0], v[1], v[2], v[3]
+}
+
+// SplatF32 emulates the shuffle that replicates lane `lane` of v across
+// all four lanes — the paper's step 4, V4 = shuffle(V3, mask).
+func SplatF32(v F32x4, lane int) F32x4 {
+	x := v[lane]
+	return F32x4{x, x, x, x}
+}
+
+// AddF32 emulates the four-lane floating add.
+func AddF32(a, b F32x4) F32x4 {
+	return F32x4{a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]}
+}
+
+// CmpGtF32 emulates fcgt, the four-lane compare-greater-than: lanes where
+// a > b become 0xFFFFFFFF, others 0. The SPU has no minimum instruction;
+// the kernel pairs this with SelF32 to pick minima (Section IV-A).
+func CmpGtF32(a, b F32x4) Mask4 {
+	var m Mask4
+	for l := 0; l < 4; l++ {
+		if a[l] > b[l] {
+			m[l] = 0xFFFFFFFF
+		}
+	}
+	return m
+}
+
+// SelF32 emulates selb, the bitwise select: result = (a &^ m) | (b & m)
+// per lane, operating on the raw bit patterns.
+func SelF32(a, b F32x4, m Mask4) F32x4 {
+	var r F32x4
+	for l := 0; l < 4; l++ {
+		bits := (math.Float32bits(a[l]) &^ m[l]) | (math.Float32bits(b[l]) & m[l])
+		r[l] = math.Float32frombits(bits)
+	}
+	return r
+}
+
+// MinF32 is the cmp+sel idiom fused, for reference implementations that
+// do not track per-instruction counts.
+func MinF32(a, b F32x4) F32x4 {
+	r := a
+	for l := 0; l < 4; l++ {
+		if b[l] < r[l] {
+			r[l] = b[l]
+		}
+	}
+	return r
+}

@@ -1,0 +1,68 @@
+package simd
+
+import "math"
+
+// F64x2 is a 128-bit register holding two double-precision lanes. The SPU
+// executes two 64-bit operations per instruction (Section II-C), which is
+// the first of the three reasons Section VI-A.5 gives for the much lower
+// double-precision performance.
+type F64x2 [2]float64
+
+// Mask2 is the result of a two-lane compare: all-ones or all-zeros bit
+// patterns per 64-bit lane, consumed bitwise by SelF64.
+type Mask2 [2]uint64
+
+// LoadF64 emulates a quadword load of two consecutive doubles.
+func LoadF64(src []float64) F64x2 {
+	_ = src[1]
+	return F64x2{src[0], src[1]}
+}
+
+// StoreF64 emulates a quadword store of v to dst[0..1].
+func StoreF64(dst []float64, v F64x2) {
+	_ = dst[1]
+	dst[0], dst[1] = v[0], v[1]
+}
+
+// SplatF64 replicates lane `lane` of v across both lanes.
+func SplatF64(v F64x2, lane int) F64x2 {
+	x := v[lane]
+	return F64x2{x, x}
+}
+
+// AddF64 emulates the two-lane floating add.
+func AddF64(a, b F64x2) F64x2 {
+	return F64x2{a[0] + b[0], a[1] + b[1]}
+}
+
+// CmpGtF64 marks the lanes where a > b with all-ones patterns.
+func CmpGtF64(a, b F64x2) Mask2 {
+	var m Mask2
+	for l := 0; l < 2; l++ {
+		if a[l] > b[l] {
+			m[l] = 0xFFFFFFFFFFFFFFFF
+		}
+	}
+	return m
+}
+
+// SelF64 emulates selb on 64-bit lanes: (a &^ m) | (b & m) bitwise.
+func SelF64(a, b F64x2, m Mask2) F64x2 {
+	var r F64x2
+	for l := 0; l < 2; l++ {
+		bits := (math.Float64bits(a[l]) &^ m[l]) | (math.Float64bits(b[l]) & m[l])
+		r[l] = math.Float64frombits(bits)
+	}
+	return r
+}
+
+// MinF64 is the fused cmp+sel idiom.
+func MinF64(a, b F64x2) F64x2 {
+	r := a
+	for l := 0; l < 2; l++ {
+		if b[l] < r[l] {
+			r[l] = b[l]
+		}
+	}
+	return r
+}

@@ -1,0 +1,143 @@
+// Package stats provides the small formatting layer the experiment
+// harness prints tables and figure series through.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid with a header row, rendered as aligned ASCII.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		width[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(width)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Seconds formats a duration in seconds with sensible precision.
+func Seconds(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f s", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2f ms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.2f µs", s*1e6)
+	default:
+		return fmt.Sprintf("%.0f ns", s*1e9)
+	}
+}
+
+// Bytes formats a byte count in binary units.
+func Bytes(b int64) string {
+	const unit = 1024
+	switch {
+	case b >= unit*unit*unit:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(unit*unit*unit))
+	case b >= unit*unit:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(unit*unit))
+	case b >= unit:
+		return fmt.Sprintf("%.2f KiB", float64(b)/unit)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// Ratio formats a speedup/ratio as e.g. "31.6x".
+func Ratio(r float64) string {
+	if r >= 100 {
+		return fmt.Sprintf("%.0fx", r)
+	}
+	return fmt.Sprintf("%.1fx", r)
+}
+
+// Percent formats a fraction as a percentage.
+func Percent(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// CSV renders the table as RFC-4180-style CSV (title and notes omitted),
+// for piping harness output into plotting tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

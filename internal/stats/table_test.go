@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	tb.AddNote("a footnote")
+	out := tb.String()
+	for _, want := range []string{"== Demo ==", "name", "value", "alpha", "22222", "note: a footnote"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and data rows align: "value" column starts at the same offset.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "value") != strings.Index(row, "1") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Errorf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cases := map[float64]string{
+		123.4:  "123 s",
+		1.5:    "1.50 s",
+		0.012:  "12.00 ms",
+		2e-6:   "2.00 µs",
+		3.5e-9: "4 ns",
+	}
+	for in, want := range cases {
+		if got := Seconds(in); got != want {
+			t.Errorf("Seconds(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:             "512 B",
+		2048:            "2.00 KiB",
+		3 * 1024 * 1024: "3.00 MiB",
+		5 << 30:         "5.00 GiB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatioAndPercent(t *testing.T) {
+	if Ratio(31.62) != "31.6x" {
+		t.Errorf("Ratio = %q", Ratio(31.62))
+	}
+	if Ratio(123.4) != "123x" {
+		t.Errorf("Ratio = %q", Ratio(123.4))
+	}
+	if Percent(0.625) != "62.5%" {
+		t.Errorf("Percent = %q", Percent(0.625))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", `quote"inside`)
+	got := tb.CSV()
+	want := "a,b\nplain,1\n\"with,comma\",\"quote\"\"inside\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

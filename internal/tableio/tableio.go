@@ -1,0 +1,117 @@
+// Package tableio serializes triangular DP tables: a small self-
+// describing binary format (magic, version, element width, problem size,
+// then the upper-triangle cells row-major in little-endian IEEE floats).
+// It lets the CLI solve once and verify or post-process later, and lets
+// engines running in different processes compare results byte-for-byte.
+package tableio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tri"
+)
+
+// Magic identifies the format.
+const Magic = "NPDP"
+
+// Version is the current format version.
+const Version uint16 = 1
+
+// header is the fixed-size file prologue.
+type header struct {
+	Magic     [4]byte
+	Version   uint16
+	ElemBytes uint16
+	N         uint64
+}
+
+// Write serializes the table to w.
+func Write[E semiring.Elem](w io.Writer, m *tri.RowMajor[E]) error {
+	bw := bufio.NewWriter(w)
+	var e E
+	h := header{Version: Version, ElemBytes: uint16(elemWidth(e)), N: uint64(m.Len())}
+	copy(h.Magic[:], Magic)
+	if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+		return fmt.Errorf("tableio: writing header: %w", err)
+	}
+	n := m.Len()
+	buf := make([]byte, 8)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			putElem(buf, m.At(i, j))
+			if _, err := bw.Write(buf[:elemWidth(e)]); err != nil {
+				return fmt.Errorf("tableio: writing cell (%d,%d): %w", i, j, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a table written by Write. The element type must
+// match the file's element width.
+func Read[E semiring.Elem](r io.Reader) (*tri.RowMajor[E], error) {
+	br := bufio.NewReader(r)
+	var h header
+	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+		return nil, fmt.Errorf("tableio: reading header: %w", err)
+	}
+	if string(h.Magic[:]) != Magic {
+		return nil, fmt.Errorf("tableio: bad magic %q", h.Magic)
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("tableio: unsupported version %d", h.Version)
+	}
+	var e E
+	if int(h.ElemBytes) != elemWidth(e) {
+		return nil, fmt.Errorf("tableio: file holds %d-byte elements, requested type has %d", h.ElemBytes, elemWidth(e))
+	}
+	if h.N == 0 || h.N > 1<<24 {
+		return nil, fmt.Errorf("tableio: implausible problem size %d", h.N)
+	}
+	n := int(h.N)
+	m := tri.NewRowMajor[E](n)
+	buf := make([]byte, elemWidth(e))
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("tableio: reading cell (%d,%d): %w", i, j, err)
+			}
+			m.Set(i, j, getElem[E](buf))
+		}
+	}
+	return m, nil
+}
+
+// elemWidth returns the byte width of E.
+func elemWidth(e any) int {
+	if _, ok := e.(float64); ok {
+		return 8
+	}
+	return 4
+}
+
+// putElem encodes v into buf (little-endian IEEE).
+func putElem[E semiring.Elem](buf []byte, v E) {
+	switch x := any(v).(type) {
+	case float32:
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(x))
+	case float64:
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+	}
+}
+
+// getElem decodes an element from buf.
+func getElem[E semiring.Elem](buf []byte) E {
+	var e E
+	switch any(e).(type) {
+	case float32:
+		return E(math.Float32frombits(binary.LittleEndian.Uint32(buf)))
+	default:
+		return E(math.Float64frombits(binary.LittleEndian.Uint64(buf)))
+	}
+}

@@ -1,0 +1,95 @@
+package tableio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cellnpdp/internal/tri"
+	"cellnpdp/internal/workload"
+)
+
+func TestRoundTripF32(t *testing.T) {
+	src := workload.Dense[float32](37, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read[float32](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tri.Equal[float32](src, got) {
+		t.Fatal("round trip changed the table")
+	}
+}
+
+func TestRoundTripF64(t *testing.T) {
+	src := workload.Dense[float64](21, 9)
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read[float64](&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tri.Equal[float64](src, got) {
+		t.Fatal("f64 round trip changed the table")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	if err := quick.Check(func(seed int64, n8 uint8) bool {
+		n := 1 + int(n8)%60
+		src := workload.Dense[float32](n, seed)
+		var buf bytes.Buffer
+		if Write(&buf, src) != nil {
+			return false
+		}
+		got, err := Read[float32](&buf)
+		return err == nil && tri.Equal[float32](src, got)
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeMismatchRejected(t *testing.T) {
+	src := workload.Dense[float32](8, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read[float64](&buf); err == nil || !strings.Contains(err.Error(), "element") {
+		t.Errorf("f64 read of f32 file: %v", err)
+	}
+}
+
+func TestCorruptInputsRejected(t *testing.T) {
+	if _, err := Read[float32](bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Read[float32](strings.NewReader("JUNKJUNKJUNKJUNKJUNK")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated body.
+	src := workload.Dense[float32](20, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read[float32](bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated file accepted")
+	}
+	// Implausible size: header with huge N.
+	var h bytes.Buffer
+	h.WriteString("NPDP")
+	h.Write([]byte{1, 0})                  // version 1
+	h.Write([]byte{4, 0})                  // elem bytes 4
+	h.Write(bytes.Repeat([]byte{0xFF}, 8)) // N = 2^64-1
+	if _, err := Read[float32](&h); err == nil {
+		t.Error("absurd size accepted")
+	}
+}

@@ -1,0 +1,208 @@
+// Package trace records what each simulated SPE spent its virtual time
+// on — computing, waiting on DMA tag groups, or idle between tasks — and
+// renders the result as a per-SPE Gantt chart and a utilization summary.
+// It is the observability layer for the cellsim-backed engine: the view
+// that makes double-buffering, load imbalance and bandwidth saturation
+// visible.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies an interval of SPE time.
+type Kind int
+
+// The interval kinds.
+const (
+	KindCompute Kind = iota
+	KindDMAWait
+	KindTask // task envelope (start..end), drawn as context only
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindDMAWait:
+		return "dma-wait"
+	case KindTask:
+		return "task"
+	}
+	return "kind(?)"
+}
+
+// Event is one recorded interval on one SPE.
+type Event struct {
+	SPE   int
+	Kind  Kind
+	Start float64
+	End   float64
+	Label string
+}
+
+// Log collects events. A nil *Log is valid and records nothing, so
+// engines can thread it unconditionally.
+type Log struct {
+	Events []Event
+}
+
+// Add records an interval; zero-length intervals are dropped.
+func (l *Log) Add(spe int, kind Kind, start, end float64, label string) {
+	if l == nil || end <= start {
+		return
+	}
+	l.Events = append(l.Events, Event{SPE: spe, Kind: kind, Start: start, End: end, Label: label})
+}
+
+// Enabled reports whether events are being collected.
+func (l *Log) Enabled() bool { return l != nil }
+
+// span returns the overall [min, max] time covered.
+func (l *Log) span() (float64, float64) {
+	if l == nil || len(l.Events) == 0 {
+		return 0, 0
+	}
+	lo, hi := l.Events[0].Start, l.Events[0].End
+	for _, e := range l.Events {
+		if e.Start < lo {
+			lo = e.Start
+		}
+		if e.End > hi {
+			hi = e.End
+		}
+	}
+	return lo, hi
+}
+
+// spes returns the sorted set of SPE ids present.
+func (l *Log) spes() []int {
+	seen := map[int]bool{}
+	for _, e := range l.Events {
+		seen[e.SPE] = true
+	}
+	out := make([]int, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Gantt renders per-SPE rows over `width` time buckets: '#' compute,
+// '~' DMA wait, '.' idle. When a bucket mixes kinds, compute wins over
+// wait wins over idle (the chart shows what the SPE accomplished).
+func (l *Log) Gantt(width int) string {
+	if l == nil || len(l.Events) == 0 {
+		return "(no events)\n"
+	}
+	if width <= 0 {
+		width = 80
+	}
+	lo, hi := l.span()
+	if hi <= lo {
+		return "(empty span)\n"
+	}
+	scale := float64(width) / (hi - lo)
+	var b strings.Builder
+	fmt.Fprintf(&b, "virtual time %.6fs .. %.6fs, %d buckets of %.3gs\n", lo, hi, width, (hi-lo)/float64(width))
+	for _, spe := range l.spes() {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		mark := func(e Event, ch byte, overwrite string) {
+			from := int((e.Start - lo) * scale)
+			to := int((e.End - lo) * scale)
+			if to >= width {
+				to = width - 1
+			}
+			for i := from; i <= to; i++ {
+				if strings.IndexByte(overwrite, row[i]) >= 0 {
+					row[i] = ch
+				}
+			}
+		}
+		for _, e := range l.Events {
+			if e.SPE == spe && e.Kind == KindDMAWait {
+				mark(e, '~', ".")
+			}
+		}
+		for _, e := range l.Events {
+			if e.SPE == spe && e.Kind == KindCompute {
+				mark(e, '#', ".~")
+			}
+		}
+		fmt.Fprintf(&b, "SPE%-2d %s\n", spe, row)
+	}
+	b.WriteString("legend: # compute   ~ dma wait   . idle\n")
+	return b.String()
+}
+
+// Summary reports per-SPE busy fractions over the run's span.
+type Summary struct {
+	SPE     int
+	Compute float64
+	DMAWait float64
+	Idle    float64
+	Tasks   int
+}
+
+// Summarize computes per-SPE time accounting.
+func (l *Log) Summarize() []Summary {
+	if l == nil {
+		return nil
+	}
+	lo, hi := l.span()
+	total := hi - lo
+	if total <= 0 {
+		return nil
+	}
+	acc := map[int]*Summary{}
+	for _, e := range l.Events {
+		s := acc[e.SPE]
+		if s == nil {
+			s = &Summary{SPE: e.SPE}
+			acc[e.SPE] = s
+		}
+		d := e.End - e.Start
+		switch e.Kind {
+		case KindCompute:
+			s.Compute += d
+		case KindDMAWait:
+			s.DMAWait += d
+		case KindTask:
+			s.Tasks++
+		}
+	}
+	out := make([]Summary, 0, len(acc))
+	for _, spe := range l.spes() {
+		s := acc[spe]
+		s.Compute /= total
+		s.DMAWait /= total
+		s.Idle = 1 - s.Compute - s.DMAWait
+		if s.Idle < 0 {
+			s.Idle = 0
+		}
+		out = append(out, *s)
+	}
+	return out
+}
+
+// String renders the summaries as a table.
+func (l *Log) String() string {
+	sums := l.Summarize()
+	if len(sums) == 0 {
+		return "(no events)\n"
+	}
+	var b strings.Builder
+	b.WriteString("SPE   tasks  compute  dma-wait  idle\n")
+	for _, s := range sums {
+		fmt.Fprintf(&b, "%-5d %-6d %6.1f%%  %7.1f%%  %5.1f%%\n",
+			s.SPE, s.Tasks, s.Compute*100, s.DMAWait*100, s.Idle*100)
+	}
+	return b.String()
+}

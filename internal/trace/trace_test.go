@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(0, KindCompute, 0, 1, "x") // must not panic
+	if l.Enabled() {
+		t.Error("nil log reports enabled")
+	}
+	if !strings.Contains(l.Gantt(10), "no events") {
+		t.Error("nil Gantt should say no events")
+	}
+	if l.Summarize() != nil {
+		t.Error("nil Summarize should be nil")
+	}
+}
+
+func TestAddDropsEmptyIntervals(t *testing.T) {
+	l := &Log{}
+	l.Add(0, KindCompute, 5, 5, "zero")
+	l.Add(0, KindCompute, 5, 4, "negative")
+	if len(l.Events) != 0 {
+		t.Errorf("empty intervals recorded: %v", l.Events)
+	}
+}
+
+func TestGanttShape(t *testing.T) {
+	l := &Log{}
+	l.Add(0, KindCompute, 0, 0.5, "a")
+	l.Add(0, KindDMAWait, 0.5, 1.0, "b")
+	l.Add(1, KindCompute, 0.25, 0.75, "c")
+	out := l.Gantt(20)
+	if !strings.Contains(out, "SPE0") || !strings.Contains(out, "SPE1") {
+		t.Fatalf("missing SPE rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	row0 := lines[1]
+	if !strings.Contains(row0, "#") || !strings.Contains(row0, "~") {
+		t.Errorf("SPE0 row missing compute/wait marks: %q", row0)
+	}
+	row1 := lines[2]
+	if !strings.HasSuffix(strings.Fields(row1)[1][:5], ".") {
+		t.Errorf("SPE1 should be idle at the start: %q", row1)
+	}
+}
+
+func TestComputeWinsOverWaitInBuckets(t *testing.T) {
+	l := &Log{}
+	l.Add(0, KindDMAWait, 0, 1, "w")
+	l.Add(0, KindCompute, 0, 1, "c")
+	out := l.Gantt(4)
+	row := strings.Split(strings.TrimSpace(out), "\n")[1]
+	if strings.Contains(row, "~") {
+		t.Errorf("wait visible under compute: %q", row)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	l := &Log{}
+	l.Add(0, KindCompute, 0, 6, "")
+	l.Add(0, KindDMAWait, 6, 8, "")
+	l.Add(0, KindTask, 0, 8, "t1")
+	l.Add(1, KindCompute, 0, 4, "")
+	sums := l.Summarize()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	s0 := sums[0]
+	if s0.SPE != 0 || s0.Tasks != 1 {
+		t.Errorf("s0 = %+v", s0)
+	}
+	if s0.Compute != 0.75 || s0.DMAWait != 0.25 {
+		t.Errorf("s0 fractions = %+v", s0)
+	}
+	s1 := sums[1]
+	if s1.Compute != 0.5 || s1.Idle != 0.5 {
+		t.Errorf("s1 fractions = %+v", s1)
+	}
+	if !strings.Contains(l.String(), "dma-wait") {
+		t.Error("summary table missing header")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindCompute.String() != "compute" || KindDMAWait.String() != "dma-wait" || KindTask.String() != "task" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "kind(?)" {
+		t.Error("unknown kind")
+	}
+}

@@ -1,0 +1,43 @@
+package tri
+
+import "cellnpdp/internal/semiring"
+
+// ToTiled copies a row-major table into a freshly allocated tiled table
+// with the given tile side. Padding cells keep the min-plus identity.
+func ToTiled[E semiring.Elem](src *RowMajor[E], tile int) *Tiled[E] {
+	dst := NewTiled[E](src.Len(), tile)
+	n := src.Len()
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			dst.Set(i, j, src.At(i, j))
+		}
+	}
+	return dst
+}
+
+// ToRowMajor copies a tiled table into a freshly allocated row-major
+// table, dropping the padding.
+func ToRowMajor[E semiring.Elem](src *Tiled[E]) *RowMajor[E] {
+	dst := NewRowMajor[E](src.Len())
+	n := src.Len()
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			dst.Set(i, j, src.At(i, j))
+		}
+	}
+	return dst
+}
+
+// Copy copies all stored cells from src to dst. The tables must have the
+// same problem size.
+func Copy[E semiring.Elem](dst, src Table[E]) {
+	n := src.Len()
+	if dst.Len() != n {
+		panic("tri: Copy size mismatch")
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			dst.Set(i, j, src.At(i, j))
+		}
+	}
+}

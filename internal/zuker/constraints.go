@@ -1,0 +1,101 @@
+package zuker
+
+import "fmt"
+
+// Constraints restrict a fold: positions marked unpaired never enter a
+// pair, and position pairs marked forbidden never pair with each other.
+// Constrained folding is how structure-probing data (SHAPE, enzymatic)
+// is folded against in practice; here it also serves as a stress test of
+// the pairing layer, since constraints only ever remove options.
+type Constraints struct {
+	unpaired  map[int]bool
+	forbidden map[[2]int]bool
+	n         int // 0 = unbounded
+}
+
+// NewConstraints creates an empty constraint set.
+func NewConstraints() *Constraints {
+	return &Constraints{unpaired: map[int]bool{}, forbidden: map[[2]int]bool{}}
+}
+
+// ParseConstraints reads a constraint line aligned with the sequence:
+// '.' free, 'x' forced unpaired. (Forced pairs are out of scope for this
+// model: the closure cannot guarantee an arbitrary pair is optimal.)
+func ParseConstraints(line string) (*Constraints, error) {
+	c := NewConstraints()
+	c.n = len(line)
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '.':
+		case 'x', 'X':
+			c.unpaired[i] = true
+		default:
+			return nil, fmt.Errorf("zuker: constraint char %q at %d (want '.' or 'x')", line[i], i)
+		}
+	}
+	return c, nil
+}
+
+// ForceUnpaired marks position i as never pairing.
+func (c *Constraints) ForceUnpaired(i int) *Constraints {
+	c.unpaired[i] = true
+	return c
+}
+
+// Forbid prevents the specific pair (i, j).
+func (c *Constraints) Forbid(i, j int) *Constraints {
+	if i > j {
+		i, j = j, i
+	}
+	c.forbidden[[2]int{i, j}] = true
+	return c
+}
+
+// Allows reports whether (i, j) may pair under the constraints. A nil
+// receiver allows everything.
+func (c *Constraints) Allows(i, j int) bool {
+	if c == nil {
+		return true
+	}
+	if c.unpaired[i] || c.unpaired[j] {
+		return false
+	}
+	return !c.forbidden[[2]int{i, j}]
+}
+
+// Check validates the constraints against a sequence length.
+func (c *Constraints) Check(n int) error {
+	if c == nil {
+		return nil
+	}
+	if c.n > 0 && c.n != n {
+		return fmt.Errorf("zuker: constraint line length %d != sequence length %d", c.n, n)
+	}
+	for i := range c.unpaired {
+		if i < 0 || i >= n {
+			return fmt.Errorf("zuker: unpaired constraint at %d outside sequence of %d", i, n)
+		}
+	}
+	for p := range c.forbidden {
+		if p[0] < 0 || p[1] >= n {
+			return fmt.Errorf("zuker: forbidden pair %v outside sequence of %d", p, n)
+		}
+	}
+	return nil
+}
+
+// Satisfied reports whether a structure honors the constraints.
+func (c *Constraints) Satisfied(s *Structure) error {
+	if c == nil {
+		return nil
+	}
+	for _, p := range s.Pairs {
+		if c.unpaired[p[0]] || c.unpaired[p[1]] {
+			return fmt.Errorf("zuker: pair (%d,%d) uses a forced-unpaired base", p[0], p[1])
+		}
+		if c.forbidden[[2]int{p[0], p[1]}] {
+			return fmt.Errorf("zuker: forbidden pair (%d,%d) present", p[0], p[1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package zuker implements the application the paper draws its NPDP
+// kernel from: RNA secondary-structure prediction by free-energy
+// minimization [17]. The model here is deliberately simplified — hairpin
+// and stacking energies only — so that, exactly as in the paper's
+// treatment, the O(n³) bifurcation layer
+//
+//	W(i,j) = min(V(i,j), min_k W(i,k) + W(k+1,j))
+//
+// dominates and runs on the NPDP engines (serial, tiled, parallel or the
+// simulated Cell). The pairing layer V is an O(n²) diagonal sweep, and a
+// traceback recovers the dot-bracket structure.
+package zuker
+
+import "fmt"
+
+// Base is an RNA nucleotide.
+type Base byte
+
+// The four RNA bases.
+const (
+	A Base = 'A'
+	C Base = 'C'
+	G Base = 'G'
+	U Base = 'U'
+)
+
+// Seq is a validated RNA sequence.
+type Seq []Base
+
+// ParseSeq validates an RNA string (case-insensitive, T accepted as U).
+func ParseSeq(s string) (Seq, error) {
+	if len(s) == 0 {
+		return nil, fmt.Errorf("zuker: empty sequence")
+	}
+	out := make(Seq, len(s))
+	for i := 0; i < len(s); i++ {
+		switch b := s[i] &^ 0x20; b { // upper-case
+		case 'A', 'C', 'G', 'U':
+			out[i] = Base(b)
+		case 'T':
+			out[i] = U
+		default:
+			return nil, fmt.Errorf("zuker: invalid base %q at position %d", s[i], i)
+		}
+	}
+	return out, nil
+}
+
+// String returns the sequence text.
+func (s Seq) String() string {
+	b := make([]byte, len(s))
+	for i, x := range s {
+		b[i] = byte(x)
+	}
+	return string(b)
+}
+
+// pairKind indexes canonical pairs: AU, UA, GC, CG, GU, UG.
+func pairKind(a, b Base) int {
+	switch {
+	case a == A && b == U:
+		return 0
+	case a == U && b == A:
+		return 1
+	case a == G && b == C:
+		return 2
+	case a == C && b == G:
+		return 3
+	case a == G && b == U:
+		return 4
+	case a == U && b == G:
+		return 5
+	}
+	return -1
+}
+
+// CanPair reports whether two bases form a canonical (Watson-Crick or
+// wobble) pair.
+func CanPair(a, b Base) bool { return pairKind(a, b) >= 0 }
+
+// EnergyModel holds the simplified thermodynamic parameters, in kcal/mol
+// (negative stabilizes).
+type EnergyModel struct {
+	// Stack[outer][inner] is the stacking energy of pair `inner` directly
+	// inside pair `outer`.
+	Stack [6][6]float32
+	// Hairpin[k] is the closing penalty of a hairpin loop with k unpaired
+	// bases; loops shorter than MinHairpin are forbidden. Sizes past the
+	// table use the last entry.
+	Hairpin []float32
+	// Bulge[k] is the penalty of a bulge loop with k unpaired bases on
+	// one side (k ≥ 1); sizes past the table use the last entry.
+	Bulge []float32
+	// Internal[k] is the penalty of an internal loop with k unpaired
+	// bases in total across both sides (k ≥ 2).
+	Internal []float32
+	// PairBonus[k] is the base formation energy of pair kind k.
+	PairBonus [6]float32
+	// MinHairpin is the minimum unpaired bases in a hairpin loop (3).
+	MinHairpin int
+	// MaxLoop bounds the total unpaired bases of a bulge or internal
+	// loop, the standard Zuker implementation restriction [17] that keeps
+	// the pairing layer O(n²·MaxLoop²). 0 disables bulge/internal loops
+	// (pure hairpin+stack model).
+	MaxLoop int
+}
+
+// Turner-flavored default parameters: GC stacks strongest, wobble pairs
+// weakest, loop penalties growing with size. The absolute values are
+// representative, not the full Turner 2004 set (see DESIGN.md).
+func DefaultEnergy() *EnergyModel {
+	m := &EnergyModel{
+		Hairpin:    []float32{0, 0, 0, 5.4, 5.6, 5.7, 5.4, 6.0, 5.5, 6.4, 6.5},
+		Bulge:      []float32{0, 3.8, 2.8, 3.2, 3.6, 4.0, 4.4, 4.6, 4.7, 4.8, 4.9},
+		Internal:   []float32{0, 0, 4.1, 5.1, 4.9, 5.3, 5.7, 5.9, 6.0, 6.1, 6.3},
+		MinHairpin: 3,
+		MaxLoop:    10,
+	}
+	// Pair formation bonuses.
+	m.PairBonus = [6]float32{-0.9, -0.9, -2.1, -2.1, -0.5, -0.5}
+	// Stacking: strength scales with the two pairs' GC content.
+	strength := [6]float32{1.1, 1.1, 2.0, 2.0, 0.6, 0.6}
+	for outer := 0; outer < 6; outer++ {
+		for inner := 0; inner < 6; inner++ {
+			m.Stack[outer][inner] = -(strength[outer] + strength[inner]) / 2
+		}
+	}
+	return m
+}
+
+// Validate checks the model.
+func (m *EnergyModel) Validate() error {
+	if m.MinHairpin < 0 {
+		return fmt.Errorf("zuker: MinHairpin must be non-negative, got %d", m.MinHairpin)
+	}
+	if len(m.Hairpin) <= m.MinHairpin {
+		return fmt.Errorf("zuker: hairpin table (%d entries) shorter than MinHairpin %d", len(m.Hairpin), m.MinHairpin)
+	}
+	if m.MaxLoop < 0 {
+		return fmt.Errorf("zuker: MaxLoop must be non-negative, got %d", m.MaxLoop)
+	}
+	if m.MaxLoop > 0 {
+		if len(m.Bulge) < 2 {
+			return fmt.Errorf("zuker: bulge table needs at least 2 entries when loops are enabled")
+		}
+		if len(m.Internal) < 3 {
+			return fmt.Errorf("zuker: internal table needs at least 3 entries when loops are enabled")
+		}
+	}
+	return nil
+}
+
+// loopEnergy returns the penalty of the two-sided loop between an outer
+// pair and the pair nested inside it, with a and b unpaired bases on the
+// 5' and 3' sides: stacking when a=b=0, a bulge when exactly one side is
+// unpaired, an internal loop otherwise.
+func (m *EnergyModel) loopEnergy(outer, inner, a, b int) float32 {
+	switch {
+	case a == 0 && b == 0:
+		return m.Stack[outer][inner]
+	case a == 0 || b == 0:
+		k := a + b
+		if k >= len(m.Bulge) {
+			return m.Bulge[len(m.Bulge)-1]
+		}
+		return m.Bulge[k]
+	default:
+		k := a + b
+		if k >= len(m.Internal) {
+			return m.Internal[len(m.Internal)-1]
+		}
+		return m.Internal[k]
+	}
+}
+
+// hairpinEnergy returns the penalty of a hairpin loop with k unpaired bases.
+func (m *EnergyModel) hairpinEnergy(k int) float32 {
+	if k >= len(m.Hairpin) {
+		return m.Hairpin[len(m.Hairpin)-1]
+	}
+	return m.Hairpin[k]
+}

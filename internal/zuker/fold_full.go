@@ -1,0 +1,270 @@
+package zuker
+
+import (
+	"fmt"
+
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tri"
+)
+
+// Multibranch parameters (kcal/mol): closing a multibranch loop, each
+// branch, each unpaired base inside the loop. Representative of the
+// linear multiloop model Zuker implementations use [17].
+type MultiParams struct {
+	Close    float32 // a: closing a multiloop (paid by the enclosing pair)
+	Branch   float32 // b: per branch
+	Unpaired float32 // c: per unpaired base inside the loop
+}
+
+// DefaultMulti returns the standard linear multiloop parameters.
+func DefaultMulti() MultiParams {
+	return MultiParams{Close: 3.4, Branch: 0.4, Unpaired: 0.1}
+}
+
+// FullResult is a fold with the complete recurrence set: V (pairing), WM
+// (multibranch accumulation) and the external layer. It exists as the
+// serial reference for the paper's simplification — the engine-
+// accelerated Fold covers the bifurcation layer only, because
+// multibranch couples V back into the O(n³) layer and breaks the pure
+// min-plus closure the Cell kernel needs (DESIGN.md, substitutions).
+type FullResult struct {
+	Seq   Seq
+	MFE   float32
+	Model *EnergyModel
+	Multi MultiParams
+	v     *tri.RowMajor[float32]
+	wm    *tri.RowMajor[float32]
+	ext   []float32
+}
+
+// FoldFull runs the complete Zuker recurrences serially: O(n³) for the
+// multibranch and external layers plus O(n²·MaxLoop²) for two-sided
+// loops.
+func FoldFull(seq Seq, model *EnergyModel, multi MultiParams) (*FullResult, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("zuker: empty sequence")
+	}
+	if model == nil {
+		model = DefaultEnergy()
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(seq)
+	inf := semiring.Inf[float32]()
+	v := tri.NewRowMajor[float32](n)
+	wm := tri.NewRowMajor[float32](n)
+	r := &FullResult{Seq: seq, Model: model, Multi: multi, v: v, wm: wm}
+
+	for span := 0; span < n; span++ {
+		for i := 0; i+span < n; i++ {
+			j := i + span
+			// V(i,j): hairpin, two-sided loop, or multibranch closure.
+			if outer := pairKind(seq[i], seq[j]); outer >= 0 && span > model.MinHairpin {
+				best := model.hairpinEnergy(j - i - 1)
+				for a := 0; a <= model.MaxLoop; a++ {
+					p := i + 1 + a
+					if p >= j {
+						break
+					}
+					for b := 0; a+b <= model.MaxLoop; b++ {
+						q := j - 1 - b
+						if q-p <= model.MinHairpin {
+							break
+						}
+						if inner := pairKind(seq[p], seq[q]); inner >= 0 {
+							if iv := v.At(p, q); iv < inf {
+								if s := iv + model.loopEnergy(outer, inner, a, b); s < best {
+									best = s
+								}
+							}
+						}
+						if model.MaxLoop == 0 {
+							break
+						}
+					}
+					if model.MaxLoop == 0 {
+						break
+					}
+				}
+				// Multibranch: a + WM(i+1,k) + WM(k+1,j-1), each WM arm
+				// carrying ≥1 branch makes ≥2 branches total.
+				for k := i + 1; k+1 <= j-1; k++ {
+					l, rgt := wm.At(i+1, k), wm.At(k+1, j-1)
+					if l < inf && rgt < inf {
+						if s := multi.Close + (l + rgt); s < best {
+							best = s
+						}
+					}
+				}
+				v.Set(i, j, model.PairBonus[outer]+best)
+			} else {
+				v.Set(i, j, inf)
+			}
+
+			// WM(i,j): at least one branch somewhere in [i,j].
+			best := inf
+			if vv := v.At(i, j); vv < inf {
+				best = vv + multi.Branch
+			}
+			if span > 0 {
+				if x := wm.At(i+1, j); x < inf && x+multi.Unpaired < best {
+					best = x + multi.Unpaired
+				}
+				if x := wm.At(i, j-1); x < inf && x+multi.Unpaired < best {
+					best = x + multi.Unpaired
+				}
+				for k := i; k+1 <= j; k++ {
+					l, rgt := wm.At(i, k), wm.At(k+1, j)
+					if l < inf && rgt < inf {
+						if s := l + rgt; s < best {
+							best = s
+						}
+					}
+				}
+			}
+			wm.Set(i, j, best)
+		}
+	}
+
+	// External layer: ext[j] = best energy of bases [0, j], no penalty
+	// for external unpaired bases or branches.
+	r.ext = make([]float32, n+1)
+	for j := 1; j <= n; j++ {
+		best := r.ext[j-1] // base j-1 unpaired
+		for i := 0; i < j; i++ {
+			if vv := v.At(i, j-1); vv < inf {
+				if s := r.ext[i] + vv; s < best {
+					best = s
+				}
+			}
+		}
+		r.ext[j] = best
+	}
+	r.MFE = r.ext[n]
+	return r, nil
+}
+
+// Traceback reconstructs an optimal structure, including multibranch
+// loops.
+func (r *FullResult) Traceback() (*Structure, error) {
+	st := &Structure{Len: len(r.Seq)}
+	if err := r.traceExt(len(r.Seq), st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// traceExt decomposes the external segment [0, j).
+func (r *FullResult) traceExt(j int, st *Structure) error {
+	inf := semiring.Inf[float32]()
+	for j > 0 {
+		val := r.ext[j]
+		if val == r.ext[j-1] {
+			j--
+			continue
+		}
+		found := false
+		for i := 0; i < j; i++ {
+			if vv := r.v.At(i, j-1); vv < inf && val == r.ext[i]+vv {
+				if err := r.traceV(i, j-1, st); err != nil {
+					return err
+				}
+				j = i
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("zuker: no external decomposition at %d", j)
+		}
+	}
+	return nil
+}
+
+// traceV decomposes pair (i, j).
+func (r *FullResult) traceV(i, j int, st *Structure) error {
+	m := r.Model
+	inf := semiring.Inf[float32]()
+	st.Pairs = append(st.Pairs, [2]int{i, j})
+	outer := pairKind(r.Seq[i], r.Seq[j])
+	val := r.v.At(i, j)
+	if val == m.PairBonus[outer]+m.hairpinEnergy(j-i-1) {
+		return nil
+	}
+	for a := 0; a <= m.MaxLoop; a++ {
+		p := i + 1 + a
+		if p >= j {
+			break
+		}
+		for b := 0; a+b <= m.MaxLoop; b++ {
+			q := j - 1 - b
+			if q-p <= m.MinHairpin {
+				break
+			}
+			inner := pairKind(r.Seq[p], r.Seq[q])
+			if inner < 0 {
+				continue
+			}
+			if iv := r.v.At(p, q); iv < inf && val == m.PairBonus[outer]+(iv+m.loopEnergy(outer, inner, a, b)) {
+				return r.traceV(p, q, st)
+			}
+			if m.MaxLoop == 0 {
+				break
+			}
+		}
+		if m.MaxLoop == 0 {
+			break
+		}
+	}
+	for k := i + 1; k+1 <= j-1; k++ {
+		l, rgt := r.wm.At(i+1, k), r.wm.At(k+1, j-1)
+		if l < inf && rgt < inf && val == m.PairBonus[outer]+(r.Multi.Close+(l+rgt)) {
+			if err := r.traceWM(i+1, k, st); err != nil {
+				return err
+			}
+			return r.traceWM(k+1, j-1, st)
+		}
+	}
+	return fmt.Errorf("zuker: no V decomposition at (%d,%d)", i, j)
+}
+
+// traceWM decomposes a multibranch segment [i, j].
+func (r *FullResult) traceWM(i, j int, st *Structure) error {
+	inf := semiring.Inf[float32]()
+	for {
+		val := r.wm.At(i, j)
+		if val >= inf {
+			return fmt.Errorf("zuker: infinite WM at (%d,%d)", i, j)
+		}
+		if vv := r.v.At(i, j); vv < inf && val == vv+r.Multi.Branch {
+			return r.traceV(i, j, st)
+		}
+		if i < j {
+			if x := r.wm.At(i+1, j); x < inf && val == x+r.Multi.Unpaired {
+				i++
+				continue
+			}
+			if x := r.wm.At(i, j-1); x < inf && val == x+r.Multi.Unpaired {
+				j--
+				continue
+			}
+			split := -1
+			for k := i; k+1 <= j; k++ {
+				l, rgt := r.wm.At(i, k), r.wm.At(k+1, j)
+				if l < inf && rgt < inf && val == l+rgt {
+					split = k
+					break
+				}
+			}
+			if split >= 0 {
+				if err := r.traceWM(i, split, st); err != nil {
+					return err
+				}
+				i = split + 1
+				continue
+			}
+		}
+		return fmt.Errorf("zuker: no WM decomposition at (%d,%d)", i, j)
+	}
+}

@@ -1,0 +1,239 @@
+package zuker
+
+import (
+	"fmt"
+
+	"cellnpdp/internal/semiring"
+)
+
+// Structure is a predicted secondary structure: a set of base pairs
+// (i, j), i < j, non-crossing by construction of the traceback.
+type Structure struct {
+	Len   int
+	Pairs [][2]int
+}
+
+// DotBracket renders the structure in dot-bracket notation.
+func (s *Structure) DotBracket() string {
+	out := make([]byte, s.Len)
+	for i := range out {
+		out[i] = '.'
+	}
+	for _, p := range s.Pairs {
+		out[p[0]] = '('
+		out[p[1]] = ')'
+	}
+	return string(out)
+}
+
+// Validate checks structural sanity: pair indices in range, each base in
+// at most one pair, no crossing pairs (pseudoknots), and every pair
+// canonical for the given sequence.
+func (s *Structure) Validate(seq Seq) error {
+	if s.Len != len(seq) {
+		return fmt.Errorf("zuker: structure length %d != sequence length %d", s.Len, len(seq))
+	}
+	used := make(map[int]bool)
+	for _, p := range s.Pairs {
+		i, j := p[0], p[1]
+		if i < 0 || j >= s.Len || i >= j {
+			return fmt.Errorf("zuker: invalid pair (%d,%d)", i, j)
+		}
+		if used[i] || used[j] {
+			return fmt.Errorf("zuker: base in two pairs at (%d,%d)", i, j)
+		}
+		used[i], used[j] = true, true
+		if !CanPair(seq[i], seq[j]) {
+			return fmt.Errorf("zuker: non-canonical pair %c-%c at (%d,%d)", seq[i], seq[j], i, j)
+		}
+	}
+	for _, p := range s.Pairs {
+		for _, q := range s.Pairs {
+			if p[0] < q[0] && q[0] < p[1] && p[1] < q[1] {
+				return fmt.Errorf("zuker: crossing pairs (%d,%d) and (%d,%d)", p[0], p[1], q[0], q[1])
+			}
+		}
+	}
+	return nil
+}
+
+// Energy recomputes the structure's free energy under the model,
+// independently of the DP tables: each pair contributes its formation
+// bonus plus the loop it closes — a stack, bulge or internal loop when a
+// pair is directly nested inside it, a hairpin otherwise. Structures from
+// this model nest at most one pair directly inside another (multibranch
+// loops are outside the simplified model; DESIGN.md documents this).
+func (s *Structure) Energy(seq Seq, m *EnergyModel) float32 {
+	// directChild[p] = the pair immediately nested inside p, if any:
+	// the contained pair with the largest span.
+	var e float32
+	for _, p := range s.Pairs {
+		i, j := p[0], p[1]
+		kind := pairKind(seq[i], seq[j])
+		e += m.PairBonus[kind]
+		childSpan := -1
+		var child [2]int
+		for _, q := range s.Pairs {
+			if q[0] > i && q[1] < j && q[1]-q[0] > childSpan {
+				childSpan = q[1] - q[0]
+				child = q
+			}
+		}
+		if childSpan < 0 {
+			e += m.hairpinEnergy(j - i - 1)
+			continue
+		}
+		inner := pairKind(seq[child[0]], seq[child[1]])
+		e += m.loopEnergy(kind, inner, child[0]-i-1, j-child[1]-1)
+	}
+	return e
+}
+
+// Traceback recovers an optimal structure from a fold result. The
+// equality tests are exact: every table value was produced as a min over
+// sums of final table values, so the winning decomposition is
+// reconstructible bit-for-bit.
+func (r *Result) Traceback() (*Structure, error) {
+	n := len(r.Seq)
+	st := &Structure{Len: n}
+	if err := r.traceW(0, n, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// traceW decomposes the half-open interval [a, b).
+func (r *Result) traceW(a, b int, st *Structure) error {
+	for b-a > 1 {
+		val := r.W.At(a, b)
+		inf := semiring.Inf[float32]()
+		if val >= inf {
+			return fmt.Errorf("zuker: infinite W at [%d,%d)", a, b)
+		}
+		// Closed by a pair spanning the whole interval?
+		if v := r.V.At(a, b-1); v == val {
+			return r.traceV(a, b-1, st)
+		}
+		// Otherwise split at the k that realizes the min. Prefer a proper
+		// split; a leading unpaired base is the k = a+1 case.
+		split := -1
+		for k := a + 1; k < b; k++ {
+			if r.W.At(a, k)+r.W.At(k, b) == val {
+				split = k
+				break
+			}
+		}
+		if split < 0 {
+			return fmt.Errorf("zuker: no decomposition for W[%d,%d) = %g", a, b, val)
+		}
+		if err := r.traceW(a, split, st); err != nil {
+			return err
+		}
+		a = split // tail-recurse into the right part
+	}
+	return nil
+}
+
+// traceV follows a stem: pair (i, j), then the nested pair across a
+// stack, bulge or internal loop, until a hairpin ends the helix.
+func (r *Result) traceV(i, j int, st *Structure) error {
+	m := r.Model
+	inf := semiring.Inf[float32]()
+stem:
+	for {
+		st.Pairs = append(st.Pairs, [2]int{i, j})
+		outer := pairKind(r.Seq[i], r.Seq[j])
+		if outer < 0 {
+			return fmt.Errorf("zuker: traceback paired unpairable bases (%d,%d)", i, j)
+		}
+		val := r.V.At(i, j)
+		// Compare against the exact expressions computeV evaluated, in the
+		// same association order, so float32 equality is reliable.
+		if val == m.PairBonus[outer]+m.hairpinEnergy(j-i-1) {
+			return nil // hairpin closes the stem
+		}
+		for a := 0; a <= m.MaxLoop; a++ {
+			p := i + 1 + a
+			if p >= j {
+				break
+			}
+			for b := 0; a+b <= m.MaxLoop; b++ {
+				q := j - 1 - b
+				if q-p <= m.MinHairpin {
+					break
+				}
+				inner := pairKind(r.Seq[p], r.Seq[q])
+				if inner < 0 {
+					continue
+				}
+				iv := r.V.At(p, q)
+				if iv >= inf {
+					continue
+				}
+				if val == m.PairBonus[outer]+(iv+m.loopEnergy(outer, inner, a, b)) {
+					i, j = p, q
+					continue stem
+				}
+				if m.MaxLoop == 0 {
+					break
+				}
+			}
+			if m.MaxLoop == 0 {
+				break
+			}
+		}
+		return fmt.Errorf("zuker: no decomposition for V(%d,%d) = %g", i, j, val)
+	}
+}
+
+// EnergyFull recomputes a structure's free energy under the full model
+// (hairpins, two-sided loops and multibranch loops), independently of the
+// DP tables. External branches and unpaired bases are free.
+func (s *Structure) EnergyFull(seq Seq, m *EnergyModel, multi MultiParams) float32 {
+	// children[x] = pairs directly nested inside pair x.
+	type node = [2]int
+	children := map[node][]node{}
+	parentOf := func(p node) (node, bool) {
+		best := node{-1, len(seq)}
+		found := false
+		for _, q := range s.Pairs {
+			if q[0] < p[0] && p[1] < q[1] && q[1]-q[0] < best[1]-best[0] {
+				best = q
+				found = true
+			}
+		}
+		return best, found
+	}
+	var roots []node
+	for _, p := range s.Pairs {
+		if par, ok := parentOf(p); ok {
+			children[par] = append(children[par], p)
+		} else {
+			roots = append(roots, p)
+		}
+	}
+	_ = roots
+	var e float32
+	for _, p := range s.Pairs {
+		i, j := p[0], p[1]
+		kind := pairKind(seq[i], seq[j])
+		e += m.PairBonus[kind]
+		kids := children[p]
+		switch len(kids) {
+		case 0:
+			e += m.hairpinEnergy(j - i - 1)
+		case 1:
+			c := kids[0]
+			inner := pairKind(seq[c[0]], seq[c[1]])
+			e += m.loopEnergy(kind, inner, c[0]-i-1, j-c[1]-1)
+		default:
+			// Multibranch: closing + per-branch + per-unpaired-inside.
+			unpaired := j - i - 1
+			for _, c := range kids {
+				unpaired -= c[1] - c[0] + 1
+			}
+			e += multi.Close + multi.Branch*float32(len(kids)) + multi.Unpaired*float32(unpaired)
+		}
+	}
+	return e
+}

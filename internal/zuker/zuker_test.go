@@ -1,0 +1,554 @@
+package zuker
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/workload"
+)
+
+// approx reports near-equality up to float32 re-association error: the
+// DP accumulates sums in a different order than the independent checks.
+func approx(a, b float32) bool {
+	return math.Abs(float64(a-b)) <= 1e-4*math.Max(1, math.Abs(float64(a)))
+}
+
+func TestParseSeq(t *testing.T) {
+	s, err := ParseSeq("acgUuT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "ACGUUU" {
+		t.Errorf("parsed %q", s.String())
+	}
+	if _, err := ParseSeq(""); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	if _, err := ParseSeq("ACGX"); err == nil {
+		t.Error("invalid base accepted")
+	}
+}
+
+func TestCanPair(t *testing.T) {
+	yes := [][2]Base{{A, U}, {U, A}, {G, C}, {C, G}, {G, U}, {U, G}}
+	for _, p := range yes {
+		if !CanPair(p[0], p[1]) {
+			t.Errorf("%c-%c should pair", p[0], p[1])
+		}
+	}
+	no := [][2]Base{{A, A}, {A, G}, {G, A}, {C, U}, {U, C}, {C, C}}
+	for _, p := range no {
+		if CanPair(p[0], p[1]) {
+			t.Errorf("%c-%c should not pair", p[0], p[1])
+		}
+	}
+}
+
+func TestEnergyModelValidate(t *testing.T) {
+	if err := DefaultEnergy().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := DefaultEnergy()
+	bad.MinHairpin = -1
+	if bad.Validate() == nil {
+		t.Error("negative MinHairpin accepted")
+	}
+	bad = DefaultEnergy()
+	bad.Hairpin = []float32{0}
+	if bad.Validate() == nil {
+		t.Error("short hairpin table accepted")
+	}
+}
+
+func TestFoldUnfoldableSequence(t *testing.T) {
+	// Poly-A cannot form any pair: MFE must be 0 (fully unpaired) and the
+	// traceback must produce the empty structure.
+	seq, _ := ParseSeq(strings.Repeat("A", 40))
+	res, err := Fold(seq, Options{Engine: EngineSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MFE != 0 {
+		t.Errorf("poly-A MFE = %g, want 0", res.MFE)
+	}
+	st, err := res.Traceback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Pairs) != 0 {
+		t.Errorf("poly-A folded with %d pairs", len(st.Pairs))
+	}
+	if st.DotBracket() != strings.Repeat(".", 40) {
+		t.Errorf("dot-bracket %q", st.DotBracket())
+	}
+}
+
+func TestFoldSimpleHairpin(t *testing.T) {
+	// GGG AAAA CCC folds into a 3-stack hairpin stem.
+	seq, _ := ParseSeq("GGGAAAACCC")
+	res, err := Fold(seq, Options{Engine: EngineSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MFE >= 0 {
+		t.Fatalf("hairpin MFE = %g, want negative", res.MFE)
+	}
+	st, err := res.Traceback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(seq); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.DotBracket(); got != "(((....)))" {
+		t.Errorf("structure %q, want (((....)))", got)
+	}
+	m := DefaultEnergy()
+	// 3 GC pairs + 2 GC/GC stacks + hairpin(4): -2.1·3 + -2.0·2 + 5.6.
+	want := 3*m.PairBonus[2] + 2*m.Stack[2][2] + m.Hairpin[4]
+	if !approx(res.MFE, want) {
+		t.Errorf("MFE = %g, want %g", res.MFE, want)
+	}
+}
+
+func TestHairpinMinimumLoop(t *testing.T) {
+	// GGGC: pairing G0-C3 would need a 2-base loop < MinHairpin=3.
+	seq, _ := ParseSeq("GGGC")
+	res, err := Fold(seq, Options{Engine: EngineSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MFE != 0 {
+		t.Errorf("too-short hairpin folded: MFE = %g", res.MFE)
+	}
+}
+
+func TestVTableSymmetry(t *testing.T) {
+	seq, _ := ParseSeq(workload.RNA(60, 3))
+	res, err := Fold(seq, Options{Engine: EngineSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := semiring.Inf[float32]()
+	n := len(seq)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			v := res.V.At(i, j)
+			if !CanPair(seq[i], seq[j]) && v < inf {
+				t.Fatalf("V(%d,%d) finite for unpairable %c-%c", i, j, seq[i], seq[j])
+			}
+			if j-i-1 < DefaultEnergy().MinHairpin && v < inf {
+				t.Fatalf("V(%d,%d) finite for loop shorter than minimum", i, j)
+			}
+		}
+	}
+}
+
+func TestAllEnginesAgree(t *testing.T) {
+	for _, n := range []int{30, 64, 127, 200} {
+		seq, _ := ParseSeq(workload.RNA(n, int64(n)))
+		ref, err := Fold(seq, Options{Engine: EngineSerial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eng := range []Engine{EngineTiled, EngineParallel, EngineCell} {
+			got, err := Fold(seq, Options{Engine: eng, Workers: 4, Tile: 16})
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, eng, err)
+			}
+			if got.MFE != ref.MFE {
+				t.Errorf("n=%d: %v MFE %g != serial %g", n, eng, got.MFE, ref.MFE)
+			}
+			for j := 0; j <= n; j++ {
+				for i := 0; i <= j; i++ {
+					if got.W.At(i, j) != ref.W.At(i, j) {
+						t.Fatalf("n=%d %v: W(%d,%d) differs", n, eng, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCellEngineReportsTime(t *testing.T) {
+	seq, _ := ParseSeq(workload.RNA(100, 9))
+	res, err := Fold(seq, Options{Engine: EngineCell, Workers: 8, Tile: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CellTime <= 0 {
+		t.Error("cell engine did not report modeled time")
+	}
+}
+
+func TestTracebackEnergyMatchesMFE(t *testing.T) {
+	// Property: the traceback structure's independently recomputed energy
+	// equals the DP's MFE, and the structure is valid (no crossing pairs,
+	// canonical pairs only).
+	for seed := int64(0); seed < 20; seed++ {
+		n := 20 + int(seed)*13%180
+		seq, _ := ParseSeq(workload.RNA(n, seed))
+		res, err := Fold(seq, Options{Engine: EngineSerial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := res.Traceback()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := st.Validate(seq); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if e := st.Energy(seq, res.Model); !approx(e, res.MFE) {
+			t.Errorf("seed %d: structure energy %g != MFE %g", seed, e, res.MFE)
+		}
+	}
+}
+
+func TestMFENonPositiveAndMonotone(t *testing.T) {
+	// Adding bases can only keep or lower the MFE of a prefix (the new
+	// suffix can always stay unpaired).
+	seq, _ := ParseSeq(workload.RNA(120, 11))
+	prev := float32(0)
+	for n := 10; n <= 120; n += 10 {
+		res, err := Fold(seq[:n], Options{Engine: EngineSerial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MFE > 0 {
+			t.Errorf("n=%d: MFE %g positive (unpaired is always 0)", n, res.MFE)
+		}
+		if res.MFE > prev {
+			t.Errorf("n=%d: MFE %g worse than prefix %g", n, res.MFE, prev)
+		}
+		prev = res.MFE
+	}
+}
+
+func TestFoldRejectsBad(t *testing.T) {
+	if _, err := Fold(nil, Options{}); err == nil {
+		t.Error("nil sequence accepted")
+	}
+	seq, _ := ParseSeq("GGGAAAACCC")
+	if _, err := Fold(seq, Options{Engine: Engine(99)}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	bad := DefaultEnergy()
+	bad.MinHairpin = -2
+	if _, err := Fold(seq, Options{Model: bad}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	names := map[Engine]string{EngineSerial: "serial", EngineTiled: "tiled", EngineParallel: "parallel", EngineCell: "cell", Engine(9): "engine(?)"}
+	for e, want := range names {
+		if e.String() != want {
+			t.Errorf("%d.String() = %q", e, e.String())
+		}
+	}
+}
+
+func TestBulgeLoopsImproveFolds(t *testing.T) {
+	// A stem interrupted by one extra base on the 5' side: without bulge
+	// loops the fold must stop at the short helix; with them it can bridge
+	// the bulge and close the longer one.
+	seq, _ := ParseSeq("GGGAGGGAAAACCCCCC")
+	strict := DefaultEnergy()
+	strict.MaxLoop = 0
+	rs, err := Fold(seq, Options{Engine: EngineSerial, Model: strict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := DefaultEnergy()
+	rl, err := Fold(seq, Options{Engine: EngineSerial, Model: loose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.MFE >= rs.MFE {
+		t.Errorf("bulge loops did not help: MFE %g (loops) vs %g (stack-only)", rl.MFE, rs.MFE)
+	}
+	st, err := rl.Traceback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(seq); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(st.Energy(seq, loose), rl.MFE) {
+		t.Errorf("bulged structure energy %g != MFE %g", st.Energy(seq, loose), rl.MFE)
+	}
+}
+
+func TestInternalLoopTraceback(t *testing.T) {
+	// Symmetric 1x1 internal loop: GC-stem, A mismatch both sides, GC-stem.
+	seq, _ := ParseSeq("GGGGAGGGAAAACCCACCCC")
+	res, err := Fold(seq, Options{Engine: EngineSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := res.Traceback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(seq); err != nil {
+		t.Fatal(err)
+	}
+	if !approx(st.Energy(seq, res.Model), res.MFE) {
+		t.Errorf("energy %g != MFE %g", st.Energy(seq, res.Model), res.MFE)
+	}
+}
+
+func TestLoopModelEnginesStillAgree(t *testing.T) {
+	// The richer pairing layer only changes the W initialization; every
+	// engine must still agree bit-for-bit.
+	seq, _ := ParseSeq(workload.RNA(150, 42))
+	ref, err := Fold(seq, Options{Engine: EngineSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []Engine{EngineTiled, EngineParallel, EngineCell} {
+		got, err := Fold(seq, Options{Engine: eng, Workers: 4, Tile: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MFE != ref.MFE {
+			t.Errorf("%v: MFE %g != %g", eng, got.MFE, ref.MFE)
+		}
+	}
+}
+
+func TestEnergyModelLoopValidation(t *testing.T) {
+	m := DefaultEnergy()
+	m.MaxLoop = -1
+	if m.Validate() == nil {
+		t.Error("negative MaxLoop accepted")
+	}
+	m = DefaultEnergy()
+	m.Bulge = nil
+	if m.Validate() == nil {
+		t.Error("missing bulge table accepted with loops enabled")
+	}
+	m = DefaultEnergy()
+	m.Internal = []float32{0}
+	if m.Validate() == nil {
+		t.Error("short internal table accepted")
+	}
+	m = DefaultEnergy()
+	m.MaxLoop = 0
+	m.Bulge, m.Internal = nil, nil
+	if err := m.Validate(); err != nil {
+		t.Errorf("stack-only model rejected: %v", err)
+	}
+}
+
+func TestLoopEnergyClassification(t *testing.T) {
+	m := DefaultEnergy()
+	if got := m.loopEnergy(2, 3, 0, 0); got != m.Stack[2][3] {
+		t.Errorf("0,0 should be stack: %g", got)
+	}
+	if got := m.loopEnergy(2, 3, 2, 0); got != m.Bulge[2] {
+		t.Errorf("2,0 should be bulge: %g", got)
+	}
+	if got := m.loopEnergy(2, 3, 1, 2); got != m.Internal[3] {
+		t.Errorf("1,2 should be internal: %g", got)
+	}
+	// Size clamping uses the last entry.
+	if got := m.loopEnergy(2, 3, 0, 99); got != m.Bulge[len(m.Bulge)-1] {
+		t.Errorf("oversized bulge not clamped: %g", got)
+	}
+}
+
+func TestConstrainedFold(t *testing.T) {
+	seq, _ := ParseSeq("GGGAAAACCC")
+	free, err := Fold(seq, Options{Engine: EngineSerial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the outermost pair's 5' base unpaired: the stem must shrink
+	// and the MFE must not improve.
+	cons := NewConstraints().ForceUnpaired(0)
+	res, err := Fold(seq, Options{Engine: EngineSerial, Constraints: cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MFE < free.MFE {
+		t.Errorf("constraint improved MFE: %g < %g", res.MFE, free.MFE)
+	}
+	st, err := res.Traceback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.Satisfied(st); err != nil {
+		t.Fatal(err)
+	}
+	if st.DotBracket()[0] != '.' {
+		t.Errorf("base 0 paired despite constraint: %s", st.DotBracket())
+	}
+}
+
+func TestConstraintsParse(t *testing.T) {
+	c, err := ParseConstraints("..x..x.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Allows(2, 6) || c.Allows(0, 5) {
+		t.Error("forced-unpaired positions still allowed")
+	}
+	if !c.Allows(0, 6) {
+		t.Error("free positions blocked")
+	}
+	if _, err := ParseConstraints("..?"); err == nil {
+		t.Error("invalid constraint char accepted")
+	}
+	if err := c.Check(7); err != nil {
+		t.Error(err)
+	}
+	if err := c.Check(5); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestForbiddenPair(t *testing.T) {
+	seq, _ := ParseSeq("GGGAAAACCC")
+	free, _ := Fold(seq, Options{Engine: EngineSerial})
+	fst, _ := free.Traceback()
+	if len(fst.Pairs) == 0 {
+		t.Fatal("free fold has no pairs")
+	}
+	// Forbid the first pair the free fold used.
+	p := fst.Pairs[0]
+	cons := NewConstraints().Forbid(p[0], p[1])
+	res, err := Fold(seq, Options{Engine: EngineSerial, Constraints: cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := res.Traceback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.Satisfied(st); err != nil {
+		t.Fatal(err)
+	}
+	if res.MFE < free.MFE {
+		t.Errorf("forbidding a pair improved MFE")
+	}
+}
+
+func TestNilConstraintsAllowEverything(t *testing.T) {
+	var c *Constraints
+	if !c.Allows(0, 5) {
+		t.Error("nil constraints blocked a pair")
+	}
+	if err := c.Check(10); err != nil {
+		t.Error(err)
+	}
+	if err := c.Satisfied(&Structure{Len: 3, Pairs: [][2]int{{0, 2}}}); err != nil {
+		t.Error(err)
+	}
+}
+
+// cloverleafSeq is built to fold as a multibranch: three GC-rich stems
+// whose loops cannot pair, all enclosed by one outer stem.
+const cloverleafSeq = "GGGGG" + "AA" + "GGGGAAAACCCC" + "AA" + "GGGGAAAACCCC" + "AA" + "CCCCC"
+
+func TestFoldFullProducesMultibranch(t *testing.T) {
+	seq, err := ParseSeq(cloverleafSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FoldFull(seq, nil, DefaultMulti())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := res.Traceback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Validate(seq); err != nil {
+		t.Fatal(err)
+	}
+	// Some pair must directly contain two or more pairs.
+	multibranch := false
+	for _, p := range st.Pairs {
+		direct := 0
+		for _, q := range st.Pairs {
+			if q[0] > p[0] && q[1] < p[1] {
+				// q nested in p; is it direct (no pair between)?
+				isDirect := true
+				for _, r := range st.Pairs {
+					if r != p && r != q && r[0] < q[0] && q[1] < r[1] && p[0] < r[0] && r[1] < p[1] {
+						isDirect = false
+						break
+					}
+				}
+				if isDirect {
+					direct++
+				}
+			}
+		}
+		if direct >= 2 {
+			multibranch = true
+		}
+	}
+	if !multibranch {
+		t.Errorf("no multibranch loop in %s", st.DotBracket())
+	}
+	if !approx(st.EnergyFull(seq, res.Model, res.Multi), res.MFE) {
+		t.Errorf("EnergyFull %g != MFE %g", st.EnergyFull(seq, res.Model, res.Multi), res.MFE)
+	}
+}
+
+func TestFoldFullAtLeastAsGoodAsSimplified(t *testing.T) {
+	// The full recurrence can express everything the simplified one can
+	// (multibranch only adds options, and the simplified model's W-level
+	// composition is free externally in both), so MFE_full ≤ MFE_simple.
+	for seed := int64(0); seed < 10; seed++ {
+		seq, _ := ParseSeq(workload.RNA(80, seed))
+		simple, err := Fold(seq, Options{Engine: EngineSerial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := FoldFull(seq, nil, DefaultMulti())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.MFE > simple.MFE+1e-4 {
+			t.Errorf("seed %d: full MFE %g worse than simplified %g", seed, full.MFE, simple.MFE)
+		}
+	}
+}
+
+func TestFoldFullTracebackEnergyConsistency(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seq, _ := ParseSeq(workload.RNA(70, seed+100))
+		res, err := FoldFull(seq, nil, DefaultMulti())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := res.Traceback()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := st.Validate(seq); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := st.EnergyFull(seq, res.Model, res.Multi); !approx(got, res.MFE) {
+			t.Errorf("seed %d: EnergyFull %g != MFE %g (%s)", seed, got, res.MFE, st.DotBracket())
+		}
+	}
+}
+
+func TestFoldFullRejectsBad(t *testing.T) {
+	if _, err := FoldFull(nil, nil, DefaultMulti()); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	bad := DefaultEnergy()
+	bad.MinHairpin = -1
+	seq, _ := ParseSeq("GGGAAAACCC")
+	if _, err := FoldFull(seq, bad, DefaultMulti()); err == nil {
+		t.Error("invalid model accepted")
+	}
+}

@@ -76,7 +76,11 @@ type Options struct {
 	// Engine selects the backend; the zero value is Serial.
 	Engine Engine
 	// Workers is the worker count for Parallel (goroutines) and Cell
-	// (SPEs, ≤ 16). Defaults to GOMAXPROCS, capped at 16 for Cell.
+	// (SPEs, ≤ 16) — the paper's SPE count on the Cell and its CPU core
+	// count in Table III / Figure 10(b). Defaults to GOMAXPROCS, capped
+	// at 16 for Cell. The Parallel engine dispatches tasks through a
+	// lock-free ready queue and computes stage 1 with register-blocked
+	// panel kernels (a float32 fast path when the element type allows).
 	Workers int
 	// BlockBytes is the memory-block budget the tile side is derived
 	// from; defaults to the paper's 32 KB.

@@ -7,6 +7,7 @@
 //	benchtables -full           # additionally model the paper's sizes
 //	benchtables -run fig10a     # one experiment
 //	benchtables -list           # list experiment names
+//	benchtables -benchjson BENCH_PR1.json  # parallel-engine sweep → JSON
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 		workers = flag.Int("workers", 0, "CPU workers for measured runs (0 = min(GOMAXPROCS, 8))")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables (with -run)")
+		bench   = flag.String("benchjson", "", "run the parallel-engine benchmark sweep (workers × engine ablations, -benchmem style) and write the JSON report to this path")
 	)
 	flag.Parse()
 
@@ -38,6 +40,13 @@ func main() {
 		return
 	}
 	cfg := harness.Config{Full: *full, Workers: *workers, Seed: *seed, Out: os.Stdout}
+	if *bench != "" {
+		if err := harness.WriteBenchJSON(cfg, *bench); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *bench)
+		return
+	}
 	if *run != "" {
 		e, ok := harness.Lookup(*run)
 		if !ok {

@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"cellnpdp/internal/npdp"
+	"cellnpdp/internal/tri"
+)
+
+// The BENCH_* trajectory: WriteBenchJSON measures the parallel CPU engine
+// the way `go test -bench -benchmem` would (testing.Benchmark underneath,
+// ns/op + allocs/op + bytes/op) across a workers sweep and the PR's
+// ablation axes, and emits a machine-readable JSON file (BENCH_PR1.json
+// for this PR) so successive PRs can diff engine throughput.
+//
+// Engine configurations measured:
+//
+//	seed      mutex-guarded scheduler + 4×4 CB-step stage 1 (the PR-0 engine)
+//	lockfree  lock-free scheduler, CB-step stage 1 (scheduler win in isolation)
+//	panel     mutex-guarded scheduler, panel stage 1 (kernel win in isolation)
+//	pr1       lock-free scheduler + panel stage 1 (the shipping engine)
+
+// BenchRow is one measured engine configuration.
+type BenchRow struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// BenchReport is the top-level BENCH_*.json document.
+type BenchReport struct {
+	Schema       string             `json:"schema"`
+	Generated    string             `json:"generated"`
+	GoVersion    string             `json:"go_version"`
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	Tile         int                `json:"tile"`
+	Precision    string             `json:"precision"`
+	Rows         []BenchRow         `json:"rows"`
+	SpeedupVsSeed map[string]float64 `json:"speedup_vs_seed"`
+}
+
+type benchEngine struct {
+	name string
+	opts npdp.ParallelOptions
+}
+
+func benchEngines(workers int) []benchEngine {
+	return []benchEngine{
+		{"seed", npdp.ParallelOptions{Workers: workers, MutexPool: true, NoPanelKernel: true}},
+		{"lockfree", npdp.ParallelOptions{Workers: workers, NoPanelKernel: true}},
+		{"panel", npdp.ParallelOptions{Workers: workers, MutexPool: true}},
+		{"pr1", npdp.ParallelOptions{Workers: workers}},
+	}
+}
+
+// WriteBenchJSON runs the sweep and writes the report to path.
+//
+// The full workers sweep {1,2,4,8} runs the seed and pr1 engines at
+// n=2048 single precision (the acceptance size); the two isolation
+// configurations and the n=1024 sanity size run at 8 workers only, to
+// keep the total wall time in minutes.
+func WriteBenchJSON(cfg Config, path string) error {
+	tile := paperTile(npdp.Single)
+	rep := BenchReport{
+		Schema:        "cellnpdp-bench/v1",
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Tile:          tile,
+		Precision:     "single",
+		SpeedupVsSeed: map[string]float64{},
+	}
+
+	type cell struct {
+		n, workers int
+		engines    []string
+	}
+	var plan []cell
+	for _, w := range []int{1, 2, 4, 8} {
+		plan = append(plan, cell{2048, w, []string{"seed", "pr1"}})
+	}
+	plan = append(plan,
+		cell{2048, 8, []string{"lockfree", "panel"}},
+		cell{1024, 8, []string{"seed", "pr1"}},
+	)
+
+	seedNs := map[string]float64{}
+	for _, c := range plan {
+		src := cfg.chainF32(c.n)
+		for _, eng := range benchEngines(c.workers) {
+			keep := false
+			for _, want := range c.engines {
+				keep = keep || eng.name == want
+			}
+			if !keep {
+				continue
+			}
+			var runErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					tt := tri.ToTiled(src, tile)
+					b.StartTimer()
+					if _, err := npdp.SolveParallel(tt, eng.opts); err != nil {
+						runErr = err
+						return
+					}
+				}
+			})
+			if runErr != nil {
+				return fmt.Errorf("bench %s n=%d w=%d: %w", eng.name, c.n, c.workers, runErr)
+			}
+			row := BenchRow{
+				Name:        eng.name,
+				N:           c.n,
+				Workers:     c.workers,
+				Iterations:  res.N,
+				NsPerOp:     float64(res.NsPerOp()),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			}
+			rep.Rows = append(rep.Rows, row)
+			key := fmt.Sprintf("n%d_w%d", c.n, c.workers)
+			if eng.name == "seed" {
+				seedNs[key] = row.NsPerOp
+			}
+			fmt.Fprintf(cfg.out(), "bench %-8s n=%-5d workers=%d  %12.0f ns/op  %5d allocs/op\n",
+				eng.name, c.n, c.workers, row.NsPerOp, row.AllocsPerOp)
+		}
+	}
+	for _, row := range rep.Rows {
+		key := fmt.Sprintf("n%d_w%d", row.N, row.Workers)
+		if base, ok := seedNs[key]; ok && row.Name != "seed" && row.NsPerOp > 0 {
+			rep.SpeedupVsSeed[key+"_"+row.Name] = base / row.NsPerOp
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,97 @@
+package kernel
+
+import "testing"
+
+// The Section 5 invariant for the panel kernels: re-associating the
+// stage-1 sweep from 4×4 CB steps into 4×t panels must not change a
+// single bit of the output, on any tile side, for both element types and
+// for the non-generic float32 fast path.
+
+func TestPanelMinPlusMatchesMulMinPlus(t *testing.T) {
+	for _, tile := range []int{4, 8, 16, 20, 88} {
+		a := randBlock(tile, int64(tile))
+		b := randBlock(tile, int64(tile+1))
+		c1 := randBlock(tile, int64(tile+2))
+		c2 := append([]float32(nil), c1...)
+		st1 := MulMinPlus(c1, a, b, tile)
+		st2 := PanelMinPlus(c2, a, b, tile)
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				t.Fatalf("tile=%d: PanelMinPlus diverges from MulMinPlus at cell (%d,%d)", tile, i/tile, i%tile)
+			}
+		}
+		if st1 != st2 {
+			t.Errorf("tile=%d: panel stats %+v != CB-step stats %+v", tile, st2, st1)
+		}
+	}
+}
+
+func TestPanelMinPlusF32MatchesGeneric(t *testing.T) {
+	for _, tile := range []int{4, 12, 24, 88} {
+		a := randBlock(tile, int64(tile+10))
+		b := randBlock(tile, int64(tile+11))
+		c1 := randBlock(tile, int64(tile+12))
+		c2 := append([]float32(nil), c1...)
+		c3 := append([]float32(nil), c1...)
+		stg := PanelMinPlus(c1, a, b, tile)
+		stf := PanelMinPlusF32(c2, a, b, tile)
+		MulMinPlus(c3, a, b, tile)
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				t.Fatalf("tile=%d: float32 fast path diverges from generic panel at %d", tile, i)
+			}
+			if c2[i] != c3[i] {
+				t.Fatalf("tile=%d: float32 fast path diverges from Step4x4 reference at %d", tile, i)
+			}
+		}
+		if stg != stf {
+			t.Errorf("tile=%d: fast-path stats %+v != generic %+v", tile, stf, stg)
+		}
+	}
+}
+
+// Ragged sides (not a multiple of the 4-row panel height) exercise the
+// scalar tail; the oracle is the cell-wise reference product.
+func TestPanelMinPlusRaggedSides(t *testing.T) {
+	for _, tile := range []int{1, 2, 3, 5, 6, 7, 10, 17} {
+		a := randBlock(tile, int64(tile+20))
+		b := randBlock(tile, int64(tile+21))
+		c1 := randBlock(tile, int64(tile+22))
+		c2 := append([]float32(nil), c1...)
+		c3 := append([]float32(nil), c1...)
+		st := PanelMinPlus(c1, a, b, tile)
+		stf := PanelMinPlusF32(c2, a, b, tile)
+		refMinPlusProduct(c3, a, b, tile)
+		for i := range c1 {
+			if c1[i] != c3[i] {
+				t.Fatalf("tile=%d: ragged PanelMinPlus diverges from reference at %d", tile, i)
+			}
+			if c2[i] != c3[i] {
+				t.Fatalf("tile=%d: ragged PanelMinPlusF32 diverges from reference at %d", tile, i)
+			}
+		}
+		want := Stats{ScalarRelax: int64(tile) * int64(tile) * int64(tile)}
+		if st != want || stf != want {
+			t.Errorf("tile=%d: ragged stats generic=%+v fast=%+v, want %+v", tile, st, stf, want)
+		}
+	}
+}
+
+func TestPanelMinPlusF64(t *testing.T) {
+	for _, tile := range []int{4, 8, 24, 64} {
+		a := randBlock64(tile, int64(tile+30))
+		b := randBlock64(tile, int64(tile+31))
+		c1 := randBlock64(tile, int64(tile+32))
+		c2 := append([]float64(nil), c1...)
+		st1 := MulMinPlus(c1, a, b, tile)
+		st2 := PanelMinPlus(c2, a, b, tile)
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				t.Fatalf("tile=%d: f64 panel diverges from MulMinPlus at %d", tile, i)
+			}
+		}
+		if st1 != st2 {
+			t.Errorf("tile=%d: f64 panel stats %+v != %+v", tile, st2, st1)
+		}
+	}
+}

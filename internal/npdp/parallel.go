@@ -2,6 +2,7 @@ package npdp
 
 import (
 	"fmt"
+	"unsafe"
 
 	"cellnpdp/internal/kernel"
 	"cellnpdp/internal/sched"
@@ -11,19 +12,61 @@ import (
 
 // ParallelOptions configures SolveParallel.
 type ParallelOptions struct {
-	Workers   int // concurrent workers (the paper's SPE count / CPU cores); required > 0
-	SchedSide int // memory blocks per scheduling-block side; 0 means 1 (one task per memory block)
+	// Workers is the number of concurrent goroutine workers — the host-CPU
+	// counterpart of the paper's SPE count (16 on the QS20) and core count
+	// (8 in Table III / Figure 10(b)). Required > 0.
+	Workers int
+	// SchedSide is the scheduling-block side in memory blocks (the paper's
+	// g); 0 means 1 (one task per memory block). Negative values are
+	// rejected.
+	SchedSide int
 	// FullDeps uses the unsimplified dependence graph (every left/below
 	// task) instead of the paper's two-edge simplification — the
 	// Section IV-B ablation.
 	FullDeps bool
+	// MutexPool routes scheduling through the mutex-guarded seed pool
+	// (sched.RunPoolLocked) instead of the lock-free one — the
+	// BenchmarkAblationLockfree baseline.
+	MutexPool bool
+	// NoPanelKernel computes stage 1 with the 4×4-step MulMinPlus
+	// reference instead of the register-blocked panel kernel — the
+	// BenchmarkAblationPanel baseline.
+	NoPanelKernel bool
+}
+
+// mulStage1 dispatches one stage-1 block product to the fastest kernel
+// for the element type: the non-generic float32 panel for
+// single-precision tables, the generic panel otherwise. Both are
+// bit-identical to kernel.MulMinPlus.
+func mulStage1[E semiring.Elem](c, a, b []E, t int) kernel.Stats {
+	if cf, ok := any(c).([]float32); ok {
+		return kernel.PanelMinPlusF32(cf, any(a).([]float32), any(b).([]float32), t)
+	}
+	return kernel.PanelMinPlus(c, a, b, t)
 }
 
 // computeMemoryBlock runs the two-stage SPE procedure for memory block
-// (bi, bj) directly on the shared tiled table. All dependence blocks are
-// finished before this runs (guaranteed by the task graph), so concurrent
-// tasks only ever read them.
+// (bi, bj) directly on the shared tiled table, with stage 1 on the panel
+// kernel. All dependence blocks are finished before this runs (guaranteed
+// by the task graph), so concurrent tasks only ever read them.
 func computeMemoryBlock[E semiring.Elem](t *tri.Tiled[E], bi, bj int) kernel.Stats {
+	ts := t.Tile()
+	if bi == bj {
+		return kernel.Stage2Diag(t.Block(bj, bj), ts)
+	}
+	var st kernel.Stats
+	d := t.Block(bi, bj)
+	for k := bi + 1; k < bj; k++ {
+		st.Add(mulStage1(d, t.Block(bi, k), t.Block(k, bj), ts))
+	}
+	st.Add(kernel.Stage2OffDiag(d, t.Block(bi, bi), t.Block(bj, bj), ts))
+	return st
+}
+
+// computeMemoryBlockCBStep is computeMemoryBlock with stage 1 on the 4×4
+// CB-step reference kernel — the pre-panel seed hot path, kept for the
+// panel ablation.
+func computeMemoryBlockCBStep[E semiring.Elem](t *tri.Tiled[E], bi, bj int) kernel.Stats {
 	ts := t.Tile()
 	if bi == bj {
 		return kernel.Stage2Diag(t.Block(bj, bj), ts)
@@ -37,11 +80,20 @@ func computeMemoryBlock[E semiring.Elem](t *tri.Tiled[E], bi, bj int) kernel.Sta
 	return st
 }
 
+// paddedStats is one worker's kernel.Stats padded out to two cache lines
+// so neighboring workers' accumulators never share a line (128 bytes also
+// clears the adjacent-line prefetcher's pairing).
+type paddedStats struct {
+	kernel.Stats
+	_ [128 - unsafe.Sizeof(kernel.Stats{})]byte
+}
+
 // SolveParallel runs the tier-2 parallel procedure (Section IV-B) on real
-// goroutine workers: the task-queue model over scheduling blocks with the
-// simplified two-dependence graph, each worker computing the memory
-// blocks of its tasks with the two-stage SPE procedure. This is the
-// engine behind the paper's CPU-platform numbers (Tables III, Figures
+// goroutine workers: the lock-free task-queue model over scheduling
+// blocks with the simplified two-dependence graph, each worker computing
+// the memory blocks of its tasks with the two-stage SPE procedure
+// (stage 1 on the register-blocked panel kernel). This is the engine
+// behind the paper's CPU-platform numbers (Tables III, Figures
 // 9(b)–12(b)); on the Cell itself the cellsim-backed SolveCell adds the
 // local-store and DMA modeling.
 func SolveParallel[E semiring.Elem](t *tri.Tiled[E], opts ParallelOptions) (kernel.Stats, error) {
@@ -50,6 +102,9 @@ func SolveParallel[E semiring.Elem](t *tri.Tiled[E], opts ParallelOptions) (kern
 	}
 	if opts.Workers <= 0 {
 		return kernel.Stats{}, fmt.Errorf("npdp: Workers must be positive, got %d", opts.Workers)
+	}
+	if opts.SchedSide < 0 {
+		return kernel.Stats{}, fmt.Errorf("npdp: SchedSide must be non-negative, got %d", opts.SchedSide)
 	}
 	g := opts.SchedSide
 	if g == 0 {
@@ -63,16 +118,24 @@ func SolveParallel[E semiring.Elem](t *tri.Tiled[E], opts ParallelOptions) (kern
 	if err != nil {
 		return kernel.Stats{}, err
 	}
-	perWorker := make([]kernel.Stats, opts.Workers)
-	err = sched.RunPool(graph, opts.Workers, func(worker int, task sched.Task) error {
+	run := sched.RunPool
+	if opts.MutexPool {
+		run = sched.RunPoolLocked
+	}
+	compute := computeMemoryBlock[E]
+	if opts.NoPanelKernel {
+		compute = computeMemoryBlockCBStep[E]
+	}
+	perWorker := make([]paddedStats, opts.Workers)
+	err = run(graph, opts.Workers, func(worker int, task sched.Task) error {
 		for _, mb := range task.MemoryBlockOrder() {
-			perWorker[worker].Add(computeMemoryBlock(t, mb[0], mb[1]))
+			perWorker[worker].Stats.Add(compute(t, mb[0], mb[1]))
 		}
 		return nil
 	})
 	var st kernel.Stats
-	for _, s := range perWorker {
-		st.Add(s)
+	for i := range perWorker {
+		st.Add(perWorker[i].Stats)
 	}
 	return st, err
 }

@@ -71,6 +71,54 @@ func TestParallelRejectsBadOptions(t *testing.T) {
 	if _, err := SolveParallel(bad, ParallelOptions{Workers: 2}); err == nil {
 		t.Error("accepted tile side not a multiple of 4")
 	}
+	if _, err := SolveParallel(tt, ParallelOptions{Workers: 2, SchedSide: -1}); err == nil {
+		t.Error("accepted negative SchedSide")
+	}
+}
+
+// TestParallelAblationConfigsMatchSerial covers the seed-shaped ablation
+// paths: the mutex-pool scheduler and the CB-step stage-1 kernel (alone
+// and combined) must stay bit-identical to the serial reference and
+// report the same stats as the default engine.
+func TestParallelAblationConfigsMatchSerial(t *testing.T) {
+	src := workload.Chain[float32](180, 9)
+	ref := solveRef(src)
+	base := tri.ToTiled(src, 16)
+	stDefault, err := SolveParallel(base, ParallelOptions{Workers: 4, SchedSide: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []ParallelOptions{
+		{Workers: 4, SchedSide: 2, MutexPool: true},
+		{Workers: 4, SchedSide: 2, NoPanelKernel: true},
+		{Workers: 4, SchedSide: 2, MutexPool: true, NoPanelKernel: true},
+	} {
+		tt := tri.ToTiled(src, 16)
+		st, err := SolveParallel(tt, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if !tri.Equal[float32](ref, tri.ToRowMajor(tt)) {
+			t.Fatalf("%+v: result differs from serial reference", opts)
+		}
+		if st != stDefault {
+			t.Errorf("%+v: stats %+v != default engine %+v", opts, st, stDefault)
+		}
+	}
+}
+
+// TestParallelF64FastPathRouting makes sure the float64 table takes the
+// generic panel (no fast-path mixup) and still matches serial exactly.
+func TestParallelF64FastPathRouting(t *testing.T) {
+	src := workload.Dense[float64](96, 3)
+	ref := solveRef(src)
+	tt := tri.ToTiled(src, 16)
+	if _, err := SolveParallel(tt, ParallelOptions{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !tri.Equal[float64](ref, tri.ToRowMajor(tt)) {
+		t.Fatal("f64 panel engine differs from serial reference")
+	}
 }
 
 func TestParallelFullDepsMatchesSerial(t *testing.T) {

@@ -6,7 +6,10 @@
 // runs on the simulated Cell processor).
 package sched
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Task is a node of the dependence graph: one scheduling block, a square
 // of memory blocks. Bi/Bj are the scheduling-block coordinates; the
@@ -75,7 +78,29 @@ func NewGraph(m, g int) (*Graph, error) {
 			gr.Tasks[below].Succs = append(gr.Tasks[below].Succs, t.ID)
 		}
 	}
+	gr.sortSuccsByCriticalPath()
 	return gr, nil
+}
+
+// sortSuccsByCriticalPath orders every task's successor list for
+// critical-path-first dispatch: nearest the diagonal (smallest Bj-Bi)
+// first, ties by id. RunPool notifies successors in list order, so when
+// one completion frees several tasks the heads of the longest remaining
+// dependence chains enter the ready queue first. Called by the graph
+// constructors; hand-built graphs without this ordering still execute
+// correctly, just without the dispatch priority.
+func (g *Graph) sortSuccsByCriticalPath() {
+	for i := range g.Tasks {
+		succs := g.Tasks[i].Succs
+		sort.Slice(succs, func(x, y int) bool {
+			dx := g.Tasks[succs[x]].Bj - g.Tasks[succs[x]].Bi
+			dy := g.Tasks[succs[y]].Bj - g.Tasks[succs[y]].Bi
+			if dx != dy {
+				return dx < dy
+			}
+			return succs[x] < succs[y]
+		})
+	}
 }
 
 // TaskID returns the task id of scheduling block (bi, bj).
@@ -166,6 +191,7 @@ func NewFullGraph(m, g int) (*Graph, error) {
 			addDep(t, bi, t.Bj)
 		}
 	}
+	gr.sortSuccsByCriticalPath()
 	return gr, nil
 }
 

@@ -1,0 +1,194 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunPoolStress floods the lock-free pool with many tiny tasks on an
+// oversubscribed worker set and asserts exact completion counts plus a
+// valid dependence order: every predecessor's completion must be visible
+// before a successor starts. Run with -race (scripts/bench.sh wires it
+// into the verify path).
+func TestRunPoolStress(t *testing.T) {
+	g, err := NewGraph(63, 1) // 2016 tasks
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0) * 4
+	execs := make([]atomic.Int32, len(g.Tasks))
+	done := make([]atomic.Bool, len(g.Tasks))
+	err = RunPool(g, workers, func(_ int, task Task) error {
+		for _, d := range task.Deps {
+			if !done[d].Load() {
+				return fmt.Errorf("task %d started before dep %d completed", task.ID, d)
+			}
+		}
+		execs[task.ID].Add(1)
+		done[task.ID].Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range execs {
+		if c := execs[id].Load(); c != 1 {
+			t.Fatalf("task %d executed %d times, want exactly 1", id, c)
+		}
+	}
+}
+
+// TestRunPoolErrorStopsSuccessors asserts the cancellation contract: once
+// a task fails, no task downstream of it (transitively) ever executes,
+// because the failed task notifies no successors.
+func TestRunPoolErrorStopsSuccessors(t *testing.T) {
+	g, err := NewGraph(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failID, ok := g.TaskID(2, 5)
+	if !ok {
+		t.Fatal("no task (2,5)")
+	}
+	// All transitive successors of the failed task.
+	downstream := map[int]bool{}
+	stack := []int{failID}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Tasks[id].Succs {
+			if !downstream[s] {
+				downstream[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	if len(downstream) == 0 {
+		t.Fatal("picked a task with no successors; test proves nothing")
+	}
+
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	executed := map[int]bool{}
+	err = RunPool(g, 4, func(_ int, task Task) error {
+		mu.Lock()
+		executed[task.ID] = true
+		mu.Unlock()
+		if task.ID == failID {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	for id := range executed {
+		if downstream[id] {
+			t.Errorf("task %d executed despite being downstream of failed task %d", id, failID)
+		}
+	}
+}
+
+// TestRunPoolSingleWorkerStopsAfterError pins the prompt-stop behavior
+// deterministically: with one worker, the first failure must be the last
+// exec — the seed scheduler instead drained all remaining tasks through
+// the loop.
+func TestRunPoolSingleWorkerStopsAfterError(t *testing.T) {
+	g, err := NewGraph(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	execs := 0
+	err = RunPool(g, 1, func(_ int, task Task) error {
+		execs++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if execs != 1 {
+		t.Fatalf("worker executed %d tasks after the failure, want exec count 1", execs)
+	}
+}
+
+// TestRunPoolDetectsCycle hands the pool a hand-built cyclic graph; it
+// must error up front instead of hanging the workers.
+func TestRunPoolDetectsCycle(t *testing.T) {
+	g := &Graph{Tasks: []Task{
+		{ID: 0, Deps: []int{1}, Succs: []int{1}},
+		{ID: 1, Deps: []int{0}, Succs: []int{0}},
+	}}
+	err := RunPool(g, 2, func(int, Task) error { return nil })
+	if err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}
+
+// TestRunPoolLockedStillCorrect keeps the ablation baseline honest: the
+// mutex-guarded pool must execute every task exactly once in dependence
+// order, like the lock-free one.
+func TestRunPoolLockedStillCorrect(t *testing.T) {
+	g, err := NewGraph(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	count := map[int]int{}
+	done := map[int]bool{}
+	err = RunPoolLocked(g, 4, func(_ int, task Task) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, d := range task.Deps {
+			if !done[d] {
+				return fmt.Errorf("task %d before dep %d", task.ID, d)
+			}
+		}
+		count[task.ID]++
+		done[task.ID] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(count) != len(g.Tasks) {
+		t.Fatalf("executed %d distinct tasks, want %d", len(count), len(g.Tasks))
+	}
+	for id, c := range count {
+		if c != 1 {
+			t.Errorf("task %d executed %d times", id, c)
+		}
+	}
+	if err := RunPoolLocked(g, 0, func(int, Task) error { return nil }); err == nil {
+		t.Error("0 workers accepted by locked pool")
+	}
+}
+
+// TestSuccsSortedByCriticalPath pins the dispatch priority baked into the
+// graph constructors: every successor list is ordered nearest-diagonal
+// first, so completions release the heads of the longest remaining
+// dependence chains before shallower work.
+func TestSuccsSortedByCriticalPath(t *testing.T) {
+	for name, build := range map[string]func(int, int) (*Graph, error){
+		"simplified": NewGraph, "full": NewFullGraph,
+	} {
+		g, err := build(8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range g.Tasks {
+			prev := -1
+			for _, s := range task.Succs {
+				d := g.Tasks[s].Bj - g.Tasks[s].Bi
+				if d < prev {
+					t.Fatalf("%s: task (%d,%d) succs %v not in critical-path order", name, task.Bi, task.Bj, task.Succs)
+				}
+				prev = d
+			}
+		}
+	}
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Verify + benchmark entry point for the parallel CPU engine.
+#
+# Runs the static and race checks the scheduler/engine work depends on,
+# then the parallel-engine benchmark sweep (workers × engine ablations,
+# ns/op + allocs/op via testing.Benchmark) and writes the JSON report —
+# BENCH_PR1.json by default, or the path given as $1. Later PRs bump the
+# default artifact name to extend the BENCH_* trajectory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR1.json}"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race (scheduler + engines)"
+go test -race ./internal/sched/... ./internal/npdp/...
+
+echo "== parallel-engine benchmark sweep -> ${out}"
+go run ./cmd/benchtables -benchjson "${out}"

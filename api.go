@@ -27,6 +27,8 @@
 package cellnpdp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -34,6 +36,8 @@ import (
 	"cellnpdp/internal/cellsim"
 	"cellnpdp/internal/npdp"
 	"cellnpdp/internal/pipeline"
+	"cellnpdp/internal/resilience"
+	"cellnpdp/internal/sched"
 	"cellnpdp/internal/semiring"
 	"cellnpdp/internal/tri"
 )
@@ -91,6 +95,35 @@ type Options struct {
 	// SingleChip runs the Cell engine on a one-chip, 8-SPE machine
 	// instead of the dual-Cell QS20 blade.
 	SingleChip bool
+	// MaxRetries bounds per-task retries of transient failures in the
+	// Parallel engine (exponential backoff, 1ms base). 0 never retries.
+	MaxRetries int
+	// FaultRate, when positive, turns on the deterministic fault-injection
+	// harness in the Parallel engine: each task attempt independently
+	// fails (as a retryable transient error) with this probability.
+	FaultRate float64
+	// FaultSeed seeds the injection plan; runs with the same seed fault
+	// the same (task, attempt) pairs regardless of worker interleaving.
+	FaultSeed int64
+	// CheckpointPath, when non-empty, makes the Parallel engine
+	// periodically snapshot completed work (and always snapshot on
+	// failure) to this file for later resume.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot period in completed tasks; 0 means
+	// 16.
+	CheckpointEvery int
+	// ResumePath, when non-empty, resumes a Parallel solve from a
+	// checkpoint written by an earlier run with identical geometry:
+	// completed tasks' blocks are restored and only the remainder
+	// executes.
+	ResumePath string
+	// NoFallback disables the Parallel→Tiled graceful degradation, so a
+	// parallel compute failure surfaces instead of being recovered.
+	NoFallback bool
+	// Logf, when non-nil, receives operational messages (degradation
+	// reasons). Nil is silent; the reason is still recorded in the
+	// Result.
+	Logf func(format string, args ...any)
 }
 
 // Result reports a solve.
@@ -106,6 +139,14 @@ type Result struct {
 	ModeledSeconds float64
 	// DMABytes is the simulated local-store traffic (Cell engine only).
 	DMABytes int64
+	// Degraded reports that the Parallel engine failed and the solve was
+	// recovered by the serial Tiled engine; DegradedReason is the
+	// parallel failure that forced the switch.
+	Degraded       bool
+	DegradedReason string
+	// ResumedTasks is the number of scheduler tasks restored from the
+	// checkpoint instead of recomputed (Parallel resume only).
+	ResumedTasks int
 }
 
 // Table is an n-point upper-triangular DP table. Cells (i, j) with
@@ -171,11 +212,28 @@ func cbStepCycles[E Elem]() float64 {
 // Solve runs the NPDP recurrence in place on t with the selected engine.
 // All engines produce bit-identical tables.
 func Solve[E Elem](t *Table[E], opts Options) (*Result, error) {
+	return SolveCtx(context.Background(), t, opts)
+}
+
+// SolveCtx is Solve under a context: cancellation and deadlines are
+// honored by every engine at task-dispatch granularity (per column for
+// Serial, per memory block for Tiled, per scheduler task for Parallel
+// and Cell). A cancelled solve returns ctx's error and leaves the table
+// partially solved; with a checkpoint configured, the completed portion
+// is on disk for resume.
+func SolveCtx[E Elem](ctx context.Context, t *Table[E], opts Options) (*Result, error) {
 	if t == nil || t.rm == nil {
 		return nil, fmt.Errorf("cellnpdp: nil table")
 	}
+	// Worker validation is uniform across all four engines: negative
+	// counts are a configuration error everywhere, including Serial
+	// (where the field is otherwise unused), so a typo never silently
+	// selects a default.
 	workers := opts.Workers
-	if workers <= 0 {
+	if workers < 0 {
+		return nil, fmt.Errorf("cellnpdp: Workers must be non-negative, got %d (engine %v)", workers, opts.Engine)
+	}
+	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	blockBytes := opts.BlockBytes
@@ -195,23 +253,25 @@ func Solve[E Elem](t *Table[E], opts Options) (*Result, error) {
 	start := time.Now()
 	switch opts.Engine {
 	case Serial:
-		res.Relaxations = npdp.SolveSerial(t.rm)
+		relax, err := npdp.SolveSerialCtx(ctx, t.rm)
+		if err != nil {
+			return nil, err
+		}
+		res.Relaxations = relax
 	case Tiled:
 		tt := tri.ToTiled(t.rm, tile)
-		st, err := npdp.SolveTiled(tt)
+		st, err := npdp.SolveTiledCtx(ctx, tt)
 		if err != nil {
 			return nil, err
 		}
 		res.Relaxations = st.Relaxations()
 		tri.Copy[E](tri.Table[E](t.rm), tt)
 	case Parallel:
-		tt := tri.ToTiled(t.rm, tile)
-		st, err := npdp.SolveParallel(tt, npdp.ParallelOptions{Workers: workers, SchedSide: schedSide})
+		relax, err := solveParallel(ctx, t, res, tile, workers, schedSide, opts)
 		if err != nil {
 			return nil, err
 		}
-		res.Relaxations = st.Relaxations()
-		tri.Copy[E](tri.Table[E](t.rm), tt)
+		res.Relaxations = relax
 	case Cell:
 		cfg := cellsim.QS20()
 		if opts.SingleChip {
@@ -225,7 +285,7 @@ func Solve[E Elem](t *Table[E], opts Options) (*Result, error) {
 			workers = len(mach.SPEs)
 		}
 		tt := tri.ToTiled(t.rm, tile)
-		cres, err := npdp.SolveCell(tt, mach, npdp.CellOptions{
+		cres, err := npdp.SolveCellCtx(ctx, tt, mach, npdp.CellOptions{
 			Workers:           workers,
 			SchedSide:         schedSide,
 			UseSIMD:           true,
@@ -245,4 +305,90 @@ func Solve[E Elem](t *Table[E], opts Options) (*Result, error) {
 	}
 	res.WallSeconds = time.Since(start).Seconds()
 	return res, nil
+}
+
+// solveParallel runs the Parallel engine with the fault-tolerance layer:
+// optional resume from a checkpoint, retry and fault-injection policies,
+// and — unless disabled — graceful degradation to the serial Tiled
+// engine when the parallel compute layer fails. The row-major source is
+// only overwritten after a successful solve, so degradation always
+// restarts from clean input.
+func solveParallel[E Elem](ctx context.Context, t *Table[E], res *Result, tile, workers, schedSide int, opts Options) (int64, error) {
+	tt := tri.ToTiled(t.rm, tile)
+	popts := npdp.ParallelOptions{
+		Workers:         workers,
+		SchedSide:       schedSide,
+		CheckpointPath:  opts.CheckpointPath,
+		CheckpointEvery: opts.CheckpointEvery,
+	}
+	if opts.MaxRetries > 0 {
+		popts.Retry = resilience.RetryPolicy{
+			MaxRetries: opts.MaxRetries,
+			BaseDelay:  time.Millisecond,
+			MaxDelay:   100 * time.Millisecond,
+		}
+	}
+	if opts.FaultRate > 0 {
+		popts.Inject = &resilience.Injector{Rate: opts.FaultRate, Seed: opts.FaultSeed}
+	}
+	if opts.ResumePath != "" {
+		ck, err := resilience.LoadCheckpointFile[E](opts.ResumePath)
+		if err != nil {
+			return 0, err
+		}
+		if err := ck.Matches(t.Len(), tile, schedSide); err != nil {
+			return 0, err
+		}
+		graph, err := sched.NewGraph(tt.Blocks(), schedSide)
+		if err != nil {
+			return 0, err
+		}
+		if len(ck.Done) != len(graph.Tasks) {
+			return 0, fmt.Errorf("cellnpdp: checkpoint records %d tasks, solve schedules %d", len(ck.Done), len(graph.Tasks))
+		}
+		// Every task the bitmap marks done must have all its memory
+		// blocks in the snapshot, or resuming would trust stale cells.
+		for id, d := range ck.Done {
+			if !d {
+				continue
+			}
+			for _, mb := range graph.Tasks[id].MemoryBlockOrder() {
+				if !ck.HasBlock(mb[0], mb[1]) {
+					return 0, fmt.Errorf("cellnpdp: checkpoint marks task %d done but lacks memory block (%d,%d)", id, mb[0], mb[1])
+				}
+			}
+		}
+		if err := ck.Apply(tt); err != nil {
+			return 0, err
+		}
+		popts.Completed = ck.Done
+		res.ResumedTasks = ck.DoneCount()
+	}
+	st, err := npdp.SolveParallelCtx(ctx, tt, popts)
+	if err != nil {
+		if !degradable(err) || opts.NoFallback {
+			return 0, err
+		}
+		if opts.Logf != nil {
+			opts.Logf("cellnpdp: parallel engine failed (%v); degrading to tiled", err)
+		}
+		res.Degraded, res.DegradedReason = true, err.Error()
+		tt = tri.ToTiled(t.rm, tile)
+		st, err = npdp.SolveTiledCtx(ctx, tt)
+		if err != nil {
+			return 0, err
+		}
+	}
+	tri.Copy[E](tri.Table[E](t.rm), tt)
+	return st.Relaxations(), nil
+}
+
+// degradable reports whether a parallel failure is a compute-layer fault
+// the Tiled engine can recover from (a task failure or panic), as
+// opposed to cancellation or a configuration/IO error that would fail
+// there too.
+func degradable(err error) bool {
+	var te *resilience.TaskError
+	var pe *resilience.PanicError
+	return errors.As(err, &te) || errors.As(err, &pe)
 }

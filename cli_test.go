@@ -138,3 +138,107 @@ func TestCLISpeviz(t *testing.T) {
 		t.Errorf("gantt view malformed:\n%s", run)
 	}
 }
+
+// TestCLIWorkersValidation asserts the uniform negative-worker rejection
+// across all four engines, through the CLI surface.
+func TestCLIWorkersValidation(t *testing.T) {
+	for _, eng := range []string{"serial", "tiled", "parallel", "cell"} {
+		cmd := exec.Command(cliPath(t, "cellnpdp"), "-n", "100", "-engine", eng, "-workers", "-1")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s engine accepted -workers -1:\n%s", eng, out)
+		}
+		if !strings.Contains(string(out), "Workers must be non-negative") {
+			t.Fatalf("%s engine rejection unclear:\n%s", eng, out)
+		}
+	}
+}
+
+// TestCLITimeout asserts -timeout aborts a solve with the context error.
+func TestCLITimeout(t *testing.T) {
+	cmd := exec.Command(cliPath(t, "cellnpdp"), "-n", "1500", "-engine", "parallel", "-timeout", "1ns")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expired -timeout still solved:\n%s", out)
+	}
+	if !strings.Contains(string(out), "deadline") {
+		t.Fatalf("timeout error not surfaced:\n%s", out)
+	}
+}
+
+// TestCLIFaultInjectionRecovers asserts a 5%-fault run with retries
+// enabled still produces the serial reference answer (the acceptance
+// scenario: complete correctly via retry, no fallback allowed).
+func TestCLIFaultInjectionRecovers(t *testing.T) {
+	ref := checksumLine(t, runCLI(t, "cellnpdp", "-n", "300", "-engine", "serial"))
+	out := runCLI(t, "cellnpdp", "-n", "300", "-engine", "parallel",
+		"-faultrate", "0.05", "-faultseed", "7", "-retries", "3", "-fallback=false")
+	if got := checksumLine(t, out); got != ref {
+		t.Fatalf("faulted run diverged:\n%s\nvs serial\n%s", got, ref)
+	}
+}
+
+// TestCLIFallbackDegrades asserts an unretried fault degrades the solve
+// to the tiled engine with a logged reason — and still gets the right
+// answer.
+func TestCLIFallbackDegrades(t *testing.T) {
+	ref := checksumLine(t, runCLI(t, "cellnpdp", "-n", "300", "-engine", "serial"))
+	out := runCLI(t, "cellnpdp", "-n", "300", "-engine", "parallel",
+		"-faultrate", "0.6", "-faultseed", "3", "-retries", "0")
+	if !strings.Contains(out, "degraded to tiled engine") || !strings.Contains(out, "task") {
+		t.Fatalf("degradation not reported with a task-identified reason:\n%s", out)
+	}
+	if got := checksumLine(t, out); got != ref {
+		t.Fatalf("degraded run diverged:\n%s\nvs serial\n%s", got, ref)
+	}
+}
+
+// TestCLIKillAndResume is the acceptance scenario: a run killed part-way
+// by an injected fault leaves a checkpoint; resuming from it with faults
+// off completes and is bit-identical to the serial reference (verified
+// through the tableio -check path, which compares every cell).
+func TestCLIKillAndResume(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.npdp")
+	ck := filepath.Join(dir, "solve.npck")
+	runCLI(t, "cellnpdp", "-n", "400", "-engine", "serial", "-save", ref)
+
+	// Run 1: unretried injected faults, no fallback — must die with a
+	// task-identified error but leave a validated checkpoint behind.
+	cmd := exec.Command(cliPath(t, "cellnpdp"), "-n", "400", "-engine", "parallel",
+		"-workers", "2", "-faultrate", "0.4", "-faultseed", "5", "-retries", "0",
+		"-fallback=false", "-checkpoint", ck, "-checkpoint-every", "1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("faulted run unexpectedly succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), "task") {
+		t.Fatalf("failure lacks task identity:\n%s", out)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("no checkpoint left behind: %v\n%s", err, out)
+	}
+
+	// Run 2: resume with faults off; must restore completed tasks and
+	// finish bit-identical to the serial reference.
+	out2 := runCLI(t, "cellnpdp", "-n", "400", "-engine", "parallel",
+		"-resume", ck, "-check", ref)
+	if !strings.Contains(out2, "resumed ") {
+		t.Fatalf("resume not reported:\n%s", out2)
+	}
+	if !strings.Contains(out2, "identical") {
+		t.Fatalf("resumed table not bit-identical to serial reference:\n%s", out2)
+	}
+}
+
+// checksumLine extracts the d[0][n-1] line for cross-run comparison.
+func checksumLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "d[0][n-1]=") {
+			return line
+		}
+	}
+	t.Fatalf("no checksum line in output:\n%s", out)
+	return ""
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +33,15 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		save    = flag.String("save", "", "write the solved table to this file")
 		check   = flag.String("check", "", "compare the solved table against this saved file")
+
+		timeout    = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
+		checkpoint = flag.String("checkpoint", "", "parallel engine: snapshot completed work to this file")
+		ckEvery    = flag.Int("checkpoint-every", 0, "snapshot period in completed tasks (0 = default 16)")
+		resume     = flag.String("resume", "", "parallel engine: resume from this checkpoint file")
+		faultRate  = flag.Float64("faultrate", 0, "parallel engine: inject transient faults at this per-attempt rate")
+		faultSeed  = flag.Int64("faultseed", 1, "fault-injection seed (deterministic per seed)")
+		retries    = flag.Int("retries", 3, "parallel engine: max retries per task for transient failures")
+		fallback   = flag.Bool("fallback", true, "degrade parallel failures to the serial tiled engine")
 	)
 	flag.Parse()
 
@@ -39,15 +49,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := cellnpdp.Options{Engine: eng, Workers: *workers, BlockBytes: *block}
+	opts := cellnpdp.Options{
+		Engine: eng, Workers: *workers, BlockBytes: *block,
+		MaxRetries: *retries, FaultRate: *faultRate, FaultSeed: *faultSeed,
+		CheckpointPath: *checkpoint, CheckpointEvery: *ckEvery, ResumePath: *resume,
+		NoFallback: !*fallback, Logf: log.Printf,
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	io := fileOps{save: *save, check: *check}
 	switch *prec {
 	case "single":
-		if err := run[float32](*n, *seed, opts, io); err != nil {
+		if err := run[float32](ctx, *n, *seed, opts, io); err != nil {
 			log.Fatal(err)
 		}
 	case "double":
-		if err := run[float64](*n, *seed, opts, io); err != nil {
+		if err := run[float64](ctx, *n, *seed, opts, io); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -75,7 +96,7 @@ func parseEngine(s string) (cellnpdp.Engine, error) {
 	return 0, fmt.Errorf("unknown engine %q (want serial, tiled, parallel or cell)", s)
 }
 
-func run[E cellnpdp.Elem](n int, seed int64, opts cellnpdp.Options, io fileOps) error {
+func run[E cellnpdp.Elem](ctx context.Context, n int, seed int64, opts cellnpdp.Options, io fileOps) error {
 	tbl, err := cellnpdp.NewTable[E](n)
 	if err != nil {
 		return err
@@ -86,9 +107,15 @@ func run[E cellnpdp.Elem](n int, seed int64, opts cellnpdp.Options, io fileOps) 
 			return err
 		}
 	}
-	res, err := cellnpdp.Solve(tbl, opts)
+	res, err := cellnpdp.SolveCtx(ctx, tbl, opts)
 	if err != nil {
 		return err
+	}
+	if res.ResumedTasks > 0 {
+		fmt.Printf("resumed %d tasks from %s\n", res.ResumedTasks, opts.ResumePath)
+	}
+	if res.Degraded {
+		fmt.Printf("degraded to tiled engine: %s\n", res.DegradedReason)
 	}
 	// A stable checksum so different engines can be diffed from the shell.
 	var sum float64

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/resilience"
 	"cellnpdp/internal/tableio"
 	"cellnpdp/internal/tri"
 	"cellnpdp/internal/zuker"
@@ -73,6 +74,51 @@ func FuzzTableIO(f *testing.F) {
 		}
 		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
 			t.Fatal("accepted file did not round-trip")
+		}
+	})
+}
+
+// FuzzCheckpointRoundTrip checks the resilience snapshot reader on
+// arbitrary bytes: corrupt or truncated snapshots must error — never
+// panic — and anything accepted must satisfy the format's invariants
+// (consistent geometry, appliable blocks).
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	const n, tile = 20, 8
+	tt := tri.NewTiled[float32](n, tile)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			tt.Set(i, j, float32(i*100+j))
+		}
+	}
+	meta := resilience.Meta{N: n, Tile: tile, SchedSide: 1, Tasks: 6, ElemBytes: 4}
+	done := []bool{true, false, false, true, false, false}
+	var buf bytes.Buffer
+	if err := resilience.WriteCheckpoint(&buf, meta, done, tt, [][2]int{{0, 0}, {1, 1}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	valid := buf.Bytes()
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte("NPCKgarbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := resilience.ReadCheckpoint[float32](bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := ck.Matches(ck.Meta.N, ck.Meta.Tile, ck.Meta.SchedSide); err != nil {
+			t.Fatalf("accepted snapshot fails its own geometry: %v", err)
+		}
+		if ck.Meta.N > 1<<12 {
+			t.Skip("applying huge accepted geometries would just test the allocator")
+		}
+		fresh := tri.NewTiled[float32](ck.Meta.N, ck.Meta.Tile)
+		if err := ck.Apply(fresh); err != nil {
+			t.Fatalf("accepted snapshot failed to apply: %v", err)
 		}
 	})
 }

@@ -38,13 +38,13 @@ type BenchRow struct {
 
 // BenchReport is the top-level BENCH_*.json document.
 type BenchReport struct {
-	Schema       string             `json:"schema"`
-	Generated    string             `json:"generated"`
-	GoVersion    string             `json:"go_version"`
-	GOMAXPROCS   int                `json:"gomaxprocs"`
-	Tile         int                `json:"tile"`
-	Precision    string             `json:"precision"`
-	Rows         []BenchRow         `json:"rows"`
+	Schema        string             `json:"schema"`
+	Generated     string             `json:"generated"`
+	GoVersion     string             `json:"go_version"`
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	Tile          int                `json:"tile"`
+	Precision     string             `json:"precision"`
+	Rows          []BenchRow         `json:"rows"`
 	SpeedupVsSeed map[string]float64 `json:"speedup_vs_seed"`
 }
 

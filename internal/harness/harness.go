@@ -150,6 +150,7 @@ func All() []Experiment {
 		{"fig12b", "CellNPDP vs TanNPDP on the CPU, DP", Fig12b},
 		{"fig13", "memory-block size × SPE count sweep", Fig13},
 		{"ablations", "design choices toggled in isolation", Ablations},
+		{"resilience", "fault injection, retry overhead and kill+resume", Resilience},
 		{"model", "Section V analytic model report", ModelReport},
 		{"utilization", "processor utilization accounting", UtilizationReport},
 	}

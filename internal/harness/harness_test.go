@@ -221,3 +221,20 @@ func TestAblationsShape(t *testing.T) {
 		}
 	}
 }
+
+// TestResilienceExperiment runs the fault-tolerance characterization:
+// every row self-verifies against the serial reference, so the test only
+// needs the table shape and the resume row's restored-task note.
+func TestResilienceExperiment(t *testing.T) {
+	tbl, err := Resilience(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("Resilience rows = %d, want clean + 3 rates + resume", len(tbl.Rows))
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "kill+resume" || !strings.Contains(last[len(last)-1], "restored") {
+		t.Fatalf("resume row malformed: %v", last)
+	}
+}

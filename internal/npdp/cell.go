@@ -1,6 +1,7 @@
 package npdp
 
 import (
+	"context"
 	"fmt"
 
 	"cellnpdp/internal/cellsim"
@@ -131,6 +132,7 @@ func (o CellOptions) computeCycles(st kernel.Stats) float64 {
 // runs (paper-scale modeling), in which case kernels are skipped and the
 // analytic work counts stand in.
 type cellEngine[E semiring.Elem] struct {
+	ctx       context.Context
 	data      *tri.Tiled[E]
 	tile      int
 	blocks    int
@@ -385,6 +387,11 @@ func (e *cellEngine[E]) run() (CellResult, error) {
 	e.workerBuf = make([]*speBuffers[E], e.opts.Workers)
 	des, err := sched.RunDESWithPriority(graph, e.opts.Workers, e.machine.Config.DispatchOverhead, prio,
 		func(worker int, task sched.Task, start float64) (float64, error) {
+			// Cancellation at task-dispatch granularity, mirroring the
+			// goroutine pool: the DES stops issuing tasks mid-solve.
+			if err := e.ctx.Err(); err != nil {
+				return 0, err
+			}
 			spe := e.machine.SPEs[worker]
 			if start < spe.Clock {
 				return 0, fmt.Errorf("npdp: SPE %d dispatched at %g before its clock %g", worker, start, spe.Clock)
@@ -432,6 +439,12 @@ func (e *cellEngine[E]) run() (CellResult, error) {
 // simulator produces the modeled QS20 time and DMA statistics. The
 // machine is reset first; it must not be shared with concurrent runs.
 func SolveCell[E semiring.Elem](t *tri.Tiled[E], m *cellsim.Machine, opts CellOptions) (CellResult, error) {
+	return SolveCellCtx(context.Background(), t, m, opts)
+}
+
+// SolveCellCtx is SolveCell with cancellation checked each time the
+// discrete-event dispatcher issues a task to an SPE.
+func SolveCellCtx[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], m *cellsim.Machine, opts CellOptions) (CellResult, error) {
 	if err := kernel.CheckTile(t.Tile()); err != nil {
 		return CellResult{}, err
 	}
@@ -441,6 +454,7 @@ func SolveCell[E semiring.Elem](t *tri.Tiled[E], m *cellsim.Machine, opts CellOp
 	m.Reset()
 	var e E
 	eng := &cellEngine[E]{
+		ctx:       ctx,
 		data:      t,
 		tile:      t.Tile(),
 		blocks:    t.Blocks(),
@@ -467,6 +481,7 @@ func ModelCell(n, tile int, prec Precision, m *cellsim.Machine, opts CellOptions
 	}
 	m.Reset()
 	eng := &cellEngine[float32]{
+		ctx:       context.Background(),
 		data:      nil,
 		tile:      tile,
 		blocks:    (n + tile - 1) / tile,

@@ -1,6 +1,7 @@
 package npdp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -22,7 +23,12 @@ import (
 // state between workers, only mailbox messages); the DES-based SolveCell
 // is the one that models time. Results are bit-identical to every other
 // engine.
-func SolveCellConcurrent[E semiring.Elem](t *tri.Tiled[E], workers int) (kernel.Stats, error) {
+//
+// Cancellation is checked between completions: when ctx fires, the PPE
+// stops dispatching, closes every SPE's inbound mailbox (the hardware
+// shutdown signal), waits for in-flight tasks to finish, and returns
+// ctx.Err(). The table is left partially solved.
+func SolveCellConcurrent[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], workers int) (kernel.Stats, error) {
 	if err := kernel.CheckTile(t.Tile()); err != nil {
 		return kernel.Stats{}, err
 	}
@@ -94,8 +100,20 @@ func SolveCellConcurrent[E semiring.Elem](t *tri.Tiled[E], workers int) (kernel.
 		}
 	}
 	dispatch()
+	var ctxErr error
 	for remaining > 0 {
-		done := <-complete
+		var done [2]uint32
+		select {
+		case done = <-complete:
+		case <-ctx.Done():
+			// Stop dispatching; in-flight tasks drain below. The complete
+			// channel is buffered one slot per SPE, so abandoned
+			// completions never block a worker.
+			ctxErr = ctx.Err()
+		}
+		if ctxErr != nil {
+			break
+		}
 		spe, taskID := int(done[0]), done[1]
 		// Drain the SPE's outbound word (the interrupt already carried it).
 		<-boxes[spe].Outbound()
@@ -113,6 +131,9 @@ func SolveCellConcurrent[E semiring.Elem](t *tri.Tiled[E], workers int) (kernel.
 		b.CloseInbound()
 	}
 	wg.Wait()
+	if ctxErr != nil {
+		return kernel.Stats{}, ctxErr
+	}
 
 	var st kernel.Stats
 	for _, s := range perWorker {

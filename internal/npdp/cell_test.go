@@ -1,6 +1,8 @@
 package npdp
 
 import (
+	"context"
+
 	"testing"
 
 	"cellnpdp/internal/cellsim"
@@ -326,7 +328,7 @@ func TestCellConcurrentMatchesSerial(t *testing.T) {
 			src := workload.Chain[float32](n, int64(n*3+workers))
 			ref := solveRef(src)
 			tt := tri.ToTiled(src, 16)
-			st, err := SolveCellConcurrent(tt, workers)
+			st, err := SolveCellConcurrent(context.Background(), tt, workers)
 			if err != nil {
 				t.Fatalf("n=%d w=%d: %v", n, workers, err)
 			}
@@ -347,11 +349,11 @@ func TestCellConcurrentMatchesSerial(t *testing.T) {
 
 func TestCellConcurrentRejectsBad(t *testing.T) {
 	tt := tri.ToTiled(workload.Chain[float32](16, 1), 8)
-	if _, err := SolveCellConcurrent(tt, 0); err == nil {
+	if _, err := SolveCellConcurrent(context.Background(), tt, 0); err == nil {
 		t.Error("0 workers accepted")
 	}
 	bad := tri.ToTiled(workload.Chain[float32](16, 1), 6)
-	if _, err := SolveCellConcurrent(bad, 2); err == nil {
+	if _, err := SolveCellConcurrent(context.Background(), bad, 2); err == nil {
 		t.Error("bad tile accepted")
 	}
 }

@@ -13,6 +13,7 @@
 package npdp
 
 import (
+	"context"
 	"fmt"
 
 	"cellnpdp/internal/kernel"
@@ -30,9 +31,21 @@ import (
 // It returns the number of scalar relaxations, n(n²-1)/6... exactly the
 // count of executed innermost iterations.
 func SolveSerial[E semiring.Elem](m *tri.RowMajor[E]) int64 {
+	relax, _ := SolveSerialCtx(context.Background(), m)
+	return relax
+}
+
+// SolveSerialCtx is SolveSerial with cancellation checked once per table
+// column — the serial engine's analogue of the parallel pool's
+// task-dispatch granularity. On cancellation it returns ctx.Err() with
+// the relaxations performed so far; the table is left partially solved.
+func SolveSerialCtx[E semiring.Elem](ctx context.Context, m *tri.RowMajor[E]) (int64, error) {
 	n := m.Len()
 	var relax int64
 	for j := 0; j < n; j++ {
+		if err := ctx.Err(); err != nil {
+			return relax, err
+		}
 		for i := j - 1; i >= 0; i-- {
 			v := m.At(i, j)
 			for k := i; k < j; k++ {
@@ -44,7 +57,7 @@ func SolveSerial[E semiring.Elem](m *tri.RowMajor[E]) int64 {
 			relax += int64(j - i)
 		}
 	}
-	return relax
+	return relax, nil
 }
 
 // SolveTiled runs the tiled flowchart (Figure 4(b)) serially on the new
@@ -53,6 +66,13 @@ func SolveSerial[E semiring.Elem](m *tri.RowMajor[E]) int64 {
 // stage 2 (inner dependences via computing blocks). The tile side must be
 // a positive multiple of kernel.CB.
 func SolveTiled[E semiring.Elem](t *tri.Tiled[E]) (kernel.Stats, error) {
+	return SolveTiledCtx(context.Background(), t)
+}
+
+// SolveTiledCtx is SolveTiled with cancellation checked once per memory
+// block — the same granularity the parallel pool checks at task
+// dispatch. On cancellation the table is left partially solved.
+func SolveTiledCtx[E semiring.Elem](ctx context.Context, t *tri.Tiled[E]) (kernel.Stats, error) {
 	if err := kernel.CheckTile(t.Tile()); err != nil {
 		return kernel.Stats{}, err
 	}
@@ -61,6 +81,9 @@ func SolveTiled[E semiring.Elem](t *tri.Tiled[E]) (kernel.Stats, error) {
 	ts := t.Tile()
 	for bj := 0; bj < m; bj++ {
 		for bi := bj; bi >= 0; bi-- {
+			if err := ctx.Err(); err != nil {
+				return st, err
+			}
 			if bi == bj {
 				st.Add(kernel.Stage2Diag(t.Block(bj, bj), ts))
 				continue

@@ -1,10 +1,13 @@
 package npdp
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"unsafe"
 
 	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/resilience"
 	"cellnpdp/internal/sched"
 	"cellnpdp/internal/semiring"
 	"cellnpdp/internal/tri"
@@ -32,6 +35,32 @@ type ParallelOptions struct {
 	// reference instead of the register-blocked panel kernel — the
 	// BenchmarkAblationPanel baseline.
 	NoPanelKernel bool
+	// Retry governs per-task retries of transient failures. Retrying a
+	// memory-block task in place is safe because every relaxation is an
+	// idempotent monotone min toward the same fixed point: the block's
+	// dependences are final before the task starts, so recomputing over a
+	// partially-updated block converges to bit-identical values. The zero
+	// value never retries. Ignored under MutexPool.
+	Retry resilience.RetryPolicy
+	// Inject, when non-nil, is the deterministic fault-injection harness:
+	// each (task, attempt) pair is independently faulted per its plan.
+	// Ignored under MutexPool.
+	Inject *resilience.Injector
+	// Completed marks scheduler tasks (by ID, for the graph this solve
+	// builds) already finished by an earlier run; the pool pre-notifies
+	// them so only the remainder executes. The caller must have restored
+	// those tasks' memory blocks into the table (resilience.Checkpoint
+	// does both). Ignored under MutexPool.
+	Completed []bool
+	// CheckpointPath, when non-empty, enables periodic snapshots: after
+	// every CheckpointEvery task completions (default 16) the completion
+	// bitmap and all completed tasks' memory blocks are atomically written
+	// to this file, and a final snapshot is written when the solve fails
+	// part-way. Ignored under MutexPool.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot period in completed tasks; 0 means
+	// 16.
+	CheckpointEvery int
 }
 
 // mulStage1 dispatches one stage-1 block product to the fastest kernel
@@ -97,6 +126,73 @@ type paddedStats struct {
 // 9(b)–12(b)); on the Cell itself the cellsim-backed SolveCell adds the
 // local-store and DMA modeling.
 func SolveParallel[E semiring.Elem](t *tri.Tiled[E], opts ParallelOptions) (kernel.Stats, error) {
+	return SolveParallelCtx(context.Background(), t, opts)
+}
+
+// parallelCheckpointer serializes snapshot state behind one mutex: the
+// mutex both orders concurrent OnTaskDone calls and establishes the
+// happens-before that makes reading completed tasks' blocks race-free
+// (each worker's block writes precede its OnTaskDone, which precedes any
+// later snapshot under the same lock). Completed blocks are final, so a
+// snapshot only ever reads immutable table regions.
+type parallelCheckpointer[E semiring.Elem] struct {
+	mu    sync.Mutex
+	path  string
+	every int
+	meta  resilience.Meta
+	graph *sched.Graph
+	t     *tri.Tiled[E]
+	done  []bool
+	since int
+	err   error // first snapshot failure; surfaced after the run
+}
+
+func (c *parallelCheckpointer[E]) taskDone(task sched.Task) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[task.ID] = true
+	if c.since++; c.since >= c.every {
+		c.since = 0
+		c.save()
+	}
+}
+
+// save writes a snapshot of every completed task's memory blocks; the
+// caller holds c.mu. After the first failure snapshots stop (the stored
+// error is surfaced when the solve returns).
+func (c *parallelCheckpointer[E]) save() {
+	if c.err != nil {
+		return
+	}
+	var blocks [][2]int
+	for id, d := range c.done {
+		if d {
+			blocks = append(blocks, c.graph.Tasks[id].MemoryBlockOrder()...)
+		}
+	}
+	if err := resilience.SaveCheckpointFile(c.path, c.meta, c.done, c.t, blocks); err != nil {
+		c.err = err
+	}
+}
+
+// final writes a last snapshot when the solve failed part-way (so resume
+// never depends on the periodic boundary) and reports any snapshot error.
+func (c *parallelCheckpointer[E]) final(solved bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !solved {
+		c.save()
+	}
+	return c.err
+}
+
+// SolveParallelCtx is SolveParallel with the fault-tolerance layer wired
+// in: context cancellation at task-dispatch granularity, per-task retry
+// of transient failures, deterministic fault injection, checkpoint
+// snapshots, and resume from a completion bitmap. Task failures surface
+// as *resilience.TaskError carrying the task identity and attempt count.
+// The MutexPool ablation bypasses all of it (plain locked pool).
+func SolveParallelCtx[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], opts ParallelOptions) (kernel.Stats, error) {
 	if err := kernel.CheckTile(t.Tile()); err != nil {
 		return kernel.Stats{}, err
 	}
@@ -118,24 +214,83 @@ func SolveParallel[E semiring.Elem](t *tri.Tiled[E], opts ParallelOptions) (kern
 	if err != nil {
 		return kernel.Stats{}, err
 	}
-	run := sched.RunPool
-	if opts.MutexPool {
-		run = sched.RunPoolLocked
-	}
 	compute := computeMemoryBlock[E]
 	if opts.NoPanelKernel {
 		compute = computeMemoryBlockCBStep[E]
 	}
 	perWorker := make([]paddedStats, opts.Workers)
-	err = run(graph, opts.Workers, func(worker int, task sched.Task) error {
-		for _, mb := range task.MemoryBlockOrder() {
-			perWorker[worker].Stats.Add(compute(t, mb[0], mb[1]))
+
+	if opts.MutexPool {
+		// Ablation baseline: the mutex-guarded seed pool, without the
+		// fault-tolerance plumbing.
+		err = sched.RunPoolLocked(graph, opts.Workers, func(worker int, task sched.Task) error {
+			for _, mb := range task.MemoryBlockOrder() {
+				perWorker[worker].Stats.Add(compute(t, mb[0], mb[1]))
+			}
+			return nil
+		})
+		var st kernel.Stats
+		for i := range perWorker {
+			st.Add(perWorker[i].Stats)
 		}
+		return st, err
+	}
+
+	poolOpts := sched.PoolRunOptions{Completed: opts.Completed}
+	var ck *parallelCheckpointer[E]
+	if opts.CheckpointPath != "" {
+		every := opts.CheckpointEvery
+		if every <= 0 {
+			every = 16
+		}
+		done := make([]bool, len(graph.Tasks))
+		copy(done, opts.Completed)
+		var e E
+		ck = &parallelCheckpointer[E]{
+			path:  opts.CheckpointPath,
+			every: every,
+			meta: resilience.Meta{
+				N: t.Len(), Tile: t.Tile(), SchedSide: g,
+				Tasks: len(graph.Tasks), ElemBytes: elemBytes(e),
+			},
+			graph: graph,
+			t:     t,
+			done:  done,
+		}
+		poolOpts.OnTaskDone = ck.taskDone
+	}
+
+	err = sched.RunPoolCtx(ctx, graph, opts.Workers, poolOpts, func(worker int, task sched.Task) error {
+		// Stats accumulate locally and merge only on success, so a
+		// retried attempt never double-counts work.
+		var local kernel.Stats
+		attempts, err := opts.Retry.Do(func(attempt int) error {
+			local = kernel.Stats{}
+			if err := opts.Inject.Apply(task.ID, attempt); err != nil {
+				return err
+			}
+			for _, mb := range task.MemoryBlockOrder() {
+				local.Add(compute(t, mb[0], mb[1]))
+			}
+			return nil
+		})
+		if err != nil {
+			return &resilience.TaskError{
+				TaskID: task.ID, Bi: task.Bi, Bj: task.Bj,
+				Worker: worker, Attempts: attempts, Err: err,
+			}
+		}
+		perWorker[worker].Stats.Add(local)
 		return nil
 	})
 	var st kernel.Stats
 	for i := range perWorker {
 		st.Add(perWorker[i].Stats)
+	}
+	if ck != nil {
+		if ckErr := ck.final(err == nil); ckErr != nil && err == nil {
+			err = fmt.Errorf("npdp: solve succeeded but checkpointing failed: %w", ckErr)
+		}
 	}
 	return st, err
 }

@@ -1,0 +1,61 @@
+package npdp
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"cellnpdp/internal/resilience"
+	"cellnpdp/internal/tri"
+	"cellnpdp/internal/workload"
+)
+
+// TestParallelFaultMixFivePercent drives the acceptance contract for the
+// fault-injection suite: with panic/error/delay faults injected at a 5%
+// task rate, every solve either completes with a bit-identical table
+// (transient faults absorbed by retry) or fails fast with an error that
+// identifies the faulting task (a panic is never retried) — and in both
+// cases the pool winds down without leaking goroutines.
+func TestParallelFaultMixFivePercent(t *testing.T) {
+	const n = 300
+	baseline := runtime.NumGoroutine()
+	for seed := int64(1); seed <= 8; seed++ {
+		src := workload.Chain[float32](n, 99)
+		ref := solveRef(src)
+		tt := tri.ToTiled(src, 32)
+		_, err := SolveParallel(tt, ParallelOptions{
+			Workers: 4, SchedSide: 1,
+			Retry: resilience.RetryPolicy{MaxRetries: 3},
+			Inject: &resilience.Injector{
+				Rate: 0.05, Seed: seed,
+				Kinds: []resilience.FaultKind{
+					resilience.FaultError, resilience.FaultPanic, resilience.FaultDelay,
+				},
+				Delay: 100 * time.Microsecond,
+			},
+		})
+		if err == nil {
+			got := tri.ToRowMajor(tt)
+			if i, j, av, bv, diff := tri.FirstDiff[float32](ref, got); diff {
+				t.Fatalf("seed %d: survived faults but diverged at (%d,%d): %v vs %v", seed, i, j, av, bv)
+			}
+			continue
+		}
+		var te *resilience.TaskError
+		if !errors.As(err, &te) {
+			t.Fatalf("seed %d: failure lacks task identity: %v", seed, err)
+		}
+		var pe *resilience.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("seed %d: only panics are unretryable at 3 retries, got %v", seed, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

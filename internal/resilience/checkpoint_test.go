@@ -1,0 +1,150 @@
+package resilience
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"cellnpdp/internal/tri"
+)
+
+// testSnapshot builds a small table with two completed tasks' blocks.
+func testSnapshot(t *testing.T) (Meta, []bool, *tri.Tiled[float32], [][2]int) {
+	t.Helper()
+	const n, tile = 20, 8 // 3 blocks per side → 6 tasks at schedSide 1
+	tt := tri.NewTiled[float32](n, tile)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			tt.Set(i, j, float32(i*100+j))
+		}
+	}
+	meta := Meta{N: n, Tile: tile, SchedSide: 1, Tasks: 6, ElemBytes: 4}
+	done := []bool{true, false, false, true, false, false}
+	blocks := [][2]int{{0, 0}, {1, 1}}
+	return meta, done, tt, blocks
+}
+
+// TestCheckpointRoundTrip writes a snapshot and reads it back, checking
+// metadata, bitmap, and block contents survive exactly.
+func TestCheckpointRoundTrip(t *testing.T) {
+	meta, done, tt, blocks := testSnapshot(t)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, meta, done, tt, blocks); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := ReadCheckpoint[float32](bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Meta != meta {
+		t.Fatalf("meta %+v, want %+v", ck.Meta, meta)
+	}
+	if ck.DoneCount() != 2 || !ck.Done[0] || !ck.Done[3] {
+		t.Fatalf("bitmap %v, want tasks 0 and 3 done", ck.Done)
+	}
+	if !ck.HasBlock(0, 0) || !ck.HasBlock(1, 1) || ck.HasBlock(0, 1) {
+		t.Fatal("saved block set wrong")
+	}
+	// Apply into a fresh (infinity-filled) table: saved blocks restored,
+	// others untouched.
+	fresh := tri.NewTiled[float32](meta.N, meta.Tile)
+	if err := ck.Apply(fresh); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		want := tt.Block(b[0], b[1])
+		got := fresh.Block(b[0], b[1])
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("block (%d,%d) cell %d: %v vs %v", b[0], b[1], k, got[k], want[k])
+			}
+		}
+	}
+	if err := ck.Matches(meta.N, meta.Tile, meta.SchedSide); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Matches(meta.N, meta.Tile, 2); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+// TestCheckpointRejectsCorruption flips every byte position in turn; the
+// reader must reject each corrupted snapshot (checksum or validation)
+// and must never confuse one for the original.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	meta, done, tt, blocks := testSnapshot(t)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, meta, done, tt, blocks); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for pos := 0; pos < len(data); pos++ {
+		bad := append([]byte(nil), data...)
+		bad[pos] ^= 0xff
+		if _, err := ReadCheckpoint[float32](bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at byte %d accepted", pos)
+		}
+	}
+	// Every truncation must also be rejected.
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := ReadCheckpoint[float32](bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+// TestCheckpointWrongElemWidth asserts a float64 reader rejects a float32
+// snapshot rather than misinterpreting it.
+func TestCheckpointWrongElemWidth(t *testing.T) {
+	meta, done, tt, blocks := testSnapshot(t)
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, meta, done, tt, blocks); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint[float64](bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("element-width mismatch accepted")
+	}
+}
+
+// TestCheckpointFileAtomic saves to a file and loads it back; the temp
+// file must not linger.
+func TestCheckpointFileAtomic(t *testing.T) {
+	meta, done, tt, blocks := testSnapshot(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "solve.ckpt")
+	if err := SaveCheckpointFile(path, meta, done, tt, blocks); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := LoadCheckpointFile[float32](path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.DoneCount() != 2 {
+		t.Fatalf("loaded %d done tasks, want 2", ck.DoneCount())
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("temp files left behind: %v", left)
+	}
+	// Overwriting with a newer snapshot must succeed (rename over).
+	if err := SaveCheckpointFile(path, meta, done, tt, blocks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointMetaValidation rejects inconsistent geometry up front.
+func TestCheckpointMetaValidation(t *testing.T) {
+	meta, done, tt, blocks := testSnapshot(t)
+	bad := meta
+	bad.Tasks = 5 // inconsistent with 3 blocks/side at schedSide 1
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, bad, done[:5], tt, blocks); err == nil {
+		t.Fatal("inconsistent task count accepted by writer")
+	}
+	if err := WriteCheckpoint(&buf, meta, done[:3], tt, blocks); err == nil {
+		t.Fatal("short bitmap accepted by writer")
+	}
+}

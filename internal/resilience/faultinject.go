@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultKind classifies what an Injector does to one task attempt.
+type FaultKind int
+
+// The injectable faults.
+const (
+	FaultNone  FaultKind = iota
+	FaultError           // return a transient error (retryable)
+	FaultPanic           // panic inside the task body
+	FaultDelay           // sleep before computing (slow-worker model)
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultError:
+		return "error"
+	case FaultPanic:
+		return "panic"
+	case FaultDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Injector deterministically injects faults into task execution: whether
+// attempt a of task t faults, and how, is a pure function of (Seed, t, a),
+// so a run with a given seed always fails the same tasks in the same way
+// regardless of worker interleaving — the property the scheduler and
+// engine fault suites depend on.
+//
+// Because the decision includes the attempt number, an injected FaultError
+// is genuinely transient: a retry of the same task re-rolls and succeeds
+// with probability 1-Rate per attempt, exercising the backoff path end to
+// end.
+type Injector struct {
+	// Rate is the per-attempt fault probability in [0, 1].
+	Rate float64
+	// Seed drives the deterministic per-(task, attempt) decision.
+	Seed int64
+	// Kinds is the set of faults to draw from; empty means
+	// {FaultError} — the retryable default.
+	Kinds []FaultKind
+	// Delay is the sleep length of a FaultDelay; 0 means 1ms.
+	Delay time.Duration
+	// Sleep is the sleeper FaultDelay uses; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll returns the mixed 64-bit draw for (task, attempt).
+func (inj *Injector) roll(task, attempt int) uint64 {
+	h := splitmix64(uint64(inj.Seed))
+	h = splitmix64(h ^ uint64(task)*0x9e3779b97f4a7c15)
+	h = splitmix64(h ^ uint64(attempt)*0xd1b54a32d192ed03)
+	return h
+}
+
+// Plan returns the fault injected into attempt `attempt` (0-based) of
+// task `task`, FaultNone when the attempt runs clean. Deterministic.
+func (inj *Injector) Plan(task, attempt int) FaultKind {
+	if inj == nil || inj.Rate <= 0 {
+		return FaultNone
+	}
+	h := inj.roll(task, attempt)
+	// Top 53 bits → uniform [0,1).
+	u := float64(h>>11) / (1 << 53)
+	if u >= inj.Rate {
+		return FaultNone
+	}
+	kinds := inj.Kinds
+	if len(kinds) == 0 {
+		kinds = []FaultKind{FaultError}
+	}
+	return kinds[splitmix64(h)%uint64(len(kinds))]
+}
+
+// Apply executes the planned fault for (task, attempt): returns a
+// transient error, panics, sleeps, or does nothing. Engines call it at
+// the top of the task body so a faulted attempt never touches the table.
+func (inj *Injector) Apply(task, attempt int) error {
+	switch inj.Plan(task, attempt) {
+	case FaultError:
+		return Transient(fmt.Errorf("injected fault: task %d attempt %d", task, attempt))
+	case FaultPanic:
+		panic(fmt.Sprintf("injected panic: task %d attempt %d", task, attempt))
+	case FaultDelay:
+		d := inj.Delay
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		if inj.Sleep != nil {
+			inj.Sleep(d)
+		} else {
+			time.Sleep(d)
+		}
+	}
+	return nil
+}

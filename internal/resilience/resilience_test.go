@@ -1,0 +1,178 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRetryPolicyBackoff pins the exponential schedule: base doubling per
+// retry, capped at MaxDelay, zero without a base.
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{MaxRetries: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 50, 50}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w*time.Millisecond {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	if got := (RetryPolicy{}).Backoff(3); got != 0 {
+		t.Errorf("zero policy backoff = %v, want 0", got)
+	}
+}
+
+// TestRetryDoTransient asserts transient failures are retried through the
+// injectable sleeper with the right delays, and that success stops the
+// loop.
+func TestRetryDoTransient(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{
+		MaxRetries: 3,
+		BaseDelay:  time.Millisecond,
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+	}
+	calls := 0
+	attempts, err := p.Do(func(attempt int) error {
+		if attempt != calls {
+			t.Fatalf("attempt %d delivered as %d", calls, attempt)
+		}
+		calls++
+		if attempt < 2 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("Do = (%d, %v), want (3, nil)", attempts, err)
+	}
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Fatalf("sleeps %v, want [1ms 2ms]", slept)
+	}
+}
+
+// TestRetryDoPermanent asserts non-transient errors fail immediately and
+// exhausted budgets surface the last transient error.
+func TestRetryDoPermanent(t *testing.T) {
+	perm := errors.New("broken")
+	p := RetryPolicy{MaxRetries: 5, Sleep: func(time.Duration) {}}
+	attempts, err := p.Do(func(int) error { return perm })
+	if !errors.Is(err, perm) || attempts != 1 {
+		t.Fatalf("permanent error: attempts=%d err=%v", attempts, err)
+	}
+	flaky := Transient(errors.New("always flaky"))
+	attempts, err = p.Do(func(int) error { return flaky })
+	if !errors.Is(err, flaky) || attempts != 6 {
+		t.Fatalf("exhausted budget: attempts=%d err=%v", attempts, err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("exhausted error lost its transient mark")
+	}
+}
+
+// TestRecoverConvertsPanic asserts panics become PanicErrors with the
+// stack attached and are never treated as transient.
+func TestRecoverConvertsPanic(t *testing.T) {
+	p := RetryPolicy{MaxRetries: 4, Sleep: func(time.Duration) {}}
+	attempts, err := p.Do(func(int) error { panic("kaboom") })
+	if attempts != 1 {
+		t.Fatalf("panicking task attempted %d times, want 1 (no retry)", attempts)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a PanicError", err)
+	}
+	if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic value %v / stack %d bytes", pe.Value, len(pe.Stack))
+	}
+	if IsTransient(err) {
+		t.Fatal("panic marked transient")
+	}
+}
+
+// TestTaskErrorIdentity asserts the wrapper keeps the cause reachable and
+// names the task.
+func TestTaskErrorIdentity(t *testing.T) {
+	cause := errors.New("root cause")
+	te := &TaskError{TaskID: 7, Bi: 1, Bj: 3, Worker: 2, Attempts: 4, Err: cause}
+	if !errors.Is(te, cause) {
+		t.Fatal("cause not unwrapped")
+	}
+	msg := te.Error()
+	for _, want := range []string{"task 7", "1,3", "worker 2", "4 attempts"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestInjectorDeterministic asserts the fault plan is a pure function of
+// (seed, task, attempt) and respects the rate at both extremes.
+func TestInjectorDeterministic(t *testing.T) {
+	inj := &Injector{Rate: 0.3, Seed: 42, Kinds: []FaultKind{FaultError, FaultPanic, FaultDelay}}
+	for task := 0; task < 50; task++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			a := inj.Plan(task, attempt)
+			b := inj.Plan(task, attempt)
+			if a != b {
+				t.Fatalf("Plan(%d,%d) unstable: %v vs %v", task, attempt, a, b)
+			}
+		}
+	}
+	always := &Injector{Rate: 1, Seed: 1}
+	never := &Injector{Rate: 0, Seed: 1}
+	for task := 0; task < 20; task++ {
+		if always.Plan(task, 0) == FaultNone {
+			t.Fatalf("rate 1 skipped task %d", task)
+		}
+		if never.Plan(task, 0) != FaultNone {
+			t.Fatalf("rate 0 faulted task %d", task)
+		}
+	}
+	var nilInj *Injector
+	if nilInj.Plan(3, 0) != FaultNone {
+		t.Fatal("nil injector faulted")
+	}
+}
+
+// TestInjectorRate asserts the empirical fault rate lands near the
+// configured probability over many tasks.
+func TestInjectorRate(t *testing.T) {
+	inj := &Injector{Rate: 0.05, Seed: 7}
+	faults := 0
+	const trials = 20000
+	for task := 0; task < trials; task++ {
+		if inj.Plan(task, 0) != FaultNone {
+			faults++
+		}
+	}
+	got := float64(faults) / trials
+	if got < 0.03 || got > 0.07 {
+		t.Fatalf("empirical rate %.4f far from 0.05", got)
+	}
+}
+
+// TestInjectorApply asserts each kind acts as declared: transient error,
+// panic, and a delay through the injectable sleeper.
+func TestInjectorApply(t *testing.T) {
+	errInj := &Injector{Rate: 1, Seed: 3, Kinds: []FaultKind{FaultError}}
+	if err := errInj.Apply(5, 0); !IsTransient(err) {
+		t.Fatalf("injected error not transient: %v", err)
+	}
+	var slept time.Duration
+	delayInj := &Injector{Rate: 1, Seed: 3, Kinds: []FaultKind{FaultDelay},
+		Delay: 5 * time.Millisecond, Sleep: func(d time.Duration) { slept += d }}
+	if err := delayInj.Apply(5, 0); err != nil || slept != 5*time.Millisecond {
+		t.Fatalf("delay fault: err=%v slept=%v", err, slept)
+	}
+	panicInj := &Injector{Rate: 1, Seed: 3, Kinds: []FaultKind{FaultPanic}}
+	err := Recover(func() error { return panicInj.Apply(5, 0) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("injected panic surfaced as %v", err)
+	}
+	if !strings.Contains(fmt.Sprint(pe.Value), "task 5") {
+		t.Fatalf("panic value %v missing task identity", pe.Value)
+	}
+}

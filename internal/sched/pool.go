@@ -1,17 +1,42 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"cellnpdp/internal/resilience"
 )
+
+// PoolRunOptions carries the fault-tolerance extensions of RunPoolCtx.
+// The zero value reproduces plain RunPool behavior.
+type PoolRunOptions struct {
+	// Completed marks tasks (by ID) that finished in an earlier run and
+	// must not re-execute: they are pre-notified — their successors'
+	// dependence counters start already decremented — so a resumed solve
+	// runs only the remaining tasks. May be nil.
+	Completed []bool
+	// OnTaskDone, when non-nil, is called after each successful task
+	// execution, before its successors are notified. It runs on worker
+	// goroutines, possibly concurrently; the checkpointer behind it
+	// serializes with its own mutex. A panic inside it fails the run
+	// like a task panic.
+	OnTaskDone func(t Task)
+}
 
 // RunPool executes the graph on `workers` concurrent goroutines,
 // mirroring Figure 8: a ready queue of tasks (the PPE procedure's queue);
 // workers (the SPE procedures) fetch ready tasks, execute them, and
 // report completion, which notifies successors; a task enters the ready
-// queue once every predecessor has notified it.
+// queue once every predecessor has notified it. See RunPoolCtx for the
+// cancellable, fault-isolated variant this wraps.
+func RunPool(g *Graph, workers int, exec func(worker int, t Task) error) error {
+	return RunPoolCtx(context.Background(), g, workers, PoolRunOptions{}, exec)
+}
+
+// RunPoolCtx is the fault-tolerant pool executor.
 //
 // The completion path is lock-free: each task carries an atomic
 // dependence counter, the last predecessor to decrement it enqueues the
@@ -28,12 +53,27 @@ import (
 // remaining dependence chains — enqueue first.
 //
 // exec runs the task body; it receives the worker index (0-based) and the
-// task. The first error reported by any exec cancels the run: the failed
-// task notifies no successors (so nothing downstream of it ever
-// executes), idle workers wake and exit immediately, and busy workers
-// stop dequeuing after their current task. RunPool returns that first
-// error.
-func RunPool(g *Graph, workers int, exec func(worker int, t Task) error) error {
+// task. Failure semantics:
+//
+//   - A panic inside exec (or OnTaskDone) is converted to a
+//     *resilience.PanicError carrying the task identity and worker; it
+//     never crosses the worker goroutine as a panic, so one broken task
+//     cannot kill the process or deadlock the pool.
+//   - Any task failure cancels the run: the failed task notifies no
+//     successors (nothing downstream of it ever executes), idle workers
+//     wake via poison sentinels and exit, and busy workers stop dequeuing
+//     after their current task.
+//   - When several tasks fail concurrently, the reported error is
+//     deterministic: the failure with the smallest task ID wins, not
+//     whichever worker reached the error slot first.
+//   - Context cancellation (checked at task-dispatch granularity, plus a
+//     watcher that wakes blocked workers through the same poison path)
+//     drains the pool promptly and returns ctx.Err() — unless a task had
+//     already failed, in which case that task's error is reported.
+//
+// RunPoolCtx returns nil only when every non-pre-completed task executed
+// successfully.
+func RunPoolCtx(ctx context.Context, g *Graph, workers int, opts PoolRunOptions, exec func(worker int, t Task) error) error {
 	if workers <= 0 {
 		return fmt.Errorf("sched: worker count must be positive, got %d", workers)
 	}
@@ -41,18 +81,41 @@ func RunPool(g *Graph, workers int, exec func(worker int, t Task) error) error {
 		return err
 	}
 	n := len(g.Tasks)
+	if opts.Completed != nil && len(opts.Completed) != n {
+		return fmt.Errorf("sched: completion bitmap has %d entries for %d tasks", len(opts.Completed), n)
+	}
+	done := func(id int) bool { return opts.Completed != nil && opts.Completed[id] }
+
 	// Real tasks enqueue exactly once and cancellation adds at most one
 	// sentinel per worker, so sends never block.
 	ready := make(chan int, n+workers)
 
 	pending := make([]atomic.Int32, n) // remaining notifications per task
 	var remaining atomic.Int64
-	remaining.Store(int64(n))
+
+	for i := range g.Tasks {
+		pending[i].Store(int32(len(g.Tasks[i].Deps)))
+		if !done(i) {
+			remaining.Add(1)
+		}
+	}
+	// Pre-notify from completed tasks: their successors start with those
+	// dependences already satisfied, exactly as if the task had just
+	// finished (a resumed run therefore only executes the remainder).
+	for i := range g.Tasks {
+		if done(i) {
+			for _, s := range g.Tasks[i].Succs {
+				pending[s].Add(-1)
+			}
+		}
+	}
+	if remaining.Load() == 0 {
+		return nil // everything was already complete
+	}
 
 	var roots []int
 	for i := range g.Tasks {
-		pending[i].Store(int32(len(g.Tasks[i].Deps)))
-		if len(g.Tasks[i].Deps) == 0 {
+		if pending[i].Load() == 0 && !done(i) {
 			roots = append(roots, i)
 		}
 	}
@@ -70,31 +133,86 @@ func RunPool(g *Graph, workers int, exec func(worker int, t Task) error) error {
 		ready <- id
 	}
 
+	// Both termination paths — full completion and cancellation — wake
+	// the workers through the same once-guarded poison drain (one
+	// sentinel per worker), so a context firing after the last task
+	// completes can never send on torn-down state.
 	var cancelled atomic.Bool
-	var failOnce sync.Once
-	var firstErr error
-	fail := func(err error) {
-		failOnce.Do(func() {
-			firstErr = err
-			cancelled.Store(true)
+	var poisonOnce sync.Once
+	drain := func() {
+		poisonOnce.Do(func() {
 			for i := 0; i < workers; i++ {
 				ready <- poison // wake idle workers; busy ones see `cancelled`
 			}
 		})
 	}
+	cancelRun := func() {
+		cancelled.Store(true)
+		drain()
+	}
+
+	// Error slots: task failures are kept by smallest task ID so the
+	// reported error does not depend on which worker loses the race;
+	// a context error is reported only when no task failed.
+	var errMu sync.Mutex
+	var taskErr error
+	taskErrID := -1
+	var ctxErr error
+	failTask := func(id int, err error) {
+		errMu.Lock()
+		if taskErr == nil || id < taskErrID {
+			taskErr, taskErrID = err, id
+		}
+		errMu.Unlock()
+		cancelRun()
+	}
+	failCtx := func(err error) {
+		errMu.Lock()
+		if ctxErr == nil {
+			ctxErr = err
+		}
+		errMu.Unlock()
+		cancelRun()
+	}
+
+	// The watcher wakes workers blocked on an empty ready queue when the
+	// context fires; stop tears it down once the pool drains.
+	stop := make(chan struct{})
+	defer close(stop)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				failCtx(ctx.Err())
+			case <-stop:
+			}
+		}()
+	}
 
 	finish := func(id int) {
 		// Succs is pre-sorted critical-path-first by the constructors.
 		for _, s := range g.Tasks[id].Succs {
-			if pending[s].Add(-1) == 0 {
+			if pending[s].Add(-1) == 0 && !done(s) {
 				ready <- s
 			}
 		}
 		if remaining.Add(-1) == 0 {
-			// Only reachable when every task completed, so no finish (nor
-			// fail: its task never completes) can still send.
-			close(ready)
+			// Every task completed: wake the workers so they exit.
+			drain()
 		}
+	}
+
+	// runTask executes one task body (and the completion hook) with panic
+	// isolation, attaching task identity to converted panics.
+	runTask := func(worker, id int) error {
+		err := resilience.Recover(func() error { return exec(worker, g.Tasks[id]) })
+		if err == nil && opts.OnTaskDone != nil {
+			err = resilience.Recover(func() error { opts.OnTaskDone(g.Tasks[id]); return nil })
+		}
+		if pe, ok := err.(*resilience.PanicError); ok {
+			pe.TaskID, pe.Bi, pe.Bj, pe.Worker = id, g.Tasks[id].Bi, g.Tasks[id].Bj, worker
+		}
+		return err
 	}
 
 	var wg sync.WaitGroup
@@ -106,8 +224,14 @@ func RunPool(g *Graph, workers int, exec func(worker int, t Task) error) error {
 				if id == poison || cancelled.Load() {
 					return
 				}
-				if err := exec(worker, g.Tasks[id]); err != nil {
-					fail(err)
+				// Dispatch-granularity context check: an expired deadline
+				// stops the very next task even before the watcher fires.
+				if err := ctx.Err(); err != nil {
+					failCtx(err)
+					return
+				}
+				if err := runTask(worker, id); err != nil {
+					failTask(id, err)
 					return
 				}
 				finish(id)
@@ -115,7 +239,11 @@ func RunPool(g *Graph, workers int, exec func(worker int, t Task) error) error {
 		}(w)
 	}
 	wg.Wait()
-	return firstErr
+
+	if taskErr != nil {
+		return taskErr
+	}
+	return ctxErr
 }
 
 // poison is the sentinel fail injects into the ready queue, one per

@@ -34,7 +34,7 @@ type header struct {
 func Write[E semiring.Elem](w io.Writer, m *tri.RowMajor[E]) error {
 	bw := bufio.NewWriter(w)
 	var e E
-	h := header{Version: Version, ElemBytes: uint16(elemWidth(e)), N: uint64(m.Len())}
+	h := header{Version: Version, ElemBytes: uint16(ElemWidth(e)), N: uint64(m.Len())}
 	copy(h.Magic[:], Magic)
 	if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
 		return fmt.Errorf("tableio: writing header: %w", err)
@@ -43,8 +43,8 @@ func Write[E semiring.Elem](w io.Writer, m *tri.RowMajor[E]) error {
 	buf := make([]byte, 8)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
-			putElem(buf, m.At(i, j))
-			if _, err := bw.Write(buf[:elemWidth(e)]); err != nil {
+			PutElem(buf, m.At(i, j))
+			if _, err := bw.Write(buf[:ElemWidth(e)]); err != nil {
 				return fmt.Errorf("tableio: writing cell (%d,%d): %w", i, j, err)
 			}
 		}
@@ -67,36 +67,38 @@ func Read[E semiring.Elem](r io.Reader) (*tri.RowMajor[E], error) {
 		return nil, fmt.Errorf("tableio: unsupported version %d", h.Version)
 	}
 	var e E
-	if int(h.ElemBytes) != elemWidth(e) {
-		return nil, fmt.Errorf("tableio: file holds %d-byte elements, requested type has %d", h.ElemBytes, elemWidth(e))
+	if int(h.ElemBytes) != ElemWidth(e) {
+		return nil, fmt.Errorf("tableio: file holds %d-byte elements, requested type has %d", h.ElemBytes, ElemWidth(e))
 	}
 	if h.N == 0 || h.N > 1<<24 {
 		return nil, fmt.Errorf("tableio: implausible problem size %d", h.N)
 	}
 	n := int(h.N)
 	m := tri.NewRowMajor[E](n)
-	buf := make([]byte, elemWidth(e))
+	buf := make([]byte, ElemWidth(e))
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
 			if _, err := io.ReadFull(br, buf); err != nil {
 				return nil, fmt.Errorf("tableio: reading cell (%d,%d): %w", i, j, err)
 			}
-			m.Set(i, j, getElem[E](buf))
+			m.Set(i, j, GetElem[E](buf))
 		}
 	}
 	return m, nil
 }
 
-// elemWidth returns the byte width of E.
-func elemWidth(e any) int {
+// ElemWidth returns the byte width of E (4 for float32, 8 for float64).
+// Exported so sibling codecs (the resilience checkpoint format) share the
+// exact element encoding.
+func ElemWidth(e any) int {
 	if _, ok := e.(float64); ok {
 		return 8
 	}
 	return 4
 }
 
-// putElem encodes v into buf (little-endian IEEE).
-func putElem[E semiring.Elem](buf []byte, v E) {
+// PutElem encodes v into buf (little-endian IEEE).
+func PutElem[E semiring.Elem](buf []byte, v E) {
 	switch x := any(v).(type) {
 	case float32:
 		binary.LittleEndian.PutUint32(buf, math.Float32bits(x))
@@ -105,8 +107,8 @@ func putElem[E semiring.Elem](buf []byte, v E) {
 	}
 }
 
-// getElem decodes an element from buf.
-func getElem[E semiring.Elem](buf []byte) E {
+// GetElem decodes an element from buf.
+func GetElem[E semiring.Elem](buf []byte) E {
 	var e E
 	switch any(e).(type) {
 	case float32:

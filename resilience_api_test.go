@@ -1,0 +1,187 @@
+package cellnpdp_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"cellnpdp"
+	"cellnpdp/internal/resilience"
+)
+
+// chainTable builds the CLI's seeded workload: a weighted chain whose
+// optimal substructure exercises every cell.
+func chainTable(t *testing.T, n int) *cellnpdp.Table[float32] {
+	t.Helper()
+	tbl, err := cellnpdp.NewTable[float32](n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := tbl.Set(i, i+1, float32(1+(i*7919)%97)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// assertTablesIdentical compares every cell bit for bit.
+func assertTablesIdentical(t *testing.T, want, got *cellnpdp.Table[float32], label string) {
+	t.Helper()
+	n := want.Len()
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			wv, _ := want.At(i, j)
+			gv, _ := got.At(i, j)
+			if wv != gv {
+				t.Fatalf("%s: cell (%d,%d) differs: %v vs %v", label, i, j, gv, wv)
+			}
+		}
+	}
+}
+
+// TestSolveWorkersRejectedAllEngines pins the uniform validation: a
+// negative worker count is a configuration error on every engine, with
+// the engine named in the message.
+func TestSolveWorkersRejectedAllEngines(t *testing.T) {
+	for _, eng := range []cellnpdp.Engine{cellnpdp.Serial, cellnpdp.Tiled, cellnpdp.Parallel, cellnpdp.Cell} {
+		tbl := chainTable(t, 64)
+		_, err := cellnpdp.Solve(tbl, cellnpdp.Options{Engine: eng, Workers: -1})
+		if err == nil {
+			t.Fatalf("%v engine accepted Workers=-1", eng)
+		}
+	}
+}
+
+// TestSolveCtxCancelNoGoroutineLeak cancels parallel solves mid-run and
+// asserts (a) the context error surfaces and (b) no worker goroutines
+// outlive the call. Run under -race via scripts/ci.sh.
+func TestSolveCtxCancelNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for trial := 0; trial < 3; trial++ {
+		tbl := chainTable(t, 1600)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		_, err := cellnpdp.SolveCtx(ctx, tbl, cellnpdp.Options{Engine: cellnpdp.Parallel, Workers: 4})
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("trial %d: cancelled solve returned %v", trial, err)
+		}
+	}
+	// Workers exit before SolveCtx returns; the ctx watcher may need a
+	// scheduling round to observe its stop channel.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at baseline", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSolveResumeBitIdentical is the acceptance property: a solve killed
+// part-way by injected faults, resumed from its checkpoint, produces a
+// table bit-identical to an uninterrupted serial solve.
+func TestSolveResumeBitIdentical(t *testing.T) {
+	ref := chainTable(t, 400)
+	if _, err := cellnpdp.Solve(ref, cellnpdp.Options{Engine: cellnpdp.Serial}); err != nil {
+		t.Fatal(err)
+	}
+
+	ck := filepath.Join(t.TempDir(), "solve.npck")
+	killed := chainTable(t, 400)
+	_, err := cellnpdp.Solve(killed, cellnpdp.Options{
+		Engine: cellnpdp.Parallel, Workers: 2,
+		FaultRate: 0.4, FaultSeed: 5,
+		CheckpointPath: ck, CheckpointEvery: 1,
+		NoFallback: true,
+	})
+	var te *resilience.TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("faulted run returned %v, want a task-identified failure", err)
+	}
+
+	resumed := chainTable(t, 400)
+	res, err := cellnpdp.Solve(resumed, cellnpdp.Options{
+		Engine: cellnpdp.Parallel, Workers: 2,
+		ResumePath: ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumedTasks == 0 {
+		t.Fatal("resume restored no tasks; checkpoint was empty")
+	}
+	assertTablesIdentical(t, ref, resumed, "resumed vs serial")
+}
+
+// TestSolveFaultsRecoverViaRetry asserts the 5%-injection acceptance
+// scenario: with retries enabled the parallel engine completes correctly
+// without falling back.
+func TestSolveFaultsRecoverViaRetry(t *testing.T) {
+	ref := chainTable(t, 300)
+	if _, err := cellnpdp.Solve(ref, cellnpdp.Options{Engine: cellnpdp.Serial}); err != nil {
+		t.Fatal(err)
+	}
+	faulted := chainTable(t, 300)
+	res, err := cellnpdp.Solve(faulted, cellnpdp.Options{
+		Engine: cellnpdp.Parallel, Workers: 4,
+		FaultRate: 0.05, FaultSeed: 7, MaxRetries: 3,
+		NoFallback: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatal("retry path degraded instead of recovering in place")
+	}
+	assertTablesIdentical(t, ref, faulted, "retried vs serial")
+}
+
+// TestSolveDegradesToTiled asserts graceful degradation: unretried
+// faults fail the parallel engine, the tiled engine recovers from clean
+// input, and the reason is recorded.
+func TestSolveDegradesToTiled(t *testing.T) {
+	ref := chainTable(t, 300)
+	if _, err := cellnpdp.Solve(ref, cellnpdp.Options{Engine: cellnpdp.Serial}); err != nil {
+		t.Fatal(err)
+	}
+	var logged bool
+	degraded := chainTable(t, 300)
+	res, err := cellnpdp.Solve(degraded, cellnpdp.Options{
+		Engine: cellnpdp.Parallel, Workers: 4,
+		FaultRate: 0.6, FaultSeed: 3,
+		Logf: func(string, ...any) { logged = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.DegradedReason == "" || !logged {
+		t.Fatalf("degradation not reported: %+v logged=%v", res, logged)
+	}
+	assertTablesIdentical(t, ref, degraded, "degraded vs serial")
+}
+
+// TestSolveResumeRejectsGeometryMismatch asserts a checkpoint from a
+// different problem cannot silently poison a solve.
+func TestSolveResumeRejectsGeometryMismatch(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "solve.npck")
+	killed := chainTable(t, 400)
+	_, err := cellnpdp.Solve(killed, cellnpdp.Options{
+		Engine: cellnpdp.Parallel, Workers: 2,
+		FaultRate: 0.4, FaultSeed: 5,
+		CheckpointPath: ck, CheckpointEvery: 1,
+		NoFallback: true,
+	})
+	if err == nil {
+		t.Fatal("faulted run unexpectedly succeeded")
+	}
+	other := chainTable(t, 500)
+	if _, err := cellnpdp.Solve(other, cellnpdp.Options{
+		Engine: cellnpdp.Parallel, ResumePath: ck,
+	}); err == nil {
+		t.Fatal("resume accepted a checkpoint from a different problem size")
+	}
+}

@@ -11,11 +11,8 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_PR1.json}"
 
-echo "== go vet ./..."
-go vet ./...
-
-echo "== go test -race (scheduler + engines)"
-go test -race ./internal/sched/... ./internal/npdp/...
+echo "== preflight: scripts/ci.sh"
+./scripts/ci.sh
 
 echo "== parallel-engine benchmark sweep -> ${out}"
 go run ./cmd/benchtables -benchjson "${out}"

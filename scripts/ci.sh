@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo-wide verification gate: formatting, vet, the full test suite under
+# the race detector, and a smoke fault-injection solve proving the
+# resilience layer end to end (5% injected faults must complete correctly
+# through retries, with fallback disabled so recovery can't mask a bug).
+# Called standalone or as the bench.sh preflight.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [[ -n "${unformatted}" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "${unformatted}" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+# The harness package replays every paper table/figure; under the race
+# detector that legitimately exceeds go test's default 10m per-package
+# timeout, so set an explicit generous one.
+go test -race -timeout 30m ./...
+
+echo "== smoke: fault-injected parallel solve (5% rate, retries, no fallback)"
+go run ./cmd/cellnpdp -n 300 -engine parallel \
+    -faultrate 0.05 -faultseed 7 -retries 3 -fallback=false

@@ -35,6 +35,7 @@ import (
 
 	"cellnpdp/internal/cellsim"
 	"cellnpdp/internal/npdp"
+	"cellnpdp/internal/perfmodel"
 	"cellnpdp/internal/pipeline"
 	"cellnpdp/internal/resilience"
 	"cellnpdp/internal/sched"
@@ -326,12 +327,19 @@ func solveParallel[E Elem](ctx context.Context, t *Table[E], res *Result, tile, 
 			MaxRetries: opts.MaxRetries,
 			BaseDelay:  time.Millisecond,
 			MaxDelay:   100 * time.Millisecond,
+			Jitter:     true,
 		}
 	}
 	if opts.FaultRate > 0 {
 		popts.Inject = &resilience.Injector{Rate: opts.FaultRate, Seed: opts.FaultSeed}
 	}
 	if opts.ResumePath != "" {
+		// A crash between writing a snapshot temp and renaming it leaves
+		// a `.tmp` orphan beside the checkpoint; resume is the natural
+		// point to sweep them (the live checkpoint is never touched).
+		if _, err := resilience.RemoveStaleTemps(opts.ResumePath); err != nil && opts.Logf != nil {
+			opts.Logf("cellnpdp: %v", err)
+		}
 		ck, err := resilience.LoadCheckpointFile[E](opts.ResumePath)
 		if err != nil {
 			return 0, err
@@ -391,4 +399,104 @@ func degradable(err error) bool {
 	var te *resilience.TaskError
 	var pe *resilience.PanicError
 	return errors.As(err, &te) || errors.As(err, &pe)
+}
+
+// SolveEstimate is the admission-control view of a solve before it runs:
+// how many bytes it will pin while in flight and how long the paper's
+// Section V model predicts it will take. A server uses the byte figures
+// to gate admission against a memory budget and the predicted time to
+// shed requests whose deadline cannot be met (internal/serve does both).
+type SolveEstimate struct {
+	// N and Tile are the problem size and derived memory-block side.
+	N, Tile int
+	// Workers is the resolved worker count the prediction assumes.
+	Workers int
+	// TableBytes is the tiled (NDL) table's backing store: all upper-
+	// triangle blocks of Tile² cells, diagonal padding included.
+	TableBytes int64
+	// StagingBytes is the row-major source table the solve reads from
+	// and copies back into — resident alongside the tiled table.
+	StagingBytes int64
+	// CheckpointBytes bounds a full snapshot of the solve (header,
+	// bitmap, every block), the extra footprint when checkpointing.
+	CheckpointBytes int64
+	// FootprintBytes is the total the solve pins: table + staging, plus
+	// the checkpoint bound when Options.CheckpointPath is set.
+	FootprintBytes int64
+	// PredictedSeconds is T_All = max(T_M, T_C) from the Section V
+	// model, instantiated with the solve's geometry and worker count.
+	// The constants are the paper's QS20 figures, so treat it as a
+	// relative oracle (an n³-faithful cost ordering) and scale it by a
+	// measured calibration factor for absolute wall-clock predictions.
+	PredictedSeconds float64
+	// MemoryBound reports T_M > T_C under the model.
+	MemoryBound bool
+}
+
+// EstimateSolve predicts the memory footprint and model time of a solve
+// with the given options, without running it. The same defaulting as
+// SolveCtx applies (workers, block budget, scheduling side).
+func EstimateSolve[E Elem](n int, opts Options) (SolveEstimate, error) {
+	if err := tri.CheckSize(n); err != nil {
+		return SolveEstimate{}, err
+	}
+	workers := opts.Workers
+	if workers < 0 {
+		return SolveEstimate{}, fmt.Errorf("cellnpdp: Workers must be non-negative, got %d", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	blockBytes := opts.BlockBytes
+	if blockBytes <= 0 {
+		blockBytes = 32 * 1024
+	}
+	schedSide := opts.SchedSide
+	if schedSide <= 0 {
+		schedSide = 1
+	}
+	prec := precisionOf[E]()
+	tile, err := npdp.DefaultTile(blockBytes, prec)
+	if err != nil {
+		return SolveEstimate{}, err
+	}
+	elem := int64(prec.ElemBytes())
+	m := int64((n + tile - 1) / tile)
+	nblocks := m * (m + 1) / 2
+	ms := (m + int64(schedSide) - 1) / int64(schedSide)
+	tasks := ms * (ms + 1) / 2
+	blockCells := int64(tile) * int64(tile)
+	est := SolveEstimate{
+		N:            n,
+		Tile:         tile,
+		Workers:      workers,
+		TableBytes:   nblocks * blockCells * elem,
+		StagingBytes: int64(n) * int64(n+1) / 2 * elem,
+	}
+	// Checkpoint layout: 32-byte header + completion bitmap + every block
+	// with its 8-byte coordinates + 4-byte CRC (see checkpoint.go).
+	est.CheckpointBytes = 32 + (tasks+7)/8 + nblocks*(8+blockCells*elem) + 4
+	est.FootprintBytes = est.TableBytes + est.StagingBytes
+	if opts.CheckpointPath != "" {
+		est.FootprintBytes += est.CheckpointBytes
+	}
+	// Section V model with the solve's geometry: LocalStore is the
+	// six-buffer inverse of the tile side, so BlockSide() == tile and
+	// T_M/T_C reflect this run's blocking, not the paper's default.
+	params := perfmodel.Params{
+		ProblemSize: float64(n),
+		LocalStore:  6 * float64(elem) * float64(tile) * float64(tile),
+		ElemBytes:   float64(elem),
+		Bandwidth:   2 * 25.6e9,
+		Clock:       3.2e9,
+		Cores:       float64(workers),
+		CBSide:      4,
+		CBCycles:    cbStepCycles[E](),
+	}
+	if err := params.Validate(); err != nil {
+		return SolveEstimate{}, err
+	}
+	est.PredictedSeconds = params.Time()
+	est.MemoryBound = !params.ComputeBound()
+	return est, nil
 }

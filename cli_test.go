@@ -1,12 +1,19 @@
 package cellnpdp_test
 
 import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildCLI compiles a command once per test binary run and returns the
@@ -228,6 +235,94 @@ func TestCLIKillAndResume(t *testing.T) {
 	}
 	if !strings.Contains(out2, "identical") {
 		t.Fatalf("resumed table not bit-identical to serial reference:\n%s", out2)
+	}
+}
+
+// TestCLIServeDrainsOnSIGTERM is the lifecycle acceptance scenario: a
+// serve process with a solve in flight receives SIGTERM, finishes the
+// in-flight work (the client still gets its 200), reports the outcome
+// summary, and exits 0.
+func TestCLIServeDrainsOnSIGTERM(t *testing.T) {
+	cmd := exec.Command(cliPath(t, "cellnpdp"), "serve", "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	lines := bufio.NewScanner(stdout)
+	var addr string
+	for lines.Scan() {
+		if rest, ok := strings.CutPrefix(lines.Text(), "listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("serve never announced its address")
+	}
+	base := "http://" + addr
+
+	// Kick off a solve big enough to still be running when SIGTERM lands.
+	slow := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/solve", "application/json",
+			strings.NewReader(`{"n": 1024, "engine": "tiled"}`))
+		if err != nil {
+			slow <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			slow <- fmt.Errorf("in-flight solve got %d: %s", resp.StatusCode, body)
+			return
+		}
+		slow <- nil
+	}()
+	// SIGTERM only once the server confirms the solve is in flight.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		var h struct {
+			Inflight int64 `json:"inflight"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Inflight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("solve never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-slow; err != nil {
+		t.Fatalf("in-flight solve during drain: %v", err)
+	}
+	var out strings.Builder
+	for lines.Scan() {
+		out.WriteString(lines.Text())
+		out.WriteByte('\n')
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("serve did not exit 0 after SIGTERM: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "drained; outcomes:") || !strings.Contains(out.String(), "200=1") {
+		t.Fatalf("drain summary missing or wrong:\n%s", out.String())
 	}
 }
 

@@ -6,6 +6,11 @@
 //
 //	cellnpdp -n 2048 -engine parallel -workers 8
 //	cellnpdp -n 1024 -engine cell -prec double
+//
+// The serve subcommand runs the long-running solve service instead
+// (admission control, overload protection, result integrity):
+//
+//	cellnpdp serve -addr 127.0.0.1:8080 -budget 2147483648 -rate 50
 package main
 
 import (
@@ -24,6 +29,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cellnpdp: ")
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	var (
 		n       = flag.Int("n", 1024, "problem size (DP points)")
 		engine  = flag.String("engine", "parallel", "engine: serial, tiled, parallel or cell")

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cellnpdp/internal/serve"
+)
+
+// runServe is the `cellnpdp serve` subcommand: the long-running solve
+// service with admission control, overload protection and end-to-end
+// result integrity (see internal/serve). It listens until SIGTERM or
+// SIGINT, then drains: admission stops, in-flight solves finish, the
+// per-outcome summary prints, and the process exits 0.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		budget  = fs.Int64("budget", 0, "admission memory budget in bytes (0 = 4 GiB)")
+		queue   = fs.Int("queue", 0, "admission queue depth (0 = 8, negative = no queue)")
+		rate    = fs.Float64("rate", 0, "request rate limit per second (0 = unlimited)")
+		burst   = fs.Int("burst", 0, "rate-limit burst (0 = ceil(rate))")
+		dead    = fs.Duration("deadline", 0, "default per-request deadline (0 = 30s)")
+		workers = fs.Int("workers", 0, "solver workers per request (0 = GOMAXPROCS)")
+		block   = fs.Int("block", 0, "memory-block budget in bytes (0 = 32 KiB)")
+		retries = fs.Int("retries", 0, "max retries per task (0 = 3, negative = none)")
+		maxN    = fs.Int("maxn", 0, "largest accepted problem size (0 = 16384)")
+		brkN    = fs.Int("breaker-threshold", 0, "parallel failures before the circuit opens (0 = 3)")
+		brkCool = fs.Duration("breaker-cooldown", 0, "circuit-open time before a half-open probe (0 = 5s)")
+		predict = fs.Float64("predict-factor", 0, "calibration factor on model-predicted solve time (0 = 1)")
+		samples = fs.Int("residual-samples", 0, "cells re-checked against the recurrence per response (0 = 64)")
+		drainT  = fs.Duration("drain-timeout", time.Minute, "max time to wait for in-flight solves on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := serve.New(serve.Config{
+		Workers:          *workers,
+		BlockBytes:       *block,
+		MaxRetries:       *retries,
+		BudgetBytes:      *budget,
+		QueueDepth:       *queue,
+		RatePerSec:       *rate,
+		Burst:            *burst,
+		DefaultDeadline:  *dead,
+		MaxN:             *maxN,
+		BreakerThreshold: *brkN,
+		BreakerCooldown:  *brkCool,
+		PredictFactor:    *predict,
+		ResidualSamples:  *samples,
+		Logf:             log.Printf,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpServer := &http.Server{Handler: srv.Handler()}
+	// Stdout, not the log: scripts parse this line for the bound port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sig)
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("received %v; draining", s)
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+		defer cancel()
+		if err := httpServer.Shutdown(ctx); err != nil {
+			return fmt.Errorf("draining: %w", err)
+		}
+		srv.Wait()
+		fmt.Printf("drained; outcomes: %s\n", srv.OutcomeSummary())
+		return nil
+	}
+}

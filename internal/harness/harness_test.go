@@ -222,6 +222,26 @@ func TestAblationsShape(t *testing.T) {
 	}
 }
 
+// TestServeLoadExperiment is the serving-layer acceptance scenario: the
+// experiment itself asserts that 16 concurrent requests against a
+// two-solve budget produce only 200/429/503, that every 200 passed the
+// CRC + residual integrity checks with a consistent checksum, and that
+// no goroutine leaked; the test only needs it to pass and report shape.
+func TestServeLoadExperiment(t *testing.T) {
+	tbl, err := ServeLoad(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("ServeLoad rows = %d, want 200/429/503/goroutines", len(tbl.Rows))
+	}
+	for i, want := range []string{"200", "429", "503", "goroutines"} {
+		if tbl.Rows[i][0] != want {
+			t.Fatalf("row %d = %q, want %q", i, tbl.Rows[i][0], want)
+		}
+	}
+}
+
 // TestResilienceExperiment runs the fault-tolerance characterization:
 // every row self-verifies against the serial reference, so the test only
 // needs the table shape and the resume row's restored-task note.

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"cellnpdp"
+	"cellnpdp/internal/serve"
+	"cellnpdp/internal/stats"
+)
+
+// ServeLoad characterizes the serving layer under overload: a server
+// whose memory budget admits at most two concurrent solves receives 16
+// concurrent requests (four of them with hopeless deadlines). Every
+// outcome must be 200, 429 or 503 — never a hang, a 500, or a corrupt
+// result — every 200 must carry a passing CRC + residual integrity
+// report with a checksum identical across requests (same seed), and the
+// run must not leak a single goroutine.
+func ServeLoad(cfg Config) (*stats.Table, error) {
+	n := cfg.measuredSizes()[len(cfg.measuredSizes())-1]
+	if n > 1024 {
+		n = 1024
+	}
+	const (
+		requests = 16
+		shedReqs = 4
+		queueLen = 4
+	)
+	est, err := cellnpdp.EstimateSolve[float32](n, cellnpdp.Options{Workers: cfg.workers()})
+	if err != nil {
+		return nil, err
+	}
+	// Budget: two solves fit, a third does not.
+	budget := 2*est.FootprintBytes + est.FootprintBytes/2
+	// Calibrate the predictor so the model says ~2ms per solve: the
+	// shed requests' 1ms deadlines are hopeless, the default 30s is not.
+	predictFactor := 0.002 / est.PredictedSeconds
+
+	before := runtime.NumGoroutine()
+	srv := serve.New(serve.Config{
+		Workers:       cfg.workers(),
+		BudgetBytes:   budget,
+		QueueDepth:    queueLen,
+		PredictFactor: predictFactor,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	client := &http.Client{Transport: &http.Transport{}}
+
+	type reply struct {
+		status int
+		body   serve.SolveResponse
+		err    error
+	}
+	replies := make([]reply, requests)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := serve.SolveRequest{N: n, Engine: "auto", Seed: cfg.Seed}
+			if i < shedReqs {
+				req.DeadlineMS = 1
+			}
+			body, err := json.Marshal(req)
+			if err != nil {
+				replies[i].err = err
+				return
+			}
+			resp, err := client.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+			if err != nil {
+				replies[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			replies[i].status = resp.StatusCode
+			if resp.StatusCode == http.StatusOK {
+				replies[i].err = json.NewDecoder(resp.Body).Decode(&replies[i].body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	srv.Drain()
+	srv.Wait()
+	ts.Close()
+	client.CloseIdleConnections()
+
+	outcomes := map[int]int{}
+	checksum := ""
+	for i, r := range replies {
+		if r.err != nil {
+			return nil, fmt.Errorf("request %d: %v", i, r.err)
+		}
+		outcomes[r.status]++
+		switch r.status {
+		case http.StatusOK:
+			ir := r.body.Integrity
+			if !ir.CRCOK || !ir.ResidualOK || ir.CellsSampled <= 0 || ir.CRC32C == "" {
+				return nil, fmt.Errorf("request %d: 200 with failing integrity report %+v", i, ir)
+			}
+			if checksum == "" {
+				checksum = ir.CRC32C
+			} else if ir.CRC32C != checksum {
+				return nil, fmt.Errorf("request %d: checksum %s differs from %s on the same instance", i, ir.CRC32C, checksum)
+			}
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			return nil, fmt.Errorf("request %d: outcome %d, want only 200/429/503", i, r.status)
+		}
+	}
+	if outcomes[200] == 0 {
+		return nil, fmt.Errorf("no request succeeded under load: %v", outcomes)
+	}
+	if outcomes[503] < shedReqs {
+		return nil, fmt.Errorf("only %d sheds for %d hopeless deadlines: %v", outcomes[503], shedReqs, outcomes)
+	}
+
+	// Zero goroutine leaks: the admission queue, gate waiters and HTTP
+	// plumbing must all unwind once the server is drained and closed.
+	after := runtime.NumGoroutine()
+	for settle := time.Now().Add(5 * time.Second); after > before && time.Now().Before(settle); {
+		time.Sleep(10 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before {
+		return nil, fmt.Errorf("goroutine leak: %d before load, %d after drain", before, after)
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Serving layer under overload — 16 concurrent requests, budget for 2 solves (n=%d)", n),
+		"Outcome", "Count", "Meaning")
+	t.AddRow("200", fmt.Sprintf("%d", outcomes[200]), "solved; CRC32C + residual spot-check passed")
+	t.AddRow("429", fmt.Sprintf("%d", outcomes[429]), "rejected: admission queue full (Retry-After sent)")
+	t.AddRow("503", fmt.Sprintf("%d", outcomes[503]), "shed: deadline below model-predicted solve time")
+	t.AddRow("goroutines", fmt.Sprintf("%d -> %d", before, after), "no leaks after drain")
+	t.AddNote("Budget %d bytes (solve footprint %d), queue depth %d; every 200 carried checksum %s.",
+		budget, est.FootprintBytes, queueLen, checksum)
+	return t, nil
+}

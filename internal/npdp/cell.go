@@ -300,6 +300,12 @@ func (e *cellEngine[E]) computeMB(spe *cellsim.SPE, bufs *speBuffers[E], bi, bj 
 
 	lr := 0 // buffer pair that will hold L and R for stage 2
 	for idx := 0; idx < mid; idx++ {
+		// Long off-diagonal blocks run one stage-1 product per middle
+		// tile; checking between double-buffer phases bounds the
+		// cancellation latency by one product instead of a whole block.
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
 		cur := idx % 2
 		nxt := 1 - cur
 		e.wait(spe, tagPair+cur)

@@ -2,7 +2,7 @@ package npdp
 
 import (
 	"context"
-
+	"errors"
 	"testing"
 
 	"cellnpdp/internal/cellsim"
@@ -390,5 +390,74 @@ func TestRowMajorDMAAblation(t *testing.T) {
 	}
 	if !tri.Equal[float32](ref, tri.ToRowMajor(tt)) {
 		t.Fatal("row-major DMA mode changed results")
+	}
+}
+
+// countdownCtx is a fake context whose Err() flips to Canceled after a
+// fixed number of polls. The DES executor is synchronous and
+// single-threaded, so this deterministically fires the cancellation at
+// an exact poll site — including the checks between double-buffer phases
+// inside computeMB — with no goroutines or timing involved.
+type countdownCtx struct {
+	context.Context
+	polls int
+	fire  int // Err() returns Canceled from this poll on (0 = never)
+}
+
+func (c *countdownCtx) Err() error {
+	c.polls++
+	if c.fire > 0 && c.polls >= c.fire {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCellCtxCancelBetweenDoubleBufferPhases sweeps the cancellation
+// trigger across every poll site of a SolveCellCtx run. The engine polls
+// both at task dispatch and between stage-1 double-buffer products, so
+// there must be strictly more polls than tasks, every mid-run
+// cancellation must surface context.Canceled, and a cancellation during
+// a long block's stage-1 loop must abort without finishing that block.
+func TestCellCtxCancelBetweenDoubleBufferPhases(t *testing.T) {
+	const n, tile = 96, 8 // 12 blocks per side: off-diagonal mids up to 10
+	build := func() *tri.Tiled[float32] {
+		return tri.ToTiled(workload.Chain[float32](n, 5), tile)
+	}
+	// Reference run: count the total polls of a complete solve.
+	mach, err := cellsim.NewMachine(cellsim.QS20())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &countdownCtx{Context: context.Background()}
+	if _, err := SolveCellCtx(probe, build(), mach, cellOpts(4)); err != nil {
+		t.Fatal(err)
+	}
+	blocks := (n + tile - 1) / tile
+	tasks := blocks * (blocks + 1) / 2
+	if probe.polls <= tasks {
+		t.Fatalf("%d polls for %d tasks: the double-buffer loop is not checking between phases", probe.polls, tasks)
+	}
+
+	// Sweep the trigger across the whole poll range (step keeps the
+	// sweep fast; it still lands inside many different stage-1 loops).
+	for fire := 1; fire <= probe.polls; fire += 7 {
+		mach, err := cellsim.NewMachine(cellsim.QS20())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := &countdownCtx{Context: context.Background(), fire: fire}
+		_, err = SolveCellCtx(ctx, build(), mach, cellOpts(4))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("fire=%d: err = %v, want context.Canceled", fire, err)
+		}
+	}
+	// One more poll than the complete run needs: must still succeed.
+	mach2, err := cellsim.NewMachine(cellsim.QS20())
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := &countdownCtx{Context: context.Background(), fire: probe.polls + 1}
+	if _, err := SolveCellCtx(late, build(), mach2, cellOpts(4)); err != nil {
+		t.Fatalf("cancellation one poll after completion still failed the solve: %v", err)
 	}
 }

@@ -3,6 +3,7 @@ package resilience
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -328,12 +329,47 @@ func SaveCheckpointFile[E semiring.Elem](path string, meta Meta, done []bool, t 
 	return nil
 }
 
-// LoadCheckpointFile reads and validates a snapshot from path.
+// ErrNoCheckpoint reports that a resume path names no checkpoint file.
+// Callers match it with errors.Is to distinguish "nothing to resume"
+// from a corrupt or unreadable snapshot.
+var ErrNoCheckpoint = errors.New("resilience: no checkpoint file")
+
+// LoadCheckpointFile reads and validates a snapshot from path. A missing
+// file returns ErrNoCheckpoint (wrapped with the path).
 func LoadCheckpointFile[E semiring.Elem](path string) (*Checkpoint[E], error) {
 	f, err := os.Open(path)
 	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, path)
+		}
 		return nil, fmt.Errorf("resilience: opening checkpoint: %w", err)
 	}
 	defer f.Close()
 	return ReadCheckpoint[E](f)
+}
+
+// RemoveStaleTemps deletes leftover temporary files of the checkpoint at
+// path — the `<base>.tmp*` files SaveCheckpointFile writes before its
+// atomic rename. A crash between creating the temp and renaming it
+// orphans one; resume calls this so crashed runs do not accumulate
+// snapshots-worth of dead bytes next to the live checkpoint. It returns
+// how many files were removed. Only exact `.tmp` siblings of this
+// checkpoint are touched, so unrelated files (and the checkpoint itself)
+// are never at risk.
+func RemoveStaleTemps(path string) (int, error) {
+	matches, err := filepath.Glob(filepath.Join(filepath.Dir(path), filepath.Base(path)+".tmp*"))
+	if err != nil {
+		return 0, fmt.Errorf("resilience: scanning for stale checkpoint temps: %w", err)
+	}
+	removed := 0
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // a concurrent writer's rename already consumed it
+			}
+			return removed, fmt.Errorf("resilience: removing stale checkpoint temp: %w", err)
+		}
+		removed++
+	}
+	return removed, nil
 }

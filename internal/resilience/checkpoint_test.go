@@ -2,7 +2,10 @@ package resilience
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"cellnpdp/internal/tri"
@@ -146,5 +149,70 @@ func TestCheckpointMetaValidation(t *testing.T) {
 	}
 	if err := WriteCheckpoint(&buf, meta, done[:3], tt, blocks); err == nil {
 		t.Fatal("short bitmap accepted by writer")
+	}
+}
+
+// TestLoadCheckpointMissingFileTyped asserts a missing -resume file is
+// the typed ErrNoCheckpoint (with the path in the message), so callers
+// can distinguish "nothing to resume" from a corrupt snapshot.
+func TestLoadCheckpointMissingFileTyped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.npck")
+	_, err := LoadCheckpointFile[float32](path)
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing file error = %v, want ErrNoCheckpoint", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error %q does not name the path", err)
+	}
+	// A present-but-corrupt file must NOT be ErrNoCheckpoint.
+	bad := filepath.Join(t.TempDir(), "bad.npck")
+	if err := os.WriteFile(bad, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpointFile[float32](bad); err == nil || errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("corrupt file error = %v, want a non-ErrNoCheckpoint failure", err)
+	}
+}
+
+// TestRemoveStaleTemps asserts crash-orphaned `.tmp` siblings of a
+// checkpoint are swept while the live checkpoint and unrelated files
+// survive.
+func TestRemoveStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "solve.npck")
+	meta, done, tt, blocks := testSnapshot(t)
+	if err := SaveCheckpointFile(ck, meta, done, tt, blocks); err != nil {
+		t.Fatal(err)
+	}
+	// Orphans as os.CreateTemp(dir, base+".tmp*") leaves them, plus
+	// bystanders that must not be touched.
+	for _, name := range []string{"solve.npck.tmp123", "solve.npck.tmp999"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	other := filepath.Join(dir, "other.npck.tmp1")
+	if err := os.WriteFile(other, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := RemoveStaleTemps(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("removed %d temps, want 2", removed)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("live checkpoint removed: %v", err)
+	}
+	if _, err := os.Stat(other); err != nil {
+		t.Fatalf("unrelated temp removed: %v", err)
+	}
+	if _, err := LoadCheckpointFile[float32](ck); err != nil {
+		t.Fatalf("checkpoint unreadable after sweep: %v", err)
+	}
+	// Idempotent: a second sweep finds nothing.
+	if removed, err := RemoveStaleTemps(ck); err != nil || removed != 0 {
+		t.Fatalf("second sweep = (%d, %v), want (0, nil)", removed, err)
 	}
 }

@@ -17,6 +17,7 @@ package resilience
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"time"
 )
@@ -89,6 +90,12 @@ func IsTransient(err error) bool {
 	return errors.As(err, &t)
 }
 
+// DefaultMaxDelay is the backoff ceiling applied when a policy leaves
+// MaxDelay zero. An explicit ceiling everywhere means a storm of
+// injected or environmental delays can inflate a retry schedule to at
+// most this bound per retry, never to unbounded multi-minute sleeps.
+const DefaultMaxDelay = 2 * time.Second
+
 // RetryPolicy bounds per-task re-execution of transient failures with
 // exponential backoff. The zero value performs no retries (one attempt,
 // no sleeping), so engines that never configure it behave exactly as
@@ -100,29 +107,63 @@ type RetryPolicy struct {
 	// BaseDelay is the backoff before the first retry; it doubles each
 	// further retry. 0 means no sleeping (still bounded by MaxRetries).
 	BaseDelay time.Duration
-	// MaxDelay caps the exponential growth; 0 means uncapped.
+	// MaxDelay caps the exponential growth; 0 means DefaultMaxDelay.
+	// The ceiling is always enforced: no schedule sleeps longer than
+	// this per retry.
 	MaxDelay time.Duration
+	// Jitter enables full jitter: each backoff is drawn uniformly from
+	// (0, d] where d is the capped exponential delay, decorrelating the
+	// retry storms of tasks that failed together.
+	Jitter bool
+	// Rand is the uniform [0,1) source full jitter draws from; nil means
+	// math/rand's shared source. Tests inject a deterministic sequence
+	// so jittered schedules are assertable.
+	Rand func() float64
 	// Sleep is the sleeper used between attempts; nil means time.Sleep.
 	// Tests inject a recording fake so backoff is assertable without
 	// real waiting.
 	Sleep func(time.Duration)
 }
 
+// maxDelay returns the effective ceiling.
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return DefaultMaxDelay
+}
+
 // Backoff returns the delay before retry number `retry` (1-based):
-// BaseDelay doubled retry-1 times, capped at MaxDelay.
+// BaseDelay doubled retry-1 times, capped at the ceiling (MaxDelay, or
+// DefaultMaxDelay when unset). With Jitter the capped delay d becomes a
+// uniform draw from (0, d] — "full jitter" — so concurrent retriers
+// spread out instead of thundering back together.
 func (p RetryPolicy) Backoff(retry int) time.Duration {
 	if p.BaseDelay <= 0 || retry <= 0 {
 		return 0
 	}
+	ceiling := p.maxDelay()
 	d := p.BaseDelay
 	for i := 1; i < retry; i++ {
 		d *= 2
-		if p.MaxDelay > 0 && d >= p.MaxDelay {
-			return p.MaxDelay
+		if d >= ceiling || d <= 0 { // d <= 0 catches duration overflow
+			d = ceiling
+			break
 		}
 	}
-	if p.MaxDelay > 0 && d > p.MaxDelay {
-		return p.MaxDelay
+	if d > ceiling {
+		d = ceiling
+	}
+	if p.Jitter {
+		r := rand.Float64
+		if p.Rand != nil {
+			r = p.Rand
+		}
+		// (0, d]: never a zero sleep, never above the capped delay.
+		d = time.Duration((1 - r()) * float64(d))
+		if d <= 0 {
+			d = 1
+		}
 	}
 	return d
 }

@@ -176,3 +176,102 @@ func TestInjectorApply(t *testing.T) {
 		t.Fatalf("panic value %v missing task identity", pe.Value)
 	}
 }
+
+// TestBackoffDefaultCeiling asserts the implicit DefaultMaxDelay cap: a
+// policy that never set MaxDelay cannot grow its schedule past 2s, even
+// after enough doublings to overflow a time.Duration.
+func TestBackoffDefaultCeiling(t *testing.T) {
+	p := RetryPolicy{MaxRetries: 100, BaseDelay: 10 * time.Millisecond}
+	if got := p.Backoff(3); got != 40*time.Millisecond {
+		t.Errorf("Backoff(3) = %v, want 40ms (below the ceiling)", got)
+	}
+	for _, retry := range []int{9, 10, 20, 64, 100} {
+		if got := p.Backoff(retry); got != DefaultMaxDelay {
+			t.Errorf("Backoff(%d) = %v, want the %v default ceiling", retry, got, DefaultMaxDelay)
+		}
+	}
+	// An explicit MaxDelay still wins.
+	p.MaxDelay = 80 * time.Millisecond
+	if got := p.Backoff(10); got != 80*time.Millisecond {
+		t.Errorf("Backoff(10) = %v, want the explicit 80ms ceiling", got)
+	}
+}
+
+// TestBackoffFullJitterDeterministic injects a fixed Rand sequence and
+// pins the jittered schedule exactly: full jitter draws uniformly from
+// (0, d] as d' = (1-r)·d.
+func TestBackoffFullJitterDeterministic(t *testing.T) {
+	seq := []float64{0, 0.5, 0.75}
+	i := 0
+	p := RetryPolicy{
+		MaxRetries: 3,
+		BaseDelay:  100 * time.Millisecond,
+		MaxDelay:   200 * time.Millisecond,
+		Jitter:     true,
+		Rand:       func() float64 { v := seq[i]; i++; return v },
+	}
+	want := []time.Duration{
+		100 * time.Millisecond, // r=0: full delay survives (upper bound inclusive)
+		100 * time.Millisecond, // r=0.5 of the doubled 200ms
+		50 * time.Millisecond,  // r=0.75 of the capped 200ms
+	}
+	for retry, w := range want {
+		if got := p.Backoff(retry + 1); got != w {
+			t.Errorf("jittered Backoff(%d) = %v, want %v", retry+1, got, w)
+		}
+	}
+}
+
+// TestBackoffJitterBounds asserts every jittered draw stays in (0, d]:
+// never zero (a hot retry loop), never above the capped delay.
+func TestBackoffJitterBounds(t *testing.T) {
+	p := RetryPolicy{MaxRetries: 8, BaseDelay: time.Millisecond, MaxDelay: 64 * time.Millisecond, Jitter: true}
+	for retry := 1; retry <= 8; retry++ {
+		unjittered := RetryPolicy{BaseDelay: p.BaseDelay, MaxDelay: p.MaxDelay}.Backoff(retry)
+		for trial := 0; trial < 100; trial++ {
+			got := p.Backoff(retry)
+			if got <= 0 || got > unjittered {
+				t.Fatalf("jittered Backoff(%d) = %v, out of (0, %v]", retry, got, unjittered)
+			}
+		}
+	}
+}
+
+// TestRetryDoJitteredSleepsDeterministic runs the full Do loop with both
+// the sleeper and the jitter source injected: the recorded schedule is
+// exactly reproducible, so fault-injection soaks with jitter on stay
+// deterministic.
+func TestRetryDoJitteredSleepsDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		var slept []time.Duration
+		seq := []float64{0.25, 0.5, 0.875}
+		i := 0
+		p := RetryPolicy{
+			MaxRetries: 3,
+			BaseDelay:  8 * time.Millisecond,
+			Jitter:     true,
+			Rand:       func() float64 { v := seq[i]; i++; return v },
+			Sleep:      func(d time.Duration) { slept = append(slept, d) },
+		}
+		if _, err := p.Do(func(int) error { return Transient(errors.New("flaky")) }); err == nil {
+			t.Fatal("exhausted retries reported success")
+		}
+		return slept
+	}
+	first := run()
+	want := []time.Duration{6 * time.Millisecond, 8 * time.Millisecond, 4 * time.Millisecond}
+	if len(first) != len(want) {
+		t.Fatalf("slept %v, want %v", first, want)
+	}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (schedule %v)", i, first[i], want[i], first)
+		}
+	}
+	second := run()
+	for i := range first {
+		if second[i] != first[i] {
+			t.Fatalf("jittered schedule not reproducible: %v vs %v", first, second)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// tokenBucket is the request-rate half of admission control: capacity
+// `burst` tokens, refilled continuously at `rate` per second. It exists
+// to bound the *arrival* rate; the memory gate below bounds *residency*.
+// The clock is injectable so tests drive it deterministically.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: now(), now: now}
+}
+
+// take consumes one token if available. When the bucket is empty it
+// returns false and the duration after which one token will exist — the
+// Retry-After a 429 response carries.
+func (tb *tokenBucket) take() (bool, time.Duration) {
+	if tb.rate <= 0 {
+		return true, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.last = now
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - tb.tokens) / tb.rate * float64(time.Second))
+}
+
+// memGate is the memory-budget half of admission control. Each request
+// declares its byte footprint up front (from cellnpdp.EstimateSolve's
+// table + staging + checkpoint geometry — the serving analogue of the
+// paper's fixed 256 KB local store forcing explicit block budgeting);
+// the gate admits it only while total admitted bytes stay within the
+// budget. Requests that do not fit immediately wait in a bounded FIFO
+// queue: strict arrival order, so a large solve cannot be starved by a
+// stream of small ones slipping past it.
+type memGate struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	active int // admitted leases outstanding
+	queue  []*memWaiter
+	depth  int // queue bound; overflow is rejected, not blocked
+}
+
+type memWaiter struct {
+	bytes   int64
+	ready   chan struct{} // closed when admitted
+	granted bool
+}
+
+func newMemGate(budget int64, depth int) *memGate {
+	if depth < 0 {
+		depth = 0
+	}
+	return &memGate{budget: budget, depth: depth}
+}
+
+// admitResult classifies an admission attempt.
+type admitResult int
+
+const (
+	admitOK        admitResult = iota
+	admitQueueFull             // bounded FIFO overflow → 429
+	admitExpired               // request context died while queued → 503
+)
+
+// acquire reserves `bytes` of the budget, queuing FIFO if it does not
+// fit now. It returns admitOK with a release function, admitQueueFull if
+// the queue is at depth, or admitExpired if ctx fired first. The waiter
+// is always unlinked on every path — an abandoned request never holds a
+// queue slot or leaks a goroutine.
+func (g *memGate) acquire(ctx context.Context, bytes int64) (admitResult, func()) {
+	g.mu.Lock()
+	if len(g.queue) == 0 && g.used+bytes <= g.budget {
+		g.used += bytes
+		g.active++
+		g.mu.Unlock()
+		return admitOK, g.releaseFunc(bytes)
+	}
+	if len(g.queue) >= g.depth {
+		g.mu.Unlock()
+		return admitQueueFull, nil
+	}
+	w := &memWaiter{bytes: bytes, ready: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	g.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return admitOK, g.releaseFunc(bytes)
+	case <-ctx.Done():
+		g.mu.Lock()
+		if w.granted {
+			// Lost the race: the grant landed while ctx fired. Hand the
+			// lease back so the caller can still reject cleanly.
+			g.mu.Unlock()
+			g.releaseFunc(bytes)()
+			return admitExpired, nil
+		}
+		for i, q := range g.queue {
+			if q == w {
+				g.queue = append(g.queue[:i], g.queue[i+1:]...)
+				break
+			}
+		}
+		g.mu.Unlock()
+		return admitExpired, nil
+	}
+}
+
+// releaseFunc returns the idempotent lease release for an admitted
+// footprint: returns the bytes and admits queue heads that now fit.
+func (g *memGate) releaseFunc(bytes int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.used -= bytes
+			g.active--
+			g.grantLocked()
+			g.mu.Unlock()
+		})
+	}
+}
+
+// grantLocked admits queued waiters in FIFO order while they fit. Only
+// the head is considered — granting a later, smaller waiter over the
+// head would be livelock fuel for big requests.
+func (g *memGate) grantLocked() {
+	for len(g.queue) > 0 {
+		w := g.queue[0]
+		if g.used+w.bytes > g.budget {
+			return
+		}
+		g.used += w.bytes
+		g.active++
+		w.granted = true
+		g.queue = g.queue[1:]
+		close(w.ready)
+	}
+}
+
+// snapshot reports the gate's state for /healthz.
+func (g *memGate) snapshot() (used, budget int64, active, queued int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.used, g.budget, g.active, len(g.queue)
+}

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTokenBucketUnlimited(t *testing.T) {
+	clk := newFakeClock()
+	tb := newTokenBucket(0, 0, clk.now)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := tb.take(); !ok {
+			t.Fatalf("unlimited bucket denied take %d", i)
+		}
+	}
+}
+
+func TestTokenBucketBurstAndRefill(t *testing.T) {
+	clk := newFakeClock()
+	tb := newTokenBucket(2, 3, clk.now) // 2/s, burst 3
+	for i := 0; i < 3; i++ {
+		if ok, _ := tb.take(); !ok {
+			t.Fatalf("burst take %d denied", i)
+		}
+	}
+	ok, retry := tb.take()
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	// One token accrues in 1/rate = 500ms.
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("Retry-After = %v, want in (0, 500ms]", retry)
+	}
+	clk.advance(retry)
+	if ok, _ := tb.take(); !ok {
+		t.Fatal("bucket still empty after advancing by its own Retry-After")
+	}
+	// Refill never exceeds burst.
+	clk.advance(time.Hour)
+	granted := 0
+	for {
+		ok, _ := tb.take()
+		if !ok {
+			break
+		}
+		granted++
+	}
+	if granted != 3 {
+		t.Fatalf("after long idle, granted %d tokens, want burst=3", granted)
+	}
+}
+
+func TestMemGateFastPath(t *testing.T) {
+	g := newMemGate(100, 4)
+	res, release := g.acquire(context.Background(), 60)
+	if res != admitOK {
+		t.Fatalf("first acquire: %v, want admitOK", res)
+	}
+	res2, release2 := g.acquire(context.Background(), 40)
+	if res2 != admitOK {
+		t.Fatalf("second acquire (fits exactly): %v, want admitOK", res2)
+	}
+	used, budget, active, queued := g.snapshot()
+	if used != 100 || budget != 100 || active != 2 || queued != 0 {
+		t.Fatalf("snapshot = (%d, %d, %d, %d), want (100, 100, 2, 0)", used, budget, active, queued)
+	}
+	release()
+	release()  // idempotent: second call must not double-release
+	release2() // and order doesn't matter
+	used, _, active, _ = g.snapshot()
+	if used != 0 || active != 0 {
+		t.Fatalf("after release: used=%d active=%d, want 0, 0", used, active)
+	}
+}
+
+func TestMemGateQueueFIFO(t *testing.T) {
+	// Budget 100 with 60 held: a large head waiter (80) does not fit,
+	// and a small second waiter (30) WOULD fit — strict FIFO means it
+	// must still wait behind the head, or big requests starve. The two
+	// waiters also exceed the budget together, so their admissions are
+	// strictly ordered after the holder releases.
+	g := newMemGate(100, 4)
+	_, releaseHolder := g.acquire(context.Background(), 60)
+
+	admitted := make(chan int, 2)
+	launch := func(id int, bytes int64, queuedAfter int) {
+		go func() {
+			res, rel := g.acquire(context.Background(), bytes)
+			if res != admitOK {
+				t.Errorf("waiter %d: %v, want admitOK", id, res)
+			}
+			admitted <- id
+			if rel != nil {
+				rel()
+			}
+		}()
+		waitForQueued(t, g, queuedAfter)
+	}
+	launch(0, 80, 1) // head: does not fit alongside the holder
+	launch(1, 30, 2) // would fit right now, but must not jump the queue
+
+	// Nothing may be admitted while the head is blocked.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case id := <-admitted:
+		t.Fatalf("waiter %d admitted past the blocked head", id)
+	default:
+	}
+	if used, _, active, queued := g.snapshot(); used != 60 || active != 1 || queued != 2 {
+		t.Fatalf("gate = (used %d, active %d, queued %d), want (60, 1, 2)", used, active, queued)
+	}
+
+	releaseHolder()
+	// Head (80) is admitted first; waiter 1 follows only after the
+	// head's goroutine released its lease.
+	if first := <-admitted; first != 0 {
+		t.Fatalf("first admitted = %d, want head waiter 0", first)
+	}
+	if second := <-admitted; second != 1 {
+		t.Fatalf("second admitted = %d, want waiter 1", second)
+	}
+}
+
+func TestMemGateQueueFull(t *testing.T) {
+	g := newMemGate(10, 1)
+	_, release := g.acquire(context.Background(), 10)
+	defer release()
+
+	// One waiter fits in the queue.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queued := make(chan admitResult, 1)
+	go func() {
+		res, rel := g.acquire(ctx, 5)
+		if rel != nil {
+			rel()
+		}
+		queued <- res
+	}()
+	waitForQueued(t, g, 1)
+
+	// The next overflows.
+	res, rel := g.acquire(context.Background(), 5)
+	if res != admitQueueFull || rel != nil {
+		t.Fatalf("overflow acquire = %v (rel=%v), want admitQueueFull, nil", res, rel != nil)
+	}
+	cancel()
+	if got := <-queued; got != admitExpired {
+		t.Fatalf("cancelled waiter = %v, want admitExpired", got)
+	}
+	// The cancelled waiter must have unlinked itself.
+	if _, _, _, q := g.snapshot(); q != 0 {
+		t.Fatalf("queue length after cancel = %d, want 0", q)
+	}
+}
+
+func TestMemGateExpiredWaiterDoesNotLeakLease(t *testing.T) {
+	g := newMemGate(10, 2)
+	_, release := g.acquire(context.Background(), 10)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan admitResult, 1)
+	go func() {
+		res, rel := g.acquire(ctx, 10)
+		if rel != nil {
+			rel()
+		}
+		done <- res
+	}()
+	waitForQueued(t, g, 1)
+	// Race the grant against the cancel; whichever way it lands, the
+	// budget must return to zero.
+	cancel()
+	release()
+	<-done
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		used, _, active, queued := g.snapshot()
+		if used == 0 && active == 0 && queued == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gate did not settle: used=%d active=%d queued=%d", used, active, queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitForQueued(t *testing.T, g *memGate, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, _, q := g.snapshot(); q >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d waiters", want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState names the circuit breaker's three states.
+type BreakerState int
+
+// The classic three-state circuit.
+const (
+	// BreakerClosed: healthy — requests may use the parallel engine.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: tripped — every request takes the Tiled degradation
+	// path until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed — exactly one probe request is
+	// allowed onto the parallel engine; its outcome closes or re-opens
+	// the circuit.
+	BreakerHalfOpen
+)
+
+// String names the state for /healthz and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker trips the Parallel→Tiled degradation path service-wide: the
+// per-request fallback in cellnpdp.Solve recovers one solve, but when
+// the parallel engine keeps failing (a poisoned worker pool, a host
+// under memory pressure panicking kernels) every request pays a failed
+// parallel attempt before degrading. After `threshold` consecutive
+// failures the breaker opens and requests go straight to Tiled; after
+// `cooldown` a single half-open probe retries the parallel engine and
+// its outcome decides whether the circuit closes again.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	failures int // consecutive parallel failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	trips    int  // lifetime open transitions, for observability
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allowParallel reports whether this request may use the parallel
+// engine. In the open state it flips to half-open once the cooldown has
+// elapsed and grants the probe to exactly one caller; everyone else
+// degrades to Tiled until the probe reports back.
+func (b *breaker) allowParallel() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// record reports a parallel attempt's outcome. Degraded solves count as
+// failures: the answer was saved by the Tiled fallback, but the parallel
+// engine itself failed.
+func (b *breaker) record(parallelOK bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if parallelOK {
+		b.state = BreakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		if b.state != BreakerOpen {
+			b.trips++
+		}
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	}
+}
+
+// snapshot reports the breaker for /healthz.
+func (b *breaker) snapshot() (state BreakerState, failures, trips int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.failures, b.trips
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, 5*time.Second, clk.now)
+	for i := 0; i < 2; i++ {
+		if !b.allowParallel() {
+			t.Fatalf("closed breaker denied parallel before threshold (failure %d)", i)
+		}
+		b.record(false)
+	}
+	if state, fails, _ := b.snapshot(); state != BreakerClosed || fails != 2 {
+		t.Fatalf("breaker = %v with %d failures, want closed with 2", state, fails)
+	}
+	b.allowParallel()
+	b.record(false) // third consecutive failure trips it
+	if state, _, trips := b.snapshot(); state != BreakerOpen || trips != 1 {
+		t.Fatalf("breaker = %v with %d trips, want open with 1", state, trips)
+	}
+	if b.allowParallel() {
+		t.Fatal("open breaker granted parallel before cooldown")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, 5*time.Second, clk.now)
+	b.allowParallel()
+	b.record(false)
+	if state, _, _ := b.snapshot(); state != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", state)
+	}
+	clk.advance(5 * time.Second)
+	// Exactly one probe.
+	if !b.allowParallel() {
+		t.Fatal("cooled-down breaker denied the probe")
+	}
+	if state, _, _ := b.snapshot(); state != BreakerHalfOpen {
+		t.Fatalf("breaker = %v, want half-open", state)
+	}
+	if b.allowParallel() {
+		t.Fatal("second caller got a probe while one was in flight")
+	}
+	// Failed probe re-opens with a fresh cooldown.
+	b.record(false)
+	if state, _, trips := b.snapshot(); state != BreakerOpen || trips != 2 {
+		t.Fatalf("after failed probe: %v with %d trips, want open with 2", state, trips)
+	}
+	if b.allowParallel() {
+		t.Fatal("re-opened breaker granted parallel immediately")
+	}
+	// Successful probe closes.
+	clk.advance(5 * time.Second)
+	if !b.allowParallel() {
+		t.Fatal("second probe denied")
+	}
+	b.record(true)
+	if state, fails, _ := b.snapshot(); state != BreakerClosed || fails != 0 {
+		t.Fatalf("after successful probe: %v with %d failures, want closed with 0", state, fails)
+	}
+	if !b.allowParallel() {
+		t.Fatal("closed breaker denied parallel")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, time.Second, clk.now)
+	b.record(false)
+	b.record(false)
+	b.record(true) // streak broken
+	b.record(false)
+	b.record(false)
+	if state, fails, _ := b.snapshot(); state != BreakerClosed || fails != 2 {
+		t.Fatalf("breaker = %v with %d failures, want closed with 2 (streak reset)", state, fails)
+	}
+}

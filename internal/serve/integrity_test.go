@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cellnpdp"
+	"cellnpdp/internal/workload"
+)
+
+// solvedTable returns a solved chain instance for integrity tests.
+func solvedTable(t *testing.T, n int) *cellnpdp.Table[float32] {
+	t.Helper()
+	src := workload.Chain[float32](n, 7)
+	tbl, err := cellnpdp.NewTable[float32](n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := tbl.Set(i, i+1, src.At(i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cellnpdp.Solve(tbl, cellnpdp.Options{Engine: cellnpdp.Serial}); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestDigestRoundTrip(t *testing.T) {
+	tbl := solvedTable(t, 100)
+	d, err := DigestTable(tbl, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantBands := (100 + 15) / 16; len(d.Bands) != wantBands {
+		t.Fatalf("digest has %d bands, want %d", len(d.Bands), wantBands)
+	}
+	if err := VerifyDigest(tbl, d); err != nil {
+		t.Fatalf("pristine table failed verification: %v", err)
+	}
+}
+
+func TestDigestDetectsCorruptionAndLocalizesBand(t *testing.T) {
+	tbl := solvedTable(t, 100)
+	d, err := DigestTable(tbl, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a cell in the band covering rows 48..63.
+	v, _ := tbl.At(50, 70)
+	if err := tbl.Set(50, 70, v+1); err != nil {
+		t.Fatal(err)
+	}
+	verr := VerifyDigest(tbl, d)
+	if verr == nil {
+		t.Fatal("corrupted table passed verification")
+	}
+	if !strings.Contains(verr.Error(), "rows 48..63") {
+		t.Fatalf("mismatch not localized to rows 48..63: %v", verr)
+	}
+}
+
+func TestVerifyDigestRejectsWrongSize(t *testing.T) {
+	tbl := solvedTable(t, 64)
+	d, err := DigestTable(tbl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := solvedTable(t, 100)
+	if err := VerifyDigest(other, d); err == nil {
+		t.Fatal("digest for n=64 verified against n=100 table")
+	}
+}
+
+func TestResidualSpotCheckPasses(t *testing.T) {
+	tbl := solvedTable(t, 128)
+	checked, err := ResidualSpotCheck(tbl, 200, 1)
+	if err != nil {
+		t.Fatalf("solved table failed residual check: %v", err)
+	}
+	if checked != 200 {
+		t.Fatalf("checked %d cells, want 200", checked)
+	}
+}
+
+// sampledCell replays the spot-checker's seeded sampler and returns the
+// index (0-based) and coordinates of the first sample satisfying keep,
+// so tests can corrupt a cell that is guaranteed to be visited.
+func sampledCell(n int, seed int64, keep func(i, j int) bool) (idx, i, j int, ok bool) {
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < 10000; s++ {
+		i := rng.Intn(n)
+		j := i + rng.Intn(n-i)
+		if keep(i, j) {
+			return s, i, j, true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+func TestResidualSpotCheckCatchesTornCell(t *testing.T) {
+	const n, seed = 128, 1
+	// A cell with at least one interior split point (j ≥ i+2).
+	idx, i, j, ok := sampledCell(n, seed, func(i, j int) bool { return j >= i+2 })
+	if !ok {
+		t.Fatal("sampler never produced a cell with interior splits")
+	}
+	tbl := solvedTable(t, n)
+	// A solved cell is the min over its split sums; pushing it above any
+	// one of them breaks the fixed point.
+	v, _ := tbl.At(i, j)
+	if err := tbl.Set(i, j, v*4+1000); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ResidualSpotCheck(tbl, idx+1, seed)
+	if err == nil {
+		t.Fatalf("torn cell (%d, %d) not caught by sample %d", i, j, idx)
+	}
+	if !strings.Contains(err.Error(), "fixed point") {
+		t.Fatalf("unexpected residual error: %v", err)
+	}
+}
+
+func TestResidualSpotCheckCatchesNaNAndDiagonal(t *testing.T) {
+	const n, seed = 32, 1
+	idx, i, j, ok := sampledCell(n, seed, func(i, j int) bool { return i < j })
+	if !ok {
+		t.Fatal("sampler never produced an off-diagonal cell")
+	}
+	tbl := solvedTable(t, n)
+	nan := float32(0)
+	nan = nan / nan
+	if err := tbl.Set(i, j, nan); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResidualSpotCheck(tbl, idx+1, seed); err == nil || !strings.Contains(err.Error(), "NaN") {
+		t.Fatalf("NaN at sampled cell (%d, %d): err = %v, want NaN report", i, j, err)
+	}
+
+	idx, i, _, ok = sampledCell(n, seed, func(i, j int) bool { return i == j })
+	if !ok {
+		t.Fatal("sampler never produced a diagonal cell")
+	}
+	tbl2 := solvedTable(t, n)
+	if err := tbl2.Set(i, i, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResidualSpotCheck(tbl2, idx+1, seed); err == nil || !strings.Contains(err.Error(), "diagonal") {
+		t.Fatalf("nonzero diagonal at sampled cell %d: err = %v, want diagonal report", i, err)
+	}
+}

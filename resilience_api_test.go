@@ -185,3 +185,65 @@ func TestSolveResumeRejectsGeometryMismatch(t *testing.T) {
 		t.Fatal("resume accepted a checkpoint from a different problem size")
 	}
 }
+
+// TestSolveDegradationCancelledMidFallback cancels the context at the
+// exact moment degradation begins (Options.Logf fires precisely then),
+// so the Tiled fallback starts under a dead context. The solve must
+// surface context.Canceled — not a TaskError, and never a silent
+// partial success.
+func TestSolveDegradationCancelledMidFallback(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tbl := chainTable(t, 300)
+	res, err := cellnpdp.SolveCtx(ctx, tbl, cellnpdp.Options{
+		Engine: cellnpdp.Parallel, Workers: 4,
+		FaultRate: 0.6, FaultSeed: 3,
+		Logf: func(string, ...any) { cancel() },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("(%+v, %v), want context.Canceled from the cancelled fallback", res, err)
+	}
+	var te *resilience.TaskError
+	if errors.As(err, &te) {
+		t.Fatalf("cancellation surfaced as a task failure: %v", err)
+	}
+}
+
+// TestSolveDegradationRacingCancel races an external cancel against the
+// Parallel→Tiled degradation at varied delays (run under -race in CI).
+// Whatever the interleaving, the only legal outcomes are a clean
+// degraded solve or context.Canceled, and no goroutines may leak.
+func TestSolveDegradationRacingCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			time.Sleep(time.Duration(i) * 500 * time.Microsecond)
+			cancel()
+		}()
+		tbl := chainTable(t, 300)
+		res, err := cellnpdp.SolveCtx(ctx, tbl, cellnpdp.Options{
+			Engine: cellnpdp.Parallel, Workers: 4,
+			FaultRate: 0.6, FaultSeed: 3,
+		})
+		switch {
+		case err == nil:
+			if !res.Degraded {
+				t.Fatalf("iteration %d: fault-injected solve finished undegraded", i)
+			}
+		case errors.Is(err, context.Canceled):
+		default:
+			t.Fatalf("iteration %d: err = %v, want nil (degraded) or context.Canceled", i, err)
+		}
+		<-done
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak across racing cancels: %d before, %d after", before, after)
+	}
+}

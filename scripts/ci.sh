@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Repo-wide verification gate: formatting, vet, the full test suite under
-# the race detector, and a smoke fault-injection solve proving the
-# resilience layer end to end (5% injected faults must complete correctly
-# through retries, with fallback disabled so recovery can't mask a bug).
-# Called standalone or as the bench.sh preflight.
+# Repo-wide verification gate: formatting, vet, static analysis (when the
+# tools are installed), the full test suite under the race detector, a
+# short fuzz smoke of the checkpoint codec, and a smoke fault-injection
+# solve proving the resilience layer end to end (5% injected faults must
+# complete correctly through retries, with fallback disabled so recovery
+# can't mask a bug). Called standalone or as the bench.sh preflight.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,12 +19,34 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+# Static analyzers are optional: CI images that bake them in get the
+# checks, bare toolchains skip with a notice instead of failing.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck ./..."
+    staticcheck ./...
+else
+    echo "== staticcheck not installed; skipping"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== govulncheck ./... (advisory)"
+    # Advisory only: a published vuln in a dependency should not brick
+    # unrelated development, but it must be visible in the log.
+    govulncheck ./... || echo "govulncheck reported findings (non-fatal)"
+else
+    echo "== govulncheck not installed; skipping"
+fi
+
 echo "== go test -race ./..."
 # The harness package replays every paper table/figure; under the race
 # detector that legitimately exceeds go test's default 10m per-package
 # timeout, so set an explicit generous one.
 go test -race -timeout 30m ./...
 
+echo "== fuzz smoke: checkpoint codec (20s)"
+# A short adversarial pass over the NPCK reader: corrupt and truncated
+# snapshots must be rejected, never crash or silently resume bad state.
+go test -run='^$' -fuzz FuzzCheckpointRoundTrip -fuzztime 20s .
+
 echo "== smoke: fault-injected parallel solve (5% rate, retries, no fallback)"
-go run ./cmd/cellnpdp -n 300 -engine parallel \
+go run ./cmd/cellnpdp -n 300 -engine parallel -timeout 30m \
     -faultrate 0.05 -faultseed 7 -retries 3 -fallback=false

@@ -106,6 +106,27 @@ type Options struct {
 	// FaultSeed seeds the injection plan; runs with the same seed fault
 	// the same (task, attempt) pairs regardless of worker interleaving.
 	FaultSeed int64
+	// FaultKinds selects the faults injected, comma-separated from
+	// "error", "panic", "delay", "corrupt"; empty means "error" (the
+	// retryable default). "corrupt" silently flips one bit in a completed
+	// memory block — block sealing (implied by selecting it) turns that
+	// into a detected corruption, and Heal into a recovered one. The Cell
+	// engine honors only "corrupt".
+	FaultKinds string
+	// Heal enables self-healing in the Parallel and Cell engines: every
+	// completed memory block is sealed with a CRC32C digest, audits
+	// re-verify the seals, and a mismatch triggers poisoned-cone
+	// recompute (the corrupted block's task plus its transitive
+	// successors) instead of a failed solve. Without Heal a detected
+	// corruption is an error — never a silently wrong answer.
+	Heal bool
+	// HealAttempts bounds poisoned-cone recompute rounds; 0 uses the
+	// engine default.
+	HealAttempts int
+	// AuditEvery makes the Parallel engine re-verify all block seals
+	// every AuditEvery task executions (the online audit, which catches
+	// corruption mid-solve); 0 audits post-solve only. Implies sealing.
+	AuditEvery int
 	// CheckpointPath, when non-empty, makes the Parallel engine
 	// periodically snapshot completed work (and always snapshot on
 	// failure) to this file for later resume.
@@ -148,6 +169,17 @@ type Result struct {
 	// ResumedTasks is the number of scheduler tasks restored from the
 	// checkpoint instead of recomputed (Parallel resume only).
 	ResumedTasks int
+	// CorruptBlocks is the number of block-seal mismatches audits
+	// detected (sealing engines only).
+	CorruptBlocks int
+	// HealRounds is the number of poisoned-cone recompute rounds run.
+	HealRounds int
+	// RecomputedTasks is the total scheduler tasks re-dispatched by
+	// healing across all rounds.
+	RecomputedTasks int
+	// HealFallback reports that heal rounds were exhausted and the solve
+	// restarted once from the pristine snapshot.
+	HealFallback bool
 }
 
 // Table is an n-point upper-triangular DP table. Cells (i, j) with
@@ -237,6 +269,19 @@ func SolveCtx[E Elem](ctx context.Context, t *Table[E], opts Options) (*Result, 
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.FaultRate < 0 || opts.FaultRate > 1 {
+		return nil, fmt.Errorf("cellnpdp: FaultRate must be in [0, 1], got %g", opts.FaultRate)
+	}
+	if opts.HealAttempts < 0 {
+		return nil, fmt.Errorf("cellnpdp: HealAttempts must be non-negative, got %d", opts.HealAttempts)
+	}
+	if opts.AuditEvery < 0 {
+		return nil, fmt.Errorf("cellnpdp: AuditEvery must be non-negative, got %d", opts.AuditEvery)
+	}
+	faultKinds, err := resilience.ParseFaultKinds(opts.FaultKinds)
+	if err != nil {
+		return nil, fmt.Errorf("cellnpdp: %w", err)
+	}
 	blockBytes := opts.BlockBytes
 	if blockBytes <= 0 {
 		blockBytes = 32 * 1024
@@ -268,7 +313,7 @@ func SolveCtx[E Elem](ctx context.Context, t *Table[E], opts Options) (*Result, 
 		res.Relaxations = st.Relaxations()
 		tri.Copy[E](tri.Table[E](t.rm), tt)
 	case Parallel:
-		relax, err := solveParallel(ctx, t, res, tile, workers, schedSide, opts)
+		relax, err := solveParallel(ctx, t, res, tile, workers, schedSide, opts, faultKinds)
 		if err != nil {
 			return nil, err
 		}
@@ -286,14 +331,27 @@ func SolveCtx[E Elem](ctx context.Context, t *Table[E], opts Options) (*Result, 
 			workers = len(mach.SPEs)
 		}
 		tt := tri.ToTiled(t.rm, tile)
-		cres, err := npdp.SolveCellCtx(ctx, tt, mach, npdp.CellOptions{
+		hs := &resilience.HealStats{}
+		copts := npdp.CellOptions{
 			Workers:           workers,
 			SchedSide:         schedSide,
 			UseSIMD:           true,
 			DoubleBuffer:      true,
 			CBStepCycles:      cbStepCycles[E](),
 			ScalarRelaxCycles: npdp.ScalarRelaxCyclesFor(prec),
-		})
+			Seal:              sealOn(opts, faultKinds),
+			Heal:              opts.Heal,
+			HealAttempts:      opts.HealAttempts,
+			HealStats:         hs,
+		}
+		if opts.FaultRate > 0 {
+			copts.Inject = &resilience.Injector{Rate: opts.FaultRate, Seed: opts.FaultSeed, Kinds: faultKinds}
+		}
+		cres, err := npdp.SolveCellCtx(ctx, tt, mach, copts)
+		res.CorruptBlocks = hs.CorruptBlocks
+		res.HealRounds = hs.HealRounds
+		res.RecomputedTasks = hs.RecomputedTasks
+		res.HealFallback = hs.CheckpointFallback
 		if err != nil {
 			return nil, err
 		}
@@ -314,13 +372,19 @@ func SolveCtx[E Elem](ctx context.Context, t *Table[E], opts Options) (*Result, 
 // engine when the parallel compute layer fails. The row-major source is
 // only overwritten after a successful solve, so degradation always
 // restarts from clean input.
-func solveParallel[E Elem](ctx context.Context, t *Table[E], res *Result, tile, workers, schedSide int, opts Options) (int64, error) {
+func solveParallel[E Elem](ctx context.Context, t *Table[E], res *Result, tile, workers, schedSide int, opts Options, faultKinds []resilience.FaultKind) (int64, error) {
 	tt := tri.ToTiled(t.rm, tile)
+	hs := &resilience.HealStats{}
 	popts := npdp.ParallelOptions{
 		Workers:         workers,
 		SchedSide:       schedSide,
 		CheckpointPath:  opts.CheckpointPath,
 		CheckpointEvery: opts.CheckpointEvery,
+		Seal:            sealOn(opts, faultKinds),
+		Heal:            opts.Heal,
+		HealAttempts:    opts.HealAttempts,
+		AuditEvery:      opts.AuditEvery,
+		HealStats:       hs,
 	}
 	if opts.MaxRetries > 0 {
 		popts.Retry = resilience.RetryPolicy{
@@ -331,7 +395,7 @@ func solveParallel[E Elem](ctx context.Context, t *Table[E], res *Result, tile, 
 		}
 	}
 	if opts.FaultRate > 0 {
-		popts.Inject = &resilience.Injector{Rate: opts.FaultRate, Seed: opts.FaultSeed}
+		popts.Inject = &resilience.Injector{Rate: opts.FaultRate, Seed: opts.FaultSeed, Kinds: faultKinds}
 	}
 	if opts.ResumePath != "" {
 		// A crash between writing a snapshot temp and renaming it leaves
@@ -373,6 +437,10 @@ func solveParallel[E Elem](ctx context.Context, t *Table[E], res *Result, tile, 
 		res.ResumedTasks = ck.DoneCount()
 	}
 	st, err := npdp.SolveParallelCtx(ctx, tt, popts)
+	res.CorruptBlocks = hs.CorruptBlocks
+	res.HealRounds = hs.HealRounds
+	res.RecomputedTasks = hs.RecomputedTasks
+	res.HealFallback = hs.CheckpointFallback
 	if err != nil {
 		if !degradable(err) || opts.NoFallback {
 			return 0, err
@@ -392,13 +460,33 @@ func solveParallel[E Elem](ctx context.Context, t *Table[E], res *Result, tile, 
 }
 
 // degradable reports whether a parallel failure is a compute-layer fault
-// the Tiled engine can recover from (a task failure or panic), as
-// opposed to cancellation or a configuration/IO error that would fail
-// there too.
+// the Tiled engine can recover from (a task failure, panic, or detected
+// block corruption — degradation restarts from the clean row-major
+// source, so corrupted tiled state is discarded), as opposed to
+// cancellation or a configuration/IO error that would fail there too.
 func degradable(err error) bool {
 	var te *resilience.TaskError
 	var pe *resilience.PanicError
-	return errors.As(err, &te) || errors.As(err, &pe)
+	var ce *resilience.CorruptionError
+	return errors.As(err, &te) || errors.As(err, &pe) || errors.As(err, &ce)
+}
+
+// sealOn reports whether block sealing must be active for a solve:
+// requested healing or online audits need seals to act on, and
+// injecting silent corruption without seals would let a wrong answer
+// escape undetected.
+func sealOn(opts Options, kinds []resilience.FaultKind) bool {
+	if opts.Heal || opts.AuditEvery > 0 {
+		return true
+	}
+	if opts.FaultRate > 0 {
+		for _, k := range kinds {
+			if k == resilience.FaultCorrupt {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // SolveEstimate is the admission-control view of a solve before it runs:

@@ -238,6 +238,82 @@ func TestCLIKillAndResume(t *testing.T) {
 	}
 }
 
+// TestCLISelfHeal is the corruption acceptance scenario end to end:
+// silent bit flips injected at 5% with -heal produce the serial
+// reference bit-for-bit (verified through -check, which compares every
+// cell) while reporting the heal events; the same run without -heal must
+// die with the seal-audit error, never print a wrong answer.
+func TestCLISelfHeal(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.npdp")
+	runCLI(t, "cellnpdp", "-n", "400", "-engine", "serial", "-save", ref)
+
+	out := runCLI(t, "cellnpdp", "-n", "400", "-engine", "parallel",
+		"-faultkinds", "corrupt", "-faultrate", "0.05", "-faultseed", "7",
+		"-heal", "-fallback=false", "-check", ref)
+	if !strings.Contains(out, "detected ") || !strings.Contains(out, "heal rounds recomputed") {
+		t.Fatalf("heal events not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "identical") {
+		t.Fatalf("healed run not bit-identical to serial reference:\n%s", out)
+	}
+
+	// Detection without healing: loud failure naming the corrupted block.
+	cmd := exec.Command(cliPath(t, "cellnpdp"), "-n", "400", "-engine", "parallel",
+		"-faultkinds", "corrupt", "-faultrate", "0.05", "-faultseed", "7",
+		"-fallback=false")
+	noHeal, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("unhealed corruption run exited 0:\n%s", noHeal)
+	}
+	if !strings.Contains(string(noHeal), "block seal audit") {
+		t.Fatalf("corruption not named in the failure:\n%s", noHeal)
+	}
+}
+
+// TestCLICellEngineHeals covers the cell engine's heal path through the
+// CLI: the DES completes, the wavefront recompute repairs the table, and
+// the result matches the serial reference exactly.
+func TestCLICellEngineHeals(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.npdp")
+	runCLI(t, "cellnpdp", "-n", "300", "-engine", "serial", "-save", ref)
+	out := runCLI(t, "cellnpdp", "-n", "300", "-engine", "cell",
+		"-faultkinds", "corrupt", "-faultrate", "0.2", "-faultseed", "3",
+		"-heal", "-check", ref)
+	if !strings.Contains(out, "detected ") || !strings.Contains(out, "identical") {
+		t.Fatalf("cell heal run malformed:\n%s", out)
+	}
+}
+
+// TestCLIResilienceFlagValidation asserts out-of-range resilience knobs
+// fail loudly at startup with a message naming the flag.
+func TestCLIResilienceFlagValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-faultrate", "1.5"}, "-faultrate must be in [0, 1]"},
+		{[]string{"-faultrate", "-0.1"}, "-faultrate must be in [0, 1]"},
+		{[]string{"-retries", "-1"}, "-retries must be non-negative"},
+		{[]string{"-checkpoint-every", "-2"}, "-checkpoint-every must be non-negative"},
+		{[]string{"-heal-attempts", "-1"}, "-heal-attempts must be non-negative"},
+		{[]string{"-audit-every", "-3"}, "-audit-every must be non-negative"},
+		{[]string{"-faultkinds", "error,bogus"}, `unknown fault kind "bogus"`},
+	}
+	for _, c := range cases {
+		args := append([]string{"-n", "50"}, c.args...)
+		cmd := exec.Command(cliPath(t, "cellnpdp"), args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%v accepted:\n%s", c.args, out)
+		}
+		if !strings.Contains(string(out), c.want) {
+			t.Fatalf("%v rejection missing %q:\n%s", c.args, c.want, out)
+		}
+	}
+}
+
 // TestCLIServeDrainsOnSIGTERM is the lifecycle acceptance scenario: a
 // serve process with a solve in flight receives SIGTERM, finishes the
 // in-flight work (the client still gets its 200), reports the outcome

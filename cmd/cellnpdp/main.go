@@ -51,8 +51,12 @@ func main() {
 		resume     = flag.String("resume", "", "parallel engine: resume from this checkpoint file")
 		faultRate  = flag.Float64("faultrate", 0, "parallel engine: inject transient faults at this per-attempt rate")
 		faultSeed  = flag.Int64("faultseed", 1, "fault-injection seed (deterministic per seed)")
+		faultKinds = flag.String("faultkinds", "", "comma-separated injected fault kinds: error, panic, delay, corrupt (empty = error)")
 		retries    = flag.Int("retries", 3, "parallel engine: max retries per task for transient failures")
 		fallback   = flag.Bool("fallback", true, "degrade parallel failures to the serial tiled engine")
+		heal       = flag.Bool("heal", false, "seal completed blocks and recompute the poisoned cone on corruption")
+		healMax    = flag.Int("heal-attempts", 0, "max poisoned-cone recompute rounds (0 = engine default)")
+		auditEvery = flag.Int("audit-every", 0, "parallel engine: re-verify block seals every N task executions (0 = post-solve only)")
 	)
 	flag.Parse()
 
@@ -60,11 +64,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Out-of-range resilience knobs fail loudly here instead of being
+	// silently accepted or clamped downstream.
+	if *faultRate < 0 || *faultRate > 1 {
+		log.Fatalf("-faultrate must be in [0, 1], got %g", *faultRate)
+	}
+	if *retries < 0 {
+		log.Fatalf("-retries must be non-negative, got %d", *retries)
+	}
+	if *ckEvery < 0 {
+		log.Fatalf("-checkpoint-every must be non-negative, got %d", *ckEvery)
+	}
+	if *healMax < 0 {
+		log.Fatalf("-heal-attempts must be non-negative, got %d", *healMax)
+	}
+	if *auditEvery < 0 {
+		log.Fatalf("-audit-every must be non-negative, got %d", *auditEvery)
+	}
 	opts := cellnpdp.Options{
 		Engine: eng, Workers: *workers, BlockBytes: *block,
 		MaxRetries: *retries, FaultRate: *faultRate, FaultSeed: *faultSeed,
+		FaultKinds:     *faultKinds,
 		CheckpointPath: *checkpoint, CheckpointEvery: *ckEvery, ResumePath: *resume,
 		NoFallback: !*fallback, Logf: log.Printf,
+		Heal: *heal, HealAttempts: *healMax, AuditEvery: *auditEvery,
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -127,6 +150,13 @@ func run[E cellnpdp.Elem](ctx context.Context, n int, seed int64, opts cellnpdp.
 	}
 	if res.Degraded {
 		fmt.Printf("degraded to tiled engine: %s\n", res.DegradedReason)
+	}
+	if res.CorruptBlocks > 0 {
+		fmt.Printf("detected %d corrupt blocks; %d heal rounds recomputed %d tasks", res.CorruptBlocks, res.HealRounds, res.RecomputedTasks)
+		if res.HealFallback {
+			fmt.Printf(" (pristine-restart fallback used)")
+		}
+		fmt.Printf("\n")
 	}
 	// A stable checksum so different engines can be diffed from the shell.
 	var sum float64

@@ -151,6 +151,7 @@ func All() []Experiment {
 		{"fig13", "memory-block size × SPE count sweep", Fig13},
 		{"ablations", "design choices toggled in isolation", Ablations},
 		{"resilience", "fault injection, retry overhead and kill+resume", Resilience},
+		{"selfheal", "silent-corruption detection and poisoned-cone healing", SelfHeal},
 		{"serve", "serving layer under overload: admission, shedding, integrity", ServeLoad},
 		{"model", "Section V analytic model report", ModelReport},
 		{"utilization", "processor utilization accounting", UtilizationReport},

@@ -242,6 +242,28 @@ func TestServeLoadExperiment(t *testing.T) {
 	}
 }
 
+// TestSelfHealExperiment runs the corruption-recovery characterization:
+// the experiment self-verifies every healed row bit-identical against the
+// serial reference and asserts the single-corruption cone is a strict
+// subset of the task graph, so the test only needs shape and outcomes.
+func TestSelfHealExperiment(t *testing.T) {
+	tbl, err := SelfHeal(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("SelfHeal rows = %d, want clean + single + 5%% + detect-only", len(tbl.Rows))
+	}
+	single := tbl.Rows[1]
+	if single[1] != "1" || single[2] != "1" || !strings.Contains(single[3], "/") {
+		t.Fatalf("single-corruption row malformed: %v", single)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[len(last)-1] != "error surfaced" {
+		t.Fatalf("detect-only row must surface an error: %v", last)
+	}
+}
+
 // TestResilienceExperiment runs the fault-tolerance characterization:
 // every row self-verifies against the serial reference, so the test only
 // needs the table shape and the resume row's restored-task note.

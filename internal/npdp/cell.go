@@ -3,9 +3,11 @@ package npdp
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"cellnpdp/internal/cellsim"
 	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/resilience"
 	"cellnpdp/internal/sched"
 	"cellnpdp/internal/semiring"
 	"cellnpdp/internal/trace"
@@ -46,6 +48,26 @@ type CellOptions struct {
 	// Trace, when non-nil, records per-SPE compute/wait/task intervals
 	// for Gantt rendering (internal/trace).
 	Trace *trace.Log
+	// Inject is the deterministic fault injector. The cell engine honors
+	// only FaultCorrupt plans (silent post-completion bit flips in main
+	// memory); error/panic/delay model host-side concerns the serial
+	// discrete-event dispatcher has no analogue for. Timing-only runs
+	// (ModelCell) ignore it — there is no data to corrupt.
+	Inject *resilience.Injector
+	// Seal enables block sealing with a post-solve audit, so silent
+	// corruption is detected rather than returned. Implied by Heal.
+	// Functional runs only.
+	Seal bool
+	// Heal enables poisoned-cone recovery: cone tasks are restored from
+	// the pristine snapshot and recomputed serially with the same
+	// kernels, outside the DES — the modeled time and DMA statistics
+	// deliberately exclude recovery work, which on real hardware would
+	// run at PPE convenience after the timed solve.
+	Heal bool
+	// HealAttempts bounds heal rounds; 0 means DefaultHealAttempts.
+	HealAttempts int
+	// HealStats, when non-nil, receives the sealing layer's counters.
+	HealStats *resilience.HealStats
 }
 
 // DefaultCallOverheadCycles is the modeled per-kernel-call control cost.
@@ -140,6 +162,7 @@ type cellEngine[E semiring.Elem] struct {
 	machine   *cellsim.Machine
 	opts      CellOptions
 	stats     kernel.Stats
+	heal      *healer[E]       // nil unless sealing is on and data is present
 	workerBuf []*speBuffers[E] // per-worker buffer sets, allocated on first task
 }
 
@@ -358,6 +381,9 @@ func (e *cellEngine[E]) run() (CellResult, error) {
 	if err != nil {
 		return CellResult{}, err
 	}
+	if (e.opts.Seal || e.opts.Heal) && e.data != nil {
+		e.heal = newHealer(graph, e.data, e.opts.Inject, 0, e.opts.HealStats, nil)
+	}
 	// Cost-aware urgencies: a task's priority is the most expensive
 	// remaining dependence chain hanging off it (estimated from the
 	// analytic kernel counts). List scheduling with these stays within a
@@ -419,6 +445,13 @@ func (e *cellEngine[E]) run() (CellResult, error) {
 			}
 			before := spe.Clock
 			spe.WaitAll()
+			if e.heal != nil {
+				// Write-backs drained: digest, apply any planned silent
+				// flip, and seal. The DES runs on one goroutine, so the
+				// ordering needs no synchronization here.
+				e.heal.taskDone(task)
+				e.heal.sealTask(task, 0)
+			}
 			e.opts.Trace.Add(spe.ID, trace.KindDMAWait, before, spe.Clock, "drain")
 			e.opts.Trace.Add(spe.ID, trace.KindTask, start, spe.Clock,
 				fmt.Sprintf("(%d,%d)-(%d,%d)", task.RowLo, task.ColLo, task.RowHi-1, task.ColHi-1))
@@ -432,12 +465,77 @@ func (e *cellEngine[E]) run() (CellResult, error) {
 	if err != nil {
 		return CellResult{}, err
 	}
+	if e.heal != nil {
+		if herr := e.healLoop(graph); herr != nil {
+			return CellResult{}, herr
+		}
+	}
 	return CellResult{
 		Seconds: des.Makespan,
 		Stats:   e.stats,
 		DMA:     e.machine.Stats,
 		Busy:    des.WorkerBusy,
 	}, nil
+}
+
+// healLoop is the cell engine's post-solve escalation ladder: audit →
+// poisoned-cone recompute (bounded rounds) → pristine-restart fallback →
+// *resilience.CorruptionError. Recovery is functional and serial —
+// tasks recompute in wavefront order (Bj−Bi ascending, so every
+// dependence is strictly earlier) with the same MulMinPlus/Stage2
+// kernels the SPE procedure ran, so a healed table is bit-identical to
+// a clean solve. The recompute work counts into Stats but not into the
+// modeled Seconds or DMA traffic.
+func (e *cellEngine[E]) healLoop(graph *sched.Graph) error {
+	h := e.heal
+	healAttempts := 0
+	if e.opts.Heal {
+		healAttempts = e.opts.HealAttempts
+		if healAttempts <= 0 {
+			healAttempts = DefaultHealAttempts
+		}
+	}
+	rounds, fellBack := 0, false
+	// runIdx starts at 1: the DES run sealed at attempt 0, so each
+	// recompute round re-rolls fresh fault plans.
+	for runIdx := 1; ; runIdx++ {
+		bad := h.audit()
+		if len(bad) == 0 {
+			return nil
+		}
+		h.stats.CorruptBlocks += len(bad)
+		var ids []int
+		switch {
+		case rounds < healAttempts:
+			rounds++
+			ids = h.heal(bad)
+		case e.opts.Heal && !fellBack:
+			fellBack = true
+			h.restoreAll()
+			ids = make([]int, len(graph.Tasks))
+			for i := range ids {
+				ids[i] = i
+			}
+		default:
+			return h.corruption(bad, rounds)
+		}
+		sort.Slice(ids, func(x, y int) bool {
+			dx := graph.Tasks[ids[x]].Bj - graph.Tasks[ids[x]].Bi
+			dy := graph.Tasks[ids[y]].Bj - graph.Tasks[ids[y]].Bi
+			if dx != dy {
+				return dx < dy
+			}
+			return ids[x] < ids[y]
+		})
+		for _, id := range ids {
+			task := graph.Tasks[id]
+			for _, mb := range task.MemoryBlockOrder() {
+				e.stats.Add(computeMemoryBlockCBStep(e.data, mb[0], mb[1]))
+			}
+			h.taskDone(task)
+			h.sealTask(task, runIdx)
+		}
+	}
 }
 
 // SolveCell runs CellNPDP functionally on the simulated Cell: the DP

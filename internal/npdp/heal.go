@@ -1,0 +1,221 @@
+package npdp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cellnpdp/internal/resilience"
+	"cellnpdp/internal/sched"
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tri"
+)
+
+// DefaultHealAttempts bounds poisoned-cone recompute rounds when healing
+// is enabled without an explicit budget. Each round re-rolls the fault
+// injector at a fresh attempt base, so under sustained injection the
+// corrupt set shrinks roughly geometrically; a generous bound lets rates
+// like 5% converge while still guaranteeing termination.
+const DefaultHealAttempts = 32
+
+// healer is the self-healing layer shared by the parallel and cell
+// engines: it seals every completed memory block with a CRC32C digest,
+// audits seals online and post-solve, and when a seal mismatches
+// restores the poisoned cone (the corrupted block's task plus its
+// transitive successors) from a pristine snapshot so the engine can
+// recompute just that cone.
+//
+// The corruption model deliberately matches a silent hardware fault: the
+// injected bit flip happens after a task's blocks are computed and
+// CRC'd but before the seals are stored, so the flipped block itself is
+// detectable (content ≠ seal) while every task that later consumed it
+// seals its own garbage consistently — which is exactly why recovery
+// must recompute the whole cone, not just the flipped block.
+//
+// Memory-ordering note for the concurrent (parallel-pool) engine: a
+// task's block writes and bit flip all precede its Seal stores (atomic
+// release); an auditor's Sealed load (acquire) precedes its block reads;
+// unsealed blocks are never read by an audit. Audits therefore only ever
+// read immutable bytes and the layer is race-free under the detector.
+type healer[E semiring.Elem] struct {
+	graph *sched.Graph
+	t     *tri.Tiled[E]
+	// pristine is the table snapshot at healer creation (initial values
+	// plus any checkpoint-restored blocks) — the known-good state cone
+	// tasks are reset to before recomputation. Relaxations are monotone
+	// mins, so a recompute cannot undo a downward (value-shrinking)
+	// corruption in place; restoring first is what makes healed results
+	// bit-identical. Costs one extra table copy while sealing is on.
+	pristine   *tri.Tiled[E]
+	seals      *resilience.SealTable
+	inject     *resilience.Injector
+	stats      *resilience.HealStats
+	auditEvery int
+	blockTask  []int // dense memory-block ID → computing task ID
+	done       []atomic.Bool
+	execs      atomic.Int64
+	auditMu    sync.Mutex
+}
+
+// newHealer snapshots the table and seals any blocks already restored by
+// a resume (completed tasks), so audits cover resumed state too.
+func newHealer[E semiring.Elem](graph *sched.Graph, t *tri.Tiled[E], inject *resilience.Injector,
+	auditEvery int, stats *resilience.HealStats, completed []bool) *healer[E] {
+	if stats == nil {
+		stats = &resilience.HealStats{}
+	}
+	m := t.Blocks()
+	h := &healer[E]{
+		graph:      graph,
+		t:          t,
+		pristine:   t.Clone(),
+		seals:      resilience.NewSealTable(m * (m + 1) / 2),
+		inject:     inject,
+		stats:      stats,
+		auditEvery: auditEvery,
+		blockTask:  make([]int, m*(m+1)/2),
+		done:       make([]atomic.Bool, len(graph.Tasks)),
+	}
+	for _, task := range graph.Tasks {
+		for _, mb := range task.MemoryBlockOrder() {
+			h.blockTask[t.BlockID(mb[0], mb[1])] = task.ID
+		}
+	}
+	for id := range completed {
+		if completed[id] {
+			h.done[id].Store(true)
+			for _, mb := range graph.Tasks[id].MemoryBlockOrder() {
+				h.seals.Seal(t.BlockID(mb[0], mb[1]), resilience.BlockCRC(t.Block(mb[0], mb[1])))
+			}
+		}
+	}
+	return h
+}
+
+// taskDone records a task completion (composed into the pool's
+// OnTaskDone); the completion bitmap drives heal-round re-dispatch.
+func (h *healer[E]) taskDone(task sched.Task) { h.done[task.ID].Store(true) }
+
+// sealTask digests and seals every memory block of a completed task,
+// injecting the planned FaultCorrupt flip between the digest and the
+// seal store so injected corruption is silent to the computation but
+// visible to the next audit.
+func (h *healer[E]) sealTask(task sched.Task, attempt int) {
+	mbs := task.MemoryBlockOrder()
+	crcs := make([]uint32, len(mbs))
+	for i, mb := range mbs {
+		crcs[i] = resilience.BlockCRC(h.t.Block(mb[0], mb[1]))
+	}
+	if h.inject != nil && h.inject.Plan(task.ID, attempt) == resilience.FaultCorrupt {
+		draw := h.inject.CorruptDraw(task.ID, attempt)
+		mb := mbs[int((draw>>48)%uint64(len(mbs)))]
+		resilience.CorruptBit(h.t.Block(mb[0], mb[1]), draw)
+	}
+	for i, mb := range mbs {
+		h.seals.Seal(h.t.BlockID(mb[0], mb[1]), crcs[i])
+	}
+}
+
+// maybeAudit is the online auditor piggybacked on task dispatch: every
+// auditEvery-th task execution re-verifies all seals, surfacing a
+// *resilience.CorruptionError as the task's failure so the pool aborts
+// the run and the heal loop takes over mid-solve.
+func (h *healer[E]) maybeAudit() error {
+	if h.auditEvery <= 0 {
+		return nil
+	}
+	if h.execs.Add(1)%int64(h.auditEvery) != 0 {
+		return nil
+	}
+	if bad := h.audit(); len(bad) > 0 {
+		return h.corruption(bad, 0)
+	}
+	return nil
+}
+
+// audit re-digests every sealed block and returns the tile coordinates
+// of those whose content no longer matches the seal.
+func (h *healer[E]) audit() [][2]int {
+	h.auditMu.Lock()
+	defer h.auditMu.Unlock()
+	h.stats.Audits++
+	var bad [][2]int
+	m := h.t.Blocks()
+	for bi := 0; bi < m; bi++ {
+		for bj := bi; bj < m; bj++ {
+			id := h.t.BlockID(bi, bj)
+			if want, ok := h.seals.Sealed(id); ok && resilience.BlockCRC(h.t.Block(bi, bj)) != want {
+				bad = append(bad, [2]int{bi, bj})
+			}
+		}
+	}
+	return bad
+}
+
+// corruption builds the typed error for a set of corrupted blocks.
+func (h *healer[E]) corruption(bad [][2]int, healed int) *resilience.CorruptionError {
+	ce := &resilience.CorruptionError{Blocks: bad, Healed: healed}
+	seen := make(map[int]bool)
+	for _, b := range bad {
+		id := h.blockTask[h.t.BlockID(b[0], b[1])]
+		if !seen[id] {
+			seen[id] = true
+			ce.TaskIDs = append(ce.TaskIDs, id)
+		}
+	}
+	return ce
+}
+
+// heal prepares one poisoned-cone recompute round: every task in the
+// transitive successor cone of the corrupted blocks has its memory
+// blocks restored from the pristine snapshot, its seals cleared, and its
+// completion bit reset. The returned cone IDs are the tasks the engine
+// must re-dispatch.
+func (h *healer[E]) heal(bad [][2]int) []int {
+	seen := make(map[int]bool)
+	var seeds []int
+	for _, b := range bad {
+		id := h.blockTask[h.t.BlockID(b[0], b[1])]
+		if !seen[id] {
+			seen[id] = true
+			seeds = append(seeds, id)
+		}
+	}
+	cone := h.graph.Cone(seeds)
+	for _, id := range cone {
+		for _, mb := range h.graph.Tasks[id].MemoryBlockOrder() {
+			copy(h.t.Block(mb[0], mb[1]), h.pristine.Block(mb[0], mb[1]))
+			h.seals.Unseal(h.t.BlockID(mb[0], mb[1]))
+		}
+		h.done[id].Store(false)
+	}
+	h.stats.HealRounds++
+	h.stats.RecomputedTasks += len(cone)
+	return cone
+}
+
+// restoreAll is the last escalation tier before erroring out: the whole
+// table reverts to the pristine snapshot (the in-memory level-0
+// checkpoint — the on-disk one cannot serve here, since its periodic
+// snapshots may already contain the silently corrupted bytes) and the
+// engine recomputes from scratch once more.
+func (h *healer[E]) restoreAll() {
+	copy(h.t.Cells(), h.pristine.Cells())
+	for id := 0; id < h.seals.Len(); id++ {
+		h.seals.Unseal(id)
+	}
+	for i := range h.done {
+		h.done[i].Store(false)
+	}
+	h.stats.CheckpointFallback = true
+	h.stats.RecomputedTasks += len(h.graph.Tasks)
+}
+
+// completedBitmap snapshots the completion state for the next run's
+// pre-notification (only tasks outside the healed cone stay done).
+func (h *healer[E]) completedBitmap() []bool {
+	out := make([]bool, len(h.done))
+	for i := range h.done {
+		out[i] = h.done[i].Load()
+	}
+	return out
+}

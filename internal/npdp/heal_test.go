@@ -1,0 +1,216 @@
+package npdp
+
+import (
+	"errors"
+	"testing"
+
+	"cellnpdp/internal/cellsim"
+	"cellnpdp/internal/resilience"
+	"cellnpdp/internal/tri"
+	"cellnpdp/internal/workload"
+)
+
+// corruptInjector injects silent bit flips at rate with the given seed.
+func corruptInjector(rate float64, seed int64) *resilience.Injector {
+	return &resilience.Injector{
+		Rate: rate, Seed: seed,
+		Kinds: []resilience.FaultKind{resilience.FaultCorrupt},
+	}
+}
+
+// TestParallelHealFivePercentBitIdentical is the tentpole acceptance
+// test: FaultCorrupt at a 5% task rate on n=1024 with healing enabled
+// must converge to a table bit-identical to the serial solve, and the
+// run must actually have healed something.
+func TestParallelHealFivePercentBitIdentical(t *testing.T) {
+	const n = 1024
+	src := workload.Chain[float32](n, 7)
+	ref := solveRef(src)
+	tt := tri.ToTiled(src, 64)
+	var hs resilience.HealStats
+	if _, err := SolveParallel(tt, ParallelOptions{
+		Workers: 4, SchedSide: 1,
+		Heal: true, HealStats: &hs,
+		Inject: corruptInjector(0.05, 21),
+	}); err != nil {
+		t.Fatalf("healed solve failed: %v", err)
+	}
+	if hs.CorruptBlocks == 0 || hs.HealRounds == 0 {
+		t.Fatalf("rate-0.05 run healed nothing: %+v", hs)
+	}
+	if hs.Audits == 0 {
+		t.Fatalf("no audit ran: %+v", hs)
+	}
+	got := tri.ToRowMajor(tt)
+	if i, j, av, bv, diff := tri.FirstDiff[float32](ref, got); diff {
+		t.Fatalf("healed table diverged at (%d,%d): serial=%v healed=%v (stats %+v)", i, j, av, bv, hs)
+	}
+}
+
+// TestParallelDetectOnlyFailsLoudly asserts the no-heal contract: with
+// sealing on but healing off, injected corruption surfaces as a
+// *resilience.CorruptionError naming the bad blocks — never a silently
+// wrong table, and never a nil error.
+func TestParallelDetectOnlyFailsLoudly(t *testing.T) {
+	const n = 400
+	src := workload.Chain[float32](n, 7)
+	tt := tri.ToTiled(src, 64)
+	var hs resilience.HealStats
+	_, err := SolveParallel(tt, ParallelOptions{
+		Workers: 4, SchedSide: 1,
+		Seal: true, HealStats: &hs,
+		Inject: corruptInjector(0.3, 21),
+	})
+	var ce *resilience.CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *resilience.CorruptionError, got %v", err)
+	}
+	if len(ce.Blocks) == 0 || len(ce.TaskIDs) != len(ce.Blocks) || ce.Healed != 0 {
+		t.Fatalf("malformed corruption error: %+v", ce)
+	}
+	if hs.CorruptBlocks != len(ce.Blocks) {
+		t.Fatalf("stats count %d vs error's %d blocks", hs.CorruptBlocks, len(ce.Blocks))
+	}
+}
+
+// TestParallelHealRecomputesOnlyTheCone finds a single-corruption run and
+// asserts the repair touched a strict subset of the task graph — the
+// poisoned cone, not a restart.
+func TestParallelHealRecomputesOnlyTheCone(t *testing.T) {
+	const n = 600
+	src := workload.Chain[float32](n, 7)
+	ref := solveRef(src)
+	for seed := int64(1); seed <= 300; seed++ {
+		src := workload.Chain[float32](n, 7)
+		tt := tri.ToTiled(src, 64)
+		m := tt.Blocks()
+		total := m * (m + 1) / 2
+		var hs resilience.HealStats
+		if _, err := SolveParallel(tt, ParallelOptions{
+			Workers: 4, SchedSide: 1,
+			Heal: true, HealStats: &hs,
+			Inject: corruptInjector(0.02, seed),
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if hs.CorruptBlocks != 1 || hs.HealRounds != 1 || hs.CheckpointFallback {
+			continue
+		}
+		if hs.RecomputedTasks >= total {
+			t.Fatalf("seed %d: single corruption recomputed %d of %d tasks", seed, hs.RecomputedTasks, total)
+		}
+		got := tri.ToRowMajor(tt)
+		if i, j, av, bv, diff := tri.FirstDiff[float32](ref, got); diff {
+			t.Fatalf("seed %d: diverged at (%d,%d): %v vs %v", seed, i, j, av, bv)
+		}
+		return
+	}
+	t.Fatal("no seed in 1..300 produced a single isolated corruption")
+}
+
+// TestParallelSealCleanRunNoOverheadEvents asserts a sealed solve with no
+// injector audits clean: no corruption, no heal rounds, bit-identical.
+func TestParallelSealCleanRunNoOverheadEvents(t *testing.T) {
+	const n = 300
+	src := workload.Chain[float32](n, 7)
+	ref := solveRef(src)
+	tt := tri.ToTiled(src, 32)
+	var hs resilience.HealStats
+	if _, err := SolveParallel(tt, ParallelOptions{
+		Workers: 4, SchedSide: 1,
+		Heal: true, AuditEvery: 5, HealStats: &hs,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hs.CorruptBlocks != 0 || hs.HealRounds != 0 || hs.RecomputedTasks != 0 {
+		t.Fatalf("clean run reported heal work: %+v", hs)
+	}
+	if hs.Audits == 0 {
+		t.Fatal("online auditing never ran")
+	}
+	got := tri.ToRowMajor(tt)
+	if i, j, av, bv, diff := tri.FirstDiff[float32](ref, got); diff {
+		t.Fatalf("diverged at (%d,%d): %v vs %v", i, j, av, bv)
+	}
+}
+
+// TestParallelHealWithRetryAndErrors mixes silent corruption with
+// retryable transient errors: the retry layer absorbs the errors, the
+// seal layer the corruption, and the result is still bit-identical.
+func TestParallelHealWithRetryAndErrors(t *testing.T) {
+	const n = 500
+	src := workload.Chain[float32](n, 7)
+	ref := solveRef(src)
+	tt := tri.ToTiled(src, 64)
+	var hs resilience.HealStats
+	if _, err := SolveParallel(tt, ParallelOptions{
+		Workers: 4, SchedSide: 1,
+		Retry: resilience.RetryPolicy{MaxRetries: 5},
+		Heal:  true, HealStats: &hs,
+		Inject: &resilience.Injector{
+			Rate: 0.1, Seed: 3,
+			Kinds: []resilience.FaultKind{resilience.FaultError, resilience.FaultCorrupt},
+		},
+	}); err != nil {
+		t.Fatalf("mixed-fault healed solve failed: %v", err)
+	}
+	got := tri.ToRowMajor(tt)
+	if i, j, av, bv, diff := tri.FirstDiff[float32](ref, got); diff {
+		t.Fatalf("diverged at (%d,%d): %v vs %v (stats %+v)", i, j, av, bv, hs)
+	}
+}
+
+// TestCellHealMatchesSerial drives the cell engine's functional path
+// under silent corruption with healing on: the DES completes, the heal
+// loop repairs in wavefront order, and the table matches serial exactly.
+func TestCellHealMatchesSerial(t *testing.T) {
+	mach, err := cellsim.NewMachine(cellsim.QS20())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0.05, 0.2} {
+		const n = 200
+		src := workload.Chain[float32](n, int64(n))
+		ref := solveRef(src)
+		tt := tri.ToTiled(src, 16)
+		opts := cellOpts(4)
+		opts.Inject = corruptInjector(rate, 9)
+		opts.Heal = true
+		var hs resilience.HealStats
+		opts.HealStats = &hs
+		res, err := SolveCell(tt, mach, opts)
+		if err != nil {
+			t.Fatalf("rate %g: %v", rate, err)
+		}
+		if hs.CorruptBlocks == 0 {
+			t.Fatalf("rate %g injected nothing", rate)
+		}
+		got := tri.ToRowMajor(tt)
+		if i, j, av, bv, diff := tri.FirstDiff[float32](ref, got); diff {
+			t.Fatalf("rate %g: diverged at (%d,%d): %v vs %v", rate, i, j, av, bv)
+		}
+		if res.Seconds <= 0 {
+			t.Errorf("rate %g: non-positive modeled time", rate)
+		}
+	}
+}
+
+// TestCellDetectOnlyFailsLoudly asserts the cell engine's no-heal
+// contract mirrors the parallel one.
+func TestCellDetectOnlyFailsLoudly(t *testing.T) {
+	mach, err := cellsim.NewMachine(cellsim.QS20())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	src := workload.Chain[float32](n, int64(n))
+	tt := tri.ToTiled(src, 16)
+	opts := cellOpts(4)
+	opts.Inject = corruptInjector(0.2, 9)
+	opts.Seal = true
+	_, err = SolveCell(tt, mach, opts)
+	var ce *resilience.CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *resilience.CorruptionError, got %v", err)
+	}
+}

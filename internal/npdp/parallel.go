@@ -2,6 +2,7 @@ package npdp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"unsafe"
@@ -61,6 +62,29 @@ type ParallelOptions struct {
 	// CheckpointEvery is the snapshot period in completed tasks; 0 means
 	// 16.
 	CheckpointEvery int
+	// Seal enables block sealing: every completed memory block is
+	// digested into a lock-free CRC32C seal table and re-verified by a
+	// post-solve audit (plus the online audit when AuditEvery > 0), so a
+	// silent corruption is always detected, never returned as a wrong
+	// answer. Costs one pristine table snapshot (2× table memory) while
+	// the solve runs. Implied by Heal or AuditEvery > 0; ignored under
+	// MutexPool.
+	Seal bool
+	// Heal enables poisoned-cone recovery on seal mismatch: the
+	// corrupted block's task and its transitive successor cone are
+	// restored from the pristine snapshot and re-dispatched, bounded by
+	// HealAttempts rounds, then one pristine-restart fallback, then
+	// *resilience.CorruptionError. Without Heal a detected corruption
+	// errors immediately.
+	Heal bool
+	// HealAttempts bounds heal rounds; 0 means DefaultHealAttempts.
+	HealAttempts int
+	// AuditEvery runs the online seal audit every AuditEvery task
+	// executions (0 disables it; the post-solve audit always runs when
+	// sealing is on).
+	AuditEvery int
+	// HealStats, when non-nil, receives the sealing layer's counters.
+	HealStats *resilience.HealStats
 }
 
 // mulStage1 dispatches one stage-1 block product to the fastest kernel
@@ -175,6 +199,23 @@ func (c *parallelCheckpointer[E]) save() {
 	}
 }
 
+// reset marks tasks incomplete again after a heal round restored their
+// blocks (nil ids resets everything), so later snapshots never record a
+// reverted task as done.
+func (c *parallelCheckpointer[E]) reset(ids []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ids == nil {
+		for i := range c.done {
+			c.done[i] = false
+		}
+		return
+	}
+	for _, id := range ids {
+		c.done[id] = false
+	}
+}
+
 // final writes a last snapshot when the solve failed part-way (so resume
 // never depends on the periodic boundary) and reports any snapshot error.
 func (c *parallelCheckpointer[E]) final(solved bool) error {
@@ -236,6 +277,11 @@ func SolveParallelCtx[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], opt
 		return st, err
 	}
 
+	var h *healer[E]
+	if opts.Seal || opts.Heal || opts.AuditEvery > 0 {
+		h = newHealer(graph, t, opts.Inject, opts.AuditEvery, opts.HealStats, opts.Completed)
+	}
+
 	poolOpts := sched.PoolRunOptions{Completed: opts.Completed}
 	var ck *parallelCheckpointer[E]
 	if opts.CheckpointPath != "" {
@@ -259,14 +305,35 @@ func SolveParallelCtx[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], opt
 		}
 		poolOpts.OnTaskDone = ck.taskDone
 	}
+	if h != nil {
+		prev := poolOpts.OnTaskDone
+		poolOpts.OnTaskDone = func(task sched.Task) {
+			if prev != nil {
+				prev(task)
+			}
+			h.taskDone(task)
+		}
+	}
 
-	err = sched.RunPoolCtx(ctx, graph, opts.Workers, poolOpts, func(worker int, task sched.Task) error {
+	// attemptBase offsets injector attempt numbers per heal round so a
+	// recomputed task re-rolls fresh fault plans instead of replaying the
+	// round that corrupted it. Written only between runs; each run's
+	// worker goroutines are created after the write.
+	attemptBase := 0
+	exec := func(worker int, task sched.Task) error {
+		if h != nil {
+			if aerr := h.maybeAudit(); aerr != nil {
+				return aerr
+			}
+		}
 		// Stats accumulate locally and merge only on success, so a
 		// retried attempt never double-counts work.
 		var local kernel.Stats
+		sealAttempt := attemptBase
 		attempts, err := opts.Retry.Do(func(attempt int) error {
 			local = kernel.Stats{}
-			if err := opts.Inject.Apply(task.ID, attempt); err != nil {
+			sealAttempt = attemptBase + attempt
+			if err := opts.Inject.Apply(task.ID, attemptBase+attempt); err != nil {
 				return err
 			}
 			for _, mb := range task.MemoryBlockOrder() {
@@ -280,9 +347,76 @@ func SolveParallelCtx[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], opt
 				Worker: worker, Attempts: attempts, Err: err,
 			}
 		}
+		if h != nil {
+			h.sealTask(task, sealAttempt)
+		}
 		perWorker[worker].Stats.Add(local)
 		return nil
-	})
+	}
+
+	retrySlots := opts.Retry.MaxRetries + 1
+	runOnce := func(completed []bool, runIdx int) error {
+		attemptBase = runIdx * retrySlots
+		po := poolOpts
+		po.Completed = completed
+		return sched.RunPoolCtx(ctx, graph, opts.Workers, po, exec)
+	}
+
+	if h == nil {
+		err = runOnce(opts.Completed, 0)
+	} else {
+		// The escalation ladder: detect (audit) → heal (poisoned-cone
+		// recompute, bounded rounds) → pristine-restart fallback → typed
+		// CorruptionError. The post-run audit always runs, so a solve
+		// with sealing on can fail silently corrupted but never return
+		// silently wrong.
+		healAttempts := 0
+		if opts.Heal {
+			healAttempts = opts.HealAttempts
+			if healAttempts <= 0 {
+				healAttempts = DefaultHealAttempts
+			}
+		}
+		completed := opts.Completed
+		rounds, fellBack := 0, false
+		for runIdx := 0; ; runIdx++ {
+			err = runOnce(completed, runIdx)
+			var cerr *resilience.CorruptionError
+			if err != nil && !errors.As(err, &cerr) {
+				break // non-corruption failure: surface as before
+			}
+			bad := h.audit()
+			if len(bad) == 0 {
+				// Either clean, or an online audit aborted the run but
+				// the damage is gone (cannot happen for sealed blocks,
+				// which are immutable; kept for safety).
+				break
+			}
+			h.stats.CorruptBlocks += len(bad)
+			if rounds < healAttempts {
+				rounds++
+				cone := h.heal(bad)
+				if ck != nil {
+					ck.reset(cone)
+				}
+				completed = h.completedBitmap()
+				err = nil
+				continue
+			}
+			if opts.Heal && !fellBack {
+				fellBack = true
+				h.restoreAll()
+				if ck != nil {
+					ck.reset(nil)
+				}
+				completed = nil
+				err = nil
+				continue
+			}
+			err = h.corruption(bad, rounds)
+			break
+		}
+	}
 	var st kernel.Stats
 	for i := range perWorker {
 		st.Add(perWorker[i].Stats)

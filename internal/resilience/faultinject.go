@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -10,10 +11,11 @@ type FaultKind int
 
 // The injectable faults.
 const (
-	FaultNone  FaultKind = iota
-	FaultError           // return a transient error (retryable)
-	FaultPanic           // panic inside the task body
-	FaultDelay           // sleep before computing (slow-worker model)
+	FaultNone    FaultKind = iota
+	FaultError             // return a transient error (retryable)
+	FaultPanic             // panic inside the task body
+	FaultDelay             // sleep before computing (slow-worker model)
+	FaultCorrupt           // silently flip a bit in a completed block
 )
 
 // String names the fault kind.
@@ -27,8 +29,36 @@ func (k FaultKind) String() string {
 		return "panic"
 	case FaultDelay:
 		return "delay"
+	case FaultCorrupt:
+		return "corrupt"
 	}
 	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// ParseFaultKinds parses a comma-separated fault-kind list (the CLI's
+// -faultkinds syntax), e.g. "error,panic,delay,corrupt". Empty input
+// returns nil — the Injector's {FaultError} default. FaultNone is not
+// selectable: clean attempts come from the rate, not the kind set.
+func ParseFaultKinds(s string) ([]FaultKind, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var kinds []FaultKind
+	for _, part := range strings.Split(s, ",") {
+		switch name := strings.TrimSpace(part); name {
+		case "error":
+			kinds = append(kinds, FaultError)
+		case "panic":
+			kinds = append(kinds, FaultPanic)
+		case "delay":
+			kinds = append(kinds, FaultDelay)
+		case "corrupt":
+			kinds = append(kinds, FaultCorrupt)
+		default:
+			return nil, fmt.Errorf("unknown fault kind %q (want error, panic, delay, or corrupt)", name)
+		}
+	}
+	return kinds, nil
 }
 
 // Injector deterministically injects faults into task execution: whether
@@ -90,9 +120,20 @@ func (inj *Injector) Plan(task, attempt int) FaultKind {
 	return kinds[splitmix64(h)%uint64(len(kinds))]
 }
 
+// CorruptDraw returns the deterministic 64-bit draw a FaultCorrupt plan
+// uses to pick which cell and bit of the task's block to flip (fed to
+// CorruptBit). Mixed independently of roll's fault/no-fault draw so the
+// flip location does not correlate with the fault decision.
+func (inj *Injector) CorruptDraw(task, attempt int) uint64 {
+	return splitmix64(inj.roll(task, attempt) ^ 0xc2b2ae3d27d4eb4f)
+}
+
 // Apply executes the planned fault for (task, attempt): returns a
 // transient error, panics, sleeps, or does nothing. Engines call it at
 // the top of the task body so a faulted attempt never touches the table.
+// FaultCorrupt is a no-op here by design: it is a *silent* post-success
+// fault, applied by the engines after the task's blocks complete (Plan
+// + CorruptDraw), never an error at the top of the body.
 func (inj *Injector) Apply(task, attempt int) error {
 	switch inj.Plan(task, attempt) {
 	case FaultError:

@@ -1,0 +1,135 @@
+package resilience
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPlanStableUnderKindSetChanges asserts the fault/no-fault decision
+// is independent of the kind set: the same (seed, task, attempt) faults
+// under every kind set or under none. A run debugged with
+// -faultkinds=error therefore fails the exact same attempts when rerun
+// with -faultkinds=corrupt — only what the fault does changes.
+func TestPlanStableUnderKindSetChanges(t *testing.T) {
+	kindSets := [][]FaultKind{
+		nil,
+		{FaultError},
+		{FaultCorrupt},
+		{FaultPanic, FaultDelay},
+		{FaultError, FaultPanic, FaultDelay, FaultCorrupt},
+	}
+	for task := 0; task < 300; task++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			faulted := -1
+			for si, kinds := range kindSets {
+				inj := &Injector{Rate: 0.2, Seed: 99, Kinds: kinds}
+				got := inj.Plan(task, attempt) != FaultNone
+				if faulted == -1 {
+					if got {
+						faulted = 1
+					} else {
+						faulted = 0
+					}
+					continue
+				}
+				if got != (faulted == 1) {
+					t.Fatalf("(task %d, attempt %d): kind set %d flipped the fault decision", task, attempt, si)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanKindDistribution cross-checks the kind draw: over many faulted
+// attempts each configured kind appears at roughly its fair share, and
+// never a kind outside the set.
+func TestPlanKindDistribution(t *testing.T) {
+	kinds := []FaultKind{FaultError, FaultPanic, FaultDelay, FaultCorrupt}
+	inj := &Injector{Rate: 1, Seed: 5, Kinds: kinds}
+	counts := map[FaultKind]int{}
+	const trials = 40000
+	for task := 0; task < trials; task++ {
+		k := inj.Plan(task, 0)
+		if k == FaultNone {
+			t.Fatalf("rate 1 ran task %d clean", task)
+		}
+		counts[k]++
+	}
+	for k := range counts {
+		found := false
+		for _, want := range kinds {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("drew kind %v outside the configured set", k)
+		}
+	}
+	for _, k := range kinds {
+		share := float64(counts[k]) / trials
+		if share < 0.22 || share > 0.28 {
+			t.Errorf("kind %v share %.4f far from 0.25", k, share)
+		}
+	}
+}
+
+// TestCorruptDrawDeterministicAndDecorrelated pins the flip-location
+// draw: pure in (seed, task, attempt), different across attempts (so a
+// healed re-execution that corrupts again flips elsewhere), and spread
+// over its range rather than clustering.
+func TestCorruptDrawDeterministicAndDecorrelated(t *testing.T) {
+	inj := &Injector{Rate: 1, Seed: 17, Kinds: []FaultKind{FaultCorrupt}}
+	seen := map[uint64]bool{}
+	for task := 0; task < 100; task++ {
+		for attempt := 0; attempt < 4; attempt++ {
+			a := inj.CorruptDraw(task, attempt)
+			if b := inj.CorruptDraw(task, attempt); b != a {
+				t.Fatalf("CorruptDraw(%d,%d) unstable", task, attempt)
+			}
+			if seen[a] {
+				t.Fatalf("CorruptDraw(%d,%d) collides with an earlier draw", task, attempt)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+// TestParseFaultKinds covers the CLI syntax end to end.
+func TestParseFaultKinds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []FaultKind
+	}{
+		{"", nil},
+		{"  ", nil},
+		{"error", []FaultKind{FaultError}},
+		{"corrupt", []FaultKind{FaultCorrupt}},
+		{"error,panic,delay,corrupt", []FaultKind{FaultError, FaultPanic, FaultDelay, FaultCorrupt}},
+		{" delay , error ", []FaultKind{FaultDelay, FaultError}},
+	}
+	for _, c := range cases {
+		got, err := ParseFaultKinds(c.in)
+		if err != nil || !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseFaultKinds(%q) = (%v, %v), want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"none", "corupt", "error,", "error,,panic", "ERROR"} {
+		if _, err := ParseFaultKinds(bad); err == nil {
+			t.Errorf("ParseFaultKinds(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFaultKindString names every kind, including the new corrupt one.
+func TestFaultKindString(t *testing.T) {
+	want := map[FaultKind]string{
+		FaultNone: "none", FaultError: "error", FaultPanic: "panic",
+		FaultDelay: "delay", FaultCorrupt: "corrupt", FaultKind(99): "fault(99)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

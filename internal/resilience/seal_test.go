@@ -1,0 +1,186 @@
+package resilience
+
+import (
+	"bytes"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+// TestBlockCRCMatchesByteStream pins the seal digest to the serialized
+// byte stream: equal cells digest equal, any changed cell digests
+// different, and float32/float64 widths digest independently.
+func TestBlockCRCMatchesByteStream(t *testing.T) {
+	cells := []float32{1, 2.5, -3, 1e30}
+	a := BlockCRC(cells)
+	if b := BlockCRC(append([]float32(nil), cells...)); b != a {
+		t.Fatalf("equal blocks digest %08x vs %08x", a, b)
+	}
+	cells[2] = -3.0000002
+	if b := BlockCRC(cells); b == a {
+		t.Fatal("changed cell kept the same CRC")
+	}
+	if BlockCRC([]float64{1, 2.5}) == BlockCRC([]float32{1, 2.5}) {
+		t.Fatal("float32 and float64 blocks digest identically")
+	}
+}
+
+// TestCorruptBitAlwaysDetectable asserts the silent-fault model's core
+// property: every CorruptBit flip, for any draw, changes the block's
+// CRC — an injected corruption can never slip past a seal audit.
+func TestCorruptBitAlwaysDetectable(t *testing.T) {
+	for draw := uint64(0); draw < 2000; draw += 37 {
+		cells := []float32{0, 1, 2, 3, 4, 5, 6, 7}
+		before := BlockCRC(cells)
+		cell, bit := CorruptBit(cells, draw)
+		if cell < 0 || cell >= len(cells) || bit < 0 || bit >= 32 {
+			t.Fatalf("draw %d flipped out-of-range (cell %d, bit %d)", draw, cell, bit)
+		}
+		if BlockCRC(cells) == before {
+			t.Fatalf("draw %d flip (cell %d, bit %d) is CRC-invisible", draw, cell, bit)
+		}
+	}
+	// Empty blocks must be a safe no-op, not a panic.
+	if c, b := CorruptBit([]float32{}, 99); c != 0 || b != 0 {
+		t.Fatalf("empty block corrupt = (%d,%d)", c, b)
+	}
+}
+
+// TestSealTableLifecycle covers seal, verify, unseal and the count.
+func TestSealTableLifecycle(t *testing.T) {
+	st := NewSealTable(4)
+	if st.Len() != 4 || st.SealedCount() != 0 {
+		t.Fatalf("fresh table: len=%d sealed=%d", st.Len(), st.SealedCount())
+	}
+	if _, ok := st.Sealed(2); ok {
+		t.Fatal("unsealed block reports sealed")
+	}
+	// An unsealed block verifies trivially — nothing to check yet.
+	if !st.Verify(2, func() uint32 { return 123 }) {
+		t.Fatal("unsealed block failed Verify")
+	}
+	st.Seal(2, 0xdeadbeef)
+	if crc, ok := st.Sealed(2); !ok || crc != 0xdeadbeef {
+		t.Fatalf("Sealed(2) = (%08x, %v)", crc, ok)
+	}
+	if st.SealedCount() != 1 {
+		t.Fatalf("sealed count = %d", st.SealedCount())
+	}
+	if !st.Verify(2, func() uint32 { return 0xdeadbeef }) {
+		t.Fatal("matching CRC failed Verify")
+	}
+	if st.Verify(2, func() uint32 { return 0xdeadbeee }) {
+		t.Fatal("mismatched CRC passed Verify")
+	}
+	// CRC zero must still read as sealed: the flag bit, not the value,
+	// carries sealed-ness.
+	st.Seal(0, 0)
+	if crc, ok := st.Sealed(0); !ok || crc != 0 {
+		t.Fatalf("zero-CRC seal = (%08x, %v)", crc, ok)
+	}
+	st.Unseal(2)
+	if _, ok := st.Sealed(2); ok || st.SealedCount() != 1 {
+		t.Fatal("Unseal left the seal live")
+	}
+}
+
+// TestSealCodecRoundTrip writes a seal set and reads back an identical
+// one.
+func TestSealCodecRoundTrip(t *testing.T) {
+	st := NewSealTable(10)
+	st.Seal(0, 0)
+	st.Seal(3, 0xcafebabe)
+	st.Seal(9, 42)
+	var buf bytes.Buffer
+	if err := st.WriteSeals(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeals(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 10 || got.SealedCount() != 3 {
+		t.Fatalf("round trip: len=%d sealed=%d", got.Len(), got.SealedCount())
+	}
+	for id := 0; id < 10; id++ {
+		wc, wok := st.Sealed(id)
+		gc, gok := got.Sealed(id)
+		if wc != gc || wok != gok {
+			t.Fatalf("block %d: wrote (%08x,%v), read (%08x,%v)", id, wc, wok, gc, gok)
+		}
+	}
+}
+
+// TestSealCodecRejectsCorruption asserts the canonical-encoding claim
+// directly: truncation, any bit flip, and record reordering all fail to
+// decode.
+func TestSealCodecRejectsCorruption(t *testing.T) {
+	st := NewSealTable(8)
+	st.Seal(1, 0x11111111)
+	st.Seal(4, 0x44444444)
+	var buf bytes.Buffer
+	if err := st.WriteSeals(&buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := ReadSeals(bytes.NewReader(enc[:cut])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded", cut, len(enc))
+		}
+	}
+	for i := 0; i < len(enc)*8; i++ {
+		flipped := append([]byte(nil), enc...)
+		flipped[i/8] ^= 1 << (i % 8)
+		if _, err := ReadSeals(bytes.NewReader(flipped)); err == nil {
+			t.Fatalf("bit flip at %d decoded", i)
+		}
+	}
+	// Swap the two 8-byte records and re-stamp the trailing CRC so only
+	// the ordering check can reject it.
+	reordered := append([]byte(nil), enc...)
+	recs := reordered[14 : len(reordered)-4]
+	for i := 0; i < 8; i++ {
+		recs[i], recs[8+i] = recs[8+i], recs[i]
+	}
+	restamp(reordered)
+	if _, err := ReadSeals(bytes.NewReader(reordered)); err == nil ||
+		!strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("reordered records: err = %v, want ordering rejection", err)
+	}
+}
+
+// TestSealCodecRejectsBadHeaders covers the header validations that run
+// before any allocation: magic, version, implausible sizes.
+func TestSealCodecRejectsBadHeaders(t *testing.T) {
+	st := NewSealTable(3)
+	st.Seal(1, 7)
+	var buf bytes.Buffer
+	if err := st.WriteSeals(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(name string, f func(b []byte)) {
+		b := append([]byte(nil), buf.Bytes()...)
+		f(b)
+		restamp(b)
+		if _, err := ReadSeals(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s decoded", name)
+		}
+	}
+	mutate("bad magic", func(b []byte) { b[0] = 'X' })
+	mutate("bad version", func(b []byte) { b[4] = 99 })
+	mutate("implausible block count", func(b []byte) { b[6], b[7], b[8], b[9] = 0xff, 0xff, 0xff, 0xff })
+	mutate("sealed > blocks", func(b []byte) { b[10] = 200 })
+	mutate("record id beyond slots", func(b []byte) { b[14] = 5 })
+}
+
+// restamp recomputes the trailing IEEE CRC of a mutated seal encoding so
+// tests can prove a structural check (not the checksum) rejects it.
+func restamp(b []byte) {
+	body := b[:len(b)-4]
+	crc := crc32.ChecksumIEEE(body)
+	b[len(b)-4] = byte(crc)
+	b[len(b)-3] = byte(crc >> 8)
+	b[len(b)-2] = byte(crc >> 16)
+	b[len(b)-1] = byte(crc >> 24)
+}

@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestConeIsCornerRectangle pins Cone's geometric claim: the transitive
+// successor closure of block (a,b) in the simplified graph is exactly
+// the corner rectangle {(i,j): i ≤ a, j ≥ b} — the full consumer set of
+// the block's data, so healing the cone heals every poisoned task.
+func TestConeIsCornerRectangle(t *testing.T) {
+	g, err := NewGraph(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range g.Tasks {
+		got := g.Cone([]int{task.ID})
+		var want []int
+		for _, u := range g.Tasks {
+			if u.Bi <= task.Bi && u.Bj >= task.Bj {
+				want = append(want, u.ID)
+			}
+		}
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("cone of (%d,%d): %d tasks, want %d", task.Bi, task.Bj, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("cone of (%d,%d) = %v, want %v", task.Bi, task.Bj, got, want)
+			}
+		}
+	}
+}
+
+// TestConeMultiSeedAndEdgeCases covers seed union, dedup, out-of-range
+// seeds, the empty cone, and sortedness.
+func TestConeMultiSeedAndEdgeCases(t *testing.T) {
+	g, err := NewGraph(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Cone(nil); len(got) != 0 {
+		t.Fatalf("empty seed cone = %v", got)
+	}
+	if got := g.Cone([]int{-1, len(g.Tasks), 1 << 20}); len(got) != 0 {
+		t.Fatalf("out-of-range seeds produced %v", got)
+	}
+	a, _ := g.TaskID(2, 2)
+	b, _ := g.TaskID(4, 4)
+	union := g.Cone([]int{a, b, a, b})
+	seen := map[int]bool{}
+	for _, id := range union {
+		if seen[id] {
+			t.Fatalf("duplicate id %d in cone", id)
+		}
+		seen[id] = true
+	}
+	if !sort.IntsAreSorted(union) {
+		t.Fatalf("cone not sorted: %v", union)
+	}
+	// Union must equal the merged single-seed cones.
+	merged := map[int]bool{}
+	for _, id := range g.Cone([]int{a}) {
+		merged[id] = true
+	}
+	for _, id := range g.Cone([]int{b}) {
+		merged[id] = true
+	}
+	if len(merged) != len(union) {
+		t.Fatalf("union cone %d tasks, merged singles %d", len(union), len(merged))
+	}
+	for _, id := range union {
+		if !merged[id] {
+			t.Fatalf("union cone has %d, singles don't", id)
+		}
+	}
+	// The top-corner task (0, m-1) is in every cone: everything flows
+	// into the final answer block.
+	top, _ := g.TaskID(0, g.SchedTiles-1)
+	for _, task := range g.Tasks {
+		found := false
+		for _, id := range g.Cone([]int{task.ID}) {
+			if id == top {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("cone of task %d misses the answer block", task.ID)
+		}
+	}
+}

@@ -121,6 +121,41 @@ func (g *Graph) Roots() []int {
 	return out
 }
 
+// Cone returns the transitive successor closure of the seed tasks,
+// seeds included, as a sorted, deduplicated ID list. This is the
+// poisoned set of a corrupted block: a memory block's data flows only
+// into tasks reachable through the simplified left/below edges (the
+// consumers of block (a,b) form the corner rectangle i ≤ a, j ≥ b,
+// which is exactly this closure), so recomputing the cone after
+// restoring the seeds' blocks heals the table without a full restart.
+func (g *Graph) Cone(seeds []int) []int {
+	in := make([]bool, len(g.Tasks))
+	var queue []int
+	for _, id := range seeds {
+		if id >= 0 && id < len(g.Tasks) && !in[id] {
+			in[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, s := range g.Tasks[id].Succs {
+			if !in[s] {
+				in[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	var out []int
+	for id, ok := range in {
+		if ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // CheckCoverage verifies that the scheduling blocks partition the upper
 // block triangle exactly: every memory block (i, j), i ≤ j, belongs to
 // exactly one task's rectangle intersected with the triangle.

@@ -124,3 +124,17 @@ func (b *breaker) snapshot() (state BreakerState, failures, trips int) {
 	defer b.mu.Unlock()
 	return b.state, b.failures, b.trips
 }
+
+// cooldownRemaining reports how long until an open breaker will admit a
+// half-open probe; 0 unless open.
+func (b *breaker) cooldownRemaining() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	if rem := b.cooldown - b.now().Sub(b.openedAt); rem > 0 {
+		return rem
+	}
+	return 0
+}

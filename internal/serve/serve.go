@@ -152,6 +152,7 @@ type Server struct {
 	mu       sync.Mutex
 	outcomes map[int]int64
 	degraded int64
+	healed   int64 // solves recovered by the in-process heal-and-retry
 
 	// corruptAfterDigest, when non-nil, mutates the solved table (passed
 	// as *cellnpdp.Table[E]) between digesting and the pre-serialize
@@ -271,16 +272,22 @@ func (s *Server) reject(w http.ResponseWriter, status int, retryAfter time.Durat
 
 // Health is the GET /healthz body.
 type Health struct {
-	Status       string           `json:"status"` // "ok" or "draining"
-	Inflight     int64            `json:"inflight"`
-	BudgetBytes  int64            `json:"budget_bytes"`
-	UsedBytes    int64            `json:"used_bytes"`
-	Admitted     int              `json:"admitted"`
-	Queued       int              `json:"queued"`
-	Breaker      string           `json:"breaker"`
-	BreakerTrips int              `json:"breaker_trips"`
-	Degraded     int64            `json:"degraded_solves"`
-	Outcomes     map[string]int64 `json:"outcomes"`
+	Status      string `json:"status"` // "ok" or "draining"
+	Inflight    int64  `json:"inflight"`
+	BudgetBytes int64  `json:"budget_bytes"`
+	UsedBytes   int64  `json:"used_bytes"`
+	Admitted    int    `json:"admitted"`
+	Queued      int    `json:"queued"`
+	// Breaker state detail: current state, consecutive parallel failures
+	// counted toward the trip threshold, lifetime trips, and — while
+	// open — milliseconds until a half-open probe is admitted.
+	Breaker                    string           `json:"breaker"`
+	BreakerFailures            int              `json:"breaker_failures"`
+	BreakerTrips               int              `json:"breaker_trips"`
+	BreakerCooldownRemainingMS int64            `json:"breaker_cooldown_remaining_ms"`
+	Degraded                   int64            `json:"degraded_solves"`
+	Healed                     int64            `json:"healed_solves"`
+	Outcomes                   map[string]int64 `json:"outcomes"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -289,23 +296,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	used, budget, active, queued := s.gate.snapshot()
-	state, _, trips := s.brk.snapshot()
+	state, failures, trips := s.brk.snapshot()
 	h := Health{
-		Status:       "ok",
-		Inflight:     s.active.Load(),
-		BudgetBytes:  budget,
-		UsedBytes:    used,
-		Admitted:     active,
-		Queued:       queued,
-		Breaker:      state.String(),
-		BreakerTrips: trips,
-		Outcomes:     map[string]int64{},
+		Status:                     "ok",
+		Inflight:                   s.active.Load(),
+		BudgetBytes:                budget,
+		UsedBytes:                  used,
+		Admitted:                   active,
+		Queued:                     queued,
+		Breaker:                    state.String(),
+		BreakerFailures:            failures,
+		BreakerTrips:               trips,
+		BreakerCooldownRemainingMS: s.brk.cooldownRemaining().Milliseconds(),
+		Outcomes:                   map[string]int64{},
 	}
 	if s.draining.Load() {
 		h.Status = "draining"
 	}
 	s.mu.Lock()
 	h.Degraded = s.degraded
+	h.Healed = s.healed
 	for k, v := range s.outcomes {
 		h.Outcomes[strconv.Itoa(k)] = v
 	}

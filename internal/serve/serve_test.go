@@ -266,6 +266,159 @@ func TestSolveCorruptionBetweenDigestAndSerializeIs500(t *testing.T) {
 	}
 }
 
+// TestSolveHealAndRetryRecovers drives the serving layer's one-shot
+// heal-and-retry: a result corrupted once between digest and serialize
+// is discarded, re-solved in-process, and served as a 200 flagged
+// Healed — the client never sees the torn bytes.
+func TestSolveHealAndRetryRecovers(t *testing.T) {
+	s := New(Config{})
+	corruptions := 0
+	s.corruptAfterDigest = func(table any) {
+		if corruptions > 0 {
+			return // only the first attempt is torn
+		}
+		corruptions++
+		if tb, ok := table.(*cellnpdp.Table[float32]); ok {
+			v, _ := tb.At(0, 5)
+			tb.Set(0, 5, v+1)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := post(t, ts, SolveRequest{N: 64, Engine: "tiled"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s), want 200 after heal-and-retry", resp.StatusCode, body)
+	}
+	sr := decodeSolve(t, body)
+	if !sr.Healed {
+		t.Fatalf("recovered response not flagged healed: %+v", sr)
+	}
+	if !sr.Integrity.CRCOK || !sr.Integrity.ResidualOK {
+		t.Fatalf("healed response failed integrity: %+v", sr.Integrity)
+	}
+	// A clean repeat must not be flagged.
+	resp, body = post(t, ts, SolveRequest{N: 64, Engine: "tiled"})
+	if resp.StatusCode != http.StatusOK || decodeSolve(t, body).Healed {
+		t.Fatalf("clean solve flagged healed: %d (%s)", resp.StatusCode, body)
+	}
+	// And /healthz counts exactly the one recovery.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Healed != 1 {
+		t.Fatalf("healthz healed_solves = %d, want 1", h.Healed)
+	}
+}
+
+// TestSolveEngineHealEndToEnd requests silent corruption plus healing
+// through the HTTP surface: the engine's sealing layer repairs the solve
+// and its counters reach the response.
+func TestSolveEngineHealEndToEnd(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := post(t, ts, SolveRequest{
+		N: 128, Engine: "parallel", Seed: 3,
+		FaultRate: 0.5, FaultSeed: 4, FaultKinds: "corrupt", Heal: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s), want 200", resp.StatusCode, body)
+	}
+	sr := decodeSolve(t, body)
+	if sr.Degraded {
+		t.Fatalf("healed solve degraded: %+v", sr)
+	}
+	if sr.CorruptBlocks == 0 || sr.HealRounds == 0 {
+		t.Fatalf("rate-0.5 corruption run reports no heal work: %+v", sr)
+	}
+	// The healed answer matches an uninjected solve of the same instance.
+	resp2, body2 := post(t, ts, SolveRequest{N: 128, Engine: "tiled", Seed: 3})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("reference solve: %d (%s)", resp2.StatusCode, body2)
+	}
+	if ref := decodeSolve(t, body2); ref.Integrity.CRC32C != sr.Integrity.CRC32C {
+		t.Fatalf("healed checksum %s != reference %s", sr.Integrity.CRC32C, ref.Integrity.CRC32C)
+	}
+}
+
+// TestSolveBadFaultKindsIs400 asserts the fault_kinds validation runs at
+// admission, before any budget is consumed.
+func TestSolveBadFaultKindsIs400(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := post(t, ts, SolveRequest{N: 64, Engine: "tiled", FaultKinds: "corrupt,bogus"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d (%s), want 400", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "bogus") {
+		t.Fatalf("400 body does not name the bad kind: %s", body)
+	}
+}
+
+// TestDeadlineShedCarriesRetryAfter asserts both deadline sheds advertise
+// when retrying could land differently, like the 429s do.
+func TestDeadlineShedCarriesRetryAfter(t *testing.T) {
+	s := New(Config{PredictFactor: 1e9})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := post(t, ts, SolveRequest{N: 64, Engine: "tiled", DeadlineMS: 50})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503 shed", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("deadline shed missing Retry-After header (body %s)", body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.RetryAfterSeconds <= 0 {
+		t.Fatalf("shed body %s lacks retry_after_seconds", body)
+	}
+}
+
+// TestHealthzBreakerDetail asserts /healthz exposes the breaker's
+// failure count and, while open, the remaining cooldown.
+func TestHealthzBreakerDetail(t *testing.T) {
+	clk := newFakeClock()
+	s := New(Config{MaxRetries: -1, BreakerThreshold: 1, BreakerCooldown: time.Minute, Clock: clk.now})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	readHealth := func() Health {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	if h := readHealth(); h.Breaker != "closed" || h.BreakerFailures != 0 || h.BreakerCooldownRemainingMS != 0 {
+		t.Fatalf("fresh breaker detail = %+v", h)
+	}
+	post(t, ts, SolveRequest{N: 64, Engine: "parallel", FaultRate: 0.999, FaultSeed: 1})
+	h := readHealth()
+	if h.Breaker != "open" || h.BreakerTrips != 1 || h.BreakerFailures == 0 {
+		t.Fatalf("tripped breaker detail = %+v", h)
+	}
+	if h.BreakerCooldownRemainingMS <= 0 || h.BreakerCooldownRemainingMS > time.Minute.Milliseconds() {
+		t.Fatalf("cooldown remaining = %dms, want (0, 60000]", h.BreakerCooldownRemainingMS)
+	}
+	clk.advance(30 * time.Second)
+	if h2 := readHealth(); h2.BreakerCooldownRemainingMS >= h.BreakerCooldownRemainingMS {
+		t.Fatalf("cooldown did not shrink: %d then %d", h.BreakerCooldownRemainingMS, h2.BreakerCooldownRemainingMS)
+	}
+}
+
 func TestBreakerDegradesServiceWide(t *testing.T) {
 	// FaultRate ~1 with no retries makes every parallel attempt fail;
 	// threshold 1 trips the breaker on the first degraded solve.

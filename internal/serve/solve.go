@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cellnpdp"
+	"cellnpdp/internal/resilience"
 	"cellnpdp/internal/workload"
 )
 
@@ -33,6 +34,12 @@ type SolveRequest struct {
 	// parallel engine — load tests use them to exercise degradation.
 	FaultRate float64 `json:"fault_rate,omitempty"`
 	FaultSeed int64   `json:"fault_seed,omitempty"`
+	// FaultKinds selects the injected fault kinds (comma-separated:
+	// error, panic, delay, corrupt; empty = error) and Heal enables
+	// block sealing + poisoned-cone self-healing in the engine — load
+	// tests use them to exercise silent-corruption recovery end to end.
+	FaultKinds string `json:"fault_kinds,omitempty"`
+	Heal       bool   `json:"heal,omitempty"`
 }
 
 // IntegrityReport is the integrity section of a 200 response: proof the
@@ -47,11 +54,18 @@ type IntegrityReport struct {
 
 // SolveResponse is the 200 body.
 type SolveResponse struct {
-	N                int             `json:"n"`
-	Precision        string          `json:"precision"`
-	Engine           string          `json:"engine"`
-	Degraded         bool            `json:"degraded"`
-	DegradedReason   string          `json:"degraded_reason,omitempty"`
+	N              int    `json:"n"`
+	Precision      string `json:"precision"`
+	Engine         string `json:"engine"`
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Healed reports that the first solve's result failed integrity
+	// verification and the serving layer recovered with one in-process
+	// re-solve; CorruptBlocks/HealRounds are the engine-level sealing
+	// layer's own counters for the solve that produced this response.
+	Healed           bool            `json:"healed,omitempty"`
+	CorruptBlocks    int             `json:"corrupt_blocks,omitempty"`
+	HealRounds       int             `json:"heal_rounds,omitempty"`
 	Relaxations      int64           `json:"relaxations"`
 	WallSeconds      float64         `json:"wall_seconds"`
 	QueueSeconds     float64         `json:"queue_seconds"`
@@ -110,6 +124,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, 0, "fault_rate must be in [0, 1), got %g", req.FaultRate)
 		return
 	}
+	if _, err := resilience.ParseFaultKinds(req.FaultKinds); err != nil {
+		s.reject(w, http.StatusBadRequest, 0, "fault_kinds: %v", err)
+		return
+	}
 	if req.DeadlineMS < 0 {
 		s.reject(w, http.StatusBadRequest, 0, "deadline_ms must be non-negative, got %d", req.DeadlineMS)
 		return
@@ -144,10 +162,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
 	}
 	predicted := est.PredictedSeconds * s.cfg.predictFactor()
+	// Deadline sheds advertise Retry-After like the 429s do: one
+	// predicted solve time is when retrying (with a fresh deadline, or
+	// once load clears) has a chance of landing differently.
+	shedRetryAfter := time.Duration(predicted * float64(time.Second))
 	if deadline.Seconds() < predicted {
 		// Deadline-aware shedding: the Section V model says this solve
 		// cannot finish in time, so don't burn budget discovering that.
-		s.reject(w, http.StatusServiceUnavailable, 0,
+		s.reject(w, http.StatusServiceUnavailable, shedRetryAfter,
 			"deadline %v below predicted solve time %.3gs for n=%d", deadline, predicted, req.N)
 		return
 	}
@@ -172,7 +194,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if remaining := deadline.Seconds() - queueSecs; remaining < predicted {
 		// The wait consumed the slack the prediction needed; shed now
 		// rather than time out mid-solve holding budget.
-		s.reject(w, http.StatusServiceUnavailable, 0,
+		s.reject(w, http.StatusServiceUnavailable, shedRetryAfter,
 			"remaining deadline %.3gs below predicted solve time %.3gs after queueing", remaining, predicted)
 		return
 	}
@@ -189,21 +211,6 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // the integrity pipeline (digest at solve time, residual spot check,
 // re-verify before serialization).
 func solveOne[E cellnpdp.Elem](s *Server, w http.ResponseWriter, ctx context.Context, req SolveRequest, est cellnpdp.SolveEstimate, queueSecs, predicted float64) {
-	// Build the seeded instance: diagonal zero, superdiagonal from the
-	// chain workload, everything else at infinity.
-	src := workload.Chain[E](req.N, req.Seed)
-	t, err := cellnpdp.NewTable[E](req.N)
-	if err != nil {
-		s.reject(w, http.StatusInternalServerError, 0, "allocating table: %v", err)
-		return
-	}
-	for i := 0; i+1 < req.N; i++ {
-		if err := t.Set(i, i+1, src.At(i, i+1)); err != nil {
-			s.reject(w, http.StatusInternalServerError, 0, "building instance: %v", err)
-			return
-		}
-	}
-
 	engine := cellnpdp.Parallel
 	breakerBypass := false
 	recordBreaker := false
@@ -226,40 +233,93 @@ func solveOne[E cellnpdp.Elem](s *Server, w http.ResponseWriter, ctx context.Con
 		MaxRetries: s.cfg.maxRetries(),
 		FaultRate:  req.FaultRate,
 		FaultSeed:  req.FaultSeed,
+		FaultKinds: req.FaultKinds,
+		Heal:       req.Heal,
 		Logf:       s.cfg.Logf,
 	}
-	res, err := cellnpdp.SolveCtx(ctx, t, opts)
-	if recordBreaker {
-		s.brk.record(err == nil && !res.Degraded)
-	}
-	if err != nil {
-		if ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.reject(w, http.StatusServiceUnavailable, 0, "solve did not finish within the deadline: %v", err)
+
+	// An integrity failure below the engine (a torn band CRC or a residual
+	// that no longer satisfies the recurrence) gets exactly one in-process
+	// heal-and-retry: discard the poisoned table, re-solve from scratch,
+	// and only if the fresh result fails too does the request become a
+	// 500. One retry, not more — a host that corrupts twice in a row is
+	// not going to be talked out of it by a third solve.
+	var (
+		t           *cellnpdp.Table[E]
+		res         *cellnpdp.Result
+		digest      Digest
+		sampled     int
+		healedRetry bool
+	)
+	const integrityAttempts = 2
+	for attempt := 0; ; attempt++ {
+		// Build the seeded instance fresh each attempt: diagonal zero,
+		// superdiagonal from the chain workload, everything else at
+		// infinity. A retry must not reuse a possibly-corrupted table.
+		src := workload.Chain[E](req.N, req.Seed)
+		var err error
+		t, err = cellnpdp.NewTable[E](req.N)
+		if err != nil {
+			s.reject(w, http.StatusInternalServerError, 0, "allocating table: %v", err)
 			return
 		}
-		s.reject(w, http.StatusInternalServerError, 0, "solve failed: %v", err)
-		return
-	}
+		for i := 0; i+1 < req.N; i++ {
+			if err := t.Set(i, i+1, src.At(i, i+1)); err != nil {
+				s.reject(w, http.StatusInternalServerError, 0, "building instance: %v", err)
+				return
+			}
+		}
 
-	// Integrity: digest the solved table now, spot-check the recurrence,
-	// then re-verify the digest immediately before serializing — any
-	// mutation in between becomes a 500, never a silently wrong answer.
-	digest, err := DigestTable(t, s.cfg.CRCBandRows)
-	if err != nil {
-		s.reject(w, http.StatusInternalServerError, 0, "digesting result: %v", err)
-		return
+		res, err = cellnpdp.SolveCtx(ctx, t, opts)
+		if recordBreaker {
+			s.brk.record(err == nil && !res.Degraded)
+		}
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				s.reject(w, http.StatusServiceUnavailable, 0, "solve did not finish within the deadline: %v", err)
+				return
+			}
+			s.reject(w, http.StatusInternalServerError, 0, "solve failed: %v", err)
+			return
+		}
+
+		// Integrity: digest the solved table now, spot-check the
+		// recurrence, then re-verify the digest immediately before
+		// serializing — any mutation in between becomes a heal-and-retry
+		// and then a 500, never a silently wrong answer.
+		digest, err = DigestTable(t, s.cfg.CRCBandRows)
+		if err != nil {
+			s.reject(w, http.StatusInternalServerError, 0, "digesting result: %v", err)
+			return
+		}
+		var integrityErr error
+		integrityFmt := ""
+		sampled, err = ResidualSpotCheck(t, s.cfg.ResidualSamples, req.Seed)
+		if err != nil {
+			integrityErr, integrityFmt = err, "result failed integrity check: %v"
+		} else {
+			if s.corruptAfterDigest != nil {
+				s.corruptAfterDigest(t)
+			}
+			if verr := VerifyDigest(t, digest); verr != nil {
+				integrityErr, integrityFmt = verr, "result corrupted before serialization: %v"
+			}
+		}
+		if integrityErr == nil {
+			break
+		}
+		if attempt+1 >= integrityAttempts {
+			s.reject(w, http.StatusInternalServerError, 0, integrityFmt, integrityErr)
+			return
+		}
+		s.cfg.logf("serve: integrity failure on n=%d (attempt %d), re-solving in-process: %v",
+			req.N, attempt+1, integrityErr)
+		healedRetry = true
 	}
-	sampled, err := ResidualSpotCheck(t, s.cfg.ResidualSamples, req.Seed)
-	if err != nil {
-		s.reject(w, http.StatusInternalServerError, 0, "result failed integrity check: %v", err)
-		return
-	}
-	if s.corruptAfterDigest != nil {
-		s.corruptAfterDigest(t)
-	}
-	if err := VerifyDigest(t, digest); err != nil {
-		s.reject(w, http.StatusInternalServerError, 0, "result corrupted before serialization: %v", err)
-		return
+	if healedRetry {
+		s.mu.Lock()
+		s.healed++
+		s.mu.Unlock()
 	}
 
 	cost, err := t.At(0, req.N-1)
@@ -287,6 +347,9 @@ func solveOne[E cellnpdp.Elem](s *Server, w http.ResponseWriter, ctx context.Con
 		Engine:           res.Engine.String(),
 		Degraded:         degraded,
 		DegradedReason:   reason,
+		Healed:           healedRetry,
+		CorruptBlocks:    res.CorruptBlocks,
+		HealRounds:       res.HealRounds,
 		Relaxations:      res.Relaxations,
 		WallSeconds:      res.WallSeconds,
 		QueueSeconds:     queueSecs,

@@ -140,6 +140,97 @@ func TestSolveFaultsRecoverViaRetry(t *testing.T) {
 	assertTablesIdentical(t, ref, faulted, "retried vs serial")
 }
 
+// TestSolveHealRecoversSilentCorruption is the public-API acceptance
+// property for the sealing layer: silent bit flips at a 5% task rate
+// with Heal on converge to the serial answer bit for bit, with the heal
+// events reported in the Result.
+func TestSolveHealRecoversSilentCorruption(t *testing.T) {
+	ref := chainTable(t, 300)
+	if _, err := cellnpdp.Solve(ref, cellnpdp.Options{Engine: cellnpdp.Serial}); err != nil {
+		t.Fatal(err)
+	}
+	healed := chainTable(t, 300)
+	res, err := cellnpdp.Solve(healed, cellnpdp.Options{
+		Engine: cellnpdp.Parallel, Workers: 4,
+		FaultRate: 0.05, FaultSeed: 7, FaultKinds: "corrupt",
+		Heal: true, NoFallback: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorruptBlocks == 0 || res.HealRounds == 0 || res.RecomputedTasks == 0 {
+		t.Fatalf("heal events not reported: %+v", res)
+	}
+	assertTablesIdentical(t, ref, healed, "healed vs serial")
+
+	// The cell engine heals through the same options.
+	cellHealed := chainTable(t, 300)
+	res, err = cellnpdp.Solve(cellHealed, cellnpdp.Options{
+		Engine: cellnpdp.Cell, Workers: 4,
+		FaultRate: 0.2, FaultSeed: 7, FaultKinds: "corrupt",
+		Heal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorruptBlocks == 0 {
+		t.Fatalf("cell heal events not reported: %+v", res)
+	}
+	assertTablesIdentical(t, ref, cellHealed, "cell healed vs serial")
+}
+
+// TestSolveCorruptionDetectedWithoutHeal asserts the detect-only
+// contract through the public API: sealing is implied by a corrupt fault
+// kind, so without Heal (and without fallback) the solve fails with the
+// seal-audit error — never a silently wrong table.
+func TestSolveCorruptionDetectedWithoutHeal(t *testing.T) {
+	tbl := chainTable(t, 300)
+	_, err := cellnpdp.Solve(tbl, cellnpdp.Options{
+		Engine: cellnpdp.Parallel, Workers: 4,
+		FaultRate: 0.1, FaultSeed: 7, FaultKinds: "corrupt",
+		NoFallback: true,
+	})
+	var ce *resilience.CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *resilience.CorruptionError, got %v", err)
+	}
+	// With fallback allowed, the corruption degrades to a clean tiled
+	// solve instead — detected, then recovered from pristine input.
+	ref := chainTable(t, 300)
+	if _, err := cellnpdp.Solve(ref, cellnpdp.Options{Engine: cellnpdp.Serial}); err != nil {
+		t.Fatal(err)
+	}
+	degraded := chainTable(t, 300)
+	res, err := cellnpdp.Solve(degraded, cellnpdp.Options{
+		Engine: cellnpdp.Parallel, Workers: 4,
+		FaultRate: 0.1, FaultSeed: 7, FaultKinds: "corrupt",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.CorruptBlocks == 0 {
+		t.Fatalf("corrupted solve neither healed nor degraded: %+v", res)
+	}
+	assertTablesIdentical(t, ref, degraded, "degraded-after-corruption vs serial")
+}
+
+// TestSolveHealOptionValidation pins the new knobs' range checks.
+func TestSolveHealOptionValidation(t *testing.T) {
+	cases := []cellnpdp.Options{
+		{Engine: cellnpdp.Parallel, HealAttempts: -1},
+		{Engine: cellnpdp.Parallel, AuditEvery: -1},
+		{Engine: cellnpdp.Parallel, FaultKinds: "corupt"},
+		{Engine: cellnpdp.Parallel, FaultRate: -0.5},
+		{Engine: cellnpdp.Parallel, FaultRate: 1.5},
+	}
+	for _, opts := range cases {
+		tbl := chainTable(t, 64)
+		if _, err := cellnpdp.Solve(tbl, opts); err == nil {
+			t.Fatalf("options %+v accepted", opts)
+		}
+	}
+}
+
 // TestSolveDegradesToTiled asserts graceful degradation: unretried
 // faults fail the parallel engine, the tiled engine recovers from clean
 // input, and the reason is recorded.

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Repo-wide verification gate: formatting, vet, static analysis (when the
-# tools are installed), the full test suite under the race detector, a
-# short fuzz smoke of the checkpoint codec, and a smoke fault-injection
-# solve proving the resilience layer end to end (5% injected faults must
-# complete correctly through retries, with fallback disabled so recovery
-# can't mask a bug). Called standalone or as the bench.sh preflight.
+# tools are installed), the full test suite under the race detector,
+# short fuzz smokes of the checkpoint and seal codecs, and smoke
+# fault-injection solves proving the resilience layer end to end: 5%
+# loud faults healed through retries, and 5% silent corruption caught by
+# the block seals and healed bit-identically (fallback disabled in both
+# so recovery can't mask a bug). Called standalone or as the bench.sh
+# preflight.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,3 +52,20 @@ go test -run='^$' -fuzz FuzzCheckpointRoundTrip -fuzztime 20s .
 echo "== smoke: fault-injected parallel solve (5% rate, retries, no fallback)"
 go run ./cmd/cellnpdp -n 300 -engine parallel -timeout 30m \
     -faultrate 0.05 -faultseed 7 -retries 3 -fallback=false
+
+echo "== fuzz smoke: seal codec (20s)"
+# Same discipline for the NPSL seal stream: truncated, bit-flipped or
+# reordered seal records must never verify.
+go test -run='^$' -fuzz FuzzSealTable -fuzztime 20s .
+
+echo "== smoke: self-healing solve (5% silent corruption, bit-identical to serial)"
+# Inject silent bit flips (no error return — only the block seals can
+# catch them), heal with fallback disabled so the poisoned-cone path is
+# what's proven, and demand bit-identical output to the serial engine.
+# Run under the race detector: sealing and auditing race the pool.
+healref="$(mktemp)"
+trap 'rm -f "${healref}"' EXIT
+go run ./cmd/cellnpdp -n 300 -engine serial -save "${healref}"
+go run -race ./cmd/cellnpdp -n 300 -engine parallel -timeout 30m \
+    -faultkinds corrupt -faultrate 0.05 -faultseed 7 \
+    -heal -fallback=false -check "${healref}"

@@ -1,0 +1,130 @@
+// npdplint is the repo's invariant multichecker: it runs the custom
+// static analyzers of internal/analysis (atomicfield, ctxdispatch,
+// hotpath, errdrop) over the module, mirroring an x/tools multichecker
+// without the external dependency. The standard analyzer suite runs
+// alongside via the toolchain-pinned `go vet` (pass -vet to run it from
+// here); the compiler-output half of the hotpath invariant is the
+// codegen gate (-codegen, or scripts/codegen_gate.sh).
+//
+// Usage:
+//
+//	npdplint [-json] [-vet] [-c analyzer,...] [packages...]
+//	npdplint -codegen [-update] [-baseline file] [package]
+//	npdplint -list
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"cellnpdp/internal/analysis"
+	"cellnpdp/internal/analysis/codegen"
+	"cellnpdp/internal/analysis/driver"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array for tooling consumers")
+		vet      = flag.Bool("vet", false, "also run the toolchain-pinned `go vet` on the same patterns")
+		sel      = flag.String("c", "", "comma-separated analyzer subset (default: all)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		gate     = flag.Bool("codegen", false, "run the hot-path codegen regression gate instead of the analyzers")
+		baseline = flag.String("baseline", "scripts/codegen_baseline.txt", "codegen gate baseline file")
+		update   = flag.Bool("update", false, "rewrite the codegen baseline from current compiler output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	if *gate {
+		pkg := "./internal/kernel"
+		if flag.NArg() > 0 {
+			pkg = flag.Arg(0)
+		}
+		if err := codegen.Gate(pkg, *baseline, *update, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "npdplint -codegen: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *sel != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*sel, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "npdplint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "npdplint: go vet failed: %v\n", err)
+			return 1
+		}
+	}
+
+	pkgs, err := driver.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npdplint: %v\n", err)
+		return 2
+	}
+	var diags []analysis.Diagnostic
+	for _, p := range pkgs {
+		d, err := p.Run(analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npdplint: %s: %v\n", p.ImportPath, err)
+			return 2
+		}
+		diags = append(diags, d...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "npdplint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "npdplint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

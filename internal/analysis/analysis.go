@@ -1,0 +1,78 @@
+// Package analysis is the repo's static-invariant suite: a minimal,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// driver model plus the four npdplint analyzers that encode invariants
+// the engines rely on but the compiler cannot check — atomic publication
+// discipline in the lock-free scheduler and seal table, per-dispatch
+// context checks in every cancellable engine, allocation-free hot-path
+// kernels, and never-dropped corruption/codec errors.
+//
+// The container this repo builds in has no module proxy access, so the
+// real x/tools module cannot be fetched; the Analyzer/Pass/Diagnostic
+// types below mirror its API surface closely enough that the analyzers
+// port to the upstream driver by changing one import when the dependency
+// becomes available (see DESIGN.md §8).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -c selections, and
+	// //nolint:npdplint(<name>) scopes. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description `npdplint -list` prints.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzed package to an Analyzer's Run, mirroring
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report collects one diagnostic; installed by the driver.
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the npdplint analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{AtomicField, CtxDispatch, HotPath, ErrDrop}
+}
+
+// ByName resolves a comma-selected analyzer name; nil if unknown.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

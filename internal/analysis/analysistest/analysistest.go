@@ -1,0 +1,121 @@
+// Package analysistest is a stdlib-only replica of
+// golang.org/x/tools/go/analysis/analysistest, sized to what the
+// npdplint suite needs: it loads a fixture package from a GOPATH-style
+// testdata tree (testdata/src/<importPath>), runs one or more analyzers
+// through the same RunAnalyzers path the real linter uses (including
+// //nolint filtering), and checks the findings against `// want`
+// expectations embedded in the fixture source:
+//
+//	x := makeThing() // want `escapes to heap`
+//	y := other()     // want "first" "second"
+//
+// Each quoted string is a regexp that must match the message of exactly
+// one finding reported on that line; findings with no matching want and
+// wants with no matching finding both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cellnpdp/internal/analysis"
+	"cellnpdp/internal/analysis/driver"
+)
+
+// expectation is one `// want` pattern at a fixture line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRe splits a want comment into its quoted patterns; both Go-quoted
+// and backquoted strings are accepted.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts expectations from every comment in the fixture.
+func parseWants(pkg *driver.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					if idx = strings.Index(text, "/* want "); idx < 0 {
+						continue
+					}
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := text[idx+len("// want "):]
+				for _, q := range wantRe.FindAllString(rest, -1) {
+					pat, err := unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// unquote decodes one quoted want pattern.
+func unquote(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}
+
+// Run loads testdata/src/<importPath> rooted at srcRoot, applies the
+// analyzers, and reports any mismatch between findings and `// want`
+// expectations as test errors. It returns the findings for additional
+// assertions.
+func Run(t *testing.T, srcRoot string, analyzers []*analysis.Analyzer, importPath string) []analysis.Diagnostic {
+	t.Helper()
+	pkg, err := driver.LoadFixture(srcRoot, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := pkg.Run(analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", importPath, err)
+	}
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected finding [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.raw)
+		}
+	}
+	return diags
+}

@@ -1,0 +1,93 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"cellnpdp/internal/analysis"
+	"cellnpdp/internal/analysis/analysistest"
+	"cellnpdp/internal/analysis/driver"
+)
+
+func one(a *analysis.Analyzer) []*analysis.Analyzer { return []*analysis.Analyzer{a} }
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(analysis.AtomicField), "atomicfield_a")
+}
+
+func TestCtxDispatch(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(analysis.CtxDispatch), "ctxdispatch_a")
+}
+
+func TestCtxDispatchMainExempt(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src", one(analysis.CtxDispatch), "ctxdispatch_main")
+	if len(diags) != 0 {
+		t.Errorf("main package should be exempt, got %d findings", len(diags))
+	}
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(analysis.HotPath), "hotpath_a")
+}
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(analysis.ErrDrop), "errdrop_a")
+}
+
+// TestNolintDiscipline checks the directive-hygiene findings directly:
+// a want comment on the directive's line would itself read as a
+// justification, so these fixtures cannot use the harness.
+func TestNolintDiscipline(t *testing.T) {
+	pkg, err := driver.LoadFixture("testdata/src", "nolintbad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := pkg.Run(analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		if d.Analyzer != "nolint" {
+			t.Errorf("unexpected non-nolint finding: %+v", d)
+			continue
+		}
+		got = append(got, d.Message)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 nolint findings, got %d: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "requires a justification") && !strings.Contains(got[1], "requires a justification") {
+		t.Errorf("missing bare-directive finding in %v", got)
+	}
+	found := false
+	for _, m := range got {
+		if strings.Contains(m, `unknown analyzer "nosuch"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing unknown-analyzer finding in %v", got)
+	}
+}
+
+// TestAllRegistry pins the suite roster: cmd/npdplint -c and the nolint
+// scoping both resolve analyzers by these names.
+func TestAllRegistry(t *testing.T) {
+	want := []string{"atomicfield", "ctxdispatch", "hotpath", "errdrop"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("want %d analyzers, got %d", len(want), len(all))
+	}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("All()[%d] = %q, want %q", i, all[i].Name, name)
+		}
+		if analysis.ByName(name) != all[i] {
+			t.Errorf("ByName(%q) does not resolve to All()[%d]", name, i)
+		}
+	}
+	if analysis.ByName("nosuch") != nil {
+		t.Error("ByName should return nil for unknown names")
+	}
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces the engines' publication protocol: a struct
+// field (or package-level variable) that is ever accessed through
+// sync/atomic — either by passing its address to the atomic functions
+// or by being declared as an atomic.Int64-style typed value — must
+// never be read or written plainly. One plain load of an
+// atomically-published dependence counter or seal word turns the
+// scheduler's release/acquire notification edge (Section IV-B) into a
+// data race the race detector only catches when the interleaving
+// happens to fire; this check makes the discipline structural.
+//
+// Allowed plain uses: the address-of step inside an atomic call itself,
+// method calls on atomic-typed values (that is the atomic access),
+// indexing/ranging a slice of atomic values to reach an element,
+// composite-literal initialization, and `init` functions (pre-publication
+// setup). Everything else needs a //nolint:npdplint(atomicfield) with a
+// justification.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicField,
+}
+
+// atomicFuncs are the sync/atomic package-level functions whose first
+// argument is the address of the shared word.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicField(pass *Pass) error {
+	info := pass.TypesInfo
+	parents := buildParents(pass.Files)
+
+	// Phase 1: collect the atomic word set — fields and package-level
+	// variables whose address feeds a sync/atomic call anywhere in the
+	// package.
+	oldStyle := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			obj := calleeObject(info, call)
+			if obj == nil || !isPkgPath(obj, "sync/atomic") || !atomicFuncs[obj.Name()] {
+				return true
+			}
+			if target := addressedWord(info, call.Args[0]); target != nil {
+				oldStyle[target] = true
+			}
+			return true
+		})
+	}
+
+	// Phase 2: flag plain accesses of those words, and plain copies or
+	// overwrites of atomic-typed fields/variables.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				obj := info.Uses[n]
+				if obj == nil || !oldStyle[obj] {
+					return true
+				}
+				if plainAccessAllowed(info, parents, n) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "plain access of %s, which is accessed via sync/atomic elsewhere; use the atomic API", obj.Name())
+			case *ast.AssignStmt:
+				checkAtomicAssign(pass, info, n)
+			case *ast.RangeStmt:
+				checkAtomicRange(pass, info, n)
+			case *ast.SelectorExpr, *ast.IndexExpr:
+				checkAtomicValueUse(pass, info, parents, n.(ast.Expr))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// addressedWord resolves &x.f / &arr[i] / &v in an atomic call's first
+// argument to the field or package-level variable object being shared.
+func addressedWord(info *types.Info, arg ast.Expr) types.Object {
+	un, ok := unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return nil
+	}
+	expr := unparen(un.X)
+	if idx, ok := expr.(*ast.IndexExpr); ok {
+		expr = unparen(idx.X)
+	}
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Parent() == v.Pkg().Scope() {
+			return obj // package-level variable
+		}
+	}
+	return nil
+}
+
+// plainAccessAllowed reports contexts where touching an atomic word
+// plainly is legitimate: inside the atomic call's own &x argument,
+// composite-literal initialization, or an init function.
+func plainAccessAllowed(info *types.Info, parents parentMap, id *ast.Ident) bool {
+	var n ast.Node = id
+	if sel, ok := parents.parentSkipParens(id).(*ast.SelectorExpr); ok && sel.Sel == id {
+		n = sel
+	}
+	for cur := n; cur != nil; cur = parents[cur] {
+		switch p := parents[cur].(type) {
+		case *ast.UnaryExpr:
+			if p.Op.String() != "&" {
+				continue
+			}
+			if call, ok := parents.parentSkipParens(p).(*ast.CallExpr); ok {
+				obj := calleeObject(info, call)
+				if obj != nil && isPkgPath(obj, "sync/atomic") {
+					return true
+				}
+			}
+		case *ast.KeyValueExpr:
+			if p.Key == cur {
+				return true // composite-literal field init
+			}
+		case *ast.FuncDecl:
+			if p.Recv == nil && p.Name.Name == "init" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkAtomicAssign flags assignments whose LHS or RHS moves an
+// atomic-typed value as plain data: overwriting a published atomic word
+// or copying it out both bypass the release/acquire edge.
+func checkAtomicAssign(pass *Pass, info *types.Info, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		if t := exprType(info, lhs); t != nil && isAtomicType(t) {
+			pass.Reportf(lhs.Pos(), "plain write to atomic-typed %s; use its Store method", describeExpr(lhs))
+		}
+	}
+	for _, rhs := range as.Rhs {
+		if t := exprType(info, rhs); t != nil && isAtomicType(t) && !isAllowedAtomicRHS(rhs) {
+			pass.Reportf(rhs.Pos(), "plain copy of atomic-typed %s; use its Load method", describeExpr(rhs))
+		}
+	}
+}
+
+// isAllowedAtomicRHS permits constructing a fresh atomic value (zero
+// composite literal) — initialization, not a copy of a published word.
+func isAllowedAtomicRHS(e ast.Expr) bool {
+	cl, ok := unparen(e).(*ast.CompositeLit)
+	return ok && len(cl.Elts) == 0
+}
+
+// checkAtomicRange flags `for _, v := range slice` over atomic-typed
+// elements: the copied element is a plain load of a published word.
+func checkAtomicRange(pass *Pass, info *types.Info, rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	if id, ok := rs.Value.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	if t := exprType(info, rs.X); t != nil && atomicElem(t) != nil {
+		pass.Reportf(rs.Value.Pos(), "ranging copies atomic-typed elements of %s; index and use Load instead", describeExpr(rs.X))
+	}
+}
+
+// checkAtomicValueUse flags atomic-typed field/element values used as
+// plain data (passed, returned, compared) rather than through their
+// methods or address.
+func checkAtomicValueUse(pass *Pass, info *types.Info, parents parentMap, e ast.Expr) {
+	t := exprType(info, e)
+	if t == nil || !isAtomicType(t) {
+		return
+	}
+	switch p := parents.parentSkipParens(e).(type) {
+	case *ast.SelectorExpr:
+		return // receiver of a method call (x.f.Load()) — the atomic access itself
+	case *ast.UnaryExpr:
+		if p.Op.String() == "&" {
+			return // taking the address to call methods through
+		}
+	case *ast.AssignStmt, *ast.RangeStmt:
+		return // reported by the assignment/range checks above
+	case *ast.CallExpr:
+		// Argument position: copies the word into the callee.
+		for _, a := range p.Args {
+			if unparen(a) == e {
+				pass.Reportf(e.Pos(), "atomic-typed %s passed by value; pass its address or Load it", describeExpr(e))
+				return
+			}
+		}
+		return
+	case *ast.ReturnStmt:
+		pass.Reportf(e.Pos(), "atomic-typed %s returned by value; return its address or Load it", describeExpr(e))
+	case *ast.ValueSpec:
+		for _, v := range p.Values {
+			if unparen(v) == e {
+				pass.Reportf(e.Pos(), "atomic-typed %s copied into a variable; use its Load method", describeExpr(e))
+				return
+			}
+		}
+	case *ast.BinaryExpr:
+		pass.Reportf(e.Pos(), "atomic-typed %s compared as plain data; Load it first", describeExpr(e))
+	}
+}
+
+// exprType returns the static type of e, nil if unknown.
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// describeExpr renders a short name for diagnostics.
+func describeExpr(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return describeExpr(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return describeExpr(e.X) + "[...]"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

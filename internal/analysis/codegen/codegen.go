@@ -1,0 +1,312 @@
+// Package codegen implements the hot-path codegen regression gate: the
+// compiler-output half of the //npdp:hotpath invariant. The syntactic
+// analyzer (internal/analysis.HotPath) can ban `make` and interface
+// dispatch, but only the compiler knows whether a value escapes to the
+// heap or a bounds check survived in the panel kernels' inner loops —
+// the Go analogue of keeping the paper's Table I SPE kernel at 80
+// instructions. The gate builds the kernel package with
+//
+//	go build -a -gcflags='-m -d=ssa/check_bce/debug=1'
+//
+// (-a defeats the build cache, which does not replay compiler
+// diagnostics), buckets every escape/bounds-check diagnostic that lands
+// inside an annotated function into normalized per-function category
+// counts, and diffs them against a checked-in golden baseline. Any new
+// category or increased count fails the gate; decreases are advisory
+// (refresh the baseline with -update).
+package codegen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// gcflags are the diagnostic flags the gate compiles with: escape
+// analysis (-m) plus bounds-check elimination reporting.
+const gcflags = "-m -d=ssa/check_bce/debug=1"
+
+// hotpathMarker matches internal/analysis.hotpathMarker.
+const hotpathMarker = "npdp:hotpath"
+
+// docHasHotpath reports whether a doc comment group contains the
+// //npdp:hotpath directive as a whole comment line (prose that merely
+// mentions the marker does not count), matching the analyzer's rule.
+func docHasHotpath(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//"+hotpathMarker)
+		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			return true
+		}
+	}
+	return false
+}
+
+// Record is one normalized gate entry: how many diagnostics of one
+// category the compiler emitted inside one annotated function. Line
+// numbers are deliberately normalized away so unrelated edits above a
+// kernel do not churn the baseline.
+type Record struct {
+	Func     string // annotated function name
+	Category string // heap-escape | bounds-check | slice-bounds-check
+	Count    int
+}
+
+// Key identifies a record in baseline comparisons.
+func (r Record) Key() string { return r.Func + "\t" + r.Category }
+
+// FuncRange is the source extent of one annotated function.
+type FuncRange struct {
+	File       string // base name, e.g. "panel.go"
+	Name       string
+	Start, End int // 1-based line range, inclusive
+}
+
+// HotpathRanges parses the package sources and returns the extents of
+// every //npdp:hotpath-annotated function.
+func HotpathRanges(dir string, goFiles []string) ([]FuncRange, error) {
+	fset := token.NewFileSet()
+	var out []FuncRange
+	for _, name := range goFiles {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !docHasHotpath(fd.Doc) {
+				continue
+			}
+			out = append(out, FuncRange{
+				File:  name,
+				Name:  fd.Name.Name,
+				Start: fset.Position(fd.Pos()).Line,
+				End:   fset.Position(fd.End()).Line,
+			})
+		}
+	}
+	return out, nil
+}
+
+// diagRe matches one compiler diagnostic: path/file.go:line:col: message.
+var diagRe = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.*)$`)
+
+// categorize maps a compiler diagnostic message to a gate category;
+// empty for messages the gate ignores (inlining decisions, parameters
+// that do not escape, ...).
+func categorize(msg string) string {
+	switch {
+	case strings.Contains(msg, "Found IsSliceInBounds"):
+		return "slice-bounds-check"
+	case strings.Contains(msg, "Found IsInBounds"):
+		return "bounds-check"
+	case strings.Contains(msg, "does not escape"):
+		return ""
+	case strings.Contains(msg, "escapes to heap"), strings.Contains(msg, "moved to heap"):
+		return "heap-escape"
+	}
+	return ""
+}
+
+// Extract buckets compiler diagnostics into per-function category
+// counts, keeping only those inside an annotated range.
+func Extract(buildOutput string, ranges []FuncRange) []Record {
+	counts := make(map[string]*Record)
+	sc := bufio.NewScanner(strings.NewReader(buildOutput))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := diagRe.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		cat := categorize(m[3])
+		if cat == "" {
+			continue
+		}
+		file := filepath.Base(m[1])
+		line, _ := strconv.Atoi(m[2])
+		for i := range ranges {
+			r := &ranges[i]
+			if r.File != file || line < r.Start || line > r.End {
+				continue
+			}
+			key := r.Name + "\t" + cat
+			if rec, ok := counts[key]; ok {
+				rec.Count++
+			} else {
+				counts[key] = &Record{Func: r.Name, Category: cat, Count: 1}
+			}
+			break
+		}
+	}
+	out := make([]Record, 0, len(counts))
+	for _, r := range counts {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// BuildDiagnostics compiles pkg with the gate's gcflags and returns the
+// compiler's diagnostic stream. -a forces real recompilation: the build
+// cache does not replay compiler stderr, so a cached hit would
+// otherwise read as "zero diagnostics" and defeat the gate.
+func BuildDiagnostics(pkg string) (string, error) {
+	cmd := exec.Command("go", "build", "-a", "-gcflags="+gcflags, pkg)
+	var out strings.Builder
+	cmd.Stderr = &out
+	cmd.Stdout = &out
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go build %s: %v\n%s", pkg, err, out.String())
+	}
+	return out.String(), nil
+}
+
+// Format renders records as the baseline file body.
+func Format(records []Record) string {
+	var b strings.Builder
+	b.WriteString("# npdplint codegen gate baseline: per-hotpath-function compiler\n")
+	b.WriteString("# diagnostic counts (escape analysis + bounds checks), normalized.\n")
+	b.WriteString("# Regenerate with: go run ./cmd/npdplint -codegen -update\n")
+	for _, r := range records {
+		fmt.Fprintf(&b, "%s\t%s\t%d\n", r.Func, r.Category, r.Count)
+	}
+	return b.String()
+}
+
+// ParseBaseline reads a baseline file body back into records.
+func ParseBaseline(s string) ([]Record, error) {
+	var out []Record
+	for i, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want 'func\\tcategory\\tcount', got %q", i+1, line)
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("baseline line %d: bad count %q", i+1, parts[2])
+		}
+		out = append(out, Record{Func: parts[0], Category: parts[1], Count: n})
+	}
+	return out, nil
+}
+
+// Compare diffs current records against the baseline. Regressions (new
+// key or increased count) fail the gate; improvements (decreased or
+// vanished counts) are advisory.
+func Compare(current, baseline []Record) (regressions, improvements []string) {
+	base := make(map[string]int, len(baseline))
+	for _, r := range baseline {
+		base[r.Key()] = r.Count
+	}
+	cur := make(map[string]int, len(current))
+	for _, r := range current {
+		cur[r.Key()] = r.Count
+		want, ok := base[r.Key()]
+		switch {
+		case !ok:
+			regressions = append(regressions, fmt.Sprintf("%s: NEW %s ×%d", r.Func, r.Category, r.Count))
+		case r.Count > want:
+			regressions = append(regressions, fmt.Sprintf("%s: %s %d → %d", r.Func, r.Category, want, r.Count))
+		case r.Count < want:
+			improvements = append(improvements, fmt.Sprintf("%s: %s %d → %d", r.Func, r.Category, want, r.Count))
+		}
+	}
+	for _, r := range baseline {
+		if _, ok := cur[r.Key()]; !ok {
+			improvements = append(improvements, fmt.Sprintf("%s: %s %d → 0", r.Func, r.Category, r.Count))
+		}
+	}
+	sort.Strings(regressions)
+	sort.Strings(improvements)
+	return regressions, improvements
+}
+
+// resolvePackage asks the go tool for pkg's directory and file list.
+func resolvePackage(pkg string) (dir string, goFiles []string, err error) {
+	cmd := exec.Command("go", "list", "-json=Dir,GoFiles", pkg)
+	out, err := cmd.Output()
+	if err != nil {
+		return "", nil, fmt.Errorf("go list %s: %v", pkg, err)
+	}
+	var p struct {
+		Dir     string
+		GoFiles []string
+	}
+	if err := json.Unmarshal(out, &p); err != nil {
+		return "", nil, fmt.Errorf("go list %s: %v", pkg, err)
+	}
+	if p.Dir == "" || len(p.GoFiles) == 0 {
+		return "", nil, fmt.Errorf("go list %s: no Go files", pkg)
+	}
+	return p.Dir, p.GoFiles, nil
+}
+
+// Gate runs the full regression gate for pkg against baselinePath,
+// writing a human-readable report to w. With update true it rewrites
+// the baseline instead of comparing. A non-nil error means the gate
+// failed (regression found, no annotations, or tooling failure).
+func Gate(pkg, baselinePath string, update bool, w io.Writer) error {
+	dir, goFiles, err := resolvePackage(pkg)
+	if err != nil {
+		return err
+	}
+	ranges, err := HotpathRanges(dir, goFiles)
+	if err != nil {
+		return err
+	}
+	if len(ranges) == 0 {
+		return fmt.Errorf("no //npdp:hotpath functions in %s: the gate would vacuously pass", pkg)
+	}
+	buildOut, err := BuildDiagnostics(pkg)
+	if err != nil {
+		return err
+	}
+	current := Extract(buildOut, ranges)
+	if update {
+		if err := os.WriteFile(baselinePath, []byte(Format(current)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "codegen gate: baseline updated (%d records across %d hotpath functions)\n", len(current), len(ranges))
+		return nil
+	}
+	baseBody, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline (run with -update to create it): %w", err)
+	}
+	baseline, err := ParseBaseline(string(baseBody))
+	if err != nil {
+		return err
+	}
+	regressions, improvements := Compare(current, baseline)
+	for _, s := range improvements {
+		fmt.Fprintf(w, "codegen gate: improved: %s (refresh baseline with -update)\n", s)
+	}
+	if len(regressions) > 0 {
+		for _, s := range regressions {
+			fmt.Fprintf(w, "codegen gate: REGRESSION: %s\n", s)
+		}
+		return fmt.Errorf("%d hot-path codegen regression(s): a new allocation or bounds check landed in an //npdp:hotpath kernel", len(regressions))
+	}
+	fmt.Fprintf(w, "codegen gate: clean (%d records across %d hotpath functions match baseline)\n", len(current), len(ranges))
+	return nil
+}

@@ -1,0 +1,180 @@
+package codegen
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCategorize(t *testing.T) {
+	cases := []struct{ msg, want string }{
+		{"Found IsInBounds", "bounds-check"},
+		{"Found IsSliceInBounds", "slice-bounds-check"},
+		{"make([]float32, n) escapes to heap", "heap-escape"},
+		{"moved to heap: leak", "heap-escape"},
+		{"c does not escape", ""}, // must win over the "escapes to heap" substring test
+		{"inlining call to panelStats", ""},
+		{"can inline Step4x4", ""},
+	}
+	for _, c := range cases {
+		if got := categorize(c.msg); got != c.want {
+			t.Errorf("categorize(%q) = %q, want %q", c.msg, got, c.want)
+		}
+	}
+}
+
+const cannedBuild = `# cellnpdp/internal/kernel
+panel.go:30:12: Found IsSliceInBounds
+panel.go:31:12: Found IsSliceInBounds
+panel.go:46:14: Found IsInBounds
+panel.go:200:5: Found IsInBounds
+kernel.go:55:9: Found IsSliceInBounds
+kernel.go:60:3: make([]float32, n) escapes to heap
+other.go:10:2: Found IsInBounds
+kernel.go:54:7: c does not escape
+not a diagnostic line
+`
+
+func cannedRanges() []FuncRange {
+	return []FuncRange{
+		{File: "panel.go", Name: "PanelMinPlus", Start: 28, End: 77},
+		{File: "kernel.go", Name: "Step4x4", Start: 53, End: 76},
+	}
+}
+
+func TestExtract(t *testing.T) {
+	recs := Extract(cannedBuild, cannedRanges())
+	want := []Record{
+		{Func: "PanelMinPlus", Category: "bounds-check", Count: 1},
+		{Func: "PanelMinPlus", Category: "slice-bounds-check", Count: 2},
+		{Func: "Step4x4", Category: "heap-escape", Count: 1},
+		{Func: "Step4x4", Category: "slice-bounds-check", Count: 1},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("got %d records %v, want %d", len(recs), recs, len(want))
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	recs := Extract(cannedBuild, cannedRanges())
+	back, err := ParseBaseline(Format(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip lost records: %d → %d", len(recs), len(back))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Errorf("round trip record %d = %+v, want %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestParseBaselineRejectsGarbage(t *testing.T) {
+	if _, err := ParseBaseline("Func\tbounds-check\tnot-a-number\n"); err == nil {
+		t.Error("bad count should fail")
+	}
+	if _, err := ParseBaseline("only-two\tfields\n"); err == nil {
+		t.Error("short line should fail")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := []Record{
+		{Func: "A", Category: "bounds-check", Count: 2},
+		{Func: "B", Category: "heap-escape", Count: 1},
+	}
+	cur := []Record{
+		{Func: "A", Category: "bounds-check", Count: 3},       // regression: count up
+		{Func: "A", Category: "slice-bounds-check", Count: 1}, // regression: new key
+	}
+	reg, imp := Compare(cur, base)
+	if len(reg) != 2 {
+		t.Errorf("want 2 regressions, got %v", reg)
+	}
+	if len(imp) != 1 || !strings.Contains(imp[0], "B") {
+		t.Errorf("want B's vanished record as the improvement, got %v", imp)
+	}
+	if reg2, _ := Compare(base, base); len(reg2) != 0 {
+		t.Errorf("identical records must not regress: %v", reg2)
+	}
+}
+
+// TestGateCatchesSeededAllocation runs the real gate end to end on a
+// throwaway module: an annotated function that allocates must fail
+// against an empty baseline, and -update followed by a re-run must pass.
+func TestGateCatchesSeededAllocation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a module with -a")
+	}
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module probe\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(dir, "probe.go"), `package probe
+
+// leaky allocates on purpose.
+//
+//npdp:hotpath
+func leaky(n int) []int {
+	return make([]int, n)
+}
+
+var _ = leaky
+`)
+	baseline := filepath.Join(dir, "baseline.txt")
+	writeFile(t, baseline, "# empty baseline\n")
+	t.Chdir(dir)
+
+	err := Gate(".", baseline, false, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("gate must fail on the seeded allocation, got %v", err)
+	}
+	if err := Gate(".", baseline, true, io.Discard); err != nil {
+		t.Fatalf("baseline update failed: %v", err)
+	}
+	if err := Gate(".", baseline, false, io.Discard); err != nil {
+		t.Fatalf("gate must pass against the refreshed baseline, got %v", err)
+	}
+}
+
+// TestGateRefusesUnannotatedPackage guards the vacuous-pass hazard.
+func TestGateRefusesUnannotatedPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module bare\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(dir, "bare.go"), "package bare\n\nfunc ok() {}\n\nvar _ = ok\n")
+	t.Chdir(dir)
+	err := Gate(".", filepath.Join(dir, "baseline.txt"), false, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "vacuously") {
+		t.Fatalf("gate must refuse a package with no annotations, got %v", err)
+	}
+}
+
+// TestBaselineMatchesKernels is the satellite check that the committed
+// baseline reflects the current kernels: the same comparison CI runs,
+// so a kernel edit that changes codegen cannot land without refreshing
+// scripts/codegen_baseline.txt.
+func TestBaselineMatchesKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recompiles internal/kernel with -a")
+	}
+	if err := Gate("cellnpdp/internal/kernel", filepath.Join("..", "..", "..", "scripts", "codegen_baseline.txt"), false, io.Discard); err != nil {
+		t.Fatalf("committed baseline does not match current kernels: %v", err)
+	}
+}
+
+func writeFile(t *testing.T, path, body string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

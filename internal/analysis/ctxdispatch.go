@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxDispatch enforces the cancellation contract PR 2 threaded through
+// every engine: cancellation is checked at task-dispatch granularity,
+// and contexts always flow down from the caller.
+//
+// Three rules:
+//
+//  1. context.Background() and context.TODO() are banned outside main
+//     packages and _test.go files. The one sanctioned exception is the
+//     compatibility-wrapper idiom, where a function F passes a fresh
+//     Background directly to its own Ctx twin (Solve → SolveCtx,
+//     RunPool → RunPoolCtx): the wrapper *is* the documented
+//     "no-cancellation" entry point. Anything else fabricates an
+//     uncancellable context mid-stack and needs a justification.
+//
+//  2. An exported function whose name ends in "Ctx" and takes a
+//     context.Context must actually use it — check ctx.Err()/ctx.Done()
+//     or forward it to a callee. A ...Ctx engine that ignores its
+//     context silently reneges on the dispatch-granularity promise.
+//
+//  3. A loop annotated //npdp:dispatch (the task-dispatch loops of the
+//     pool workers and serial engines) must contain a per-iteration
+//     cancellation point: a ctx.Err()/ctx.Done() call or a context
+//     forwarded into the loop body. The annotation must sit on the
+//     line directly above (or on) the for/range statement.
+var CtxDispatch = &Analyzer{
+	Name: "ctxdispatch",
+	Doc:  "Ctx engines must honor their context; Background/TODO banned outside main and tests; //npdp:dispatch loops must check cancellation per iteration",
+	Run:  runCtxDispatch,
+}
+
+// dispatchMarker annotates task-dispatch loops.
+const dispatchMarker = "npdp:dispatch"
+
+func runCtxDispatch(pass *Pass) error {
+	info := pass.TypesInfo
+	parents := buildParents(pass.Files)
+	isMain := pass.Pkg.Name() == "main"
+
+	for _, f := range pass.Files {
+		// Rule 1: Background/TODO bans.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(info, call)
+			if obj == nil || !isPkgPath(obj, "context") {
+				return true
+			}
+			name := obj.Name()
+			if name != "Background" && name != "TODO" {
+				return true
+			}
+			if isMain || inTestFile(pass.Fset, call.Pos()) {
+				return true
+			}
+			if isCtxTwinWrapper(info, parents, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "context.%s() outside main/tests fabricates an uncancellable context; thread the caller's context (or delegate to your Ctx twin)", name)
+			return true
+		})
+
+		// Rules 2 and 3.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFuncUsesContext(pass, fd)
+		}
+		checkDispatchLoops(pass, f)
+	}
+	return nil
+}
+
+// isCtxTwinWrapper reports whether the Background/TODO call is an
+// argument of a direct call to the enclosing function's own Ctx twin
+// (enclosing F, callee named F+"Ctx").
+func isCtxTwinWrapper(info *types.Info, parents parentMap, call *ast.CallExpr) bool {
+	outer, ok := parents.parentSkipParens(call).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	arg := false
+	for _, a := range outer.Args {
+		if unparen(a) == call {
+			arg = true
+			break
+		}
+	}
+	if !arg {
+		return false
+	}
+	fd := parents.enclosingFunc(call)
+	if fd == nil {
+		return false
+	}
+	var calleeName string
+	switch fun := unparen(outer.Fun).(type) {
+	case *ast.Ident:
+		calleeName = fun.Name
+	case *ast.SelectorExpr:
+		calleeName = fun.Sel.Name
+	case *ast.IndexExpr: // generic instantiation SolveCtx[float32](...)
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			calleeName = id.Name
+		}
+	default:
+		return false
+	}
+	return calleeName == fd.Name.Name+"Ctx"
+}
+
+// checkCtxFuncUsesContext implements rule 2.
+func checkCtxFuncUsesContext(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || !strings.HasSuffix(fd.Name.Name, "Ctx") {
+		return
+	}
+	if inTestFile(pass.Fset, fd.Pos()) {
+		return
+	}
+	info := pass.TypesInfo
+	var ctxParams []*ast.Ident
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(), "%s takes an unnamed context.Context it can never use", fd.Name.Name)
+			return
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				pass.Reportf(name.Pos(), "%s discards its context.Context parameter", fd.Name.Name)
+				return
+			}
+			ctxParams = append(ctxParams, name)
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+	used := false
+	for _, name := range ctxParams {
+		obj := info.Defs[name]
+		if obj == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				used = true
+				return false
+			}
+			return !used
+		})
+	}
+	if !used {
+		pass.Reportf(fd.Pos(), "%s never uses its context: check ctx.Err()/ctx.Done() at dispatch granularity or forward it", fd.Name.Name)
+	}
+}
+
+// checkDispatchLoops implements rule 3.
+func checkDispatchLoops(pass *Pass, f *ast.File) {
+	// Collect annotation lines in this file.
+	marks := make(map[int]token.Pos) // line → comment position
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if isDirective(c.Text, dispatchMarker) {
+				marks[pass.Fset.Position(c.Pos()).Line] = c.Pos()
+			}
+		}
+	}
+	if len(marks) == 0 {
+		return
+	}
+	claimed := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body = l.Body
+		case *ast.RangeStmt:
+			body = l.Body
+		default:
+			return true
+		}
+		line := pass.Fset.Position(n.Pos()).Line
+		markLine := -1
+		if _, ok := marks[line]; ok {
+			markLine = line
+		} else if _, ok := marks[line-1]; ok {
+			markLine = line - 1
+		}
+		if markLine < 0 {
+			return true
+		}
+		claimed[markLine] = true
+		if !loopChecksContext(pass.TypesInfo, body) {
+			pass.Reportf(n.Pos(), "//npdp:dispatch loop has no per-iteration cancellation point: call ctx.Err()/ctx.Done() or forward the context inside the loop body")
+		}
+		return true
+	})
+	for line, pos := range marks {
+		if !claimed[line] {
+			pass.Reportf(pos, "//npdp:dispatch annotation is not attached to a for/range statement (it must sit directly above the loop)")
+		}
+	}
+}
+
+// loopChecksContext reports whether the loop body contains a
+// cancellation point: ctx.Err()/ctx.Done()/ctx.Deadline() on a
+// context-typed value, or a context-typed value passed to any call.
+func loopChecksContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Err", "Done", "Deadline":
+				if tv, ok := info.Types[sel.X]; ok && isContextType(tv.Type) {
+					found = true
+					return false
+				}
+			}
+		}
+		for _, a := range call.Args {
+			if tv, ok := info.Types[a]; ok && isContextType(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,263 @@
+// Package driver loads Go packages for the npdplint analyzers without
+// golang.org/x/tools: package metadata and compiled export data come
+// from `go list -export`, source is parsed with go/parser, and types
+// are checked with go/types against the gc export data of every import.
+// The result is the same (Fset, Files, Pkg, TypesInfo) quadruple the
+// upstream go/analysis driver would hand each analyzer.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cellnpdp/internal/analysis"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// Run applies the analyzers to the package and returns its findings,
+// nolint-filtered and position-sorted.
+func (p *Package) Run(analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	return analysis.RunAnalyzers(p.Fset, p.Files, p.Pkg, p.Info, analyzers)
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// goList invokes `go list` with args and decodes the JSON stream.
+func goList(args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(&out)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportLookup resolves import paths to compiled export data files,
+// fetching them lazily through `go list -deps -export` and caching the
+// whole dependency closure of each request.
+type exportLookup struct {
+	files map[string]string // import path → export data file
+}
+
+func (l *exportLookup) fetch(path string) error {
+	entries, err := goList("-deps", "-export", "-json=ImportPath,Export", path)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.Export != "" {
+			l.files[e.ImportPath] = e.Export
+		}
+	}
+	return nil
+}
+
+// lookup is the go/importer callback: open the export data for path.
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.files[path]
+	if !ok {
+		if err := l.fetch(path); err != nil {
+			return nil, err
+		}
+		if f, ok = l.files[path]; !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(f)
+}
+
+// newInfo allocates the full TypesInfo the analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Load resolves the patterns with the go tool and returns every matched
+// package parsed and type-checked (non-test files only). Packages that
+// fail to load abort the whole call: analyzers must never run on
+// partial type information, where absent objects would silently skip
+// checks.
+func Load(patterns ...string) ([]*Package, error) {
+	targets, err := goList(append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	// One -deps -export pass warms the export cache for every import the
+	// targets can reach (and compiles anything stale).
+	lk := &exportLookup{files: make(map[string]string)}
+	if err := lk.fetch(patterns[0]); err != nil {
+		return nil, err
+	}
+	for _, p := range patterns[1:] {
+		if err := lk.fetch(p); err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lk.lookup)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", filepath.Join(t.Dir, name), err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        tp,
+			Info:       info,
+		})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// fixtureLoader type-checks analysistest fixture trees: an import
+// resolves to srcRoot/<path> when that directory exists (fixture
+// packages are named by bare paths like "resilience"), and to real
+// export data otherwise (stdlib imports inside fixtures).
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	cache   map[string]*types.Package
+	gc      types.Importer
+}
+
+// Import implements types.Importer for fixture trees.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if fi, err := os.Stat(filepath.Join(l.srcRoot, path)); err == nil && fi.IsDir() {
+		p, err := l.loadSource(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	p, err := l.gc.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = p
+	return p, nil
+}
+
+// loadSource parses and type-checks the fixture package at
+// srcRoot/path, including files that would be test files in a real
+// package (fixtures exercise the analyzers' test-file exemptions).
+func (l *fixtureLoader) loadSource(path string) (*Package, error) {
+	dir := filepath.Join(l.srcRoot, path)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no Go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing fixture %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tp, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	l.cache[path] = tp
+	return &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Pkg:        tp,
+		Info:       info,
+	}, nil
+}
+
+// LoadFixture loads the fixture package srcRoot/<importPath> (the
+// analysistest GOPATH-style layout: testdata/src/<importPath>).
+func LoadFixture(srcRoot, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	lk := &exportLookup{files: make(map[string]string)}
+	l := &fixtureLoader{
+		srcRoot: srcRoot,
+		fset:    fset,
+		cache:   make(map[string]*types.Package),
+		gc:      importer.ForCompiler(fset, "gc", lk.lookup),
+	}
+	return l.loadSource(importPath)
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression discipline: a finding may be silenced only by a
+//
+//	//nolint:npdplint <justification>
+//	//nolint:npdplint(analyzer,analyzer) <justification>
+//
+// comment on the finding's line or the line immediately above it. The
+// justification is mandatory — a bare //nolint:npdplint is itself a
+// finding, so silent suppressions cannot accumulate. The parenthesized
+// form scopes the suppression to named analyzers; the bare form covers
+// the whole suite.
+
+var nolintRe = regexp.MustCompile(`^//nolint:npdplint(?:\(([^)]*)\))?(.*)`)
+
+// nolintDirective is one parsed suppression comment.
+type nolintDirective struct {
+	pos       token.Position
+	analyzers map[string]bool // nil means all analyzers
+	reason    string
+}
+
+// collectNolint parses every suppression directive in the files.
+func collectNolint(fset *token.FileSet, files []*ast.File) []nolintDirective {
+	var out []nolintDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := nolintRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				d := nolintDirective{
+					pos:    fset.Position(c.Pos()),
+					reason: strings.TrimSpace(m[2]),
+				}
+				if m[1] != "" {
+					d.analyzers = make(map[string]bool)
+					for _, name := range strings.Split(m[1], ",") {
+						d.analyzers[strings.TrimSpace(name)] = true
+					}
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applyNolint filters diags through the directives: a diagnostic is
+// suppressed when a directive in the same file covers its analyzer on
+// the same line or the line above. Directives missing a justification
+// are converted into findings of their own, as are directives naming
+// analyzers that do not exist (a typo would otherwise silently suppress
+// nothing while looking intentional).
+func applyNolint(diags []Diagnostic, directives []nolintDirective) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range directives {
+		if d.reason == "" {
+			out = append(out, Diagnostic{
+				Analyzer: "nolint",
+				Pos:      d.pos,
+				Message:  "//nolint:npdplint requires a justification after the directive",
+			})
+		}
+		for name := range d.analyzers {
+			if ByName(name) == nil {
+				out = append(out, Diagnostic{
+					Analyzer: "nolint",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("//nolint:npdplint names unknown analyzer %q", name),
+				})
+			}
+		}
+	}
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range directives {
+			if d.reason == "" {
+				continue // an unjustified directive suppresses nothing
+			}
+			if d.pos.Filename != diag.Pos.Filename {
+				continue
+			}
+			if d.pos.Line != diag.Pos.Line && d.pos.Line != diag.Pos.Line-1 {
+				continue
+			}
+			if d.analyzers != nil && !d.analyzers[diag.Analyzer] {
+				continue
+			}
+			suppressed = true
+			break
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	return out
+}

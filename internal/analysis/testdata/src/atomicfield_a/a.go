@@ -1,0 +1,92 @@
+// Package atomicfield_a exercises the atomicfield analyzer: plain reads
+// and writes of words published through sync/atomic, copies of
+// atomic-typed values, and the sanctioned exceptions.
+package atomicfield_a
+
+import "sync/atomic"
+
+type counter struct {
+	pending int64
+	name    string
+	word    atomic.Int64
+}
+
+func (c *counter) dec() int64 {
+	return atomic.AddInt64(&c.pending, -1) // ok: the atomic access itself
+}
+
+func (c *counter) badRead() int64 {
+	return c.pending // want `plain access of pending`
+}
+
+func (c *counter) badWrite() {
+	c.pending = 0 // want `plain access of pending`
+}
+
+func (c *counter) title() string {
+	return c.name // ok: never accessed atomically
+}
+
+func fresh() *counter {
+	return &counter{pending: 0} // ok: composite-literal initialization
+}
+
+var sealWord uint32
+
+func seal() {
+	atomic.StoreUint32(&sealWord, 1)
+}
+
+func init() {
+	sealWord = 0 // ok: init runs before publication
+}
+
+func badPeek() uint32 {
+	return sealWord // want `plain access of sealWord`
+}
+
+func scopedWrong() uint32 {
+	//nolint:npdplint(hotpath) scoped to the wrong analyzer on purpose
+	return sealWord // want `plain access of sealWord`
+}
+
+func justified() uint32 {
+	//nolint:npdplint(atomicfield) crash-dump path runs single-threaded after workers join
+	return sealWord
+}
+
+func (c *counter) load() int64 {
+	return c.word.Load() // ok: method call is the atomic access
+}
+
+func copyOut(c *counter) int64 {
+	var w atomic.Int64
+	w = c.word // want `plain write to atomic-typed w` `plain copy of atomic-typed c\.word`
+	return w.Load()
+}
+
+func sink(v atomic.Int64) int64 { return v.Load() }
+
+func badPass(c *counter) int64 {
+	return sink(c.word) // want `atomic-typed c\.word passed by value`
+}
+
+func badReturn(c *counter) atomic.Int64 {
+	return c.word // want `atomic-typed c\.word returned by value`
+}
+
+func sumBad(ws []atomic.Int64) int64 {
+	var s int64
+	for _, w := range ws { // want `ranging copies atomic-typed elements of ws`
+		s += w.Load()
+	}
+	return s
+}
+
+func sumGood(ws []atomic.Int64) int64 {
+	var s int64
+	for i := range ws {
+		s += ws[i].Load() // ok: indexing reaches the element, Load reads it
+	}
+	return s
+}

@@ -1,0 +1,71 @@
+// Package ctxdispatch_a exercises the ctxdispatch analyzer: the
+// Background/TODO ban with its Ctx-twin wrapper exception, the ...Ctx
+// must-use rule, and //npdp:dispatch loop cancellation points.
+package ctxdispatch_a
+
+import "context"
+
+// SolveCtx is a well-behaved engine: dispatch loop polls ctx.Err.
+func SolveCtx(ctx context.Context, n int) (int, error) {
+	total := 0
+	//npdp:dispatch
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		total += i
+	}
+	return total, nil
+}
+
+// Solve delegates to its Ctx twin: the sanctioned wrapper idiom.
+func Solve(n int) int {
+	v, _ := SolveCtx(context.Background(), n)
+	return v
+}
+
+// Fabricate mints a context mid-stack for a callee that is not its twin.
+func Fabricate(n int) int {
+	v, _ := SolveCtx(context.TODO(), n) // want `context\.TODO\(\) outside main/tests`
+	return v
+}
+
+// IdleCtx ignores its context entirely.
+func IdleCtx(ctx context.Context, n int) int { // want `IdleCtx never uses its context`
+	return n * 2
+}
+
+// DropCtx blanks its context parameter.
+func DropCtx(_ context.Context, n int) int { // want `DropCtx discards its context`
+	return n
+}
+
+// AnonCtx cannot ever use its context.
+func AnonCtx(context.Context, int) {} // want `AnonCtx takes an unnamed context\.Context`
+
+// RunAllCtx dispatches without a per-iteration cancellation point.
+func RunAllCtx(ctx context.Context, tasks []func()) {
+	_ = ctx.Err()
+	//npdp:dispatch
+	for _, t := range tasks { // want `no per-iteration cancellation point`
+		t()
+	}
+}
+
+// ForwardCtx forwards its context into the body instead of polling Err.
+func ForwardCtx(ctx context.Context, items []int) error {
+	//npdp:dispatch
+	for _, it := range items {
+		if err := step(ctx, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func step(ctx context.Context, n int) error { return ctx.Err() }
+
+//npdp:dispatch // want `not attached to a for/range statement`
+var orphan int
+
+var _ = orphan

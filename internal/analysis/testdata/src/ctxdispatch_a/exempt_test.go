@@ -1,0 +1,10 @@
+package ctxdispatch_a
+
+import "context"
+
+// Test files may fabricate contexts freely.
+func testHelper() (int, error) {
+	return SolveCtx(context.Background(), 4)
+}
+
+var _ = testHelper

@@ -1,0 +1,10 @@
+// Command ctxdispatch_main exercises the main-package exemption: a
+// binary entry point is where a root context is legitimately minted.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // ok: main packages are exempt
+	_ = ctx
+}

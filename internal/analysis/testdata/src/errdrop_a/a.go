@@ -1,0 +1,70 @@
+// Package errdrop_a exercises the errdrop analyzer: discarded and
+// dropped errors from the (fixture) resilience package.
+package errdrop_a
+
+import "resilience"
+
+func bareStmt() {
+	resilience.WriteSeals() // want `WriteSeals's error discarded`
+}
+
+func inGo() {
+	go resilience.WriteSeals() // want `discarded by go statement`
+}
+
+func inDefer() {
+	defer resilience.WriteSeals() // want `discarded by defer`
+}
+
+func blank() {
+	_ = resilience.WriteSeals() // want `WriteSeals's error assigned to _`
+}
+
+func blankTuple(buf []byte) int {
+	n, _ := resilience.Checkpoint(buf) // want `Checkpoint's error assigned to _`
+	return n
+}
+
+func checkedDropped() bool {
+	err := resilience.WriteSeals() // want `nil-checked but never consumed`
+	return err == nil
+}
+
+func propagated() error {
+	return resilience.WriteSeals() // ok: caller receives it
+}
+
+func wrapped() error {
+	if err := resilience.WriteSeals(); err != nil {
+		return err // ok: consumed by return
+	}
+	return nil
+}
+
+func record(err error) {}
+
+func consumedByCall() {
+	err := resilience.WriteSeals()
+	if err != nil {
+		record(err) // ok: consumed by a call
+	}
+}
+
+func directType() {
+	resilience.Audit() // want `Audit's error discarded`
+}
+
+func recovered() error {
+	return resilience.Recover(func() error { return nil }) // ok
+}
+
+func unwatched() {
+	resilience.Workers() // ok: no error result
+}
+
+// mint returns a watched error type from outside the resilience package.
+func mint() *resilience.CorruptionError { return nil }
+
+func mintDrop() {
+	mint() // want `mint's error discarded`
+}

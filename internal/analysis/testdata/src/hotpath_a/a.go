@@ -1,0 +1,127 @@
+// Package hotpath_a exercises the hotpath analyzer: the closed
+// annotated call universe and the allocation/dispatch/scheduler bans.
+package hotpath_a
+
+// step is the sanctioned inner kernel.
+//
+//npdp:hotpath
+func step(c, a, b []float32) {
+	for i := range c {
+		if v := a[i] + b[i]; v < c[i] {
+			c[i] = v
+		}
+	}
+}
+
+// panel composes annotated kernels: the sanctioned internal edge.
+//
+//npdp:hotpath
+func panel(c, a, b []float32) {
+	step(c, a, b)
+	if len(c) > 0 {
+		copy(a, b) // ok: allowlisted builtin
+	}
+}
+
+// gstep is a generic kernel; calls through instantiation must resolve
+// to the annotated origin.
+//
+//npdp:hotpath
+func gstep[E ~float32 | ~float64](c, a, b []E) {
+	for i := range c {
+		if v := a[i] + b[i]; v < c[i] {
+			c[i] = v
+		}
+	}
+}
+
+//npdp:hotpath
+func gpanel(c, a, b []float64) {
+	gstep(c, a, b)
+}
+
+// helper is deliberately unannotated.
+func helper() {}
+
+//npdp:hotpath
+func badCall(c, a, b []float32) {
+	helper() // want `calls non-hotpath function`
+	step(c, a, b)
+}
+
+//npdp:hotpath
+func badMake(n int) []float32 {
+	return make([]float32, n) // want `make allocates`
+}
+
+//npdp:hotpath
+func badAppend(xs []float32) []float32 {
+	return append(xs, 1) // want `append allocates`
+}
+
+//npdp:hotpath
+func badDefer() {
+	defer step(nil, nil, nil) // want `defer allocates a frame record`
+}
+
+//npdp:hotpath
+func badGo() {
+	go step(nil, nil, nil) // want `go statement spawns a goroutine`
+}
+
+type adder interface{ add(float32) }
+
+//npdp:hotpath
+func badIface(a adder) {
+	a.add(1) // want `interface dispatch through a`
+}
+
+//npdp:hotpath
+func badConv(x float32) any {
+	return any(x) // want `conversion to interface type`
+}
+
+//npdp:hotpath
+func badClosure(n int) func() int {
+	return func() int { return n } // want `closure literal allocates`
+}
+
+//npdp:hotpath
+func badChan(ch chan int) {
+	ch <- 1 // want `channel send`
+	<-ch    // want `channel receive`
+}
+
+type point struct{ x, y float32 }
+
+//npdp:hotpath
+func badLit() int {
+	m := map[int]int{1: 2} // want `map literal allocates`
+	s := []int{1, 2}       // want `slice literal allocates`
+	return m[1] + s[0]
+}
+
+//npdp:hotpath
+func badAddr() *point {
+	return &point{x: 1} // want `&composite literal escapes`
+}
+
+//npdp:hotpath
+func badConcat(a, b string) string {
+	return a + b // want `non-constant string concatenation allocates`
+}
+
+//npdp:hotpath
+func goodStruct() point {
+	return point{x: 1, y: 2} // ok: value literal stays on the stack
+}
+
+//npdp:hotpath
+func badIndirect(f func()) {
+	f() // want `indirect call through f`
+}
+
+// unannotated helpers may do anything.
+func freeFunc() []int {
+	return append(make([]int, 0, 4), 1)
+}

@@ -1,0 +1,15 @@
+// Package nolintbad exercises the suppression discipline: bare
+// directives and unknown analyzer names are findings of their own.
+// Checked by TestNolintDiscipline rather than want comments, because a
+// trailing comment would read as the directive's justification.
+package nolintbad
+
+func f() int {
+	//nolint:npdplint
+	return 1
+}
+
+func g() int {
+	//nolint:npdplint(nosuch) the analyzer name is a typo
+	return 2
+}

@@ -1,0 +1,33 @@
+// Package resilience is a fixture stand-in for the real resilience
+// package: the same watched error types and result shapes, no behavior.
+// The errdrop analyzer matches packages by import-path suffix, so this
+// bare "resilience" path exercises the same rules as
+// cellnpdp/internal/resilience.
+package resilience
+
+import "errors"
+
+// CorruptionError is the fixture twin of the seal-audit error.
+type CorruptionError struct{ Block int }
+
+func (e *CorruptionError) Error() string { return "corruption" }
+
+// PanicError is the fixture twin of the recovered-panic error.
+type PanicError struct{ TaskID int }
+
+func (e *PanicError) Error() string { return "panic" }
+
+// WriteSeals seals blocks; the error is the only corruption record.
+func WriteSeals() error { return errors.New("seal") }
+
+// Audit returns corruption evidence directly.
+func Audit() *CorruptionError { return nil }
+
+// Recover runs f, converting panics into PanicError.
+func Recover(f func() error) error { return f() }
+
+// Checkpoint encodes a snapshot.
+func Checkpoint(data []byte) (int, error) { return len(data), nil }
+
+// Workers reports a count; no error result, so it is not watched.
+func Workers() int { return 1 }

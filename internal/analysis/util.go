@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// parentMap records each AST node's parent so analyzers can classify an
+// expression by the context it appears in (LHS of an assignment,
+// operand of &, receiver of a method call, ...).
+type parentMap map[ast.Node]ast.Node
+
+// buildParents indexes parent links for every node in the files. The
+// root *ast.File has no entry, so climbing terminates at a nil parent
+// instead of cycling on the root.
+func buildParents(files []*ast.File) parentMap {
+	parents := make(parentMap)
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return parents
+}
+
+// parentSkipParens climbs to the nearest non-paren ancestor.
+func (p parentMap) parentSkipParens(n ast.Node) ast.Node {
+	for {
+		par := p[n]
+		if _, ok := par.(*ast.ParenExpr); !ok {
+			return par
+		}
+		n = par
+	}
+}
+
+// enclosingFunc returns the FuncDecl lexically containing n, if any.
+func (p parentMap) enclosingFunc(n ast.Node) *ast.FuncDecl {
+	for cur := p[n]; cur != nil; cur = p[cur] {
+		if fd, ok := cur.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// inTestFile reports whether pos lies in a _test.go file.
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// unparen strips parentheses from an expression.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeObject resolves a call expression's static callee: a function,
+// method, builtin, or func-typed variable object; nil for conversions
+// and unresolvable callees.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel] // package-qualified call
+	case *ast.IndexExpr: // explicit generic instantiation F[T](...)
+		return calleeObject(info, &ast.CallExpr{Fun: fun.X})
+	case *ast.IndexListExpr:
+		return calleeObject(info, &ast.CallExpr{Fun: fun.X})
+	}
+	return nil
+}
+
+// isPkgPath reports whether obj is declared in a package whose import
+// path is path or ends with "/"+path (so fixture packages named by a
+// bare path match the same rules as the real module packages).
+func isPkgPath(obj types.Object, path string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == path || strings.HasSuffix(p, "/"+path)
+}
+
+// namedType unwraps e's type to *types.Named (through pointers and
+// aliases); nil otherwise.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed values
+// (atomic.Bool, atomic.Int64, atomic.Pointer[T], atomic.Value, ...).
+func isAtomicType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicElem returns the atomic element type when t is a slice or array
+// of atomic values, nil otherwise.
+func atomicElem(t types.Type) types.Type {
+	switch tt := types.Unalias(t).(type) {
+	case *types.Slice:
+		if isAtomicType(tt.Elem()) {
+			return tt.Elem()
+		}
+	case *types.Array:
+		if isAtomicType(tt.Elem()) {
+			return tt.Elem()
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isDirective reports whether the raw comment text is the given
+// //-directive: the marker must be the whole comment or followed by a
+// space, so prose that merely mentions a directive never matches.
+func isDirective(text, marker string) bool {
+	if !strings.HasPrefix(text, "//"+marker) {
+		return false
+	}
+	rest := text[len("//"+marker):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// docHasDirective reports whether any line of a doc comment group is
+// the given directive.
+func docHasDirective(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if isDirective(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -8,6 +8,8 @@ package kernel
 
 // StatsMulMinPlus returns the work of one stage-1 block product on tile
 // side t: (t/4)³ computing-block steps.
+//
+//npdp:hotpath
 func StatsMulMinPlus(t int) Stats {
 	cb := int64(t / CB)
 	return Stats{CBSteps: cb * cb * cb}

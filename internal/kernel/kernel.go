@@ -50,6 +50,8 @@ func CheckTile(t int) error {
 // Section IV-A; this generic form runs as scalar Go (the counted
 // single-precision variant in counted.go executes the emulated SIMD ops
 // one by one).
+//
+//npdp:hotpath
 func Step4x4[E semiring.Elem](c, a, b []E, stride int) {
 	for r := 0; r < CB; r++ {
 		cr := c[r*stride : r*stride+CB]
@@ -79,6 +81,8 @@ func Step4x4[E semiring.Elem](c, a, b []E, stride int) {
 // C are whole tile×tile memory blocks (row-major, same tile side t) and ⊗
 // is the min-plus matrix product. It visits every computing-block triple,
 // so it performs (t/4)³ CB steps.
+//
+//npdp:hotpath
 func MulMinPlus[E semiring.Elem](c, a, b []E, t int) Stats {
 	cb := t / CB
 	var st Stats

@@ -25,6 +25,8 @@ import "cellnpdp/internal/semiring"
 // ((t/4)³ CB steps); ragged sides — only reachable through direct kernel
 // use, the engines enforce CheckTile — report the t³ relaxations as
 // ScalarRelax instead, since they do not decompose into whole CB steps.
+//
+//npdp:hotpath
 func PanelMinPlus[E semiring.Elem](c, a, b []E, t int) Stats {
 	r := 0
 	for ; r+CB <= t; r += CB {
@@ -81,6 +83,8 @@ func PanelMinPlus[E semiring.Elem](c, a, b []E, t int) Stats {
 // sweep as PanelMinPlus with every slice header resolved at a concrete
 // element type, which removes the generic-dictionary indirection from the
 // innermost loop.
+//
+//npdp:hotpath
 func PanelMinPlusF32(c, a, b []float32, t int) Stats {
 	r := 0
 	for ; r+CB <= t; r += CB {
@@ -134,6 +138,8 @@ func PanelMinPlusF32(c, a, b []float32, t int) Stats {
 
 // panelStats returns the work record of one panel product on tile side t,
 // consistent with StatsMulMinPlus for CB-aligned sides.
+//
+//npdp:hotpath
 func panelStats(t int) Stats {
 	if t%CB == 0 {
 		return StatsMulMinPlus(t)

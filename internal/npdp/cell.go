@@ -322,6 +322,7 @@ func (e *cellEngine[E]) computeMB(spe *cellsim.SPE, bufs *speBuffers[E], bi, bj 
 	e.wait(spe, tagD)
 
 	lr := 0 // buffer pair that will hold L and R for stage 2
+	//npdp:dispatch
 	for idx := 0; idx < mid; idx++ {
 		// Long off-diagonal blocks run one stage-1 product per middle
 		// tile; checking between double-buffer phases bounds the
@@ -585,6 +586,7 @@ func ModelCell(n, tile int, prec Precision, m *cellsim.Machine, opts CellOptions
 	}
 	m.Reset()
 	eng := &cellEngine[float32]{
+		//nolint:npdplint(ctxdispatch) timing-only mode has no cancellation points; ModelCell deliberately has no Ctx twin
 		ctx:       context.Background(),
 		data:      nil,
 		tile:      tile,

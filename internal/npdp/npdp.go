@@ -42,6 +42,7 @@ func SolveSerial[E semiring.Elem](m *tri.RowMajor[E]) int64 {
 func SolveSerialCtx[E semiring.Elem](ctx context.Context, m *tri.RowMajor[E]) (int64, error) {
 	n := m.Len()
 	var relax int64
+	//npdp:dispatch
 	for j := 0; j < n; j++ {
 		if err := ctx.Err(); err != nil {
 			return relax, err
@@ -80,6 +81,7 @@ func SolveTiledCtx[E semiring.Elem](ctx context.Context, t *tri.Tiled[E]) (kerne
 	m := t.Blocks()
 	ts := t.Tile()
 	for bj := 0; bj < m; bj++ {
+		//npdp:dispatch
 		for bi := bj; bi >= 0; bi-- {
 			if err := ctx.Err(); err != nil {
 				return st, err

@@ -220,6 +220,7 @@ func RunPoolCtx(ctx context.Context, g *Graph, workers int, opts PoolRunOptions,
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			//npdp:dispatch
 			for id := range ready {
 				if id == poison || cancelled.Load() {
 					return

@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# Repo-wide verification gate: formatting, vet, static analysis (when the
-# tools are installed), the full test suite under the race detector,
-# short fuzz smokes of the checkpoint and seal codecs, and smoke
-# fault-injection solves proving the resilience layer end to end: 5%
-# loud faults healed through retries, and 5% silent corruption caught by
-# the block seals and healed bit-identically (fallback disabled in both
-# so recovery can't mask a bug). Called standalone or as the bench.sh
-# preflight.
+# Repo-wide verification gate: formatting, vet, pinned staticcheck, the
+# npdplint invariant suite plus its hot-path codegen regression gate,
+# the full test suite under the race detector, short fuzz smokes of the
+# checkpoint and seal codecs, and smoke fault-injection solves proving
+# the resilience layer end to end: 5% loud faults healed through
+# retries, and 5% silent corruption caught by the block seals and
+# healed bit-identically (fallback disabled in both so recovery can't
+# mask a bug). Called standalone or as the bench.sh preflight.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,28 +21,61 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-# Static analyzers are optional: CI images that bake them in get the
-# checks, bare toolchains skip with a notice instead of failing.
-if command -v staticcheck >/dev/null 2>&1; then
-    echo "== staticcheck ./..."
-    staticcheck ./...
+# staticcheck is mandatory and pinned, so every run checks the same
+# rule set regardless of what the host has installed. The one
+# sanctioned skip is a toolchain that cannot fetch the module at all
+# (hermetic/offline builds) — and that skip is loud, never silent.
+echo "== staticcheck (pinned, mandatory)"
+staticcheck_version="2025.1.1"
+if staticcheck_out="$(go run "honnef.co/go/tools/cmd/staticcheck@${staticcheck_version}" ./... 2>&1)"; then
+    [[ -z "${staticcheck_out}" ]] || echo "${staticcheck_out}"
+elif grep -qiE "dial tcp|no such host|connection refused|i/o timeout|proxyconnect|module lookup disabled|not in std" <<<"${staticcheck_out}"; then
+    echo "NOTICE: staticcheck SKIPPED: cannot fetch honnef.co/go/tools@${staticcheck_version} (offline toolchain)" >&2
+    echo "${staticcheck_out}" | tail -n 3 >&2
 else
-    echo "== staticcheck not installed; skipping"
+    echo "${staticcheck_out}" >&2
+    echo "staticcheck@${staticcheck_version} failed" >&2
+    exit 1
 fi
+
+# govulncheck stays advisory: a published vuln in a dependency should
+# not brick unrelated development, but it must be visible in the log.
 if command -v govulncheck >/dev/null 2>&1; then
     echo "== govulncheck ./... (advisory)"
-    # Advisory only: a published vuln in a dependency should not brick
-    # unrelated development, but it must be visible in the log.
     govulncheck ./... || echo "govulncheck reported findings (non-fatal)"
 else
     echo "== govulncheck not installed; skipping"
 fi
+
+echo "== npdplint ./... (repo invariant suite)"
+# Custom analyzers: atomic publication discipline, context dispatch
+# contract, hot-path purity, resilience error-drop rules. Suppressions
+# require a justified //nolint:npdplint, which the tool itself audits.
+go run ./cmd/npdplint ./...
+
+echo "== codegen gate (hot-path escape/bounds-check baseline)"
+# Compiler-output half of the hotpath invariant: diffs -m and check_bce
+# diagnostics in //npdp:hotpath kernels against the golden baseline.
+scripts/codegen_gate.sh
 
 echo "== go test -race ./..."
 # The harness package replays every paper table/figure; under the race
 # detector that legitimately exceeds go test's default 10m per-package
 # timeout, so set an explicit generous one.
 go test -race -timeout 30m ./...
+
+# Native fuzzing only exists on a few GOOS/GOARCH pairs; anywhere else
+# `go test -fuzz` fails with an opaque flag error, so check up front
+# and fail with a message that says what is actually missing.
+goos="$(go env GOOS)"
+goarch="$(go env GOARCH)"
+case "${goos}/${goarch}" in
+linux/amd64 | linux/arm64 | darwin/amd64 | darwin/arm64 | windows/amd64 | windows/arm64) ;;
+*)
+    echo "error: the fuzz smokes need native fuzzing support (linux, darwin or windows on amd64/arm64); this toolchain is ${goos}/${goarch}" >&2
+    exit 1
+    ;;
+esac
 
 echo "== fuzz smoke: checkpoint codec (20s)"
 # A short adversarial pass over the NPCK reader: corrupt and truncated

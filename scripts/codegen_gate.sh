@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Hot-path codegen regression gate: rebuilds internal/kernel with
+#   go build -a -gcflags='-m -d=ssa/check_bce/debug=1'
+# and diffs the escape-analysis / bounds-check diagnostics that land in
+# //npdp:hotpath functions against scripts/codegen_baseline.txt. Any new
+# diagnostic category or increased count fails; decreases print an
+# advisory suggesting a baseline refresh.
+#
+#   scripts/codegen_gate.sh            run the gate
+#   scripts/codegen_gate.sh -update    rewrite the baseline from current output
+#
+# The logic lives in internal/analysis/codegen (shared with
+# `go run ./cmd/npdplint -codegen`); this wrapper exists so CI and
+# developers invoke the gate the same way.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec go run ./cmd/npdplint -codegen -baseline scripts/codegen_baseline.txt "$@"

@@ -214,6 +214,35 @@ func TestFoldRNAEnginesAgree(t *testing.T) {
 	}
 }
 
+func TestMaxBasePairsAPI(t *testing.T) {
+	// GGGAAAACCC folds into three nested GC pairs; with minSpan 3 the
+	// count is exactly 3 (Nussinov agrees with the MFE structure here).
+	res, err := MaxBasePairs("GGGAAAACCC", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != 3 {
+		t.Errorf("pairs %d, want 3", res.Pairs)
+	}
+	if res.Sequence != "GGGAAAACCC" {
+		t.Errorf("sequence %q", res.Sequence)
+	}
+	// T normalizes to U; lattice answer is unchanged.
+	res2, err := MaxBasePairs("gggaaaaccc", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Pairs != res.Pairs {
+		t.Errorf("case-normalized pairs %d != %d", res2.Pairs, res.Pairs)
+	}
+	if _, err := MaxBasePairs("XYZ", 0); err == nil {
+		t.Error("invalid sequence accepted")
+	}
+	if _, err := MaxBasePairs("", 0); err == nil {
+		t.Error("empty sequence accepted")
+	}
+}
+
 func TestMatrixChainAPI(t *testing.T) {
 	cost, paren, err := MatrixChain([]int{30, 35, 15, 5, 10, 20, 25}, 0)
 	if err != nil {

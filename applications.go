@@ -5,6 +5,8 @@ import (
 	"runtime"
 
 	"cellnpdp/internal/apps"
+	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/perfmodel"
 	"cellnpdp/internal/zuker"
 )
 
@@ -108,6 +110,46 @@ func OptimalBST(weights []float64, workers int) (cost float64, depths []int, err
 		return 0, nil, err
 	}
 	return r.Cost, r.Depths(), nil
+}
+
+// MaxBasePairsResult is a completed MaxBasePairs run.
+type MaxBasePairsResult struct {
+	// Sequence is the normalized input (upper-case, T→U).
+	Sequence string
+	// Pairs is the maximum number of nested canonical base pairs.
+	Pairs int
+	// FourRussians reports whether the O(n³/log n) two-vector kernel was
+	// selected over the serial O(n³) reference.
+	FourRussians bool
+}
+
+// MaxBasePairs computes the Nussinov maximum-base-pairs count of an RNA
+// sequence — the lattice-valued counterpart of FoldRNA's energy
+// minimization. minSpan is the hairpin constraint: base i may pair with
+// base j only when j−i > minSpan.
+//
+// Because the DP values move by 0/1 along rows and columns, this is the
+// one workload where the Four-Russians stage-1 kernel is sound; the
+// Section V performance model (perfmodel.PickKernel on a Lattice shape)
+// decides whether it beats the serial reference at this problem size.
+// Both paths produce identical answers, so selection is purely a
+// performance decision.
+func MaxBasePairs(sequence string, minSpan int) (*MaxBasePairsResult, error) {
+	seq, err := zuker.ParseSeq(sequence)
+	if err != nil {
+		return nil, err
+	}
+	sel := perfmodel.PickKernel(perfmodel.Shape{N: len(seq), Lattice: true},
+		runtime.GOARCH, kernel.VectorISA())
+	res, err := zuker.MaxPairs(seq, minSpan, sel == perfmodel.KernelFourRussians)
+	if err != nil {
+		return nil, err
+	}
+	return &MaxBasePairsResult{
+		Sequence:     seq.String(),
+		Pairs:        res.Pairs,
+		FourRussians: res.FourRussians,
+	}, nil
 }
 
 // FoldRNAFull predicts RNA secondary structure with the complete Zuker

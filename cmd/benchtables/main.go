@@ -7,7 +7,8 @@
 //	benchtables -full           # additionally model the paper's sizes
 //	benchtables -run fig10a     # one experiment
 //	benchtables -list           # list experiment names
-//	benchtables -benchjson BENCH_PR1.json  # parallel-engine sweep → JSON
+//	benchtables -benchjson BENCH_PR6.json  # engine + kernel sweep → JSON
+//	benchtables -calibrate scripts/kernel_calibration.txt  # per-kernel costs
 package main
 
 import (
@@ -15,8 +16,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"cellnpdp/internal/harness"
+	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/perfmodel"
 )
 
 func main() {
@@ -30,8 +34,24 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables (with -run)")
 		bench   = flag.String("benchjson", "", "run the parallel-engine benchmark sweep (workers × engine ablations, -benchmem style) and write the JSON report to this path")
+		calib   = flag.String("calibrate", "", "measure this machine's per-kernel stage-1 costs and write the calibration file (normally scripts/kernel_calibration.txt) to this path")
 	)
 	flag.Parse()
+
+	if *calib != "" {
+		cal := perfmodel.Calibrate(nil)
+		if err := os.WriteFile(*calib, []byte(perfmodel.FormatCalibration(cal)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%s/%s)\n", *calib, cal.Arch, cal.ISA)
+		return
+	}
+	// Best-effort: a persisted calibration sharpens PickKernel for the
+	// measured runs; defaults stay active when the file or section is
+	// missing.
+	if _, err := perfmodel.LoadCalibrationFile("scripts/kernel_calibration.txt", runtime.GOARCH, kernel.VectorISA()); err != nil {
+		log.Print(err)
+	}
 
 	if *list {
 		for _, e := range harness.All() {

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	npdplint [-json] [-vet] [-c analyzer,...] [packages...]
-//	npdplint -codegen [-update] [-baseline file] [package]
+//	npdplint -codegen [-update] [-goarch arch] [-baseline file] [package]
 //	npdplint -list
 //
 // Exit status: 0 clean, 1 findings reported, 2 usage or load failure.
@@ -40,7 +40,8 @@ func run() int {
 		list     = flag.Bool("list", false, "list analyzers and exit")
 		gate     = flag.Bool("codegen", false, "run the hot-path codegen regression gate instead of the analyzers")
 		baseline = flag.String("baseline", "scripts/codegen_baseline.txt", "codegen gate baseline file")
-		update   = flag.Bool("update", false, "rewrite the codegen baseline from current compiler output")
+		update   = flag.Bool("update", false, "rewrite this GOARCH's section of the codegen baseline from current compiler output")
+		goarch   = flag.String("goarch", "", "GOARCH for the codegen gate ('' = host); cross-arch runs only invoke the compiler")
 	)
 	flag.Parse()
 
@@ -56,7 +57,7 @@ func run() int {
 		if flag.NArg() > 0 {
 			pkg = flag.Arg(0)
 		}
-		if err := codegen.Gate(pkg, *baseline, *update, os.Stdout); err != nil {
+		if err := codegen.Gate(pkg, *baseline, *goarch, *update, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "npdplint -codegen: %v\n", err)
 			return 1
 		}

@@ -28,6 +28,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -162,34 +163,72 @@ func Extract(buildOutput string, ranges []FuncRange) []Record {
 	return out
 }
 
-// BuildDiagnostics compiles pkg with the gate's gcflags and returns the
-// compiler's diagnostic stream. -a forces real recompilation: the build
-// cache does not replay compiler stderr, so a cached hit would
-// otherwise read as "zero diagnostics" and defeat the gate.
-func BuildDiagnostics(pkg string) (string, error) {
+// BuildDiagnostics compiles pkg for goarch ("" = host) with the gate's
+// gcflags and returns the compiler's diagnostic stream. -a forces real
+// recompilation: the build cache does not replay compiler stderr, so a
+// cached hit would otherwise read as "zero diagnostics" and defeat the
+// gate. Cross-GOARCH runs only invoke the compiler and assembler, so
+// the gate can check the arm64 kernels from an amd64 box and vice
+// versa.
+func BuildDiagnostics(pkg, goarch string) (string, error) {
 	cmd := exec.Command("go", "build", "-a", "-gcflags="+gcflags, pkg)
+	cmd.Env = archEnv(goarch)
 	var out strings.Builder
 	cmd.Stderr = &out
 	cmd.Stdout = &out
 	if err := cmd.Run(); err != nil {
-		return "", fmt.Errorf("go build %s: %v\n%s", pkg, err, out.String())
+		return "", fmt.Errorf("go build %s (GOARCH=%s): %v\n%s", pkg, goarch, err, out.String())
 	}
 	return out.String(), nil
 }
 
-// Format renders records as the baseline file body.
+// archEnv is the process environment with GOARCH pinned (host arch for
+// ""). CGO is forced off so cross builds never depend on a foreign C
+// toolchain.
+func archEnv(goarch string) []string {
+	env := os.Environ()
+	if goarch != "" {
+		env = append(env, "GOARCH="+goarch, "CGO_ENABLED=0")
+	}
+	return env
+}
+
+// Format renders one GOARCH's records as flat baseline rows (no section
+// header) — the single-section helper FormatBaseline builds on.
 func Format(records []Record) string {
 	var b strings.Builder
-	b.WriteString("# npdplint codegen gate baseline: per-hotpath-function compiler\n")
-	b.WriteString("# diagnostic counts (escape analysis + bounds checks), normalized.\n")
-	b.WriteString("# Regenerate with: go run ./cmd/npdplint -codegen -update\n")
 	for _, r := range records {
 		fmt.Fprintf(&b, "%s\t%s\t%d\n", r.Func, r.Category, r.Count)
 	}
 	return b.String()
 }
 
-// ParseBaseline reads a baseline file body back into records.
+// FormatBaseline renders the full per-GOARCH baseline file body. The
+// kernel package compiles differently per architecture (panel_amd64.go
+// vs panel_arm64.go vs panel_noasm.go, and the arm64 backend's own BCE
+// decisions), so each checked GOARCH gets its own section.
+func FormatBaseline(sections map[string][]Record) string {
+	var b strings.Builder
+	b.WriteString("# npdplint codegen gate baseline: per-hotpath-function compiler\n")
+	b.WriteString("# diagnostic counts (escape analysis + bounds checks), normalized,\n")
+	b.WriteString("# one [GOARCH] section per checked architecture. Regenerate with:\n")
+	b.WriteString("#   go run ./cmd/npdplint -codegen -update [-goarch arch]\n")
+	arches := make([]string, 0, len(sections))
+	for a := range sections {
+		arches = append(arches, a)
+	}
+	sort.Strings(arches)
+	for _, a := range arches {
+		recs := append([]Record(nil), sections[a]...)
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Key() < recs[j].Key() })
+		fmt.Fprintf(&b, "[%s]\n", a)
+		b.WriteString(Format(recs))
+	}
+	return b.String()
+}
+
+// ParseBaseline reads flat baseline rows back into records. Section
+// headers are rejected here; ParseBaselineFile handles full files.
 func ParseBaseline(s string) ([]Record, error) {
 	var out []Record
 	for i, line := range strings.Split(s, "\n") {
@@ -208,6 +247,40 @@ func ParseBaseline(s string) ([]Record, error) {
 		out = append(out, Record{Func: parts[0], Category: parts[1], Count: n})
 	}
 	return out, nil
+}
+
+// ParseBaselineFile reads a sectioned baseline body into per-GOARCH
+// record lists. Rows before the first [GOARCH] header — the legacy flat
+// format — land under the "" key.
+func ParseBaselineFile(s string) (map[string][]Record, error) {
+	sections := make(map[string][]Record)
+	cur := ""
+	for i, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") && strings.HasSuffix(line, "]") {
+			cur = strings.TrimSuffix(strings.TrimPrefix(line, "["), "]")
+			if cur == "" {
+				return nil, fmt.Errorf("baseline line %d: empty [GOARCH] section", i+1)
+			}
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want 'func\\tcategory\\tcount', got %q", i+1, line)
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("baseline line %d: bad count %q", i+1, parts[2])
+		}
+		sections[cur] = append(sections[cur], Record{Func: parts[0], Category: parts[1], Count: n})
+	}
+	if len(sections[""]) == 0 {
+		delete(sections, "")
+	}
+	return sections, nil
 }
 
 // Compare diffs current records against the baseline. Regressions (new
@@ -241,9 +314,12 @@ func Compare(current, baseline []Record) (regressions, improvements []string) {
 	return regressions, improvements
 }
 
-// resolvePackage asks the go tool for pkg's directory and file list.
-func resolvePackage(pkg string) (dir string, goFiles []string, err error) {
+// resolvePackage asks the go tool for pkg's directory and file list
+// under goarch's build constraints (panel_amd64.go vs panel_arm64.go vs
+// panel_noasm.go select differently per arch).
+func resolvePackage(pkg, goarch string) (dir string, goFiles []string, err error) {
 	cmd := exec.Command("go", "list", "-json=Dir,GoFiles", pkg)
+	cmd.Env = archEnv(goarch)
 	out, err := cmd.Output()
 	if err != nil {
 		return "", nil, fmt.Errorf("go list %s: %v", pkg, err)
@@ -261,12 +337,17 @@ func resolvePackage(pkg string) (dir string, goFiles []string, err error) {
 	return p.Dir, p.GoFiles, nil
 }
 
-// Gate runs the full regression gate for pkg against baselinePath,
-// writing a human-readable report to w. With update true it rewrites
-// the baseline instead of comparing. A non-nil error means the gate
-// failed (regression found, no annotations, or tooling failure).
-func Gate(pkg, baselinePath string, update bool, w io.Writer) error {
-	dir, goFiles, err := resolvePackage(pkg)
+// Gate runs the full regression gate for pkg on goarch ("" = host)
+// against baselinePath, writing a human-readable report to w. With
+// update true it rewrites goarch's section of the baseline (other
+// sections are preserved) instead of comparing. A non-nil error means
+// the gate failed (regression found, no annotations, zero extracted
+// diagnostics, or tooling failure).
+func Gate(pkg, baselinePath, goarch string, update bool, w io.Writer) error {
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+	dir, goFiles, err := resolvePackage(pkg, goarch)
 	if err != nil {
 		return err
 	}
@@ -275,38 +356,57 @@ func Gate(pkg, baselinePath string, update bool, w io.Writer) error {
 		return err
 	}
 	if len(ranges) == 0 {
-		return fmt.Errorf("no //npdp:hotpath functions in %s: the gate would vacuously pass", pkg)
+		return fmt.Errorf("no //npdp:hotpath functions in %s (GOARCH=%s): the gate would vacuously pass", pkg, goarch)
 	}
-	buildOut, err := BuildDiagnostics(pkg)
+	buildOut, err := BuildDiagnostics(pkg, goarch)
 	if err != nil {
 		return err
 	}
 	current := Extract(buildOut, ranges)
-	if update {
-		if err := os.WriteFile(baselinePath, []byte(Format(current)), 0o644); err != nil {
+	// The second vacuous-pass hazard: assembly stubs replacing the Go
+	// kernel bodies. The hotpath annotations survive on the dispatchers,
+	// but if no compiled Go body emits a single diagnostic, "clean" means
+	// "nothing was checked" — require the codegen probes to keep the
+	// fallback bodies materialized in-package.
+	if len(current) == 0 {
+		return fmt.Errorf("0 diagnostics extracted from %d hotpath functions in %s (GOARCH=%s): "+
+			"the gate would vacuously pass — keep the pure-Go kernel bodies reachable from a codegen probe",
+			len(ranges), pkg, goarch)
+	}
+	sections := make(map[string][]Record)
+	if baseBody, rerr := os.ReadFile(baselinePath); rerr == nil {
+		if sections, err = ParseBaselineFile(string(baseBody)); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "codegen gate: baseline updated (%d records across %d hotpath functions)\n", len(current), len(ranges))
+	} else if !update {
+		return fmt.Errorf("reading baseline (run with -update to create it): %w", rerr)
+	}
+	if update {
+		sections[goarch] = current
+		delete(sections, "") // migrate away the legacy flat section
+		if err := os.WriteFile(baselinePath, []byte(FormatBaseline(sections)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "codegen gate: [%s] baseline updated (%d records across %d hotpath functions)\n", goarch, len(current), len(ranges))
 		return nil
 	}
-	baseBody, err := os.ReadFile(baselinePath)
-	if err != nil {
-		return fmt.Errorf("reading baseline (run with -update to create it): %w", err)
-	}
-	baseline, err := ParseBaseline(string(baseBody))
-	if err != nil {
-		return err
+	baseline, ok := sections[goarch]
+	if !ok {
+		// Legacy flat baselines apply to whatever arch they were made on;
+		// an absent section otherwise compares against empty, so every
+		// current record reads as a regression — fail-safe, never vacuous.
+		baseline = sections[""]
 	}
 	regressions, improvements := Compare(current, baseline)
 	for _, s := range improvements {
-		fmt.Fprintf(w, "codegen gate: improved: %s (refresh baseline with -update)\n", s)
+		fmt.Fprintf(w, "codegen gate: [%s] improved: %s (refresh baseline with -update)\n", goarch, s)
 	}
 	if len(regressions) > 0 {
 		for _, s := range regressions {
-			fmt.Fprintf(w, "codegen gate: REGRESSION: %s\n", s)
+			fmt.Fprintf(w, "codegen gate: [%s] REGRESSION: %s\n", goarch, s)
 		}
-		return fmt.Errorf("%d hot-path codegen regression(s): a new allocation or bounds check landed in an //npdp:hotpath kernel", len(regressions))
+		return fmt.Errorf("%d hot-path codegen regression(s) on %s: a new allocation or bounds check landed in an //npdp:hotpath kernel", len(regressions), goarch)
 	}
-	fmt.Fprintf(w, "codegen gate: clean (%d records across %d hotpath functions match baseline)\n", len(current), len(ranges))
+	fmt.Fprintf(w, "codegen gate: [%s] clean (%d records across %d hotpath functions match baseline)\n", goarch, len(current), len(ranges))
 	return nil
 }

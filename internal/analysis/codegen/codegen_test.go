@@ -78,6 +78,46 @@ func TestFormatParseRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBaselineFileSectionsRoundTrip(t *testing.T) {
+	sections := map[string][]Record{
+		"amd64": {
+			{Func: "PanelMinPlusF32", Category: "slice-bounds-check", Count: 24},
+			{Func: "MulMinPlus", Category: "slice-bounds-check", Count: 6},
+		},
+		"arm64": {
+			{Func: "MulMinPlus", Category: "slice-bounds-check", Count: 5},
+		},
+	}
+	body := FormatBaseline(sections)
+	back, err := ParseBaselineFile(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || len(back["amd64"]) != 2 || len(back["arm64"]) != 1 {
+		t.Fatalf("round trip sections %+v", back)
+	}
+	// FormatBaseline sorts rows; the parsed amd64 section must lead with
+	// MulMinPlus.
+	if back["amd64"][0].Func != "MulMinPlus" {
+		t.Fatalf("amd64 rows not sorted: %+v", back["amd64"])
+	}
+	// Legacy flat bodies land under the "" key.
+	legacy, err := ParseBaselineFile("MulMinPlus\tslice-bounds-check\t6\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy[""]) != 1 {
+		t.Fatalf("legacy flat rows lost: %+v", legacy)
+	}
+	// Section garbage is rejected.
+	if _, err := ParseBaselineFile("[]\nMulMinPlus\tslice-bounds-check\t6\n"); err == nil {
+		t.Error("empty section header accepted")
+	}
+	if _, err := ParseBaselineFile("[amd64]\nshort\tline\n"); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
 func TestParseBaselineRejectsGarbage(t *testing.T) {
 	if _, err := ParseBaseline("Func\tbounds-check\tnot-a-number\n"); err == nil {
 		t.Error("bad count should fail")
@@ -132,15 +172,40 @@ var _ = leaky
 	writeFile(t, baseline, "# empty baseline\n")
 	t.Chdir(dir)
 
-	err := Gate(".", baseline, false, io.Discard)
+	err := Gate(".", baseline, "", false, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "regression") {
 		t.Fatalf("gate must fail on the seeded allocation, got %v", err)
 	}
-	if err := Gate(".", baseline, true, io.Discard); err != nil {
+	if err := Gate(".", baseline, "", true, io.Discard); err != nil {
 		t.Fatalf("baseline update failed: %v", err)
 	}
-	if err := Gate(".", baseline, false, io.Discard); err != nil {
+	if err := Gate(".", baseline, "", false, io.Discard); err != nil {
 		t.Fatalf("gate must pass against the refreshed baseline, got %v", err)
+	}
+}
+
+// TestGateRefusesZeroDiagnostics guards the second vacuous-pass hazard:
+// annotated functions whose compiled bodies emit nothing to check (the
+// shape an assembly replacement leaves behind).
+func TestGateRefusesZeroDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a module with -a")
+	}
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module hollow\n\ngo 1.21\n")
+	writeFile(t, filepath.Join(dir, "hollow.go"), `package hollow
+
+// hollow has nothing for the gate to count.
+//
+//npdp:hotpath
+func hollow() {}
+
+var _ = hollow
+`)
+	t.Chdir(dir)
+	err := Gate(".", filepath.Join(dir, "baseline.txt"), "", false, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "0 diagnostics") {
+		t.Fatalf("gate must refuse a package with zero extracted diagnostics, got %v", err)
 	}
 }
 
@@ -153,22 +218,26 @@ func TestGateRefusesUnannotatedPackage(t *testing.T) {
 	writeFile(t, filepath.Join(dir, "go.mod"), "module bare\n\ngo 1.21\n")
 	writeFile(t, filepath.Join(dir, "bare.go"), "package bare\n\nfunc ok() {}\n\nvar _ = ok\n")
 	t.Chdir(dir)
-	err := Gate(".", filepath.Join(dir, "baseline.txt"), false, io.Discard)
+	err := Gate(".", filepath.Join(dir, "baseline.txt"), "", false, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "vacuously") {
 		t.Fatalf("gate must refuse a package with no annotations, got %v", err)
 	}
 }
 
 // TestBaselineMatchesKernels is the satellite check that the committed
-// baseline reflects the current kernels: the same comparison CI runs,
-// so a kernel edit that changes codegen cannot land without refreshing
-// scripts/codegen_baseline.txt.
+// baseline reflects the current kernels on every checked GOARCH: the
+// same comparison CI runs, so a kernel edit that changes codegen cannot
+// land without refreshing scripts/codegen_baseline.txt. The arm64 run
+// cross-compiles — only the compiler and assembler are invoked.
 func TestBaselineMatchesKernels(t *testing.T) {
 	if testing.Short() {
 		t.Skip("recompiles internal/kernel with -a")
 	}
-	if err := Gate("cellnpdp/internal/kernel", filepath.Join("..", "..", "..", "scripts", "codegen_baseline.txt"), false, io.Discard); err != nil {
-		t.Fatalf("committed baseline does not match current kernels: %v", err)
+	baseline := filepath.Join("..", "..", "..", "scripts", "codegen_baseline.txt")
+	for _, goarch := range []string{"amd64", "arm64"} {
+		if err := Gate("cellnpdp/internal/kernel", baseline, goarch, false, io.Discard); err != nil {
+			t.Fatalf("committed baseline does not match current kernels on %s: %v", goarch, err)
+		}
 	}
 }
 

@@ -21,6 +21,13 @@ import (
 //   - calls to any function that is not itself //npdp:hotpath-annotated
 //     (len/cap/copy/min/max and panic are exempt).
 //
+// Body-less //go:noescape declarations — assembly kernel stubs like
+// panelVecF32 — are legal leaves of the call universe: they have no Go
+// body to allocate or dispatch from, and the noescape pragma pins the
+// property the analyzer exists to protect (arguments stay off the
+// heap). A //go:noescape declaration WITH a body is still rejected the
+// usual way; the exemption is only for pure stubs.
+//
 // This is the syntactic half of the guarantee; the compiler-output half
 // (escape analysis and bounds-check elimination on the exact shapes the
 // engines instantiate) is enforced by the codegen gate
@@ -34,6 +41,9 @@ var HotPath = &Analyzer{
 
 // hotpathMarker annotates hot-loop kernels in a function's doc comment.
 const hotpathMarker = "npdp:hotpath"
+
+// noescapeMarker is the compiler pragma on assembly stub declarations.
+const noescapeMarker = "go:noescape"
 
 // hotpathBuiltins are builtins that never allocate.
 var hotpathBuiltins = map[string]bool{
@@ -62,6 +72,14 @@ func runHotPath(pass *Pass) error {
 					annotated[obj] = true
 				}
 				decls = append(decls, fd)
+				continue
+			}
+			// Assembly stubs: body-less //go:noescape declarations are
+			// sanctioned leaves (see the analyzer doc above).
+			if fd.Body == nil && docHasDirective(fd.Doc, noescapeMarker) {
+				if obj := info.Defs[fd.Name]; obj != nil {
+					annotated[obj] = true
+				}
 			}
 		}
 	}

@@ -125,3 +125,25 @@ func badIndirect(f func()) {
 func freeFunc() []int {
 	return append(make([]int, 0, 4), 1)
 }
+
+// asmStub models an assembly kernel: body-less and //go:noescape — a
+// sanctioned leaf of the call universe.
+//
+//go:noescape
+func asmStub(c, a *float32, t int)
+
+//npdp:hotpath
+func goodAsmCall(c, a *float32, t int) {
+	asmStub(c, a, t) // ok: body-less noescape stub
+}
+
+// fakeStub has the pragma but also a body, so the exemption does not
+// apply (the real compiler would reject this combination too).
+//
+//go:noescape
+func fakeStub() { helper() }
+
+//npdp:hotpath
+func badFakeStub() {
+	fakeStub() // want `calls non-hotpath function`
+}

@@ -1,0 +1,289 @@
+// Package fourrussians implements the two-vector Four-Russians speedup
+// of Frid and Gusfield for Nussinov-style RNA folding (PAPERS.md:
+// Venkatachalam, Gusfield, Frid, "Faster algorithms for RNA-folding
+// using the Four-Russians method"). It is the asymptotic counterpart to
+// the vector kernels in internal/kernel: where they widen the min-plus
+// stage-1 relaxation, this replaces it with O(n³/log n) table lookups.
+//
+// The speedup needs a lattice-valued table: along every row and column
+// the DP values change by 0 or 1 per step. That holds for the Nussinov
+// max-base-pairs recurrence
+//
+//	D(i,j) = max( D(i+1,j), D(i,j-1), D(i+1,j-1)+pair(i,j),
+//	              max_{i<=k<j} D(i,k) + D(k+1,j) )
+//
+// but NOT for real-valued energy minimization, so the engines only
+// select this kernel on lattice workloads (perfmodel.Shape.Lattice).
+//
+// Two-vector method: split points k are grouped into fixed column
+// groups of size q ≈ log₂(n)/2. Within a complete group starting at k0,
+// the row values D(i, k0+p) and column values D(k0+p+1, j) are both
+// determined by their base value plus a (q−1)-bit 0/1 difference
+// vector, so
+//
+//	max_p D(i,k0+p) + D(k0+p+1,j)
+//	  = D(i,k0) + D(k0+1,j) + R[hbits][vbits]
+//
+// where R[a][b] = max_p (Ha(p) − Gb(p)) is precomputed once for all
+// 2^(q−1) × 2^(q−1) difference-vector pairs. Each group contributes one
+// table lookup instead of q relaxations.
+package fourrussians
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// PairFunc reports whether positions i and j of the input may pair.
+// Implementations must be symmetric in the biological sense the caller
+// wants; the solver never calls it with j-i <= MinSpan.
+type PairFunc func(i, j int) bool
+
+// Options configures Solve.
+type Options struct {
+	// Q is the group size; 0 picks max(2, ⌊log₂ n⌋/2), capped at 8 so
+	// the R table stays ≤ 2^7 × 2^7 entries.
+	Q int
+	// MinSpan is the minimum j-i for a pair (the hairpin constraint);
+	// MinSpan m means i can pair with j only when j-i > m. Nussinov's
+	// classic formulation uses 1 (no adjacent pairs).
+	MinSpan int
+}
+
+// Result holds a completed solve.
+type Result struct {
+	// N is the sequence length.
+	N int
+	// Pairs is D(0, n-1): the maximum number of nested pairs.
+	Pairs int
+	// Q is the group size actually used.
+	Q int
+	// GroupLookups counts complete-group table lookups taken.
+	GroupLookups int64
+	// ScalarSplits counts split points relaxed scalarly (partial groups
+	// at the interval edges plus short intervals).
+	ScalarSplits int64
+	table        []int32
+	n            int
+}
+
+// At returns D(i, j), the max pairs within [i, j]. At(i, j) with j < i
+// is 0 (the empty interval).
+func (r *Result) At(i, j int) int {
+	if j < i {
+		return 0
+	}
+	return int(r.table[i*r.n+j])
+}
+
+// RNAPair is the canonical Watson-Crick + wobble predicate over a raw
+// uppercase RNA byte sequence — the usual PairFunc for Nussinov runs.
+func RNAPair(seq []byte) PairFunc {
+	ok := func(a, b byte) bool {
+		switch {
+		case a == 'A' && b == 'U', a == 'U' && b == 'A':
+			return true
+		case a == 'G' && b == 'C', a == 'C' && b == 'G':
+			return true
+		case a == 'G' && b == 'U', a == 'U' && b == 'G':
+			return true
+		}
+		return false
+	}
+	return func(i, j int) bool { return ok(seq[i], seq[j]) }
+}
+
+// groupSize picks q for length n: ⌊log₂ n⌋/2, clamped to [2, 8].
+func groupSize(n int) int {
+	if n < 4 {
+		return 2
+	}
+	q := bits.Len(uint(n)) / 2
+	if q < 2 {
+		q = 2
+	}
+	if q > 8 {
+		q = 8
+	}
+	return q
+}
+
+// buildR precomputes R[a][b] = max_{p=0..q-1} (Ha(p) − Gb(p)) over all
+// (q−1)-bit difference vectors a (row deltas) and b (column deltas),
+// where Ha(p) = popcount of a's low p bits accumulated in order and
+// likewise Gb. R[a][b] ≥ 0 because p = 0 contributes 0.
+func buildR(q int) []int8 {
+	w := 1 << (q - 1)
+	r := make([]int8, w*w)
+	for a := 0; a < w; a++ {
+		// Ha(p) for p = 0..q-1.
+		var ha [8]int8
+		for p := 1; p < q; p++ {
+			ha[p] = ha[p-1] + int8((a>>(p-1))&1)
+		}
+		for b := 0; b < w; b++ {
+			var gb, best int8
+			for p := 1; p < q; p++ {
+				gb += int8((b >> (p - 1)) & 1)
+				if d := ha[p] - gb; d > best {
+					best = d
+				}
+			}
+			r[a*w+b] = best
+		}
+	}
+	return r
+}
+
+// Solve runs the two-vector Nussinov DP over n positions.
+func Solve(n int, pair PairFunc, opts Options) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fourrussians: non-positive length %d", n)
+	}
+	if pair == nil {
+		return nil, fmt.Errorf("fourrussians: nil pair function")
+	}
+	q := opts.Q
+	if q == 0 {
+		q = groupSize(n)
+	}
+	if q < 2 || q > 8 {
+		return nil, fmt.Errorf("fourrussians: group size %d out of [2, 8]", q)
+	}
+	minSpan := opts.MinSpan
+	if minSpan < 0 {
+		return nil, fmt.Errorf("fourrussians: negative MinSpan")
+	}
+
+	res := &Result{N: n, Q: q, n: n, table: make([]int32, n*n)}
+	d := res.table
+	rtab := buildR(q)
+	width := 1 << (q - 1)
+
+	numGroups := (n + q - 1) / q
+	// henc[i*numGroups+g] caches the row difference bits of group g on
+	// row i; venc likewise for column j. −1 = not yet computed. An
+	// encoding is computed lazily on first use — by then every cell it
+	// reads is final (all have shorter span than the querying cell).
+	henc := make([]int16, n*numGroups)
+	venc := make([]int16, n*numGroups)
+	for i := range henc {
+		henc[i] = -1
+		venc[i] = -1
+	}
+
+	at := func(i, j int) int32 {
+		if j < i {
+			return 0
+		}
+		return d[i*n+j]
+	}
+
+	for span := 1; span < n; span++ {
+		for i := 0; i+span < n; i++ {
+			j := i + span
+			best := d[i*n+j-1] // j unpaired
+			if v := d[(i+1)*n+j]; v > best {
+				best = v // i unpaired
+			}
+			if span > minSpan && pair(i, j) {
+				if v := at(i+1, j-1) + 1; v > best {
+					best = v
+				}
+			}
+			// Bifurcation max_{i<=k<j} D(i,k) + D(k+1,j). Complete
+			// column groups [k0, k0+q) with i <= k0 and k0+q <= j go
+			// through the R table; the unaligned head and tail relax
+			// scalarly.
+			gFirst := (i + q - 1) / q // first group with base >= i
+			gLast := j / q            // groups with base+q <= j are < gLast
+			if gFirst >= gLast {
+				for k := i; k < j; k++ {
+					if v := d[i*n+k] + d[(k+1)*n+j]; v > best {
+						best = v
+					}
+					res.ScalarSplits++
+				}
+			} else {
+				for k := i; k < gFirst*q; k++ {
+					if v := d[i*n+k] + d[(k+1)*n+j]; v > best {
+						best = v
+					}
+					res.ScalarSplits++
+				}
+				for g := gFirst; g < gLast; g++ {
+					k0 := g * q
+					hi := &henc[i*numGroups+g]
+					if *hi < 0 {
+						var e int16
+						for p := 1; p < q; p++ {
+							e |= int16(d[i*n+k0+p]-d[i*n+k0+p-1]) << (p - 1)
+						}
+						*hi = e
+					}
+					vj := &venc[j*numGroups+g]
+					if *vj < 0 {
+						var e int16
+						for p := 1; p < q; p++ {
+							e |= int16(d[(k0+p)*n+j]-d[(k0+p+1)*n+j]) << (p - 1)
+						}
+						*vj = e
+					}
+					v := d[i*n+k0] + d[(k0+1)*n+j] + int32(rtab[int(*hi)*width+int(*vj)])
+					if v > best {
+						best = v
+					}
+					res.GroupLookups++
+				}
+				for k := gLast * q; k < j; k++ {
+					if v := d[i*n+k] + d[(k+1)*n+j]; v > best {
+						best = v
+					}
+					res.ScalarSplits++
+				}
+			}
+			d[i*n+j] = best
+		}
+	}
+	res.Pairs = int(d[n-1])
+	return res, nil
+}
+
+// SolveSerial is the plain O(n³) Nussinov reference the fast path must
+// match exactly (integer DP — equality is bit-identity).
+func SolveSerial(n int, pair PairFunc, minSpan int) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fourrussians: non-positive length %d", n)
+	}
+	if pair == nil {
+		return nil, fmt.Errorf("fourrussians: nil pair function")
+	}
+	res := &Result{N: n, Q: 1, n: n, table: make([]int32, n*n)}
+	d := res.table
+	for span := 1; span < n; span++ {
+		for i := 0; i+span < n; i++ {
+			j := i + span
+			best := d[i*n+j-1]
+			if v := d[(i+1)*n+j]; v > best {
+				best = v
+			}
+			if span > minSpan && pair(i, j) {
+				var inner int32
+				if i+1 <= j-1 {
+					inner = d[(i+1)*n+j-1]
+				}
+				if v := inner + 1; v > best {
+					best = v
+				}
+			}
+			for k := i; k < j; k++ {
+				if v := d[i*n+k] + d[(k+1)*n+j]; v > best {
+					best = v
+				}
+			}
+			d[i*n+j] = best
+		}
+	}
+	res.Pairs = int(d[n-1])
+	return res, nil
+}

@@ -1,0 +1,152 @@
+package fourrussians
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randPair builds a deterministic random symmetric pair predicate over
+// a synthetic 4-letter alphabet with canonical RNA pairing.
+func randPair(n int, seed int64) PairFunc {
+	rng := rand.New(rand.NewSource(seed))
+	seq := make([]byte, n)
+	for i := range seq {
+		seq[i] = "ACGU"[rng.Intn(4)]
+	}
+	return RNAPair(seq)
+}
+
+func TestSolveMatchesSerial(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 33, 64, 100, 257} {
+		for _, minSpan := range []int{0, 1, 3} {
+			pair := randPair(n, int64(n*10+minSpan))
+			fast, err := Solve(n, pair, Options{MinSpan: minSpan})
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			ref, err := SolveSerial(n, pair, minSpan)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			for i := 0; i < n; i++ {
+				for j := i; j < n; j++ {
+					if fast.At(i, j) != ref.At(i, j) {
+						t.Fatalf("n=%d minSpan=%d q=%d: D(%d,%d) = %d, reference %d",
+							n, minSpan, fast.Q, i, j, fast.At(i, j), ref.At(i, j))
+					}
+				}
+			}
+			if fast.Pairs != ref.Pairs {
+				t.Fatalf("n=%d: Pairs %d != %d", n, fast.Pairs, ref.Pairs)
+			}
+		}
+	}
+}
+
+func TestSolveAllGroupSizes(t *testing.T) {
+	const n = 97
+	pair := randPair(n, 42)
+	ref, err := SolveSerial(n, pair, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 2; q <= 8; q++ {
+		fast, err := Solve(n, pair, Options{Q: q, MinSpan: 1})
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				if fast.At(i, j) != ref.At(i, j) {
+					t.Fatalf("q=%d: D(%d,%d) = %d, reference %d", q, i, j, fast.At(i, j), ref.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestSolveUsesGroupLookups(t *testing.T) {
+	const n = 256
+	fast, err := Solve(n, randPair(n, 7), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.GroupLookups == 0 {
+		t.Fatal("no group lookups taken at n=256 — fast path is vacuous")
+	}
+	// The table path must dominate: scalar splits are O(n²·q), lookups
+	// cover the remaining O(n³/q) split points.
+	if fast.ScalarSplits > fast.GroupLookups*int64(fast.Q) {
+		t.Fatalf("scalar splits (%d) dominate lookups (%d × q=%d)",
+			fast.ScalarSplits, fast.GroupLookups, fast.Q)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if _, err := Solve(0, func(i, j int) bool { return false }, Options{}); err == nil {
+		t.Fatal("Solve(0) should fail")
+	}
+	if _, err := Solve(4, nil, Options{}); err == nil {
+		t.Fatal("nil pair func should fail")
+	}
+	if _, err := Solve(4, func(i, j int) bool { return false }, Options{Q: 99}); err == nil {
+		t.Fatal("oversized Q should fail")
+	}
+	res, err := Solve(1, func(i, j int) bool { return true }, Options{})
+	if err != nil || res.Pairs != 0 {
+		t.Fatalf("n=1: %v pairs=%d", err, res.Pairs)
+	}
+	// All-pairable with MinSpan 1: nesting from the outside in pairs
+	// (0,9)..(3,6); the innermost (4,5) is blocked by the span rule.
+	all, err := Solve(10, func(i, j int) bool { return true }, Options{MinSpan: 1})
+	if err != nil || all.Pairs != 4 {
+		t.Fatalf("all-pairable n=10: %v pairs=%d, want 4", err, all.Pairs)
+	}
+	// With MinSpan 0 the innermost pair is legal too.
+	all0, err := Solve(10, func(i, j int) bool { return true }, Options{MinSpan: 0})
+	if err != nil || all0.Pairs != 5 {
+		t.Fatalf("all-pairable n=10 minSpan=0: %v pairs=%d, want 5", err, all0.Pairs)
+	}
+}
+
+func TestBuildR(t *testing.T) {
+	// q=3: vectors are 2 bits. R[a][b] = max_p (Ha(p) − Gb(p)), p=0..2.
+	r := buildR(3)
+	// a=0b11 (h = 1,1 → H = 0,1,2), b=0b00 (G = 0,0,0) → max = 2.
+	if got := r[3*4+0]; got != 2 {
+		t.Fatalf("R[11][00] = %d, want 2", got)
+	}
+	// a=0b00, b=0b11 → H−G = 0,−1,−2 → max 0.
+	if got := r[0*4+3]; got != 0 {
+		t.Fatalf("R[00][11] = %d, want 0", got)
+	}
+	// a=0b10 (h=0,1 → H=0,0,1), b=0b01 (g=1,0 → G=0,1,1) → diffs 0,−1,0 → 0.
+	if got := r[2*4+1]; got != 0 {
+		t.Fatalf("R[10][01] = %d, want 0", got)
+	}
+}
+
+func BenchmarkSolveFourRussians(b *testing.B) {
+	benchSolve(b, false)
+}
+
+func BenchmarkSolveSerialReference(b *testing.B) {
+	benchSolve(b, true)
+}
+
+func benchSolve(b *testing.B, serial bool) {
+	const n = 512
+	pair := randPair(n, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if serial {
+			_, err = SolveSerial(n, pair, 1)
+		} else {
+			_, err = Solve(n, pair, Options{MinSpan: 1})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

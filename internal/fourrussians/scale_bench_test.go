@@ -1,0 +1,19 @@
+package fourrussians
+
+import "testing"
+
+func BenchmarkSolveScale(b *testing.B) {
+	for _, n := range []int{1024, 2048} {
+		pair := randPair(n, 1)
+		b.Run("fr", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Solve(n, pair, Options{MinSpan: 1})
+			}
+		})
+		b.Run("serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SolveSerial(n, pair, 1)
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package kernel
+
+import "cellnpdp/internal/simd"
+
+// Vector-kernel dispatch state. The hot-path kernels cannot call
+// internal/simd's detection functions per invocation (the //npdp:hotpath
+// closed call universe admits only annotated functions and assembly
+// stubs), so the result of detection is cached here once, at package
+// init, as a plain bool the dispatchers read. simd's init runs first
+// (kernel imports simd), so the CELLNPDP_FORCE_SCALAR environment
+// variable is already folded in.
+
+// vecCapable records whether this process could ever run the assembly
+// kernels: the GOARCH has them and the hardware + environment allow it.
+// Immutable after init.
+var vecCapable = haveVecASM && simd.VectorAvailable()
+
+// vecEnabled is the live dispatch switch. It starts at vecCapable and is
+// only changed by SetVectorEnabled, which tests use to force the pure-Go
+// path; it must not be flipped while solves are running.
+var vecEnabled = vecCapable
+
+// VectorEnabled reports whether PanelMinPlusF32/Step4x4F32 currently
+// dispatch to the GOARCH vector assembly.
+func VectorEnabled() bool { return vecEnabled }
+
+// VectorISA names the instruction set the vector kernels use when
+// enabled: "avx2", "neon", or "none".
+func VectorISA() string {
+	if !vecEnabled {
+		return "none"
+	}
+	return simd.VectorISA()
+}
+
+// SetVectorEnabled forces the dispatchers onto the pure-Go fallback
+// (false) or restores vector dispatch (true, a no-op on hardware without
+// the ISA or in CELLNPDP_FORCE_SCALAR processes). It returns a restore
+// function and must not race with running solves:
+//
+//	defer kernel.SetVectorEnabled(false)()
+func SetVectorEnabled(on bool) (restore func()) {
+	prev := vecEnabled
+	vecEnabled = on && vecCapable
+	return func() { vecEnabled = prev }
+}
+
+// Step4x4F32 is the single-precision computing-block step with vector
+// dispatch: one 4×4 CB update C = min(C, splat(A[r][k]) + B[k]) — the
+// Table I program — executed by the GOARCH assembly when available and
+// by the generic Step4x4 otherwise. The guards bound every row the
+// assembly touches (rows r ∈ [0,4) at stride `stride`, 4 columns each).
+//
+//npdp:hotpath
+func Step4x4F32(c, a, b []float32, stride int) {
+	if vecEnabled && stride >= CB {
+		n := 3*stride + CB
+		if len(c) >= n && len(a) >= n && len(b) >= n {
+			step4VecF32(&c[0], &a[0], &b[0], stride)
+			return
+		}
+	}
+	Step4x4(c, a, b, stride)
+}

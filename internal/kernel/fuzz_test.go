@@ -1,0 +1,152 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cellnpdp/internal/simd"
+)
+
+// FuzzKernelEquivalence drives every selectable min-plus kernel against
+// the scalar triple-loop reference on arbitrary tile sides — odd sides,
+// remainder columns, CB-aligned sides — with ±Inf sentinels sprinkled
+// in (the engines use +Inf as "no edge"; -Inf next to +Inf manufactures
+// NaN sums, which the strict-< update chain must discard identically in
+// Go and in assembly). Comparison is Float32bits/Float64bits-exact:
+// bit-identity is the repo invariant, not approximate equality.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add(uint32(1), uint8(8), uint8(0))
+	f.Add(uint32(7), uint8(13), uint8(3)) // odd side + both sentinels
+	f.Add(uint32(42), uint8(92), uint8(1))
+	f.Add(uint32(9), uint8(1), uint8(2)) // 1×1 tile
+	f.Fuzz(func(t *testing.T, seed uint32, side, flags uint8) {
+		ts := int(side)%96 + 1
+		rng := rand.New(rand.NewSource(int64(seed)))
+		gen := func() []float32 {
+			s := make([]float32, ts*ts)
+			for i := range s {
+				s[i] = float32(rng.NormFloat64() * 16)
+			}
+			return s
+		}
+		a, b, c := gen(), gen(), gen()
+		if flags&1 != 0 {
+			for i := 0; i < 1+ts/4; i++ {
+				a[rng.Intn(len(a))] = float32(math.Inf(1))
+				c[rng.Intn(len(c))] = float32(math.Inf(1))
+			}
+		}
+		if flags&2 != 0 {
+			for i := 0; i < 1+ts/8; i++ {
+				b[rng.Intn(len(b))] = float32(math.Inf(-1))
+			}
+		}
+
+		ref := append([]float32(nil), c...)
+		ScalarMulMinPlus(ref, a, b, ts)
+
+		check := func(name string, got []float32) {
+			t.Helper()
+			for i := range ref {
+				if math.Float32bits(got[i]) != math.Float32bits(ref[i]) {
+					t.Fatalf("%s (t=%d flags=%d): cell %d = %v (bits %#x), scalar reference %v (bits %#x)",
+						name, ts, flags, i, got[i], math.Float32bits(got[i]), ref[i], math.Float32bits(ref[i]))
+				}
+			}
+		}
+
+		run := func(name string, k func(c, a, b []float32, t int) Stats) {
+			cc := append([]float32(nil), c...)
+			k(cc, a, b, ts)
+			check(name, cc)
+		}
+		run("PanelMinPlus", PanelMinPlus[float32])
+		run("panelMinPlusF32Go", panelMinPlusF32Go)
+		run("PanelMinPlusF32", PanelMinPlusF32) // vector asm on conforming tiles
+		func() {
+			defer SetVectorEnabled(false)()
+			run("PanelMinPlusF32/fallback", PanelMinPlusF32)
+		}()
+		if ts%CB == 0 {
+			run("MulMinPlus", MulMinPlus[float32])
+		}
+
+		// float64 mirrors of the same instance: the generic kernels must
+		// agree with the scalar reference at double width too.
+		a64, b64, c64 := widen(a), widen(b), widen(c)
+		ref64 := append([]float64(nil), c64...)
+		ScalarMulMinPlus(ref64, a64, b64, ts)
+		check64 := func(name string, got []float64) {
+			t.Helper()
+			for i := range ref64 {
+				if math.Float64bits(got[i]) != math.Float64bits(ref64[i]) {
+					t.Fatalf("%s (t=%d flags=%d): cell %d = %v, scalar reference %v", name, ts, flags, i, got[i], ref64[i])
+				}
+			}
+		}
+		cc := append([]float64(nil), c64...)
+		PanelMinPlus(cc, a64, b64, ts)
+		check64("PanelMinPlus[f64]", cc)
+		if ts%CB == 0 {
+			cc = append([]float64(nil), c64...)
+			MulMinPlus(cc, a64, b64, ts)
+			check64("MulMinPlus[f64]", cc)
+		}
+	})
+}
+
+func widen(s []float32) []float64 {
+	out := make([]float64, len(s))
+	for i, v := range s {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// TestForcedFallbackDetection pins the two fallback switches the CI race
+// suite depends on: simd.SetForceFallback flips detection to "none"
+// process-wide (layering over CELLNPDP_FORCE_SCALAR), and
+// kernel.SetVectorEnabled flips this package's cached dispatch bit. Both
+// must leave the kernels bit-identical — forcing the fallback is a
+// performance decision, never a semantic one.
+func TestForcedFallbackDetection(t *testing.T) {
+	defer simd.SetForceFallback(true)()
+	if simd.VectorAvailable() {
+		t.Fatal("VectorAvailable must be false under SetForceFallback")
+	}
+	if isa := simd.VectorISA(); isa != "none" {
+		t.Fatalf("VectorISA under forced fallback = %q, want none", isa)
+	}
+
+	// The kernel package caches detection at init, so the simd-level
+	// force does not retroactively change dispatch — that is what
+	// SetVectorEnabled is for.
+	defer SetVectorEnabled(false)()
+	if VectorEnabled() {
+		t.Fatal("VectorEnabled must be false after SetVectorEnabled(false)")
+	}
+	if isa := VectorISA(); isa != "none" {
+		t.Fatalf("kernel.VectorISA with vector disabled = %q, want none", isa)
+	}
+
+	const ts = 16
+	rng := rand.New(rand.NewSource(5))
+	mk := func() []float32 {
+		s := make([]float32, ts*ts)
+		for i := range s {
+			s[i] = rng.Float32() * 32
+		}
+		return s
+	}
+	a, b, c := mk(), mk(), mk()
+	ref := append([]float32(nil), c...)
+	ScalarMulMinPlus(ref, a, b, ts)
+	got := append([]float32(nil), c...)
+	PanelMinPlusF32(got, a, b, ts) // must run panelMinPlusF32Go here
+	for i := range ref {
+		if math.Float32bits(got[i]) != math.Float32bits(ref[i]) {
+			t.Fatalf("forced-fallback panel diverges at cell %d: %v vs %v", i, got[i], ref[i])
+		}
+	}
+}

@@ -79,13 +79,42 @@ func PanelMinPlus[E semiring.Elem](c, a, b []E, t int) Stats {
 }
 
 // PanelMinPlusF32 is the non-generic single-precision fast path the
-// parallel engine selects for float32 tables. It is the same 4×t panel
-// sweep as PanelMinPlus with every slice header resolved at a concrete
-// element type, which removes the generic-dictionary indirection from the
-// innermost loop.
+// parallel engine selects for float32 tables. On hardware with a
+// supported vector ISA (AVX2 on amd64, NEON on arm64 — see
+// internal/simd's feature detection) and a CB-aligned tile it dispatches
+// to the hand-written assembly kernel (panel_amd64.s / panel_arm64.s);
+// otherwise it runs the restructured pure-Go panel body. Both paths are
+// bit-identical to MulMinPlus: the assembly performs the same
+// (s + v, strictly-less, keep-old-on-ties/NaN) update chain in the same
+// k order, using compare semantics (VMINPS's src1<src2?src1:src2 on
+// amd64, FCMGT+BIT on arm64) that match the scalar `if w < c` exactly,
+// including ±0 and NaN operands.
+//
+// The vecEnabled read and the length guards are per block-product, not
+// per element; the guards also give the assembly its memory-safety
+// contract (it performs no bounds checks of its own).
 //
 //npdp:hotpath
 func PanelMinPlusF32(c, a, b []float32, t int) Stats {
+	if vecEnabled && t >= CB && t%CB == 0 &&
+		len(c) >= t*t && len(a) >= t*t && len(b) >= t*t {
+		panelVecF32(&c[0], &a[0], &b[0], t)
+		return panelStats(t)
+	}
+	return panelMinPlusF32Go(c, a, b, t)
+}
+
+// panelMinPlusF32Go is the pure-Go fallback body of PanelMinPlusF32: the
+// 4×t panel sweep restructured so gc keeps the innermost loop free of
+// bounds checks and loop-carried dependences — four independent
+// min/add chains per iteration, row slices hoisted and length-matched
+// (verified by the codegen gate). It is the kernel the engines run when
+// the vector ISA is unavailable or the fallback is forced
+// (CELLNPDP_FORCE_SCALAR / simd.SetForceFallback), and the oracle the
+// ablation benches time the assembly against.
+//
+//npdp:hotpath
+func panelMinPlusF32Go(c, a, b []float32, t int) Stats {
 	r := 0
 	for ; r+CB <= t; r += CB {
 		c0 := c[(r+0)*t : (r+0)*t+t]

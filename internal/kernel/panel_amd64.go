@@ -1,0 +1,30 @@
+//go:build amd64
+
+package kernel
+
+// AVX2 kernels (panel_amd64.s). Stubs are //go:noescape: they only read
+// and write through the passed pointers for the caller-guarded t×t (or
+// 4×stride) extent and never retain them, so the blocks stay
+// stack/arena-allocatable. The npdplint hotpath analyzer accepts
+// body-less //go:noescape stubs as leaves of the closed call universe.
+
+// haveVecASM gates dispatch: this GOARCH ships the assembly kernels.
+const haveVecASM = true
+
+// panelVecF32 is the AVX2 4×t panel product: C = min(C, A ⊗ B) over
+// t×t row-major float32 blocks, t a positive multiple of CB. Register
+// layout: 4 rows × 8 columns of C accumulate in four YMM registers
+// across the full k sweep (one load/store of C per 4×8 panel tile, t
+// fused add+min updates per element in between); a 4-wide XMM tail
+// covers t ≡ 4 (mod 8). Bit-identical to MulMinPlus (see
+// PanelMinPlusF32's dispatch comment).
+//
+//go:noescape
+func panelVecF32(c, a, b *float32, t int)
+
+// step4VecF32 is the AVX2 4×4 computing-block step on XMM registers —
+// the Table I program executed as real SIMD instead of the emulated
+// instruction stream.
+//
+//go:noescape
+func step4VecF32(c, a, b *float32, stride int)

@@ -1,0 +1,181 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 min-plus kernels. Semantics contract (the bit-identity invariant):
+// every C element must follow the exact scalar update chain
+//
+//	for k ascending: w = a[r][k] + b[k][j]; if w < c { c = w }
+//
+// VMINPS implements `src1 < src2 ? src1 : src2` (ties and NaN keep
+// src2), so with src1 = w and src2 = c the keep-old-on-ties/NaN behavior
+// matches the scalar strict `<` exactly, including ±0. Go assembly lists
+// AVX operands reversed from Intel: `VMINPS Y0, Y5, Y0` is Intel
+// `vminps ymm0, ymm5, ymm0`, i.e. Y0 = (Y5 < Y0) ? Y5 : Y0.
+//
+// The callers (dispatch.go) guarantee: t is a positive multiple of 4 and
+// all three blocks hold at least t*t elements — there are no bounds
+// checks here.
+
+// func panelVecF32(c, a, b *float32, t int)
+//
+// Register plan:
+//	DI  c panel base (rows r..r+3)     SI  a panel base
+//	DX  b base                         CX  t (elements)
+//	R8  row stride in bytes (4t)       R9  r    R10 j    R11 k
+//	R14 c column base (rows r,r+1)     R12 c column base (rows r+2,r+3)
+//	AX  a row r   k-pointer            R13 a row r+2 k-pointer
+//	BX  b[k][j] pointer
+//	Y0..Y3 4×8 C accumulator panel     Y4 b[k][j..j+8)   Y5..Y8 scratch
+TEXT ·panelVecF32(SB), NOSPLIT, $0-32
+	MOVQ c+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ t+24(FP), CX
+	MOVQ CX, R8
+	SHLQ $2, R8           // stride bytes = 4t
+
+	XORQ R9, R9           // r = 0
+rowloop:
+	CMPQ R9, CX
+	JGE  done
+	XORQ R10, R10         // j = 0
+
+colloop8:                     // 8-wide columns while j+8 <= t
+	LEAQ 8(R10), AX
+	CMPQ AX, CX
+	JG   coltail
+
+	LEAQ (DI)(R10*4), R14 // &c[(r+0)*t + j]
+	LEAQ (R14)(R8*2), R12 // &c[(r+2)*t + j]
+	VMOVUPS (R14), Y0
+	VMOVUPS (R14)(R8*1), Y1
+	VMOVUPS (R12), Y2
+	VMOVUPS (R12)(R8*1), Y3
+	LEAQ (DX)(R10*4), BX  // &b[0*t + j]
+	MOVQ SI, AX           // &a[(r+0)*t + 0]
+	LEAQ (SI)(R8*2), R13  // &a[(r+2)*t + 0]
+	XORQ R11, R11         // k = 0
+kloop8:
+	VMOVUPS (BX), Y4              // b[k][j..j+8)
+	VBROADCASTSS (AX), Y5         // a[r+0][k]
+	VADDPS Y4, Y5, Y5             // w0 = s0 + bv
+	VMINPS Y0, Y5, Y0             // c0 = w0 < c0 ? w0 : c0
+	VBROADCASTSS (AX)(R8*1), Y6   // a[r+1][k]
+	VADDPS Y4, Y6, Y6
+	VMINPS Y1, Y6, Y1
+	VBROADCASTSS (R13), Y7        // a[r+2][k]
+	VADDPS Y4, Y7, Y7
+	VMINPS Y2, Y7, Y2
+	VBROADCASTSS (R13)(R8*1), Y8  // a[r+3][k]
+	VADDPS Y4, Y8, Y8
+	VMINPS Y3, Y8, Y3
+	ADDQ $4, AX
+	ADDQ $4, R13
+	ADDQ R8, BX                   // next b row
+	INCQ R11
+	CMPQ R11, CX
+	JL   kloop8
+	VMOVUPS Y0, (R14)
+	VMOVUPS Y1, (R14)(R8*1)
+	VMOVUPS Y2, (R12)
+	VMOVUPS Y3, (R12)(R8*1)
+	ADDQ $8, R10
+	JMP  colloop8
+
+coltail:                      // 4-wide tail: t ≡ 4 (mod 8) leaves one
+	CMPQ R10, CX
+	JGE  rownext
+	LEAQ (DI)(R10*4), R14
+	LEAQ (R14)(R8*2), R12
+	VMOVUPS (R14), X0
+	VMOVUPS (R14)(R8*1), X1
+	VMOVUPS (R12), X2
+	VMOVUPS (R12)(R8*1), X3
+	LEAQ (DX)(R10*4), BX
+	MOVQ SI, AX
+	LEAQ (SI)(R8*2), R13
+	XORQ R11, R11
+kloop4:
+	VMOVUPS (BX), X4
+	VBROADCASTSS (AX), X5
+	VADDPS X4, X5, X5
+	VMINPS X0, X5, X0
+	VBROADCASTSS (AX)(R8*1), X6
+	VADDPS X4, X6, X6
+	VMINPS X1, X6, X1
+	VBROADCASTSS (R13), X7
+	VADDPS X4, X7, X7
+	VMINPS X2, X7, X2
+	VBROADCASTSS (R13)(R8*1), X8
+	VADDPS X4, X8, X8
+	VMINPS X3, X8, X3
+	ADDQ $4, AX
+	ADDQ $4, R13
+	ADDQ R8, BX
+	INCQ R11
+	CMPQ R11, CX
+	JL   kloop4
+	VMOVUPS X0, (R14)
+	VMOVUPS X1, (R14)(R8*1)
+	VMOVUPS X2, (R12)
+	VMOVUPS X3, (R12)(R8*1)
+	ADDQ $4, R10
+	JMP  coltail
+
+rownext:
+	LEAQ (DI)(R8*4), DI   // c += 4 rows
+	LEAQ (SI)(R8*4), SI   // a += 4 rows
+	ADDQ $4, R9
+	JMP  rowloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func step4VecF32(c, a, b *float32, stride int)
+//
+// One 4×4 computing-block step on XMM registers: the 80-instruction
+// Table I program (loads, splats, adds, compare-selects, stores) as real
+// SIMD. Same update-chain semantics as panelVecF32.
+TEXT ·step4VecF32(SB), NOSPLIT, $0-32
+	MOVQ c+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ stride+24(FP), R8
+	SHLQ $2, R8           // stride bytes
+
+	LEAQ (DI)(R8*2), R12
+	VMOVUPS (DI), X0
+	VMOVUPS (DI)(R8*1), X1
+	VMOVUPS (R12), X2
+	VMOVUPS (R12)(R8*1), X3
+	MOVQ DX, BX
+	MOVQ SI, AX
+	LEAQ (SI)(R8*2), R13
+	MOVQ $4, R11
+step_k:
+	VMOVUPS (BX), X4
+	VBROADCASTSS (AX), X5
+	VADDPS X4, X5, X5
+	VMINPS X0, X5, X0
+	VBROADCASTSS (AX)(R8*1), X6
+	VADDPS X4, X6, X6
+	VMINPS X1, X6, X1
+	VBROADCASTSS (R13), X7
+	VADDPS X4, X7, X7
+	VMINPS X2, X7, X2
+	VBROADCASTSS (R13)(R8*1), X8
+	VADDPS X4, X8, X8
+	VMINPS X3, X8, X3
+	ADDQ $4, AX
+	ADDQ $4, R13
+	ADDQ R8, BX
+	DECQ R11
+	JNZ  step_k
+	VMOVUPS X0, (DI)
+	VMOVUPS X1, (DI)(R8*1)
+	VMOVUPS X2, (R12)
+	VMOVUPS X3, (R12)(R8*1)
+	VZEROUPPER
+	RET

@@ -1,0 +1,178 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// NEON min-plus kernels. Semantics contract (the bit-identity invariant):
+// every C element must follow the exact scalar update chain
+//
+//	for k ascending: w = a[r][k] + b[k][j]; if w < c { c = w }
+//
+// NEON FMIN does NOT implement that chain: it returns -0 over +0 and
+// propagates NaN, both of which diverge bitwise from the scalar strict
+// `<`. Instead each update is FCMGT (old > w, false on NaN and ties)
+// followed by BIT (insert w where the mask is set), which keeps the old
+// C value on ties and NaNs exactly like `if w < c { c = w }`.
+//
+// The Go assembler has no mnemonics for vector FADD/FCMGT, so those two
+// are WORD-encoded with fixed register assignments; each WORD carries
+// the decoded instruction in its comment. VLD1/VST1/VDUP/VBIT assemble
+// natively. Register roles (both kernels):
+//
+//	R0 c base   R1 a base   R2 b base   R3 t    R4 row stride bytes
+//	R8..R11  c row pointers at column j          R12 b[k][j] pointer
+//	R13..R16 a row k-pointers                    R17 k countdown
+//	V0..V3 4×4 C accumulator panel   V4 b[k][j..j+4)
+//	V5 w = s + bv   V6 compare mask   V7 broadcast a[r+i][k]
+//
+// The callers (dispatch.go) guarantee: t is a positive multiple of 4 and
+// all three blocks hold at least t*t elements — there are no bounds
+// checks here, and no column tail since 4 divides t.
+
+// func panelVecF32(c, a, b *float32, t int)
+TEXT ·panelVecF32(SB), NOSPLIT, $0-32
+	MOVD c+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD t+24(FP), R3
+	LSL  $2, R3, R4        // stride bytes = 4t
+
+	MOVD $0, R5            // r = 0
+rowloop:
+	CMP  R3, R5
+	BGE  done
+	MOVD $0, R6            // j = 0
+colloop:
+	CMP  R3, R6
+	BGE  rownext
+
+	ADD  R6<<2, R0, R8     // &c[(r+0)*t + j]
+	ADD  R4, R8, R9        // row r+1
+	ADD  R4, R9, R10       // row r+2
+	ADD  R4, R10, R11      // row r+3
+	VLD1 (R8), [V0.S4]
+	VLD1 (R9), [V1.S4]
+	VLD1 (R10), [V2.S4]
+	VLD1 (R11), [V3.S4]
+	ADD  R6<<2, R2, R12    // &b[0*t + j]
+	MOVD R1, R13           // &a[(r+0)*t + 0]
+	ADD  R4, R13, R14
+	ADD  R4, R14, R15
+	ADD  R4, R15, R16
+	MOVD R3, R17           // k countdown = t
+kloop:
+	VLD1 (R12), [V4.S4]    // b[k][j..j+4)
+	ADD  R4, R12           // next b row
+
+	FMOVS (R13), F7        // a[r+0][k]
+	ADD  $4, R13
+	VDUP V7.S[0], V7.S4
+	WORD $0x4E24D4E5       // FADD  V5.4S, V7.4S, V4.4S   (w = s + bv)
+	WORD $0x6EA5E406       // FCMGT V6.4S, V0.4S, V5.4S   (mask = c0 > w)
+	VBIT V6.B16, V5.B16, V0.B16
+
+	FMOVS (R14), F7        // a[r+1][k]
+	ADD  $4, R14
+	VDUP V7.S[0], V7.S4
+	WORD $0x4E24D4E5       // FADD  V5.4S, V7.4S, V4.4S
+	WORD $0x6EA5E426       // FCMGT V6.4S, V1.4S, V5.4S
+	VBIT V6.B16, V5.B16, V1.B16
+
+	FMOVS (R15), F7        // a[r+2][k]
+	ADD  $4, R15
+	VDUP V7.S[0], V7.S4
+	WORD $0x4E24D4E5       // FADD  V5.4S, V7.4S, V4.4S
+	WORD $0x6EA5E446       // FCMGT V6.4S, V2.4S, V5.4S
+	VBIT V6.B16, V5.B16, V2.B16
+
+	FMOVS (R16), F7        // a[r+3][k]
+	ADD  $4, R16
+	VDUP V7.S[0], V7.S4
+	WORD $0x4E24D4E5       // FADD  V5.4S, V7.4S, V4.4S
+	WORD $0x6EA5E466       // FCMGT V6.4S, V3.4S, V5.4S
+	VBIT V6.B16, V5.B16, V3.B16
+
+	SUB  $1, R17
+	CBNZ R17, kloop
+
+	VST1 [V0.S4], (R8)
+	VST1 [V1.S4], (R9)
+	VST1 [V2.S4], (R10)
+	VST1 [V3.S4], (R11)
+	ADD  $4, R6
+	B    colloop
+
+rownext:
+	ADD  R4<<2, R0         // c += 4 rows
+	ADD  R4<<2, R1         // a += 4 rows
+	ADD  $4, R5
+	B    rowloop
+
+done:
+	RET
+
+// func step4VecF32(c, a, b *float32, stride int)
+//
+// One 4×4 computing-block step: the Table I program (loads, splats,
+// adds, compare-selects, stores) as real SIMD. Same update-chain
+// semantics and register roles as panelVecF32, fixed k sweep of 4.
+TEXT ·step4VecF32(SB), NOSPLIT, $0-32
+	MOVD c+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD b+16(FP), R2
+	MOVD stride+24(FP), R3
+	LSL  $2, R3, R4        // stride bytes
+
+	MOVD R0, R8
+	ADD  R4, R8, R9
+	ADD  R4, R9, R10
+	ADD  R4, R10, R11
+	VLD1 (R8), [V0.S4]
+	VLD1 (R9), [V1.S4]
+	VLD1 (R10), [V2.S4]
+	VLD1 (R11), [V3.S4]
+	MOVD R2, R12
+	MOVD R1, R13
+	ADD  R4, R13, R14
+	ADD  R4, R14, R15
+	ADD  R4, R15, R16
+	MOVD $4, R17
+step_k:
+	VLD1 (R12), [V4.S4]
+	ADD  R4, R12
+
+	FMOVS (R13), F7
+	ADD  $4, R13
+	VDUP V7.S[0], V7.S4
+	WORD $0x4E24D4E5       // FADD  V5.4S, V7.4S, V4.4S
+	WORD $0x6EA5E406       // FCMGT V6.4S, V0.4S, V5.4S
+	VBIT V6.B16, V5.B16, V0.B16
+
+	FMOVS (R14), F7
+	ADD  $4, R14
+	VDUP V7.S[0], V7.S4
+	WORD $0x4E24D4E5       // FADD  V5.4S, V7.4S, V4.4S
+	WORD $0x6EA5E426       // FCMGT V6.4S, V1.4S, V5.4S
+	VBIT V6.B16, V5.B16, V1.B16
+
+	FMOVS (R15), F7
+	ADD  $4, R15
+	VDUP V7.S[0], V7.S4
+	WORD $0x4E24D4E5       // FADD  V5.4S, V7.4S, V4.4S
+	WORD $0x6EA5E446       // FCMGT V6.4S, V2.4S, V5.4S
+	VBIT V6.B16, V5.B16, V2.B16
+
+	FMOVS (R16), F7
+	ADD  $4, R16
+	VDUP V7.S[0], V7.S4
+	WORD $0x4E24D4E5       // FADD  V5.4S, V7.4S, V4.4S
+	WORD $0x6EA5E466       // FCMGT V6.4S, V3.4S, V5.4S
+	VBIT V6.B16, V5.B16, V3.B16
+
+	SUB  $1, R17
+	CBNZ R17, step_k
+
+	VST1 [V0.S4], (R8)
+	VST1 [V1.S4], (R9)
+	VST1 [V2.S4], (R10)
+	VST1 [V3.S4], (R11)
+	RET

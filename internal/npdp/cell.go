@@ -7,6 +7,7 @@ import (
 
 	"cellnpdp/internal/cellsim"
 	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/perfmodel"
 	"cellnpdp/internal/resilience"
 	"cellnpdp/internal/sched"
 	"cellnpdp/internal/semiring"
@@ -39,6 +40,12 @@ type CellOptions struct {
 	// ramp). Smaller memory blocks mean more calls for the same work —
 	// part of Section VI-D's small-block penalty. 0 uses the default.
 	CallOverheadCycles float64
+	// Stage1 overrides the functional stage-1 kernel, as in
+	// ParallelOptions.Stage1. The modeled cycle accounting is unchanged
+	// — the SPE's Table I kernel is what the simulator times — so this
+	// only affects host-side wall time of functional runs. Timing-only
+	// runs (ModelCell) ignore it.
+	Stage1 perfmodel.Kernel
 	// RowMajorDMA models the prior works' tiling on the row-major
 	// layout (Figure 4): a block's rows are scattered in memory, so each
 	// block fetch issues one DMA command per row instead of one for the
@@ -164,6 +171,10 @@ type cellEngine[E semiring.Elem] struct {
 	stats     kernel.Stats
 	heal      *healer[E]       // nil unless sealing is on and data is present
 	workerBuf []*speBuffers[E] // per-worker buffer sets, allocated on first task
+	// mul is the functional stage-1 kernel, resolved once per solve by
+	// SolveCellCtx — hoisted out of computeMB's //npdp:dispatch loop so
+	// selection never runs per middle tile. nil in timing-only runs.
+	mul stage1Func[E]
 }
 
 func (e *cellEngine[E]) blockBytes() int { return e.tile * e.tile * e.elemBytes }
@@ -358,7 +369,10 @@ func (e *cellEngine[E]) computeMB(spe *cellsim.SPE, bufs *speBuffers[E], bi, bj 
 		}
 		st := kernel.StatsMulMinPlus(t)
 		if e.data != nil {
-			kernel.MulMinPlus(bufs.d.Data, bufs.a[cur].Data, bufs.b[cur].Data, t)
+			// Values via the selected kernel (bit-identical to
+			// MulMinPlus); cycle accounting stays the analytic Table I
+			// figure above — the simulator models the SPE, not the host.
+			e.mul(bufs.d.Data, bufs.a[cur].Data, bufs.b[cur].Data, t)
 		}
 		e.stats.Add(st)
 		e.advance(spe, e.opts.computeCycles(st)+e.opts.callOverhead(), "mul")
@@ -557,6 +571,12 @@ func SolveCellCtx[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], m *cell
 		return CellResult{}, err
 	}
 	m.Reset()
+	// Stage-1 kernel selection is hoisted here — once per solve, never
+	// inside computeMB's per-middle-tile dispatch loop.
+	mul, err := stage1Kernel[E](opts.Stage1, t)
+	if err != nil {
+		return CellResult{}, err
+	}
 	var e E
 	eng := &cellEngine[E]{
 		ctx:       ctx,
@@ -566,6 +586,7 @@ func SolveCellCtx[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], m *cell
 		elemBytes: elemBytes(e),
 		machine:   m,
 		opts:      opts,
+		mul:       mul,
 	}
 	return eng.run()
 }

@@ -7,6 +7,7 @@ import (
 
 	"cellnpdp/internal/cellsim"
 	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/perfmodel"
 	"cellnpdp/internal/sched"
 	"cellnpdp/internal/semiring"
 	"cellnpdp/internal/tri"
@@ -39,6 +40,10 @@ func SolveCellConcurrent[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], 
 	if err != nil {
 		return kernel.Stats{}, err
 	}
+	mul, err := stage1Kernel[E](perfmodel.KernelAuto, t)
+	if err != nil {
+		return kernel.Stats{}, err
+	}
 	n := len(graph.Tasks)
 	if n > 1<<31-1 {
 		return kernel.Stats{}, fmt.Errorf("npdp: %d tasks exceed the 32-bit mailbox word", n)
@@ -68,7 +73,7 @@ func SolveCellConcurrent[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], 
 				}
 				task := graph.Tasks[taskID]
 				for _, mb := range task.MemoryBlockOrder() {
-					perWorker[spe].Add(computeMemoryBlock(t, mb[0], mb[1]))
+					perWorker[spe].Add(computeMemoryBlock(t, mb[0], mb[1], mul))
 				}
 				boxes[spe].WriteOutbound(taskID)
 				complete <- [2]uint32{uint32(spe), taskID}

@@ -8,6 +8,7 @@ import (
 	"unsafe"
 
 	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/perfmodel"
 	"cellnpdp/internal/resilience"
 	"cellnpdp/internal/sched"
 	"cellnpdp/internal/semiring"
@@ -36,6 +37,14 @@ type ParallelOptions struct {
 	// reference instead of the register-blocked panel kernel — the
 	// BenchmarkAblationPanel baseline.
 	NoPanelKernel bool
+	// Stage1 overrides stage-1 kernel selection. The zero value
+	// (perfmodel.KernelAuto) consults the Section V calibration via
+	// perfmodel.PickKernel once per solve; explicit KernelScalar /
+	// KernelPanel / KernelVector pin a kernel for ablations.
+	// KernelFourRussians is rejected (lattice DPs go through
+	// zuker.MaxPairs, not the min-plus engines). Ignored under
+	// NoPanelKernel, which predates this knob and implies KernelScalar.
+	Stage1 perfmodel.Kernel
 	// Retry governs per-task retries of transient failures. Retrying a
 	// memory-block task in place is safe because every relaxation is an
 	// idempotent monotone min toward the same fixed point: the block's
@@ -87,22 +96,13 @@ type ParallelOptions struct {
 	HealStats *resilience.HealStats
 }
 
-// mulStage1 dispatches one stage-1 block product to the fastest kernel
-// for the element type: the non-generic float32 panel for
-// single-precision tables, the generic panel otherwise. Both are
-// bit-identical to kernel.MulMinPlus.
-func mulStage1[E semiring.Elem](c, a, b []E, t int) kernel.Stats {
-	if cf, ok := any(c).([]float32); ok {
-		return kernel.PanelMinPlusF32(cf, any(a).([]float32), any(b).([]float32), t)
-	}
-	return kernel.PanelMinPlus(c, a, b, t)
-}
-
 // computeMemoryBlock runs the two-stage SPE procedure for memory block
-// (bi, bj) directly on the shared tiled table, with stage 1 on the panel
-// kernel. All dependence blocks are finished before this runs (guaranteed
-// by the task graph), so concurrent tasks only ever read them.
-func computeMemoryBlock[E semiring.Elem](t *tri.Tiled[E], bi, bj int) kernel.Stats {
+// (bi, bj) directly on the shared tiled table, with stage 1 on the
+// solve's selected kernel (resolved once by stage1Kernel; the per-block
+// loop only ever calls through mul). All dependence blocks are finished
+// before this runs (guaranteed by the task graph), so concurrent tasks
+// only ever read them.
+func computeMemoryBlock[E semiring.Elem](t *tri.Tiled[E], bi, bj int, mul stage1Func[E]) kernel.Stats {
 	ts := t.Tile()
 	if bi == bj {
 		return kernel.Stage2Diag(t.Block(bj, bj), ts)
@@ -110,7 +110,7 @@ func computeMemoryBlock[E semiring.Elem](t *tri.Tiled[E], bi, bj int) kernel.Sta
 	var st kernel.Stats
 	d := t.Block(bi, bj)
 	for k := bi + 1; k < bj; k++ {
-		st.Add(mulStage1(d, t.Block(bi, k), t.Block(k, bj), ts))
+		st.Add(mul(d, t.Block(bi, k), t.Block(k, bj), ts))
 	}
 	st.Add(kernel.Stage2OffDiag(d, t.Block(bi, bi), t.Block(bj, bj), ts))
 	return st
@@ -255,9 +255,17 @@ func SolveParallelCtx[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], opt
 	if err != nil {
 		return kernel.Stats{}, err
 	}
-	compute := computeMemoryBlock[E]
-	if opts.NoPanelKernel {
-		compute = computeMemoryBlockCBStep[E]
+	// Stage-1 kernel selection is hoisted here — once per solve, never
+	// inside the per-block dispatch loops.
+	compute := computeMemoryBlockCBStep[E]
+	if !opts.NoPanelKernel {
+		mul, err := stage1Kernel[E](opts.Stage1, t)
+		if err != nil {
+			return kernel.Stats{}, err
+		}
+		compute = func(t *tri.Tiled[E], bi, bj int) kernel.Stats {
+			return computeMemoryBlock(t, bi, bj, mul)
+		}
 	}
 	perWorker := make([]paddedStats, opts.Workers)
 

@@ -1,0 +1,59 @@
+package npdp
+
+import (
+	"fmt"
+	"runtime"
+
+	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/perfmodel"
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tri"
+)
+
+// stage1Func computes one stage-1 block product C = min(C, A ⊗ B).
+type stage1Func[E semiring.Elem] func(c, a, b []E, t int) kernel.Stats
+
+// stage1Kernel resolves the stage-1 kernel for one solve. Selection is
+// solve-invariant — the table's element type, tile and size never
+// change mid-solve — so the engines call this exactly once per solve
+// and thread the returned function through the per-block dispatch
+// loops — re-resolving inside the //npdp:dispatch stage-1 loop would
+// put a type assertion and a model consult on every one of the
+// O(blocks³/6) block products. The TestPickKernelHoisted guard pins the
+// once-per-solve behavior.
+//
+// KernelAuto consults the Section V calibration via
+// perfmodel.PickKernel. KernelPanel and KernelVector both map to the
+// panel entry points, whose internal dispatch engages the assembly
+// exactly when the vector ISA is live — forcing the pure-Go body on a
+// vector-capable machine is a process-level switch
+// (kernel.SetVectorEnabled or CELLNPDP_FORCE_SCALAR=1), not a per-solve
+// one. KernelFourRussians is rejected: the lattice kernel is not a
+// min-plus block product (use zuker.MaxPairs for that workload).
+func stage1Kernel[E semiring.Elem](sel perfmodel.Kernel, t *tri.Tiled[E]) (stage1Func[E], error) {
+	var e E
+	_, isF32 := any(e).(float32)
+	if sel == perfmodel.KernelAuto {
+		sel = perfmodel.PickKernel(perfmodel.Shape{
+			Block:   t.Tile(),
+			N:       t.Len(),
+			Float32: isF32,
+		}, runtime.GOARCH, kernel.VectorISA())
+	}
+	switch sel {
+	case perfmodel.KernelScalar:
+		return func(c, a, b []E, ts int) kernel.Stats {
+			return kernel.MulMinPlus(c, a, b, ts)
+		}, nil
+	case perfmodel.KernelPanel, perfmodel.KernelVector:
+		if isF32 {
+			return func(c, a, b []E, ts int) kernel.Stats {
+				return kernel.PanelMinPlusF32(any(c).([]float32), any(a).([]float32), any(b).([]float32), ts)
+			}, nil
+		}
+		return kernel.PanelMinPlus[E], nil
+	case perfmodel.KernelFourRussians:
+		return nil, fmt.Errorf("npdp: the Four-Russians kernel solves lattice DPs, not min-plus block products (use zuker.MaxPairs)")
+	}
+	return nil, fmt.Errorf("npdp: unknown stage-1 kernel %v", sel)
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/perfmodel"
 	"cellnpdp/internal/semiring"
 	"cellnpdp/internal/tri"
 )
@@ -28,6 +29,10 @@ func SolveWavefrontBarrier[E semiring.Elem](t *tri.Tiled[E], workers int) (kerne
 		return kernel.Stats{}, fmt.Errorf("npdp: workers must be positive, got %d", workers)
 	}
 	m := t.Blocks()
+	mul, err := stage1Kernel[E](perfmodel.KernelAuto, t)
+	if err != nil {
+		return kernel.Stats{}, err
+	}
 	perWorker := make([]kernel.Stats, workers)
 	for wave := 0; wave < m; wave++ {
 		// Blocks (i, i+wave) for i = 0..m-1-wave, strided across workers.
@@ -38,7 +43,7 @@ func SolveWavefrontBarrier[E semiring.Elem](t *tri.Tiled[E], workers int) (kerne
 			go func(worker int) {
 				defer wg.Done()
 				for idx := worker; idx < count; idx += workers {
-					perWorker[worker].Add(computeMemoryBlock(t, idx, idx+wave))
+					perWorker[worker].Add(computeMemoryBlock(t, idx, idx+wave, mul))
 				}
 			}(w)
 		}

@@ -1,0 +1,39 @@
+//go:build amd64
+
+package simd
+
+// AVX2 detection per the Intel SDM: the OS must have enabled XMM+YMM
+// state saving (CPUID.1:ECX.OSXSAVE, then XCR0 bits 1 and 2 via XGETBV)
+// before CPUID.(EAX=7,ECX=0):EBX.AVX2 means the instructions are safe to
+// execute. GOAMD64=v1 binaries still run the detection — the kernels are
+// hand assembly, not compiler-generated, so the microarchitecture level
+// the Go compiler targets is irrelevant to them.
+
+const vectorISAName = "avx2"
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv executes XGETBV with ECX=0 (reads XCR0).
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return
+	}
+	xcr0, _ := xgetbv()
+	const xmmYmm = 0x6 // XCR0[1] (SSE state) and XCR0[2] (AVX state)
+	if xcr0&xmmYmm != xmmYmm {
+		return
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	hasVector = ebx7&avx2 != 0
+}

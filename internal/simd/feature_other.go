@@ -1,0 +1,8 @@
+//go:build !amd64 && !arm64
+
+package simd
+
+// No hand-written vector kernels exist for this GOARCH; the dispatchers
+// always take the pure-Go fallback.
+
+const vectorISAName = "none"

@@ -1,0 +1,49 @@
+package zuker
+
+import (
+	"fmt"
+
+	"cellnpdp/internal/fourrussians"
+)
+
+// MaxPairsResult is a completed Nussinov max-base-pairs run.
+type MaxPairsResult struct {
+	Seq Seq
+	// Pairs is the maximum number of nested canonical pairs.
+	Pairs int
+	// FourRussians reports whether the O(n³/log n) two-vector kernel
+	// ran (false means the serial reference was selected).
+	FourRussians bool
+	// Q is the Four-Russians group size used (1 for the serial path).
+	Q int
+}
+
+// MaxPairs computes the Nussinov maximum-base-pairs structure of seq —
+// the lattice-valued counterpart of Fold's energy minimization. Because
+// the DP values move by 0/1 along rows and columns, this is the one
+// workload where the Four-Russians stage-1 kernel is sound; the
+// useFourRussians switch is decided by the caller (normally via
+// perfmodel.PickKernel on a Lattice shape).
+//
+// minSpan is the hairpin constraint: i pairs with j only when
+// j-i > minSpan. Both paths produce identical tables (integer DP), so
+// selection is purely a performance decision.
+func MaxPairs(seq Seq, minSpan int, useFourRussians bool) (*MaxPairsResult, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("zuker: empty sequence")
+	}
+	pair := func(i, j int) bool { return CanPair(seq[i], seq[j]) }
+	var (
+		res *fourrussians.Result
+		err error
+	)
+	if useFourRussians {
+		res, err = fourrussians.Solve(len(seq), pair, fourrussians.Options{MinSpan: minSpan})
+	} else {
+		res, err = fourrussians.SolveSerial(len(seq), pair, minSpan)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &MaxPairsResult{Seq: seq, Pairs: res.Pairs, FourRussians: useFourRussians, Q: res.Q}, nil
+}

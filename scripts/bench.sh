@@ -2,17 +2,19 @@
 # Verify + benchmark entry point for the parallel CPU engine.
 #
 # Runs the static and race checks the scheduler/engine work depends on,
-# then the parallel-engine benchmark sweep (workers × engine ablations,
-# ns/op + allocs/op via testing.Benchmark) and writes the JSON report —
-# BENCH_PR1.json by default, or the path given as $1. Later PRs bump the
-# default artifact name to extend the BENCH_* trajectory.
+# then the benchmark sweep — the workers × engine ablations plus, since
+# PR 6, the per-kernel stage-1 sweep (scalar / pure-Go panel / vector
+# assembly / Four-Russians) — and writes the JSON report. The artifact
+# name tracks the PR trajectory: BENCH_PR6.json by default, or the path
+# given as $1, so successive PRs diff BENCH_PR_N.json against their
+# predecessors.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR6.json}"
 
 echo "== preflight: scripts/ci.sh"
 ./scripts/ci.sh
 
-echo "== parallel-engine benchmark sweep -> ${out}"
+echo "== benchmark sweep (engines + stage-1 kernels) -> ${out}"
 go run ./cmd/benchtables -benchjson "${out}"

@@ -21,6 +21,14 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+# The vector kernels ship hand-written assembly for two GOARCHes; vet's
+# asmdecl checker validates the .s files against their Go stub
+# declarations only when that arch's files are in the build, so run the
+# kernel package under both (cross runs only load the compiler).
+echo "== go vet (asmdecl) internal/kernel on amd64 + arm64"
+GOARCH=amd64 go vet ./internal/kernel ./internal/simd
+GOARCH=arm64 go vet ./internal/kernel ./internal/simd
+
 # staticcheck is mandatory and pinned, so every run checks the same
 # rule set regardless of what the host has installed. The one
 # sanctioned skip is a toolchain that cannot fetch the module at all
@@ -64,6 +72,17 @@ echo "== go test -race ./..."
 # timeout, so set an explicit generous one.
 go test -race -timeout 30m ./...
 
+echo "== go test -race (forced pure-Go kernels: CELLNPDP_FORCE_SCALAR=1, GOAMD64=v1)"
+# The vector dispatch has two halves: the assembly fast path (covered
+# above on AVX2 hosts) and the pure-Go fallback every other machine
+# runs. Force the fallback process-wide — the env var folds into
+# detection at init — and pin GOAMD64=v1 so the compiler cannot assume
+# AVX either, then re-run the packages whose kernels and dispatch state
+# differ between the two worlds.
+CELLNPDP_FORCE_SCALAR=1 GOAMD64=v1 go test -race -timeout 30m \
+    ./internal/kernel ./internal/simd ./internal/npdp ./internal/perfmodel \
+    ./internal/fourrussians ./internal/zuker .
+
 # Native fuzzing only exists on a few GOOS/GOARCH pairs; anywhere else
 # `go test -fuzz` fails with an opaque flag error, so check up front
 # and fail with a message that says what is actually missing.
@@ -85,6 +104,12 @@ go test -run='^$' -fuzz FuzzCheckpointRoundTrip -fuzztime 20s .
 echo "== smoke: fault-injected parallel solve (5% rate, retries, no fallback)"
 go run ./cmd/cellnpdp -n 300 -engine parallel -timeout 30m \
     -faultrate 0.05 -faultseed 7 -retries 3 -fallback=false
+
+echo "== fuzz smoke: kernel equivalence (20s)"
+# Every selectable min-plus kernel (panel, vector asm, forced fallback,
+# CB-step) against the scalar reference on arbitrary tiles with ±Inf
+# sentinels; comparison is bit-exact.
+go test -run='^$' -fuzz FuzzKernelEquivalence -fuzztime 20s ./internal/kernel
 
 echo "== fuzz smoke: seal codec (20s)"
 # Same discipline for the NPSL seal stream: truncated, bit-flipped or

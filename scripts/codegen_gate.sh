@@ -4,10 +4,13 @@
 # and diffs the escape-analysis / bounds-check diagnostics that land in
 # //npdp:hotpath functions against scripts/codegen_baseline.txt. Any new
 # diagnostic category or increased count fails; decreases print an
-# advisory suggesting a baseline refresh.
+# advisory suggesting a baseline refresh. The baseline carries one
+# [GOARCH] section per checked architecture; both the amd64 and arm64
+# kernels are checked on every run (cross-GOARCH runs only invoke the
+# compiler, so an amd64 box gates the NEON-side fallback too).
 #
-#   scripts/codegen_gate.sh            run the gate
-#   scripts/codegen_gate.sh -update    rewrite the baseline from current output
+#   scripts/codegen_gate.sh            run the gate (amd64 + arm64)
+#   scripts/codegen_gate.sh -update    rewrite both sections from current output
 #
 # The logic lives in internal/analysis/codegen (shared with
 # `go run ./cmd/npdplint -codegen`); this wrapper exists so CI and
@@ -15,4 +18,6 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-exec go run ./cmd/npdplint -codegen -baseline scripts/codegen_baseline.txt "$@"
+for goarch in amd64 arm64; do
+    go run ./cmd/npdplint -codegen -baseline scripts/codegen_baseline.txt -goarch "${goarch}" "$@"
+done

@@ -413,3 +413,72 @@ func checksumLine(t *testing.T, out string) string {
 	t.Fatalf("no checksum line in output:\n%s", out)
 	return ""
 }
+
+// TestCLIClusterChaos is the distributed-chaos acceptance scenario end
+// to end, with real processes and a real SIGKILL: a loopback cluster of
+// three worker processes runs a seeded schedule that SIGKILLs one worker
+// mid-wavefront while every worker silently corrupts a seeded subset of
+// its sealed result blocks. The coordinator must absorb the death,
+// detect every corrupted boundary block at install, heal the poisoned
+// cones, and finish bit-identical to the serial engine. The same
+// corruption without -heal must die with the typed seal-mismatch error,
+// never print a wrong answer.
+func TestCLIClusterChaos(t *testing.T) {
+	out := runCLI(t, "cellnpdp", "cluster", "-n", "704", "-cluster-workers", "3",
+		"-chaos-kills", "1", "-chaos-seed", "5",
+		"-faultrate", "0.25", "-faultseed", "42",
+		"-heal", "-verify", "-timeout", "2m")
+	if !strings.Contains(out, "verified against serial engine: identical") {
+		t.Fatalf("chaos run not verified identical:\n%s", out)
+	}
+	stats := clusterStatsLine(t, out)
+	if !strings.Contains(stats, " deaths=1 ") && !strings.Contains(stats, " deaths=2 ") {
+		t.Fatalf("SIGKILL never observed: %s", stats)
+	}
+	if strings.Contains(stats, " mismatches=0 ") || strings.Contains(stats, " healrounds=0 ") {
+		t.Fatalf("corruption never exercised: %s", stats)
+	}
+
+	cmd := exec.Command(cliPath(t, "cellnpdp"), "cluster", "-n", "704",
+		"-cluster-workers", "2", "-faultrate", "1", "-faultseed", "7", "-timeout", "2m")
+	out2, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("corrupted run with healing off succeeded:\n%s", out2)
+	}
+	if !strings.Contains(string(out2), "block seal mismatch") {
+		t.Fatalf("failure lacks the typed seal-mismatch identity:\n%s", out2)
+	}
+}
+
+// TestCLIClusterResume interrupts a checkpointing loopback cluster run
+// with SIGTERM, then resumes it across processes and verifies identity.
+func TestCLIClusterResume(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "cluster.npck")
+	out := runCLI(t, "cellnpdp", "cluster", "-n", "704", "-cluster-workers", "2",
+		"-checkpoint", ck, "-checkpoint-every", "4", "-timeout", "2m")
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("no checkpoint written: %v\n%s", err, out)
+	}
+	out2 := runCLI(t, "cellnpdp", "cluster", "-n", "704", "-cluster-workers", "0",
+		"-checkpoint", ck, "-resume", "-verify", "-timeout", "2m")
+	if !strings.Contains(out2, "verified against serial engine: identical") {
+		t.Fatalf("resumed run not verified identical:\n%s", out2)
+	}
+	stats := clusterStatsLine(t, out2)
+	if !strings.Contains(stats, " resumed=36 ") {
+		t.Fatalf("full resume did not pre-complete all 36 tasks: %s", stats)
+	}
+}
+
+// clusterStatsLine extracts the parseable "cluster: tasks=..." line.
+func clusterStatsLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "cluster: tasks=") {
+			return line
+		}
+	}
+	t.Fatalf("no cluster stats line in output:\n%s", out)
+	return ""
+}

@@ -8,6 +8,7 @@
 //	benchtables -run fig10a     # one experiment
 //	benchtables -list           # list experiment names
 //	benchtables -benchjson BENCH_PR6.json  # engine + kernel sweep → JSON
+//	benchtables -clusterjson BENCH_PR7.json  # loopback cluster vs single process → JSON
 //	benchtables -calibrate scripts/kernel_calibration.txt  # per-kernel costs
 package main
 
@@ -34,6 +35,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables (with -run)")
 		bench   = flag.String("benchjson", "", "run the parallel-engine benchmark sweep (workers × engine ablations, -benchmem style) and write the JSON report to this path")
+		cbench  = flag.String("clusterjson", "", "run the loopback-cluster sweep (worker counts + kill recovery, verified bit-identical) and write the JSON report to this path")
 		calib   = flag.String("calibrate", "", "measure this machine's per-kernel stage-1 costs and write the calibration file (normally scripts/kernel_calibration.txt) to this path")
 	)
 	flag.Parse()
@@ -65,6 +67,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *bench)
+		return
+	}
+	if *cbench != "" {
+		if err := harness.WriteClusterBenchJSON(cfg, *cbench); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *cbench)
 		return
 	}
 	if *run != "" {

@@ -11,6 +11,13 @@
 // (admission control, overload protection, result integrity):
 //
 //	cellnpdp serve -addr 127.0.0.1:8080 -budget 2147483648 -rate 50
+//
+// The cluster subcommand runs the sharded coordinator/worker solve —
+// by default a loopback multi-process cluster, with an optional seeded
+// chaos schedule that SIGKILLs workers mid-wavefront:
+//
+//	cellnpdp cluster -n 2048 -cluster-workers 3 -verify
+//	cellnpdp cluster -n 2048 -cluster-workers 3 -chaos-kills 1 -heal -faultrate 0.2 -verify
 package main
 
 import (
@@ -31,6 +38,12 @@ func main() {
 	log.SetPrefix("cellnpdp: ")
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := runServe(os.Args[2:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "cluster" {
+		if err := runCluster(os.Args[2:]); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -9,13 +9,16 @@ import (
 // ErrDrop guards the resilience layer's error contract: a
 // *resilience.CorruptionError is the only evidence a silent fault ever
 // leaves behind, a *resilience.PanicError carries the one stack trace
-// of a dead task, and a checkpoint/seal codec error is the difference
-// between refusing a corrupt snapshot and silently resuming bad state.
-// None of them may be discarded.
+// of a dead task, a *resilience.ErrSealMismatch identifies the one
+// boundary block whose bytes failed their CRC32C seal in transit, and a
+// checkpoint/seal codec error is the difference between refusing a
+// corrupt snapshot and silently resuming bad state. None of them may be
+// discarded.
 //
 // Watched calls are (a) any function or method declared in the
 // resilience package whose results include an error, and (b) any
-// function returning *CorruptionError or *PanicError directly. For a
+// function returning *CorruptionError, *PanicError or *ErrSealMismatch
+// directly. For a
 // watched call the analyzer rejects:
 //
 //   - calling it as a bare statement, or under go/defer, so the error
@@ -113,7 +116,11 @@ func isWatchedErrType(t types.Type) bool {
 	if obj == nil || !isPkgPath(obj, "resilience") {
 		return false
 	}
-	return obj.Name() == "CorruptionError" || obj.Name() == "PanicError"
+	switch obj.Name() {
+	case "CorruptionError", "PanicError", "ErrSealMismatch":
+		return true
+	}
+	return false
 }
 
 // checkErrDropAssign flags blank-discarded and checked-but-dropped

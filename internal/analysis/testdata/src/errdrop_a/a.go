@@ -68,3 +68,26 @@ func mint() *resilience.CorruptionError { return nil }
 func mintDrop() {
 	mint() // want `mint's error discarded`
 }
+
+func sealMismatchDrop() {
+	resilience.VerifySeal() // want `VerifySeal's error discarded`
+}
+
+func sealMismatchBlank() {
+	_ = resilience.VerifySeal() // want `VerifySeal's error assigned to _`
+}
+
+// mintSeal returns the seal-mismatch type from outside resilience.
+func mintSeal() *resilience.ErrSealMismatch { return nil }
+
+func mintSealChecked() bool {
+	err := mintSeal() // want `nil-checked but never consumed`
+	return err != nil
+}
+
+func sealMismatchPropagated() error {
+	if err := resilience.VerifySeal(); err != nil {
+		return err // ok: consumed by return
+	}
+	return nil
+}

@@ -31,3 +31,11 @@ func Checkpoint(data []byte) (int, error) { return len(data), nil }
 
 // Workers reports a count; no error result, so it is not watched.
 func Workers() int { return 1 }
+
+// ErrSealMismatch is the fixture twin of the boundary-block seal error.
+type ErrSealMismatch struct{ Bi, Bj int }
+
+func (e *ErrSealMismatch) Error() string { return "seal mismatch" }
+
+// VerifySeal returns transit-corruption evidence directly.
+func VerifySeal() *ErrSealMismatch { return nil }

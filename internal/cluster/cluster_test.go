@@ -1,0 +1,542 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cellnpdp/internal/npdp"
+	"cellnpdp/internal/perfmodel"
+	"cellnpdp/internal/resilience"
+	"cellnpdp/internal/sched"
+	"cellnpdp/internal/tri"
+	"cellnpdp/internal/workload"
+)
+
+const (
+	testN    = 256
+	testTile = 32
+	testSeed = 99
+)
+
+// serialRef solves the test workload with SolveSerial — the bit-identity
+// oracle every cluster run is audited against.
+func serialRef(t *testing.T) *tri.RowMajor[float32] {
+	t.Helper()
+	m := workload.Chain[float32](testN, testSeed)
+	npdp.SolveSerial(m)
+	return m
+}
+
+// testTable builds the fresh tiled input the coordinator solves in place.
+func testTable(t *testing.T) *tri.Tiled[float32] {
+	t.Helper()
+	return tri.ToTiled(workload.Chain[float32](testN, testSeed), testTile)
+}
+
+// requireIdentical fails unless the cluster-solved table is bit-identical
+// to the serial oracle.
+func requireIdentical(t *testing.T, ref *tri.RowMajor[float32], got *tri.Tiled[float32]) {
+	t.Helper()
+	if i, j, av, bv, diff := tri.FirstDiff[float32](ref, got); diff {
+		t.Fatalf("cluster result diverges from SolveSerial at (%d,%d): serial %v, cluster %v", i, j, av, bv)
+	}
+}
+
+// testOptions returns coordinator options tuned for fast tests: short
+// heartbeats, pinned scalar kernel (identical on every worker by
+// construction), and a bounded workerless wait.
+func testOptions(stats *Stats) Options {
+	return Options{
+		Stage1:          perfmodel.KernelScalar,
+		HeartbeatEvery:  50 * time.Millisecond,
+		DeadlineAfter:   2 * time.Second,
+		WorkerlessAfter: 10 * time.Second,
+		Stats:           stats,
+	}
+}
+
+// startCoordinator launches Coordinate on a loopback listener and returns
+// its address plus a wait func for the run's error.
+func startCoordinator(ctx context.Context, t *testing.T, tbl *tri.Tiled[float32], opts Options) (addr string, wait func() error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr = ln.Addr().String()
+	errc := make(chan error, 1)
+	go func() { errc <- Coordinate(ctx, ln, tbl, opts) }()
+	return addr, func() error {
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(90 * time.Second):
+			t.Fatal("coordinator did not finish within 90s")
+			return nil
+		}
+	}
+}
+
+// startWorker launches an in-process worker goroutine. The returned
+// cancel is the kill switch (the in-process analogue of SIGKILL: the
+// context watcher slams the connection shut mid-whatever); wg drains at
+// test end.
+func startWorker(ctx context.Context, t *testing.T, wg *sync.WaitGroup, addr string, opts WorkerOptions) context.CancelFunc {
+	t.Helper()
+	wctx, cancel := context.WithCancel(ctx)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := RunWorker(wctx, addr, opts)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Logf("worker %s exited: %v", opts.Name, err)
+		}
+	}()
+	t.Cleanup(cancel)
+	return cancel
+}
+
+// TestClusterMatchesSerial proves the no-fault distributed solve is
+// bit-identical to SolveSerial across worker counts and scheduling-block
+// sides, including shards with multiple workers and g>1 operand streaming.
+func TestClusterMatchesSerial(t *testing.T) {
+	ref := serialRef(t)
+	for _, tc := range []struct {
+		name      string
+		workers   int
+		shards    int
+		schedSide int
+	}{
+		{"1worker", 1, 1, 1},
+		{"3workers", 3, 3, 1},
+		{"2workers-g2", 2, 2, 2},
+		{"4workers-2shards", 4, 2, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			tbl := testTable(t)
+			var stats Stats
+			opts := testOptions(&stats)
+			opts.Shards = tc.shards
+			opts.SchedSide = tc.schedSide
+			addr, wait := startCoordinator(ctx, t, tbl, opts)
+			var wg sync.WaitGroup
+			for w := 0; w < tc.workers; w++ {
+				startWorker(ctx, t, &wg, addr, WorkerOptions{Name: "w", Logf: t.Logf})
+			}
+			if err := wait(); err != nil {
+				t.Fatalf("Coordinate: %v", err)
+			}
+			cancel()
+			wg.Wait()
+			requireIdentical(t, ref, tbl)
+			if stats.Accepted != stats.Tasks {
+				t.Fatalf("accepted %d of %d tasks", stats.Accepted, stats.Tasks)
+			}
+			if stats.WorkerDeaths != 0 || stats.SealMismatches != 0 {
+				t.Fatalf("fault-free run recorded deaths=%d mismatches=%d", stats.WorkerDeaths, stats.SealMismatches)
+			}
+		})
+	}
+}
+
+// TestClusterSurvivesWorkerKill kills a worker mid-wavefront (hard
+// connection slam, the in-process stand-in for SIGKILL) and proves the
+// survivors absorb its in-flight tasks and the result stays
+// bit-identical.
+func TestClusterSurvivesWorkerKill(t *testing.T) {
+	ref := serialRef(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	tbl := testTable(t)
+	var stats Stats
+	var once sync.Once
+	var killVictim context.CancelFunc // set before any worker connects
+	opts := testOptions(&stats)
+	opts.Shards = 3
+	opts.Logf = t.Logf
+	opts.OnTaskDone = func(completed int, _ sched.Task) {
+		if completed == 8 {
+			once.Do(func() { go killVictim() })
+		}
+	}
+	addr, wait := startCoordinator(ctx, t, tbl, opts)
+	var wg sync.WaitGroup
+	killVictim = startWorker(ctx, t, &wg, addr, WorkerOptions{Name: "victim"})
+	for w := 0; w < 2; w++ {
+		startWorker(ctx, t, &wg, addr, WorkerOptions{Name: "survivor"})
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("Coordinate: %v", err)
+	}
+	cancel()
+	wg.Wait()
+	requireIdentical(t, ref, tbl)
+	if stats.WorkerDeaths < 1 {
+		t.Fatalf("kill was never observed: deaths=%d", stats.WorkerDeaths)
+	}
+	t.Logf("deaths=%d redispatched=%d accepted=%d", stats.WorkerDeaths, stats.Redispatched, stats.Accepted)
+}
+
+// TestClusterHeartbeatPartition routes one worker through the
+// network-partition proxy and black-holes it mid-wavefront: no EOF ever
+// arrives, so only the heartbeat deadline can declare the death. The
+// survivors finish and the result stays bit-identical.
+func TestClusterHeartbeatPartition(t *testing.T) {
+	ref := serialRef(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	tbl := testTable(t)
+	var stats Stats
+	var once sync.Once
+	var proxy *Proxy
+	opts := testOptions(&stats)
+	opts.Shards = 3
+	opts.DeadlineAfter = 400 * time.Millisecond
+	opts.Logf = t.Logf
+	opts.OnTaskDone = func(completed int, _ sched.Task) {
+		if completed == 6 {
+			once.Do(proxy.Partition)
+		}
+	}
+	addr, wait := startCoordinator(ctx, t, tbl, opts)
+	var err error
+	proxy, err = NewProxy(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	var wg sync.WaitGroup
+	startWorker(ctx, t, &wg, addr, WorkerOptions{
+		Name: "islanded",
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", proxy.Addr())
+		},
+	})
+	for w := 0; w < 2; w++ {
+		startWorker(ctx, t, &wg, addr, WorkerOptions{Name: "mainland"})
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("Coordinate: %v", err)
+	}
+	cancel()
+	wg.Wait()
+	requireIdentical(t, ref, tbl)
+	if stats.WorkerDeaths < 1 {
+		t.Fatalf("partition was never declared a death: deaths=%d", stats.WorkerDeaths)
+	}
+}
+
+// TestClusterCorruptionHeals runs workers that silently flip bits in
+// sealed result blocks (seeded, deterministic per task and generation)
+// and proves the coordinator detects every flip at install, heals the
+// poisoned cone, and converges to the bit-identical answer.
+func TestClusterCorruptionHeals(t *testing.T) {
+	ref := serialRef(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	tbl := testTable(t)
+	var stats Stats
+	opts := testOptions(&stats)
+	opts.Shards = 2
+	opts.Heal = true
+	opts.Logf = t.Logf
+	addr, wait := startCoordinator(ctx, t, tbl, opts)
+	inject := &resilience.Injector{Rate: 0.25, Seed: 42, Kinds: []resilience.FaultKind{resilience.FaultCorrupt}}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		startWorker(ctx, t, &wg, addr, WorkerOptions{Name: "flaky", Inject: inject})
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("Coordinate: %v", err)
+	}
+	cancel()
+	wg.Wait()
+	requireIdentical(t, ref, tbl)
+	if stats.SealMismatches < 1 || stats.HealRounds < 1 {
+		t.Fatalf("no corruption was exercised: mismatches=%d healRounds=%d", stats.SealMismatches, stats.HealRounds)
+	}
+	if stats.RecomputedTasks < 1 {
+		t.Fatalf("heal recomputed nothing")
+	}
+	t.Logf("mismatches=%d healRounds=%d recomputed=%d stale=%d",
+		stats.SealMismatches, stats.HealRounds, stats.RecomputedTasks, stats.StaleResults)
+}
+
+// TestClusterHealOffFailsTyped proves that with healing disabled the
+// first corrupted boundary block aborts the run loudly with the typed
+// *resilience.ErrSealMismatch carrying block identity and both digests.
+func TestClusterHealOffFailsTyped(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	tbl := testTable(t)
+	var stats Stats
+	opts := testOptions(&stats)
+	opts.Heal = false
+	addr, wait := startCoordinator(ctx, t, tbl, opts)
+	inject := &resilience.Injector{Rate: 1, Seed: 7, Kinds: []resilience.FaultKind{resilience.FaultCorrupt}}
+	var wg sync.WaitGroup
+	startWorker(ctx, t, &wg, addr, WorkerOptions{Name: "saboteur", Inject: inject})
+	err := wait()
+	cancel()
+	wg.Wait()
+	if err == nil {
+		t.Fatal("corrupted run with healing off returned nil")
+	}
+	var mismatch *resilience.ErrSealMismatch
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("error is not a typed seal mismatch: %v", err)
+	}
+	if mismatch.Want == mismatch.Got {
+		t.Fatalf("mismatch digests are equal: %08x", mismatch.Want)
+	}
+	if mismatch.TaskID < 0 || mismatch.Bi < 0 || mismatch.Bj < mismatch.Bi {
+		t.Fatalf("mismatch lacks block identity: %+v", mismatch)
+	}
+}
+
+// TestClusterHealExhaustionEscalates drives persistent corruption (every
+// attempt of every task flips a bit) through a tiny heal budget and
+// proves the ladder runs end to end: heal rounds, then exactly one
+// pristine restart, then the typed CorruptionError.
+func TestClusterHealExhaustionEscalates(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	tbl := testTable(t)
+	var stats Stats
+	opts := testOptions(&stats)
+	opts.Heal = true
+	opts.HealAttempts = 2
+	addr, wait := startCoordinator(ctx, t, tbl, opts)
+	inject := &resilience.Injector{Rate: 1, Seed: 3, Kinds: []resilience.FaultKind{resilience.FaultCorrupt}}
+	var wg sync.WaitGroup
+	startWorker(ctx, t, &wg, addr, WorkerOptions{Name: "cursed", Inject: inject})
+	err := wait()
+	cancel()
+	wg.Wait()
+	if err == nil {
+		t.Fatal("persistently corrupted run returned nil")
+	}
+	var corrupt *resilience.CorruptionError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("error is not a typed corruption error: %v", err)
+	}
+	if corrupt.Healed != 2 {
+		t.Fatalf("CorruptionError.Healed = %d, want the full per-block budget 2", corrupt.Healed)
+	}
+	if stats.PristineRestarts != 1 {
+		t.Fatalf("pristine restarts = %d, want exactly 1", stats.PristineRestarts)
+	}
+	// The budget is per block, so every ready block burns its own
+	// HealAttempts rounds (twice: once per restart epoch) before the
+	// escalation fires.
+	if stats.HealRounds < 2 {
+		t.Fatalf("heal rounds = %d, want at least the per-block budget 2", stats.HealRounds)
+	}
+}
+
+// TestClusterFreshMismatchesDontExhaust pins the per-block heal budget:
+// corruption spread across many blocks — each healing cleanly on its
+// first recompute — must complete even when the number of detections
+// far exceeds HealAttempts. A global budget would escalate to a
+// pristine restart and then a CorruptionError here; the per-block
+// budget never charges a first-time block.
+func TestClusterFreshMismatchesDontExhaust(t *testing.T) {
+	ref := serialRef(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	tbl := testTable(t)
+	var stats Stats
+	opts := testOptions(&stats)
+	opts.Heal = true
+	opts.HealAttempts = 2
+	addr, wait := startCoordinator(ctx, t, tbl, opts)
+	// Rate 0.1 with this seed yields several first-time mismatches
+	// across distinct blocks (6 at generation 0 alone) but no task
+	// corrupt at three consecutive generations, so no per-block budget
+	// of 2 can ever exhaust — only a global budget would.
+	inject := &resilience.Injector{Rate: 0.1, Seed: 13, Kinds: []resilience.FaultKind{resilience.FaultCorrupt}}
+	var wg sync.WaitGroup
+	startWorker(ctx, t, &wg, addr, WorkerOptions{Name: "flaky", Inject: inject})
+	if err := wait(); err != nil {
+		t.Fatalf("Coordinate: %v", err)
+	}
+	cancel()
+	wg.Wait()
+	requireIdentical(t, ref, tbl)
+	t.Logf("mismatches=%d healRounds=%d restarts=%d", stats.SealMismatches, stats.HealRounds, stats.PristineRestarts)
+	if stats.HealRounds <= opts.HealAttempts {
+		t.Fatalf("heal rounds = %d, want more than HealAttempts=%d to prove the budget is per block",
+			stats.HealRounds, opts.HealAttempts)
+	}
+	if stats.PristineRestarts != 0 {
+		t.Fatalf("pristine restarts = %d, want 0: every block healed within its own budget", stats.PristineRestarts)
+	}
+}
+
+// TestClusterCheckpointResume interrupts a run mid-wavefront, then
+// resumes from the NPCK snapshot with fresh workers: the resumed run
+// pre-completes checkpointed tasks and still converges bit-identically.
+// A third run resumes the final checkpoint with no workers at all and
+// must finish instantly.
+func TestClusterCheckpointResume(t *testing.T) {
+	ref := serialRef(t)
+	ckpt := filepath.Join(t.TempDir(), "cluster.npck")
+
+	// Run 1: cancel after 10 accepts; periodic snapshots every 3.
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	tbl1 := testTable(t)
+	var stats1 Stats
+	var once sync.Once
+	opts1 := testOptions(&stats1)
+	opts1.CheckpointPath = ckpt
+	opts1.CheckpointEvery = 3
+	opts1.OnTaskDone = func(completed int, _ sched.Task) {
+		if completed == 10 {
+			once.Do(func() { go cancel1() })
+		}
+	}
+	addr1, wait1 := startCoordinator(ctx1, t, tbl1, opts1)
+	var wg1 sync.WaitGroup
+	startWorker(ctx1, t, &wg1, addr1, WorkerOptions{Name: "w"})
+	if err := wait1(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	wg1.Wait()
+	if stats1.Checkpoints < 1 {
+		t.Fatalf("interrupted run wrote no checkpoints")
+	}
+
+	// Run 2: resume and finish.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel2()
+	tbl2 := testTable(t)
+	var stats2 Stats
+	opts2 := testOptions(&stats2)
+	opts2.CheckpointPath = ckpt
+	opts2.Resume = true
+	opts2.Logf = t.Logf
+	addr2, wait2 := startCoordinator(ctx2, t, tbl2, opts2)
+	var wg2 sync.WaitGroup
+	startWorker(ctx2, t, &wg2, addr2, WorkerOptions{Name: "w"})
+	if err := wait2(); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	cancel2()
+	wg2.Wait()
+	requireIdentical(t, ref, tbl2)
+	if stats2.Resumed < 3 {
+		t.Fatalf("resumed only %d tasks from a checkpoint holding at least one 3-task period", stats2.Resumed)
+	}
+	if stats2.Resumed+stats2.Accepted != stats2.Tasks {
+		t.Fatalf("resumed %d + accepted %d != %d tasks", stats2.Resumed, stats2.Accepted, stats2.Tasks)
+	}
+
+	// Run 3: the final checkpoint covers everything; no workers needed.
+	ctx3, cancel3 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel3()
+	tbl3 := testTable(t)
+	var stats3 Stats
+	opts3 := testOptions(&stats3)
+	opts3.CheckpointPath = ckpt
+	opts3.Resume = true
+	_, wait3 := startCoordinator(ctx3, t, tbl3, opts3)
+	if err := wait3(); err != nil {
+		t.Fatalf("fully-resumed run: %v", err)
+	}
+	requireIdentical(t, ref, tbl3)
+	if stats3.Resumed != stats3.Tasks || stats3.Dispatched != 0 {
+		t.Fatalf("full resume still dispatched work: resumed=%d/%d dispatched=%d", stats3.Resumed, stats3.Tasks, stats3.Dispatched)
+	}
+}
+
+// TestClusterNoWorkers proves a workerless cluster fails loudly with the
+// typed sentinel after the configured wait, never hanging.
+func TestClusterNoWorkers(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	tbl := testTable(t)
+	opts := testOptions(nil)
+	opts.WorkerlessAfter = 300 * time.Millisecond
+	_, wait := startCoordinator(ctx, t, tbl, opts)
+	err := wait()
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("workerless run returned %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestConeAcrossShardCut pins the heal cone's behaviour at shard
+// boundaries: seeding a corner task in the last column of one shard must
+// enumerate its consumers in the next shard exactly once each, and the
+// cone must equal the transitive successor closure.
+func TestConeAcrossShardCut(t *testing.T) {
+	g, err := sched.NewGraph(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSharding(g.SchedTiles, 2)
+	_, cut := s.Cols(0) // first column owned by shard 1
+	if cut <= 0 || cut >= g.SchedTiles {
+		t.Fatalf("degenerate cut %d", cut)
+	}
+	// The corner task of shard 0: topmost row, last owned column.
+	seed, ok := g.TaskID(0, cut-1)
+	if !ok {
+		t.Fatalf("no task at (0,%d)", cut-1)
+	}
+	cone := g.Cone([]int{seed})
+
+	// Oracle: BFS over Succs from the seed.
+	want := map[int]bool{seed: true}
+	frontier := []int{seed}
+	for len(frontier) > 0 {
+		id := frontier[0]
+		frontier = frontier[1:]
+		for _, succ := range g.Tasks[id].Succs {
+			if !want[succ] {
+				want[succ] = true
+				frontier = append(frontier, succ)
+			}
+		}
+	}
+	seen := make(map[int]int)
+	remote := 0
+	for _, id := range cone {
+		seen[id]++
+		if seen[id] > 1 {
+			t.Fatalf("cone lists task %d more than once", id)
+		}
+		if !want[id] {
+			t.Fatalf("cone includes task %d (block %d,%d), not a transitive successor",
+				id, g.Tasks[id].Bi, g.Tasks[id].Bj)
+		}
+		if s.Of(g.Tasks[id].Bj) != 0 {
+			remote++
+		}
+	}
+	if len(cone) != len(want) {
+		t.Fatalf("cone has %d tasks, closure has %d", len(cone), len(want))
+	}
+	if remote == 0 {
+		t.Fatal("cone of a shard-corner task never crossed the cut")
+	}
+	// Every remote consumer in the next shard's first column appears
+	// exactly once: count expected corner-rectangle members there.
+	wantRemote := 0
+	for _, task := range g.Tasks {
+		if want[task.ID] && s.Of(task.Bj) != 0 {
+			wantRemote++
+		}
+	}
+	if remote != wantRemote {
+		t.Fatalf("cone crossed the cut %d times, closure says %d", remote, wantRemote)
+	}
+}

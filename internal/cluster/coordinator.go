@@ -1,0 +1,1025 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"time"
+
+	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/npdp"
+	"cellnpdp/internal/perfmodel"
+	"cellnpdp/internal/resilience"
+	"cellnpdp/internal/sched"
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tableio"
+	"cellnpdp/internal/tri"
+)
+
+// The coordinator is the PPE of the distributed solve: it owns the
+// authoritative table, the dependence graph, the seal table, and a
+// pristine snapshot (the in-memory level-0 checkpoint — same rationale
+// as the single-process healer: the on-disk NPCK snapshot may already
+// hold corrupted bytes, the pristine clone cannot). Workers hold no
+// authoritative state at all; everything a worker computes only becomes
+// real when its result blocks pass the seal audit at install time.
+//
+// Failure model and recovery, one rung past the single-process ladder:
+//
+//	worker death      → re-dispatch its in-flight tasks to survivors
+//	                    (no recompute of installed state — installed
+//	                    blocks are seal-verified and never leave the
+//	                    coordinator)
+//	seal mismatch     → typed *resilience.ErrSealMismatch; with healing
+//	                    on, restore the poisoned cone (sched.Graph.Cone)
+//	                    from the pristine snapshot, bump the cone tasks'
+//	                    generations so stale results can never install,
+//	                    and re-dispatch only the cone
+//	heal exhaustion   → one pristine restart of the whole solve
+//	still corrupt     → typed *resilience.CorruptionError
+//	all workers gone  → wait WorkerlessAfter for reconnects, then a loud
+//	                    typed error (never a hang)
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxInflight     = 2
+	DefaultHeartbeatEvery  = 500 * time.Millisecond
+	DefaultDeadlineAfter   = 5 * time.Second
+	DefaultWorkerlessAfter = 60 * time.Second
+)
+
+// ErrNoWorkers reports that every worker stayed dead past
+// Options.WorkerlessAfter with tasks still outstanding.
+var ErrNoWorkers = errors.New("cluster: no live workers")
+
+// Options configures a coordinator run.
+type Options struct {
+	// Shards is the number of contiguous column shards the scheduling
+	// grid is partitioned into — normally the expected worker count.
+	// Defaults to 1; clamped to the scheduling-column count.
+	Shards int
+	// SchedSide is the scheduling-block side g in memory blocks
+	// (ParallelOptions.SchedSide); 0 means 1.
+	SchedSide int
+	// Stage1 pins the stage-1 kernel for the whole cluster; KernelAuto
+	// consults the Section V calibration once, coordinator-side, and the
+	// choice travels in the welcome so every worker computes with the
+	// same kernel — a requirement for cluster-wide bit-identity.
+	Stage1 perfmodel.Kernel
+	// MaxInflight is the per-worker dispatch pipeline depth; 0 means
+	// DefaultMaxInflight.
+	MaxInflight int
+	// HeartbeatEvery is the ping period (both directions); 0 means
+	// DefaultHeartbeatEvery.
+	HeartbeatEvery time.Duration
+	// DeadlineAfter declares a silent worker dead; 0 means
+	// DefaultDeadlineAfter. It must exceed the worst-case single-task
+	// compute time, since a worker deep in stage 1 does not ping.
+	DeadlineAfter time.Duration
+	// WorkerlessAfter bounds how long the solve waits with zero live
+	// workers before failing with ErrNoWorkers; 0 means
+	// DefaultWorkerlessAfter.
+	WorkerlessAfter time.Duration
+	// Heal enables the poisoned-cone recovery path for seal mismatches.
+	// Disabled, the first mismatch aborts with *resilience.ErrSealMismatch.
+	Heal bool
+	// HealAttempts bounds how many times any single block may fail its
+	// seal and be cone-healed (per restart epoch) before the
+	// pristine-restart rung; 0 means npdp.DefaultHealAttempts. The
+	// budget is per block, not global: fresh corruption on previously
+	// clean blocks never exhausts it, only a block that keeps failing
+	// after recompute does.
+	HealAttempts int
+	// CheckpointPath, when set, receives periodic NPCK snapshots (and a
+	// final one) via the multi-process-safe SaveCheckpointFile.
+	CheckpointPath string
+	// CheckpointEvery writes a snapshot every this many accepted tasks
+	// (0 disables periodic snapshots; the final one still writes).
+	CheckpointEvery int
+	// Resume pre-completes tasks from CheckpointPath when a valid
+	// snapshot with matching geometry exists.
+	Resume bool
+	// Stats, when non-nil, receives the run's counters at exit.
+	Stats *Stats
+	// OnTaskDone, when non-nil, is called from the event loop after each
+	// accepted task with the cumulative accept count — the hook chaos
+	// schedules key worker kills on. It must not block.
+	OnTaskDone func(completed int, task sched.Task)
+	// Logf, when non-nil, receives progress and failure-path logging.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts a coordinator run's work.
+type Stats struct {
+	// Tasks is the graph's task count; Resumed of them were
+	// pre-completed from the checkpoint.
+	Tasks   int
+	Resumed int
+	// PeakWorkers is the maximum concurrently-live worker count.
+	PeakWorkers int
+	// Dispatched counts dispatch frames sent; Accepted counts results
+	// installed; StaleResults counts results dropped for a generation
+	// mismatch (a healed or restarted task's old answer — not an error).
+	Dispatched   int
+	Accepted     int
+	StaleResults int
+	// SealMismatches counts boundary blocks whose bytes failed the
+	// CRC32C seal audit at install time.
+	SealMismatches int
+	// WorkerDeaths counts declared deaths (EOF, read error, heartbeat
+	// deadline); Redispatched counts in-flight tasks requeued by them.
+	WorkerDeaths int
+	Redispatched int
+	// HealRounds / RecomputedTasks / PristineRestarts mirror the
+	// single-process HealStats at cluster granularity.
+	HealRounds       int
+	RecomputedTasks  int
+	PristineRestarts int
+	// Checkpoints / CheckpointErrors count NPCK snapshot writes.
+	Checkpoints      int
+	CheckpointErrors int
+	// BlocksStreamed / BytesStreamed count operand + pristine blocks
+	// sent to workers (the cluster's "DMA traffic").
+	BlocksStreamed int
+	BytesStreamed  int64
+}
+
+// Task lifecycle states.
+const (
+	tsNotReady = iota
+	tsQueued
+	tsInflight
+	tsDone
+)
+
+// session is one live worker connection. All fields are owned by the
+// event loop; the per-session reader goroutine only touches the conn's
+// read half and posts events.
+type session[E semiring.Elem] struct {
+	id      int
+	name    string
+	conn    net.Conn
+	shard   int
+	possess []bool // dense memory-block ID → worker holds the final bytes
+	// inflight is the number of dispatches outstanding on this worker.
+	inflight int
+	lastSeen time.Time
+	dead     bool
+}
+
+type evKind int
+
+const (
+	evConn evKind = iota
+	evResult
+	evPing
+	evFail
+	evDead
+)
+
+type event[E semiring.Elem] struct {
+	kind  evKind
+	conn  net.Conn
+	hello helloMsg
+	sess  *session[E]
+	msg   taskMsg
+	text  string
+	err   error
+}
+
+type coordinator[E semiring.Elem] struct {
+	opts     Options
+	t        *tri.Tiled[E]
+	pristine *tri.Tiled[E]
+	g        *sched.Graph
+	seals    *resilience.SealTable
+	shards   Sharding
+	stage1   perfmodel.Kernel
+
+	state     []int
+	gen       []uint32
+	inflight  map[int]*session[E]
+	queues    [][]int
+	sessions  map[*session[E]]struct{}
+	events    chan event[E]
+	stop      chan struct{}
+	nextSess  int
+	done      int
+	sinceCkpt int
+
+	healRounds       int
+	healCounts       map[int]int // heals per block ID this restart epoch
+	pristineRestarts int
+	noWorkerSince    time.Time
+
+	stats Stats
+}
+
+// Coordinate runs the coordinator side of a distributed solve over the
+// table t, accepting workers on ln until every task is installed and
+// seal-audited. The table is solved in place; on success it is
+// bit-identical to SolveSerial on the same input (same kernels, same
+// dependence-ordered block computation — the schedule cannot change the
+// values). The listener is closed before returning.
+func Coordinate[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Tiled[E], opts Options) error {
+	defer ln.Close()
+	if opts.SchedSide == 0 {
+		opts.SchedSide = 1
+	}
+	if opts.SchedSide < 0 {
+		return fmt.Errorf("cluster: scheduling-block side must be positive, got %d", opts.SchedSide)
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = DefaultMaxInflight
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if opts.DeadlineAfter <= 0 {
+		opts.DeadlineAfter = DefaultDeadlineAfter
+	}
+	if opts.WorkerlessAfter <= 0 {
+		opts.WorkerlessAfter = DefaultWorkerlessAfter
+	}
+	if opts.HealAttempts <= 0 {
+		opts.HealAttempts = npdp.DefaultHealAttempts
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+
+	g, err := sched.NewGraph(t.Blocks(), opts.SchedSide)
+	if err != nil {
+		return err
+	}
+	sel := opts.Stage1
+	var e E
+	if sel == perfmodel.KernelAuto {
+		_, isF32 := any(e).(float32)
+		sel = perfmodel.PickKernel(perfmodel.Shape{Block: t.Tile(), N: t.Len(), Float32: isF32},
+			runtime.GOARCH, kernel.VectorISA())
+	}
+	// Resolving validates the pin (and rejects the lattice kernel) with
+	// the exact rules workers will apply.
+	if _, err := npdp.ResolveStage1(sel, t); err != nil {
+		return err
+	}
+
+	m := t.Blocks()
+	co := &coordinator[E]{
+		opts:       opts,
+		t:          t,
+		g:          g,
+		seals:      resilience.NewSealTable(m * (m + 1) / 2),
+		shards:     NewSharding(g.SchedTiles, opts.Shards),
+		stage1:     sel,
+		state:      make([]int, len(g.Tasks)),
+		gen:        make([]uint32, len(g.Tasks)),
+		inflight:   make(map[int]*session[E]),
+		sessions:   make(map[*session[E]]struct{}),
+		healCounts: make(map[int]int),
+		events:     make(chan event[E], 256),
+		stop:       make(chan struct{}),
+	}
+	co.queues = make([][]int, co.shards.NumShards())
+	co.stats.Tasks = len(g.Tasks)
+
+	if err := co.resume(); err != nil {
+		return err
+	}
+	// The pristine snapshot is taken after resume, so checkpoint-restored
+	// blocks count as known-good state (their tasks stay done across a
+	// heal; min-plus relaxation is idempotent, so even a restored-final
+	// block recomputes bit-identically).
+	co.pristine = t.Clone()
+	for _, task := range g.Tasks {
+		if co.state[task.ID] != tsDone && co.depsDone(task.ID) {
+			co.enqueue(task.ID)
+		}
+	}
+
+	go co.acceptLoop(ln)
+	err = co.run(ctx)
+	close(co.stop)
+	ln.Close()
+	for sess := range co.sessions {
+		sess.conn.Close()
+	}
+	if opts.Stats != nil {
+		co.stats.HealRounds = co.healRounds
+		co.stats.PristineRestarts = co.pristineRestarts
+		*opts.Stats = co.stats
+	}
+	return err
+}
+
+// run is the single-goroutine event loop; every piece of solve state is
+// confined to it.
+func (co *coordinator[E]) run(ctx context.Context) error {
+	ticker := time.NewTicker(co.opts.HeartbeatEvery)
+	defer ticker.Stop()
+	if done, err := co.maybeFinish(); done || err != nil {
+		return err // a resume can already be complete
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			co.broadcastFail("coordinator context canceled")
+			return ctx.Err()
+		case now := <-ticker.C:
+			if err := co.tick(now); err != nil {
+				co.broadcastFail(err.Error())
+				return err
+			}
+		case ev := <-co.events:
+			finished, err := co.handle(ev)
+			if err != nil {
+				co.broadcastFail(err.Error())
+				return err
+			}
+			if finished {
+				return nil
+			}
+		}
+	}
+}
+
+// handle processes one event; finished=true means every task installed
+// and the final audit passed.
+func (co *coordinator[E]) handle(ev event[E]) (finished bool, err error) {
+	switch ev.kind {
+	case evConn:
+		co.admit(ev.conn, ev.hello)
+	case evPing:
+		if !ev.sess.dead {
+			ev.sess.lastSeen = time.Now()
+		}
+	case evFail:
+		co.opts.Logf("cluster: worker %s failed: %s", ev.sess.name, ev.text)
+		co.declareDead(ev.sess, errors.New(ev.text))
+	case evDead:
+		co.declareDead(ev.sess, ev.err)
+	case evResult:
+		if ev.sess.dead {
+			co.stats.StaleResults++
+			return false, nil
+		}
+		ev.sess.lastSeen = time.Now()
+		return co.install(ev.sess, ev.msg)
+	}
+	return false, nil
+}
+
+// tick runs the heartbeat pass: deadline dead workers, ping the rest,
+// and bound the zero-worker wait.
+func (co *coordinator[E]) tick(now time.Time) error {
+	for sess := range co.sessions {
+		if now.Sub(sess.lastSeen) > co.opts.DeadlineAfter {
+			co.opts.Logf("cluster: worker %s missed heartbeat deadline (%v)", sess.name, co.opts.DeadlineAfter)
+			co.declareDead(sess, fmt.Errorf("heartbeat deadline %v exceeded", co.opts.DeadlineAfter))
+			continue
+		}
+		co.send(sess, framePing, nil)
+	}
+	if len(co.sessions) == 0 && co.done < len(co.g.Tasks) {
+		if co.noWorkerSince.IsZero() {
+			co.noWorkerSince = now
+		} else if now.Sub(co.noWorkerSince) > co.opts.WorkerlessAfter {
+			return fmt.Errorf("%w for %v with %d/%d tasks outstanding",
+				ErrNoWorkers, co.opts.WorkerlessAfter, len(co.g.Tasks)-co.done, len(co.g.Tasks))
+		}
+	} else {
+		co.noWorkerSince = time.Time{}
+	}
+	return nil
+}
+
+// acceptLoop admits connections: it performs the blocking hello read off
+// the event loop, then hands the connection over.
+func (co *coordinator[E]) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed at shutdown
+		}
+		go func(conn net.Conn) {
+			conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+			typ, payload, err := readFrame(conn)
+			if err != nil || typ != frameHello {
+				conn.Close()
+				return
+			}
+			hello, err := decodeHello(payload)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			conn.SetReadDeadline(time.Time{})
+			co.post(event[E]{kind: evConn, conn: conn, hello: hello})
+		}(conn)
+	}
+}
+
+// post delivers an event unless the coordinator already shut down.
+func (co *coordinator[E]) post(ev event[E]) {
+	select {
+	case co.events <- ev:
+	case <-co.stop:
+		if ev.conn != nil {
+			ev.conn.Close()
+		}
+	}
+}
+
+// admit turns a hello'd connection into a live session on the
+// least-loaded shard and starts its reader.
+func (co *coordinator[E]) admit(conn net.Conn, hello helloMsg) {
+	shard, least := 0, -1
+	live := make([]int, co.shards.NumShards())
+	for sess := range co.sessions {
+		live[sess.shard]++
+	}
+	for s, n := range live {
+		if least < 0 || n < least {
+			shard, least = s, n
+		}
+	}
+	sess := &session[E]{
+		id:       co.nextSess,
+		name:     fmt.Sprintf("%s#%d", hello.Name, co.nextSess),
+		conn:     conn,
+		shard:    shard,
+		possess:  make([]bool, co.seals.Len()),
+		lastSeen: time.Now(),
+	}
+	co.nextSess++
+	var e E
+	welcome := welcomeMsg{
+		ElemBytes:   tableio.ElemWidth(e),
+		N:           co.t.Len(),
+		Tile:        co.t.Tile(),
+		SchedSide:   co.opts.SchedSide,
+		Shards:      co.shards.NumShards(),
+		Slot:        shard,
+		Stage1:      uint8(co.stage1),
+		HeartbeatMS: uint32(co.opts.HeartbeatEvery / time.Millisecond),
+		DeadlineMS:  uint32(co.opts.DeadlineAfter / time.Millisecond),
+	}
+	co.sessions[sess] = struct{}{}
+	if len(co.sessions) > co.stats.PeakWorkers {
+		co.stats.PeakWorkers = len(co.sessions)
+	}
+	co.opts.Logf("cluster: worker %s joined (shard %d of %d)", sess.name, shard, co.shards.NumShards())
+	if !co.send(sess, frameWelcome, welcome.encode()) {
+		return
+	}
+	go co.readLoop(sess)
+	co.fill(sess)
+}
+
+// readLoop decodes a session's frames and posts them to the event loop.
+func (co *coordinator[E]) readLoop(sess *session[E]) {
+	for {
+		// The read deadline is a backstop only; liveness is judged by the
+		// event loop against lastSeen.
+		sess.conn.SetReadDeadline(time.Now().Add(2 * co.opts.DeadlineAfter))
+		typ, payload, err := readFrame(sess.conn)
+		if err != nil {
+			co.post(event[E]{kind: evDead, sess: sess, err: err})
+			return
+		}
+		switch typ {
+		case frameResult:
+			msg, err := decodeTaskMsg(payload)
+			if err != nil {
+				co.post(event[E]{kind: evDead, sess: sess, err: err})
+				return
+			}
+			co.post(event[E]{kind: evResult, sess: sess, msg: msg})
+		case framePing:
+			co.post(event[E]{kind: evPing, sess: sess})
+		case frameFail:
+			f, _ := decodeFail(payload)
+			co.post(event[E]{kind: evFail, sess: sess, text: f.Reason})
+			return
+		default:
+			co.post(event[E]{kind: evDead, sess: sess, err: fmt.Errorf("unexpected frame type %d", typ)})
+			return
+		}
+	}
+}
+
+// send writes one frame with a write deadline; failure declares the
+// session dead. Returns whether the send succeeded.
+func (co *coordinator[E]) send(sess *session[E], typ byte, payload []byte) bool {
+	if sess.dead {
+		return false
+	}
+	sess.conn.SetWriteDeadline(time.Now().Add(co.opts.DeadlineAfter))
+	if err := writeFrame(sess.conn, typ, payload); err != nil {
+		co.declareDead(sess, fmt.Errorf("write: %w", err))
+		return false
+	}
+	return true
+}
+
+// declareDead removes a session and requeues its in-flight tasks at the
+// front of their shard queues — the death-recovery rung of the ladder.
+func (co *coordinator[E]) declareDead(sess *session[E], cause error) {
+	if sess.dead {
+		return
+	}
+	sess.dead = true
+	delete(co.sessions, sess)
+	sess.conn.Close() // a zombie's late frames can never arrive
+	co.stats.WorkerDeaths++
+	var requeued []int
+	for id, s := range co.inflight {
+		if s == sess {
+			requeued = append(requeued, id)
+		}
+	}
+	sort.Ints(requeued)
+	for _, id := range requeued {
+		delete(co.inflight, id)
+		co.state[id] = tsQueued
+		q := co.taskShard(id)
+		co.queues[q] = append([]int{id}, co.queues[q]...)
+	}
+	co.stats.Redispatched += len(requeued)
+	co.opts.Logf("cluster: worker %s dead (%v); requeued %d in-flight tasks", sess.name, cause, len(requeued))
+	co.fillAll()
+}
+
+// taskShard maps a task to the shard owning its scheduling column.
+func (co *coordinator[E]) taskShard(id int) int { return co.shards.Of(co.g.Tasks[id].Bj) }
+
+// depsDone reports whether every predecessor of task id is installed.
+func (co *coordinator[E]) depsDone(id int) bool {
+	for _, d := range co.g.Tasks[id].Deps {
+		if co.state[d] != tsDone {
+			return false
+		}
+	}
+	return true
+}
+
+// enqueue marks a task ready on its home shard's queue.
+func (co *coordinator[E]) enqueue(id int) {
+	co.state[id] = tsQueued
+	q := co.taskShard(id)
+	co.queues[q] = append(co.queues[q], id)
+}
+
+// fill pipelines dispatches to one worker up to MaxInflight: its own
+// shard's queue first, then work stealing from the lowest-index
+// non-empty queue so a dead shard's backlog drains through survivors.
+func (co *coordinator[E]) fill(sess *session[E]) {
+	for !sess.dead && sess.inflight < co.opts.MaxInflight {
+		q := sess.shard
+		if len(co.queues[q]) == 0 {
+			q = -1
+			for s := range co.queues {
+				if len(co.queues[s]) > 0 {
+					q = s
+					break
+				}
+			}
+			if q < 0 {
+				return
+			}
+		}
+		id := co.queues[q][0]
+		co.queues[q] = co.queues[q][1:]
+		co.dispatch(sess, id)
+	}
+}
+
+// fillAll tops up every live worker, lowest session ID first for
+// deterministic test schedules.
+func (co *coordinator[E]) fillAll() {
+	order := make([]*session[E], 0, len(co.sessions))
+	for sess := range co.sessions {
+		order = append(order, sess)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].id < order[j].id })
+	for _, sess := range order {
+		co.fill(sess)
+	}
+}
+
+// dispatch streams one task to a worker: the task's operand blocks at
+// their installed final values plus its own blocks at pristine values —
+// each only if the worker does not already hold those exact bytes, each
+// carrying its CRC32C seal. This is the DMA-of-nearest-operands step of
+// the paper's SPE procedure, lifted to the wire.
+func (co *coordinator[E]) dispatch(sess *session[E], id int) {
+	task := co.g.Tasks[id]
+	msg := taskMsg{Gen: co.gen[id], TaskID: id}
+	addBlock := func(bi, bj int, final bool) {
+		bid := co.t.BlockID(bi, bj)
+		if sess.possess[bid] {
+			return
+		}
+		raw := encodeCells(co.t.Block(bi, bj))
+		msg.Blocks = append(msg.Blocks, wireBlock{Bi: bi, Bj: bj, CRC: rawCRC(raw), Raw: raw})
+		if final {
+			// Operands are final; own pristine blocks are not — the
+			// worker overwrites them, so they are never "possessed".
+			sess.possess[bid] = true
+		}
+		co.stats.BlocksStreamed++
+		co.stats.BytesStreamed += int64(len(raw))
+	}
+	for _, mb := range operandBlocks(task) {
+		addBlock(mb[0], mb[1], true)
+	}
+	for _, mb := range task.MemoryBlockOrder() {
+		addBlock(mb[0], mb[1], false)
+	}
+	co.state[id] = tsInflight
+	co.inflight[id] = sess
+	sess.inflight++
+	co.stats.Dispatched++
+	co.send(sess, frameDispatch, msg.encode())
+}
+
+// operandBlocks enumerates the memory blocks outside task that any of
+// its own blocks reads: the stage-1 row/column interiors plus the two
+// stage-2 diagonal blocks, deduplicated, in deterministic order.
+func operandBlocks(task sched.Task) [][2]int {
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	inTask := func(a, b int) bool {
+		return a >= task.RowLo && a < task.RowHi && b >= task.ColLo && b < task.ColHi
+	}
+	add := func(a, b int) {
+		if inTask(a, b) {
+			return
+		}
+		k := [2]int{a, b}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, mb := range task.MemoryBlockOrder() {
+		mi, mj := mb[0], mb[1]
+		if mi == mj {
+			continue // Stage2Diag is in-place
+		}
+		add(mi, mi)
+		add(mj, mj)
+		for k := mi + 1; k < mj; k++ {
+			add(mi, k)
+			add(k, mj)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// install audits and installs one result. A generation mismatch is a
+// stale-version boundary block — a healed or restarted task's old
+// answer — and is dropped without error; a CRC mismatch is transport or
+// memory corruption and enters the heal ladder.
+func (co *coordinator[E]) install(sess *session[E], msg taskMsg) (finished bool, err error) {
+	id := msg.TaskID
+	if id < 0 || id >= len(co.g.Tasks) {
+		co.declareDead(sess, fmt.Errorf("result for unknown task %d", id))
+		return false, nil
+	}
+	if msg.Gen != co.gen[id] || co.state[id] != tsInflight || co.inflight[id] != sess {
+		co.stats.StaleResults++
+		// The dispatch pipeline slot is only released if this session
+		// still owns one for the task; a heal already released it.
+		co.fill(sess)
+		return false, nil
+	}
+	task := co.g.Tasks[id]
+	own := task.MemoryBlockOrder()
+	if len(msg.Blocks) != len(own) {
+		co.declareDead(sess, fmt.Errorf("result for task %d carries %d blocks, want %d", id, len(msg.Blocks), len(own)))
+		return false, nil
+	}
+	var e E
+	width := tableio.ElemWidth(e)
+	for i, wb := range msg.Blocks {
+		if wb.Bi != own[i][0] || wb.Bj != own[i][1] || len(wb.Raw) != width*co.t.Tile()*co.t.Tile() {
+			co.declareDead(sess, fmt.Errorf("result for task %d block %d malformed", id, i))
+			return false, nil
+		}
+		if got := rawCRC(wb.Raw); got != wb.CRC {
+			co.stats.SealMismatches++
+			mismatch := &resilience.ErrSealMismatch{
+				Bi: wb.Bi, Bj: wb.Bj,
+				BlockID: co.t.BlockID(wb.Bi, wb.Bj),
+				TaskID:  id,
+				Want:    wb.CRC, Got: got,
+			}
+			co.opts.Logf("cluster: %v (worker %s, gen %d)", mismatch, sess.name, msg.Gen)
+			if !co.opts.Heal {
+				return false, fmt.Errorf("cluster: installing boundary block from worker %s: %w", sess.name, mismatch)
+			}
+			sess.inflight--
+			delete(co.inflight, id)
+			co.state[id] = tsNotReady
+			return false, co.heal([]int{id}, [][2]int{{wb.Bi, wb.Bj}})
+		}
+	}
+	// The whole result audited clean; install it.
+	for _, wb := range msg.Blocks {
+		bid := co.t.BlockID(wb.Bi, wb.Bj)
+		if err := decodeCells(co.t.Block(wb.Bi, wb.Bj), wb.Raw); err != nil {
+			co.declareDead(sess, err)
+			return false, nil
+		}
+		co.seals.Seal(bid, wb.CRC)
+		// A clean install resets the block's heal budget: escalation is
+		// for a block that fails *consecutively* after recompute, not one
+		// that accumulates unlucky rolls across many cone re-executions.
+		delete(co.healCounts, bid)
+		sess.possess[bid] = true
+	}
+	sess.inflight--
+	delete(co.inflight, id)
+	co.state[id] = tsDone
+	co.done++
+	co.stats.Accepted++
+	for _, succ := range task.Succs {
+		if co.state[succ] == tsNotReady && co.depsDone(succ) {
+			co.enqueue(succ)
+		}
+	}
+	if co.opts.OnTaskDone != nil {
+		co.opts.OnTaskDone(co.done, task)
+	}
+	co.maybeCheckpoint()
+	if done, err := co.maybeFinish(); done || err != nil {
+		return done, err
+	}
+	co.fillAll()
+	return false, nil
+}
+
+// heal is the poisoned-cone rung, generalized across process
+// boundaries: restore every cone block from the pristine snapshot,
+// unseal it, forget every worker's copy of it, bump the cone tasks'
+// generations (so any result already in flight for the old dispatch is
+// recognizably stale), and re-dispatch only the cone. Exhaustion
+// escalates to one pristine restart, then to a typed CorruptionError.
+func (co *coordinator[E]) heal(seedTasks []int, badBlocks [][2]int) error {
+	// The HealAttempts budget is charged per block, not per detection.
+	// Fresh corruption on a previously clean block is the fault source
+	// still at work, and healing it is this rung doing its job — at
+	// scale, first-time detections alone would exhaust any constant
+	// global budget (the single-process ladder has the same shape: its
+	// rounds heal whole audit batches). The non-convergence signal worth
+	// escalating on is a block that fails its seal HealAttempts+1 times
+	// *consecutively* — clean installs reset its count.
+	worst := 0
+	for _, mb := range badBlocks {
+		if c := co.healCounts[co.t.BlockID(mb[0], mb[1])]; c > worst {
+			worst = c
+		}
+	}
+	if worst >= co.opts.HealAttempts {
+		if co.pristineRestarts == 0 {
+			co.opts.Logf("cluster: per-block heal budget (%d) exhausted; pristine restart", co.opts.HealAttempts)
+			co.restartAll()
+			return nil
+		}
+		return &resilience.CorruptionError{Blocks: badBlocks, TaskIDs: seedTasks, Healed: worst}
+	}
+	for _, mb := range badBlocks {
+		co.healCounts[co.t.BlockID(mb[0], mb[1])]++
+	}
+	co.healRounds++
+	cone := co.g.Cone(seedTasks)
+	for _, id := range cone {
+		co.resetTask(id)
+	}
+	// Queued cone members were reset to tsNotReady above; drop them.
+	co.purgeQueues()
+	for _, id := range cone {
+		if co.depsDone(id) {
+			co.enqueue(id)
+		}
+	}
+	co.stats.RecomputedTasks += len(cone)
+	co.opts.Logf("cluster: heal round %d: re-dispatching %d-task cone of %v", co.healRounds, len(cone), seedTasks)
+	co.fillAll()
+	return nil
+}
+
+// resetTask reverts one task to not-run: pristine blocks, no seals, no
+// possession anywhere, generation bumped, completion undone.
+func (co *coordinator[E]) resetTask(id int) {
+	for _, mb := range co.g.Tasks[id].MemoryBlockOrder() {
+		bid := co.t.BlockID(mb[0], mb[1])
+		copy(co.t.Block(mb[0], mb[1]), co.pristine.Block(mb[0], mb[1]))
+		co.seals.Unseal(bid)
+		for sess := range co.sessions {
+			sess.possess[bid] = false
+		}
+	}
+	if co.state[id] == tsDone {
+		co.done--
+	}
+	if s, ok := co.inflight[id]; ok {
+		s.inflight--
+		delete(co.inflight, id)
+	}
+	co.state[id] = tsNotReady
+	co.gen[id]++
+}
+
+// purgeQueues drops queue entries whose state is no longer queued.
+func (co *coordinator[E]) purgeQueues() {
+	for s := range co.queues {
+		kept := co.queues[s][:0]
+		for _, id := range co.queues[s] {
+			if co.state[id] == tsQueued {
+				kept = append(kept, id)
+			}
+		}
+		co.queues[s] = kept
+	}
+}
+
+// restartAll is the pristine-restart rung: the whole solve reverts to
+// the in-memory level-0 snapshot and runs once more with every
+// generation bumped. Per-block heal counts reset with it — the state
+// they described was wiped, so the fresh epoch gets a fresh budget.
+func (co *coordinator[E]) restartAll() {
+	for id := range co.g.Tasks {
+		co.resetTask(id)
+	}
+	co.purgeQueues()
+	co.healCounts = make(map[int]int)
+	co.pristineRestarts++
+	co.stats.RecomputedTasks += len(co.g.Tasks)
+	for _, task := range co.g.Tasks {
+		if co.depsDone(task.ID) {
+			co.enqueue(task.ID)
+		}
+	}
+	co.fillAll()
+}
+
+// maybeFinish runs the completion check: all tasks installed, then a
+// full post-solve seal audit (the defense against coordinator-side
+// memory corruption after install). A clean audit writes the final
+// checkpoint, releases the workers, and ends the run.
+func (co *coordinator[E]) maybeFinish() (bool, error) {
+	if co.done < len(co.g.Tasks) {
+		return false, nil
+	}
+	if bad, tasks := co.audit(); len(bad) > 0 {
+		co.stats.SealMismatches += len(bad)
+		if !co.opts.Heal {
+			return false, &resilience.CorruptionError{Blocks: bad, TaskIDs: tasks, Healed: 0}
+		}
+		return false, co.heal(tasks, bad)
+	}
+	co.finalCheckpoint()
+	for sess := range co.sessions {
+		co.send(sess, frameDone, nil)
+	}
+	return true, nil
+}
+
+// audit re-digests every sealed block against its seal.
+func (co *coordinator[E]) audit() (bad [][2]int, tasks []int) {
+	seen := make(map[int]bool)
+	for _, task := range co.g.Tasks {
+		for _, mb := range task.MemoryBlockOrder() {
+			bid := co.t.BlockID(mb[0], mb[1])
+			want, ok := co.seals.Sealed(bid)
+			if !ok {
+				continue
+			}
+			if resilience.BlockCRC(co.t.Block(mb[0], mb[1])) != want {
+				bad = append(bad, mb)
+				if !seen[task.ID] {
+					seen[task.ID] = true
+					tasks = append(tasks, task.ID)
+				}
+			}
+		}
+	}
+	return bad, tasks
+}
+
+// maybeCheckpoint writes a periodic NPCK snapshot.
+func (co *coordinator[E]) maybeCheckpoint() {
+	co.sinceCkpt++
+	if co.opts.CheckpointPath == "" || co.opts.CheckpointEvery <= 0 || co.sinceCkpt < co.opts.CheckpointEvery {
+		return
+	}
+	co.sinceCkpt = 0
+	co.writeCheckpoint()
+}
+
+// finalCheckpoint persists the completed solve when a path is set.
+func (co *coordinator[E]) finalCheckpoint() {
+	if co.opts.CheckpointPath == "" {
+		return
+	}
+	co.writeCheckpoint()
+}
+
+func (co *coordinator[E]) writeCheckpoint() {
+	var e E
+	meta := resilience.Meta{
+		N: co.t.Len(), Tile: co.t.Tile(), SchedSide: co.opts.SchedSide,
+		Tasks: len(co.g.Tasks), ElemBytes: tableio.ElemWidth(e),
+	}
+	done := make([]bool, len(co.g.Tasks))
+	var blocks [][2]int
+	for _, task := range co.g.Tasks {
+		if co.state[task.ID] == tsDone {
+			done[task.ID] = true
+			blocks = append(blocks, task.MemoryBlockOrder()...)
+		}
+	}
+	if err := resilience.SaveCheckpointFile(co.opts.CheckpointPath, meta, done, co.t, blocks); err != nil {
+		co.stats.CheckpointErrors++
+		co.opts.Logf("cluster: checkpoint write failed: %v", err)
+		return
+	}
+	co.stats.Checkpoints++
+}
+
+// resume pre-completes tasks from the checkpoint file, sealing restored
+// blocks so audits cover resumed state. The stale-temp sweep runs first
+// and is pid-aware, so a peer coordinator sharing the directory keeps
+// its in-flight temp.
+func (co *coordinator[E]) resume() error {
+	if !co.opts.Resume || co.opts.CheckpointPath == "" {
+		return nil
+	}
+	if _, err := resilience.RemoveStaleTemps(co.opts.CheckpointPath); err != nil {
+		co.opts.Logf("cluster: stale-temp sweep: %v", err)
+	}
+	ck, err := resilience.LoadCheckpointFile[E](co.opts.CheckpointPath)
+	if errors.Is(err, resilience.ErrNoCheckpoint) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: resume: %w", err)
+	}
+	if err := ck.Matches(co.t.Len(), co.t.Tile(), co.opts.SchedSide); err != nil {
+		co.opts.Logf("cluster: ignoring checkpoint: %v", err)
+		return nil
+	}
+	for _, task := range co.g.Tasks {
+		if !ck.Done[task.ID] {
+			continue
+		}
+		complete := true
+		for _, mb := range task.MemoryBlockOrder() {
+			if !ck.HasBlock(mb[0], mb[1]) {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			co.opts.Logf("cluster: checkpoint marks task %d done but lacks its blocks; recomputing it", task.ID)
+			continue
+		}
+		co.state[task.ID] = tsDone
+		co.done++
+		co.stats.Resumed++
+	}
+	if err := ck.Apply(co.t); err != nil {
+		return fmt.Errorf("cluster: resume: %w", err)
+	}
+	for _, task := range co.g.Tasks {
+		if co.state[task.ID] != tsDone {
+			continue
+		}
+		for _, mb := range task.MemoryBlockOrder() {
+			co.seals.Seal(co.t.BlockID(mb[0], mb[1]), resilience.BlockCRC(co.t.Block(mb[0], mb[1])))
+		}
+	}
+	co.opts.Logf("cluster: resumed %d/%d tasks from %s", co.stats.Resumed, len(co.g.Tasks), co.opts.CheckpointPath)
+	return nil
+}
+
+// broadcastFail tells every live worker the run is over and why, so
+// they exit instead of reconnecting into a void.
+func (co *coordinator[E]) broadcastFail(reason string) {
+	payload := failMsg{Reason: reason}.encode()
+	for sess := range co.sessions {
+		co.send(sess, frameFail, payload)
+	}
+}

@@ -1,0 +1,344 @@
+// Package cluster implements the sharded coordinator/worker solve
+// protocol: the coordinator owns the authoritative table and the task
+// dependence graph, partitions the scheduling-block grid into contiguous
+// column shards, and streams sealed operand blocks to worker processes
+// that execute tasks with the same engine code path the single-process
+// solvers use. The mapping onto the paper is direct: the coordinator
+// plays the PPE (it owns main memory and the scheduler), the workers
+// play the SPE ring (each computes blocks in its local store), and the
+// boundary-block streaming is the DMA of nearest-block operands —
+// except here every transfer carries a CRC32C seal, so silent transport
+// or memory corruption is detected at install time and healed with the
+// poisoned-cone recompute of the single-process engines (see DESIGN.md
+// §10).
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tableio"
+)
+
+// Wire format: length-prefixed frames, every frame checksummed.
+//
+//	type    uint8   frame kind
+//	length  uint32  payload byte count (LE)
+//	payload length bytes
+//	crc     uint32  CRC32C of type byte + payload (LE)
+//
+// Messages (payload layouts, all little-endian):
+//
+//	hello    magic "NPCL", version uint16, nameLen uint16, name
+//	welcome  version uint16, elem uint16, n uint64, tile uint32,
+//	         sched uint32, shards uint32, slot uint32, stage1 uint8,
+//	         heartbeatMS uint32, deadlineMS uint32
+//	dispatch gen uint32, task uint32, nblocks uint32, then per block:
+//	         bi uint32, bj uint32, crc uint32, nbytes uint32, cells
+//	result   same layout as dispatch
+//	ping     empty
+//	done     empty
+//	fail     msgLen uint16, message
+//
+// Block cells travel in the canonical tableio element encoding
+// (little-endian at the element width), so the per-block crc field —
+// CRC32C over exactly those bytes — is by construction the same value
+// resilience.BlockCRC computes over the decoded cells. One digest
+// serves as both the transport check and the block seal.
+
+// ProtoMagic opens every hello.
+const ProtoMagic = "NPCL"
+
+// ProtoVersion is the current protocol version; coordinator and worker
+// must match exactly.
+const ProtoVersion uint16 = 1
+
+// Frame kinds.
+const (
+	frameHello byte = iota + 1
+	frameWelcome
+	frameDispatch
+	frameResult
+	framePing
+	frameDone
+	frameFail
+)
+
+// maxFramePayload bounds what a reader will buffer for one frame. The
+// largest legitimate frame is a dispatch carrying a long operand row of
+// memory blocks; 1 GiB clears any geometry the checkpoint codec accepts
+// while still rejecting a nonsense length before allocation.
+const maxFramePayload = 1 << 30
+
+// castagnoli is the CRC32C table shared by frame checksums and block
+// seals (the same polynomial resilience.BlockCRC uses).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// writeFrame emits one checksummed frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	crc := crc32.Update(crc32.Checksum(hdr[:1], castagnoli), castagnoli, payload)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("cluster: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("cluster: writing frame payload: %w", err)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	if _, err := w.Write(tail[:]); err != nil {
+		return fmt.Errorf("cluster: writing frame checksum: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads and verifies one frame.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("cluster: frame payload %d exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("cluster: reading frame payload: %w", err)
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return 0, nil, fmt.Errorf("cluster: reading frame checksum: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(tail[:])
+	got := crc32.Update(crc32.Checksum(hdr[:1], castagnoli), castagnoli, payload)
+	if got != want {
+		return 0, nil, fmt.Errorf("cluster: frame checksum mismatch: got %08x, want %08x", got, want)
+	}
+	return hdr[0], payload, nil
+}
+
+// helloMsg is a worker's opening frame.
+type helloMsg struct {
+	Name string
+}
+
+func (m helloMsg) encode() []byte {
+	buf := make([]byte, 0, 8+len(m.Name))
+	buf = append(buf, ProtoMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, ProtoVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Name)))
+	return append(buf, m.Name...)
+}
+
+func decodeHello(p []byte) (helloMsg, error) {
+	if len(p) < 8 || string(p[:4]) != ProtoMagic {
+		return helloMsg{}, fmt.Errorf("cluster: bad hello magic")
+	}
+	if v := binary.LittleEndian.Uint16(p[4:]); v != ProtoVersion {
+		return helloMsg{}, fmt.Errorf("cluster: protocol version %d, want %d", v, ProtoVersion)
+	}
+	n := int(binary.LittleEndian.Uint16(p[6:]))
+	if len(p) != 8+n {
+		return helloMsg{}, fmt.Errorf("cluster: hello length mismatch")
+	}
+	return helloMsg{Name: string(p[8:])}, nil
+}
+
+// welcomeMsg is the coordinator's job description: everything a worker
+// needs to rebuild the scheduling graph, size its local table, and pin
+// the same stage-1 kernel the coordinator selected (bit-identity across
+// the cluster requires one kernel choice for the whole solve).
+type welcomeMsg struct {
+	ElemBytes   int
+	N           int
+	Tile        int
+	SchedSide   int
+	Shards      int
+	Slot        int
+	Stage1      uint8
+	HeartbeatMS uint32
+	DeadlineMS  uint32
+}
+
+func (m welcomeMsg) encode() []byte {
+	buf := make([]byte, 0, 37)
+	buf = binary.LittleEndian.AppendUint16(buf, ProtoVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(m.ElemBytes))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.N))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Tile))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.SchedSide))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Shards))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Slot))
+	buf = append(buf, m.Stage1)
+	buf = binary.LittleEndian.AppendUint32(buf, m.HeartbeatMS)
+	return binary.LittleEndian.AppendUint32(buf, m.DeadlineMS)
+}
+
+func decodeWelcome(p []byte) (welcomeMsg, error) {
+	if len(p) != 37 {
+		return welcomeMsg{}, fmt.Errorf("cluster: welcome length %d, want 37", len(p))
+	}
+	if v := binary.LittleEndian.Uint16(p[0:]); v != ProtoVersion {
+		return welcomeMsg{}, fmt.Errorf("cluster: protocol version %d, want %d", v, ProtoVersion)
+	}
+	m := welcomeMsg{
+		ElemBytes:   int(binary.LittleEndian.Uint16(p[2:])),
+		N:           int(binary.LittleEndian.Uint64(p[4:])),
+		Tile:        int(binary.LittleEndian.Uint32(p[12:])),
+		SchedSide:   int(binary.LittleEndian.Uint32(p[16:])),
+		Shards:      int(binary.LittleEndian.Uint32(p[20:])),
+		Slot:        int(binary.LittleEndian.Uint32(p[24:])),
+		Stage1:      p[28],
+		HeartbeatMS: binary.LittleEndian.Uint32(p[29:]),
+		DeadlineMS:  binary.LittleEndian.Uint32(p[33:]),
+	}
+	if m.ElemBytes != 4 && m.ElemBytes != 8 {
+		return welcomeMsg{}, fmt.Errorf("cluster: welcome element width %d not 4 or 8", m.ElemBytes)
+	}
+	if m.N <= 0 || m.Tile <= 0 || m.SchedSide <= 0 || m.Shards <= 0 {
+		return welcomeMsg{}, fmt.Errorf("cluster: welcome geometry implausible: %+v", m)
+	}
+	return m, nil
+}
+
+// wireBlock is one memory block in flight: its tile coordinates, its
+// CRC32C seal, and its cells in canonical element encoding.
+type wireBlock struct {
+	Bi, Bj int
+	CRC    uint32
+	Raw    []byte
+}
+
+// taskMsg is the shared payload of dispatch and result frames: one task,
+// the dispatch generation it belongs to, and the blocks travelling with
+// it (operands + pristine own blocks outward, computed own blocks back).
+type taskMsg struct {
+	Gen    uint32
+	TaskID int
+	Blocks []wireBlock
+}
+
+func (m taskMsg) encode() []byte {
+	size := 12
+	for _, b := range m.Blocks {
+		size += 16 + len(b.Raw)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Gen)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.TaskID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Blocks)))
+	for _, b := range m.Blocks {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(b.Bi))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(b.Bj))
+		buf = binary.LittleEndian.AppendUint32(buf, b.CRC)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Raw)))
+		buf = append(buf, b.Raw...)
+	}
+	return buf
+}
+
+func decodeTaskMsg(p []byte) (taskMsg, error) {
+	if len(p) < 12 {
+		return taskMsg{}, fmt.Errorf("cluster: task message truncated")
+	}
+	m := taskMsg{
+		Gen:    binary.LittleEndian.Uint32(p[0:]),
+		TaskID: int(binary.LittleEndian.Uint32(p[4:])),
+	}
+	nblocks := int(binary.LittleEndian.Uint32(p[8:]))
+	off := 12
+	m.Blocks = make([]wireBlock, 0, nblocks)
+	for b := 0; b < nblocks; b++ {
+		if len(p)-off < 16 {
+			return taskMsg{}, fmt.Errorf("cluster: block header %d truncated", b)
+		}
+		wb := wireBlock{
+			Bi:  int(binary.LittleEndian.Uint32(p[off:])),
+			Bj:  int(binary.LittleEndian.Uint32(p[off+4:])),
+			CRC: binary.LittleEndian.Uint32(p[off+8:]),
+		}
+		nbytes := int(binary.LittleEndian.Uint32(p[off+12:]))
+		off += 16
+		if len(p)-off < nbytes {
+			return taskMsg{}, fmt.Errorf("cluster: block %d cells truncated", b)
+		}
+		wb.Raw = p[off : off+nbytes]
+		off += nbytes
+		m.Blocks = append(m.Blocks, wb)
+	}
+	if off != len(p) {
+		return taskMsg{}, fmt.Errorf("cluster: %d trailing bytes after task message", len(p)-off)
+	}
+	return m, nil
+}
+
+// failMsg reports a fatal worker-side condition before it drops the
+// connection, so the coordinator logs a reason instead of a bare EOF.
+type failMsg struct {
+	Reason string
+}
+
+func (m failMsg) encode() []byte {
+	r := m.Reason
+	if len(r) > 1<<15 {
+		r = r[:1<<15]
+	}
+	buf := make([]byte, 0, 2+len(r))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r)))
+	return append(buf, r...)
+}
+
+func decodeFail(p []byte) (failMsg, error) {
+	if len(p) < 2 || len(p) != 2+int(binary.LittleEndian.Uint16(p)) {
+		return failMsg{}, fmt.Errorf("cluster: fail message length mismatch")
+	}
+	return failMsg{Reason: string(p[2:])}, nil
+}
+
+// encodeCells serializes a block's cells in the canonical tableio
+// element encoding — the byte stream resilience.BlockCRC digests.
+func encodeCells[E semiring.Elem](cells []E) []byte {
+	var e E
+	width := tableio.ElemWidth(e)
+	out := make([]byte, 0, width*len(cells))
+	var buf [8]byte
+	for _, v := range cells {
+		tableio.PutElem(buf[:], v)
+		out = append(out, buf[:width]...)
+	}
+	return out
+}
+
+// decodeCells deserializes raw wire bytes into dst, enforcing the exact
+// length the destination block requires.
+func decodeCells[E semiring.Elem](dst []E, raw []byte) error {
+	var e E
+	width := tableio.ElemWidth(e)
+	if len(raw) != width*len(dst) {
+		return fmt.Errorf("cluster: block carries %d bytes, want %d", len(raw), width*len(dst))
+	}
+	for i := range dst {
+		dst[i] = tableio.GetElem[E](raw[i*width : (i+1)*width])
+	}
+	return nil
+}
+
+// rawCRC digests wire cell bytes with the seal polynomial. Because the
+// wire encoding is exactly the BlockCRC byte stream, rawCRC(raw) equals
+// resilience.BlockCRC(decoded cells); proto tests pin that equivalence.
+func rawCRC(raw []byte) uint32 { return crc32.Checksum(raw, castagnoli) }
+
+// sendMsg frames and flushes one message on a buffered writer.
+func sendMsg(w *bufio.Writer, typ byte, payload []byte) error {
+	if err := writeFrame(w, typ, payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}

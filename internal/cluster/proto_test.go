@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cellnpdp/internal/resilience"
+)
+
+// TestFrameRoundTrip pins the frame codec: what writeFrame emits,
+// readFrame returns, and any flipped byte is rejected by the checksum.
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameDispatch, payload); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+	typ, got, err := readFrame(bytes.NewReader(wire))
+	if err != nil || typ != frameDispatch || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = (%d, %q, %v)", typ, got, err)
+	}
+	for i := range wire {
+		bad := append([]byte(nil), wire...)
+		bad[i] ^= 0x40
+		if _, _, err := readFrame(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flipped byte %d accepted", i)
+		}
+	}
+	// Truncations at every boundary must error, never hang or panic.
+	for cut := 0; cut < len(wire); cut++ {
+		if _, _, err := readFrame(bytes.NewReader(wire[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestMessageRoundTrips covers every message codec.
+func TestMessageRoundTrips(t *testing.T) {
+	h, err := decodeHello(helloMsg{Name: "w3"}.encode())
+	if err != nil || h.Name != "w3" {
+		t.Fatalf("hello round trip = (%+v, %v)", h, err)
+	}
+	w := welcomeMsg{ElemBytes: 4, N: 1024, Tile: 88, SchedSide: 2, Shards: 4, Slot: 3,
+		Stage1: 2, HeartbeatMS: 500, DeadlineMS: 5000}
+	got, err := decodeWelcome(w.encode())
+	if err != nil || got != w {
+		t.Fatalf("welcome round trip = (%+v, %v), want %+v", got, err, w)
+	}
+	msg := taskMsg{Gen: 7, TaskID: 42, Blocks: []wireBlock{
+		{Bi: 1, Bj: 3, CRC: 0xdeadbeef, Raw: []byte{1, 2, 3, 4}},
+		{Bi: 2, Bj: 2, CRC: 0x01020304, Raw: []byte{}},
+	}}
+	back, err := decodeTaskMsg(msg.encode())
+	if err != nil || back.Gen != 7 || back.TaskID != 42 || len(back.Blocks) != 2 {
+		t.Fatalf("task round trip = (%+v, %v)", back, err)
+	}
+	for i := range msg.Blocks {
+		if back.Blocks[i].Bi != msg.Blocks[i].Bi || back.Blocks[i].CRC != msg.Blocks[i].CRC ||
+			!bytes.Equal(back.Blocks[i].Raw, msg.Blocks[i].Raw) {
+			t.Fatalf("block %d corrupted in round trip: %+v", i, back.Blocks[i])
+		}
+	}
+	f, err := decodeFail(failMsg{Reason: "boom"}.encode())
+	if err != nil || f.Reason != "boom" {
+		t.Fatalf("fail round trip = (%+v, %v)", f, err)
+	}
+	// Trailing garbage after a valid task message must be rejected.
+	if _, err := decodeTaskMsg(append(msg.encode(), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestWireCRCEqualsBlockSeal pins the load-bearing identity: the CRC32C
+// of the wire cell bytes equals resilience.BlockCRC of the decoded
+// cells, for both element widths. One digest is both transport check
+// and block seal.
+func TestWireCRCEqualsBlockSeal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f32 := make([]float32, 64)
+	f64 := make([]float64, 64)
+	for i := range f32 {
+		f32[i] = rng.Float32() * 1e6
+		f64[i] = rng.Float64() * 1e6
+	}
+	if got, want := rawCRC(encodeCells(f32)), resilience.BlockCRC(f32); got != want {
+		t.Fatalf("float32: rawCRC %08x != BlockCRC %08x", got, want)
+	}
+	if got, want := rawCRC(encodeCells(f64)), resilience.BlockCRC(f64); got != want {
+		t.Fatalf("float64: rawCRC %08x != BlockCRC %08x", got, want)
+	}
+	dst := make([]float32, 64)
+	if err := decodeCells(dst, encodeCells(f32)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != f32[i] {
+			t.Fatalf("cell %d decoded %v, want %v", i, dst[i], f32[i])
+		}
+	}
+	if err := decodeCells(dst, encodeCells(f32)[:7]); err == nil {
+		t.Fatal("short cell stream accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is the network-partition chaos fixture: a TCP relay placed
+// between a worker and the coordinator. Partition() makes it a black
+// hole — established connections stay open but no byte crosses in
+// either direction, which is exactly the failure the heartbeat deadline
+// (not the EOF path) must catch. Heal() resumes forwarding; new bytes
+// flow again on the surviving connections.
+type Proxy struct {
+	ln        net.Listener
+	target    string
+	blackhole atomic.Bool
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+// NewProxy starts a relay on a loopback port toward target.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address workers should dial instead of the
+// coordinator's.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partition stops all forwarding without closing anything.
+func (p *Proxy) Partition() { p.blackhole.Store(true) }
+
+// Heal resumes forwarding.
+func (p *Proxy) Heal() { p.blackhole.Store(false) }
+
+// Close tears the relay down, closing every tracked connection.
+func (p *Proxy) Close() {
+	p.ln.Close()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conns = append(p.conns, c)
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		in, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		out, err := net.Dial("tcp", p.target)
+		if err != nil {
+			in.Close()
+			continue
+		}
+		p.track(in)
+		p.track(out)
+		go p.pump(in, out)
+		go p.pump(out, in)
+	}
+}
+
+// pump forwards src→dst in short deadline slices so the blackhole flag
+// is observed promptly even with no traffic. While partitioned, reads
+// stop entirely (bytes queue in kernel buffers and the sender
+// eventually blocks — a real partition, not a connection reset).
+func (p *Proxy) pump(src, dst net.Conn) {
+	buf := make([]byte, 32<<10)
+	for {
+		if p.blackhole.Load() {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		src.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, err := src.Read(buf)
+		if n > 0 {
+			if p.blackhole.Load() {
+				continue // drop bytes read just as the partition hit
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				src.Close()
+				return
+			}
+		}
+		if err != nil {
+			if netTimeout(err) {
+				continue
+			}
+			dst.Close()
+			return
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+// Sharding partitions the scheduling-block grid's columns into contiguous
+// ranges with near-equal task counts. Column bj holds bj+1 tasks (every
+// (bi, bj) with bi ≤ bj), so an even column split would load the last
+// shard quadratically; the cuts instead track the cumulative task count.
+// Contiguous column ranges keep the inter-shard traffic to wavefront
+// boundaries: a task's nearest-left predecessor lives in the previous
+// column (same shard or the one just left of the cut), its nearest-below
+// predecessor in the same column.
+type Sharding struct {
+	// cuts[s] is the first scheduling column of shard s; cuts[len-1] is
+	// the total column count. Shard s owns columns [cuts[s], cuts[s+1]).
+	cuts []int
+}
+
+// NewSharding builds a sharding of schedTiles columns into k shards
+// (clamped to [1, schedTiles] so every shard owns at least one column).
+func NewSharding(schedTiles, k int) Sharding {
+	if k < 1 {
+		k = 1
+	}
+	if k > schedTiles {
+		k = schedTiles
+	}
+	total := schedTiles * (schedTiles + 1) / 2
+	cuts := make([]int, k+1)
+	cuts[k] = schedTiles
+	col, cum := 0, 0
+	for s := 1; s < k; s++ {
+		// Advance the cut until the cumulative task count reaches this
+		// shard's ideal boundary, but never so far that the remaining
+		// shards would run out of columns.
+		target := total * s / k
+		for cum < target && col < schedTiles-(k-s) {
+			cum += col + 1
+			col++
+		}
+		cuts[s] = col
+	}
+	return Sharding{cuts: cuts}
+}
+
+// NumShards returns the shard count.
+func (s Sharding) NumShards() int { return len(s.cuts) - 1 }
+
+// Of returns the shard owning scheduling column bj.
+func (s Sharding) Of(bj int) int {
+	lo, hi := 0, s.NumShards()-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.cuts[mid] <= bj {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Cols returns shard sh's column range [lo, hi).
+func (s Sharding) Cols(sh int) (lo, hi int) { return s.cuts[sh], s.cuts[sh+1] }
+
+// TaskCount returns how many tasks shard sh owns.
+func (s Sharding) TaskCount(sh int) int {
+	lo, hi := s.Cols(sh)
+	return hi*(hi+1)/2 - lo*(lo+1)/2
+}

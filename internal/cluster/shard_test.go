@@ -1,0 +1,49 @@
+package cluster
+
+import "testing"
+
+// TestShardingPartition pins the sharding invariants: every column owned
+// by exactly one shard, shards contiguous and non-empty, Of consistent
+// with Cols, and the triangular task counts balanced far better than an
+// even column split would manage.
+func TestShardingPartition(t *testing.T) {
+	for _, tc := range []struct{ cols, k int }{
+		{1, 1}, {8, 1}, {8, 2}, {8, 3}, {8, 4}, {16, 3}, {64, 4}, {64, 8}, {5, 5},
+	} {
+		s := NewSharding(tc.cols, tc.k)
+		if s.NumShards() != tc.k {
+			t.Fatalf("cols=%d k=%d: got %d shards", tc.cols, tc.k, s.NumShards())
+		}
+		total := 0
+		for sh := 0; sh < s.NumShards(); sh++ {
+			lo, hi := s.Cols(sh)
+			if hi <= lo {
+				t.Fatalf("cols=%d k=%d: shard %d empty [%d,%d)", tc.cols, tc.k, sh, lo, hi)
+			}
+			for c := lo; c < hi; c++ {
+				if s.Of(c) != sh {
+					t.Fatalf("cols=%d k=%d: Of(%d)=%d, want %d", tc.cols, tc.k, c, s.Of(c), sh)
+				}
+			}
+			total += s.TaskCount(sh)
+		}
+		if want := tc.cols * (tc.cols + 1) / 2; total != want {
+			t.Fatalf("cols=%d k=%d: task counts sum to %d, want %d", tc.cols, tc.k, total, want)
+		}
+		// Balance: no shard may exceed twice the ideal share plus the
+		// largest single column (the indivisible unit).
+		ideal := float64(tc.cols*(tc.cols+1)/2) / float64(tc.k)
+		for sh := 0; sh < s.NumShards(); sh++ {
+			if float64(s.TaskCount(sh)) > 2*ideal+float64(tc.cols) {
+				t.Fatalf("cols=%d k=%d: shard %d holds %d tasks (ideal %.1f)", tc.cols, tc.k, sh, s.TaskCount(sh), ideal)
+			}
+		}
+	}
+	// More shards than columns clamps rather than creating empty shards.
+	if s := NewSharding(3, 10); s.NumShards() != 3 {
+		t.Fatalf("over-sharding: got %d shards, want 3", s.NumShards())
+	}
+	if s := NewSharding(4, 0); s.NumShards() != 1 {
+		t.Fatalf("zero shards: got %d, want 1", s.NumShards())
+	}
+}

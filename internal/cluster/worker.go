@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"cellnpdp/internal/npdp"
+	"cellnpdp/internal/perfmodel"
+	"cellnpdp/internal/resilience"
+	"cellnpdp/internal/sched"
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tri"
+)
+
+// A worker is an SPE of the distributed solve: it holds a local-store
+// table, receives the operand blocks of each dispatched task (the DMA
+// analogue), computes with the exact engine code path the
+// single-process solvers use (npdp.ComputeTask over the pinned stage-1
+// kernel), seals its results with CRC32C, and streams them back. It is
+// entirely stateless across connections: a reconnect starts a fresh
+// session with an empty local table, and the coordinator re-streams
+// whatever the worker lacks.
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Name identifies the worker in coordinator logs.
+	Name string
+	// Inject, when non-nil, applies deterministic silent corruption to
+	// result blocks after they are sealed — the chaos harness's
+	// transport-corruption model. Only FaultCorrupt plans apply; the
+	// attempt key is the dispatch generation, so a healed re-dispatch
+	// re-rolls the draw exactly like the single-process heal loop.
+	Inject *resilience.Injector
+	// Reconnect is the backoff schedule between dial attempts after a
+	// lost connection; the zero value gets BaseDelay 50ms, capped
+	// full-jitter (resilience.DefaultMaxDelay ceiling).
+	Reconnect resilience.RetryPolicy
+	// MaxReconnects bounds consecutive failed dials before giving up;
+	// 0 means 8. A successful session resets the count.
+	MaxReconnects int
+	// Logf, when non-nil, receives connection lifecycle logging.
+	Logf func(format string, args ...any)
+	// Dial overrides the connection factory (tests inject proxies);
+	// nil means a plain TCP dial of the address given to RunWorker.
+	Dial func(ctx context.Context) (net.Conn, error)
+}
+
+// RunWorker connects to the coordinator at addr and executes dispatched
+// tasks until the coordinator sends done (returns nil), the context is
+// canceled, the coordinator reports failure, or the reconnect budget is
+// exhausted. Lost connections are re-dialed with capped full-jitter
+// backoff — the reconnect half of the coordinator's heartbeat protocol.
+func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
+	if opts.Name == "" {
+		opts.Name = "worker"
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.Reconnect.BaseDelay <= 0 {
+		opts.Reconnect.BaseDelay = 50 * time.Millisecond
+		opts.Reconnect.Jitter = true
+	}
+	if opts.MaxReconnects <= 0 {
+		opts.MaxReconnects = 8
+	}
+	dial := opts.Dial
+	if dial == nil {
+		dial = func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := dial(ctx)
+		if err == nil {
+			var done bool
+			done, err = runSession(ctx, conn, opts)
+			if done {
+				return err // nil on coordinator done, terminal on coordinator fail
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			failures = 0 // the dial succeeded; only count consecutive dial failures
+			opts.Logf("cluster: worker %s lost coordinator: %v", opts.Name, err)
+		}
+		failures++
+		if failures > opts.MaxReconnects {
+			return fmt.Errorf("cluster: worker %s: reconnect budget (%d) exhausted: %w", opts.Name, opts.MaxReconnects, err)
+		}
+		if !sleepCtx(ctx, opts.Reconnect.Backoff(failures)) {
+			return ctx.Err()
+		}
+	}
+}
+
+// sleepCtx sleeps d unless ctx ends first; returns false on cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// runSession performs one handshake and runs the typed session for the
+// element width the welcome announces. done=true means the run is over
+// for good (coordinator finished or reported terminal failure) and the
+// worker must not reconnect.
+func runSession(ctx context.Context, conn net.Conn, opts WorkerOptions) (done bool, err error) {
+	defer conn.Close()
+	// Unblock the session's reads if the context dies mid-solve; the
+	// watcher is reclaimed at session end.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+
+	bw := bufio.NewWriter(conn)
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := sendMsg(bw, frameHello, helloMsg{Name: opts.Name}.encode()); err != nil {
+		return false, err
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return false, err
+	}
+	if typ == frameFail {
+		f, _ := decodeFail(payload)
+		return true, fmt.Errorf("cluster: coordinator rejected %s: %s", opts.Name, f.Reason)
+	}
+	if typ != frameWelcome {
+		return false, fmt.Errorf("cluster: expected welcome, got frame type %d", typ)
+	}
+	welcome, err := decodeWelcome(payload)
+	if err != nil {
+		return false, err
+	}
+	conn.SetDeadline(time.Time{})
+	opts.Logf("cluster: worker %s joined shard %d/%d (n=%d tile=%d stage1=%v)",
+		opts.Name, welcome.Slot, welcome.Shards, welcome.N, welcome.Tile, perfmodel.Kernel(welcome.Stage1))
+	switch welcome.ElemBytes {
+	case 4:
+		return workerSession[float32](ctx, conn, bw, welcome, opts)
+	case 8:
+		return workerSession[float64](ctx, conn, bw, welcome, opts)
+	}
+	return false, fmt.Errorf("cluster: unsupported element width %d", welcome.ElemBytes)
+}
+
+// workerSession executes one connection's dispatch loop at a concrete
+// element type.
+func workerSession[E semiring.Elem](ctx context.Context, conn net.Conn, bw *bufio.Writer,
+	welcome welcomeMsg, opts WorkerOptions) (done bool, err error) {
+	t := tri.NewTiled[E](welcome.N, welcome.Tile)
+	g, err := sched.NewGraph(t.Blocks(), welcome.SchedSide)
+	if err != nil {
+		return false, err
+	}
+	mul, err := npdp.ResolveStage1(perfmodel.Kernel(welcome.Stage1), t)
+	if err != nil {
+		// The coordinator pinned a kernel this build cannot resolve;
+		// that is terminal, not a reconnect case.
+		sendMsg(bw, frameFail, failMsg{Reason: err.Error()}.encode())
+		return true, err
+	}
+	heartbeat := time.Duration(welcome.HeartbeatMS) * time.Millisecond
+	deadline := time.Duration(welcome.DeadlineMS) * time.Millisecond
+	if heartbeat <= 0 {
+		heartbeat = DefaultHeartbeatEvery
+	}
+	if deadline <= 0 {
+		deadline = DefaultDeadlineAfter
+	}
+	lastSeen := time.Now()
+	for {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		// Read with the heartbeat period as the slice, so pings flow
+		// even when no dispatch arrives; coordinator silence past the
+		// deadline drops the connection into the reconnect path.
+		conn.SetReadDeadline(time.Now().Add(heartbeat))
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			if netTimeout(err) {
+				if time.Since(lastSeen) > deadline {
+					return false, fmt.Errorf("cluster: coordinator silent for %v", deadline)
+				}
+				conn.SetWriteDeadline(time.Now().Add(deadline))
+				if err := sendMsg(bw, framePing, nil); err != nil {
+					return false, err
+				}
+				continue
+			}
+			return false, err
+		}
+		lastSeen = time.Now()
+		switch typ {
+		case framePing:
+			continue
+		case frameDone:
+			opts.Logf("cluster: worker %s released", opts.Name)
+			return true, nil
+		case frameFail:
+			f, _ := decodeFail(payload)
+			return true, fmt.Errorf("cluster: coordinator failed: %s", f.Reason)
+		case frameDispatch:
+			msg, err := decodeTaskMsg(payload)
+			if err != nil {
+				return false, err
+			}
+			result, err := executeDispatch(t, g, mul, msg, opts.Inject)
+			if err != nil {
+				// A bad dispatch payload (CRC mismatch on an operand
+				// block, unknown task) poisons this session's table;
+				// report and reconnect fresh.
+				conn.SetWriteDeadline(time.Now().Add(deadline))
+				sendMsg(bw, frameFail, failMsg{Reason: err.Error()}.encode())
+				return false, err
+			}
+			conn.SetWriteDeadline(time.Now().Add(deadline))
+			if err := sendMsg(bw, frameResult, result.encode()); err != nil {
+				return false, err
+			}
+		default:
+			return false, fmt.Errorf("cluster: unexpected frame type %d", typ)
+		}
+	}
+}
+
+// netTimeout reports whether err is a read-deadline expiry.
+func netTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// executeDispatch installs a dispatch's blocks (seal-verified), computes
+// the task, and builds the sealed result. The seal of each produced
+// block digests the computed bytes before the injector may flip a bit,
+// so injected corruption is silent to the computation but visible to
+// the coordinator's install audit — the same fault model as the
+// single-process heal loop.
+func executeDispatch[E semiring.Elem](t *tri.Tiled[E], g *sched.Graph, mul npdp.Stage1Func[E],
+	msg taskMsg, inject *resilience.Injector) (taskMsg, error) {
+	if msg.TaskID < 0 || msg.TaskID >= len(g.Tasks) {
+		return taskMsg{}, fmt.Errorf("cluster: dispatch for unknown task %d", msg.TaskID)
+	}
+	task := g.Tasks[msg.TaskID]
+	for _, wb := range msg.Blocks {
+		if wb.Bi < 0 || wb.Bi > wb.Bj || wb.Bj >= t.Blocks() {
+			return taskMsg{}, fmt.Errorf("cluster: dispatch block (%d,%d) outside the block triangle", wb.Bi, wb.Bj)
+		}
+		if got := rawCRC(wb.Raw); got != wb.CRC {
+			return taskMsg{}, &resilience.ErrSealMismatch{
+				Bi: wb.Bi, Bj: wb.Bj, BlockID: t.BlockID(wb.Bi, wb.Bj), TaskID: msg.TaskID,
+				Want: wb.CRC, Got: got,
+			}
+		}
+		if err := decodeCells(t.Block(wb.Bi, wb.Bj), wb.Raw); err != nil {
+			return taskMsg{}, err
+		}
+	}
+	npdp.ComputeTask(t, task, mul)
+
+	own := task.MemoryBlockOrder()
+	crcs := make([]uint32, len(own))
+	for i, mb := range own {
+		crcs[i] = resilience.BlockCRC(t.Block(mb[0], mb[1]))
+	}
+	if inject != nil && inject.Plan(task.ID, int(msg.Gen)) == resilience.FaultCorrupt {
+		draw := inject.CorruptDraw(task.ID, int(msg.Gen))
+		mb := own[int((draw>>48)%uint64(len(own)))]
+		resilience.CorruptBit(t.Block(mb[0], mb[1]), draw)
+	}
+	result := taskMsg{Gen: msg.Gen, TaskID: msg.TaskID, Blocks: make([]wireBlock, len(own))}
+	for i, mb := range own {
+		result.Blocks[i] = wireBlock{
+			Bi: mb[0], Bj: mb[1],
+			CRC: crcs[i],
+			Raw: encodeCells(t.Block(mb[0], mb[1])),
+		}
+	}
+	return result, nil
+}

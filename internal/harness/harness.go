@@ -153,6 +153,7 @@ func All() []Experiment {
 		{"resilience", "fault injection, retry overhead and kill+resume", Resilience},
 		{"selfheal", "silent-corruption detection and poisoned-cone healing", SelfHeal},
 		{"serve", "serving layer under overload: admission, shedding, integrity", ServeLoad},
+		{"cluster", "sharded coordinator/worker solve: loopback scaling, kill recovery, cone healing", Cluster},
 		{"model", "Section V analytic model report", ModelReport},
 		{"utilization", "processor utilization accounting", UtilizationReport},
 	}

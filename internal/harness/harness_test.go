@@ -2,6 +2,10 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -278,5 +282,62 @@ func TestResilienceExperiment(t *testing.T) {
 	last := tbl.Rows[len(tbl.Rows)-1]
 	if last[0] != "kill+resume" || !strings.Contains(last[len(last)-1], "restored") {
 		t.Fatalf("resume row malformed: %v", last)
+	}
+}
+
+func TestClusterExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback cluster runs in -short mode")
+	}
+	tbl, err := Cluster(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"single process", "cluster, 1 worker(s)",
+		"cluster, 1 of 3 killed", "corruption healed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "no") {
+		t.Fatalf("a cluster row failed verification:\n%s", out)
+	}
+}
+
+func TestWriteClusterBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback cluster runs in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_PR7.json")
+	cfg := fastCfg()
+	cfg.Out = io.Discard
+	if err := WriteClusterBenchJSON(cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ClusterBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "cellnpdp-cluster-bench/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("got %d rows, want single-process + 3 cluster rows", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if !row.Verified || row.WallSeconds <= 0 {
+			t.Fatalf("row %+v not verified or unmeasured", row)
+		}
+	}
+	if rep.Recovery.WorkerDeaths < 1 {
+		t.Fatalf("recovery scenario observed no death: %+v", rep.Recovery)
+	}
+	if !rep.Recovery.Verified || rep.Recovery.RecoverySeconds <= 0 {
+		t.Fatalf("recovery not verified or unmeasured: %+v", rep.Recovery)
 	}
 }

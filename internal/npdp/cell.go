@@ -174,7 +174,7 @@ type cellEngine[E semiring.Elem] struct {
 	// mul is the functional stage-1 kernel, resolved once per solve by
 	// SolveCellCtx — hoisted out of computeMB's //npdp:dispatch loop so
 	// selection never runs per middle tile. nil in timing-only runs.
-	mul stage1Func[E]
+	mul Stage1Func[E]
 }
 
 func (e *cellEngine[E]) blockBytes() int { return e.tile * e.tile * e.elemBytes }
@@ -573,7 +573,7 @@ func SolveCellCtx[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], m *cell
 	m.Reset()
 	// Stage-1 kernel selection is hoisted here — once per solve, never
 	// inside computeMB's per-middle-tile dispatch loop.
-	mul, err := stage1Kernel[E](opts.Stage1, t)
+	mul, err := ResolveStage1[E](opts.Stage1, t)
 	if err != nil {
 		return CellResult{}, err
 	}

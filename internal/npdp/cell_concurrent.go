@@ -40,7 +40,7 @@ func SolveCellConcurrent[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], 
 	if err != nil {
 		return kernel.Stats{}, err
 	}
-	mul, err := stage1Kernel[E](perfmodel.KernelAuto, t)
+	mul, err := ResolveStage1[E](perfmodel.KernelAuto, t)
 	if err != nil {
 		return kernel.Stats{}, err
 	}

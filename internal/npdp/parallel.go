@@ -98,11 +98,11 @@ type ParallelOptions struct {
 
 // computeMemoryBlock runs the two-stage SPE procedure for memory block
 // (bi, bj) directly on the shared tiled table, with stage 1 on the
-// solve's selected kernel (resolved once by stage1Kernel; the per-block
+// solve's selected kernel (resolved once by ResolveStage1; the per-block
 // loop only ever calls through mul). All dependence blocks are finished
 // before this runs (guaranteed by the task graph), so concurrent tasks
 // only ever read them.
-func computeMemoryBlock[E semiring.Elem](t *tri.Tiled[E], bi, bj int, mul stage1Func[E]) kernel.Stats {
+func computeMemoryBlock[E semiring.Elem](t *tri.Tiled[E], bi, bj int, mul Stage1Func[E]) kernel.Stats {
 	ts := t.Tile()
 	if bi == bj {
 		return kernel.Stage2Diag(t.Block(bj, bj), ts)
@@ -259,7 +259,7 @@ func SolveParallelCtx[E semiring.Elem](ctx context.Context, t *tri.Tiled[E], opt
 	// inside the per-block dispatch loops.
 	compute := computeMemoryBlockCBStep[E]
 	if !opts.NoPanelKernel {
-		mul, err := stage1Kernel[E](opts.Stage1, t)
+		mul, err := ResolveStage1[E](opts.Stage1, t)
 		if err != nil {
 			return kernel.Stats{}, err
 		}

@@ -10,10 +10,10 @@ import (
 	"cellnpdp/internal/tri"
 )
 
-// stage1Func computes one stage-1 block product C = min(C, A ⊗ B).
-type stage1Func[E semiring.Elem] func(c, a, b []E, t int) kernel.Stats
+// Stage1Func computes one stage-1 block product C = min(C, A ⊗ B).
+type Stage1Func[E semiring.Elem] func(c, a, b []E, t int) kernel.Stats
 
-// stage1Kernel resolves the stage-1 kernel for one solve. Selection is
+// ResolveStage1 resolves the stage-1 kernel for one solve. Selection is
 // solve-invariant — the table's element type, tile and size never
 // change mid-solve — so the engines call this exactly once per solve
 // and thread the returned function through the per-block dispatch
@@ -30,7 +30,7 @@ type stage1Func[E semiring.Elem] func(c, a, b []E, t int) kernel.Stats
 // (kernel.SetVectorEnabled or CELLNPDP_FORCE_SCALAR=1), not a per-solve
 // one. KernelFourRussians is rejected: the lattice kernel is not a
 // min-plus block product (use zuker.MaxPairs for that workload).
-func stage1Kernel[E semiring.Elem](sel perfmodel.Kernel, t *tri.Tiled[E]) (stage1Func[E], error) {
+func ResolveStage1[E semiring.Elem](sel perfmodel.Kernel, t *tri.Tiled[E]) (Stage1Func[E], error) {
 	var e E
 	_, isF32 := any(e).(float32)
 	if sel == perfmodel.KernelAuto {

@@ -9,7 +9,7 @@ import (
 )
 
 // TestPickKernelHoisted pins the hoisting contract documented on
-// stage1Kernel: one model consult per solve, no matter how many block
+// ResolveStage1: one model consult per solve, no matter how many block
 // products the solve performs. A regression that moves the selection
 // back inside the //npdp:dispatch stage-1 loop makes the count scale
 // with O(blocks³) and fails loudly here.

@@ -1,0 +1,24 @@
+package npdp
+
+import (
+	"cellnpdp/internal/kernel"
+	"cellnpdp/internal/sched"
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tri"
+)
+
+// ComputeTask runs the two-stage block procedure over every memory block
+// of one scheduling task, in the dependence-safe MemoryBlockOrder
+// (columns ascending, rows descending — Section IV-A's intra-task
+// order). It is the unit of work a cluster worker executes for one
+// dispatch: given a table holding the task's operand blocks (its row,
+// column and diagonal neighbours) at their final values, the produced
+// blocks are bit-identical to the same task computed by the
+// single-process engines, because it is the same code path they call.
+func ComputeTask[E semiring.Elem](t *tri.Tiled[E], task sched.Task, mul Stage1Func[E]) kernel.Stats {
+	var st kernel.Stats
+	for _, mb := range task.MemoryBlockOrder() {
+		st.Add(computeMemoryBlock(t, mb[0], mb[1], mul))
+	}
+	return st
+}

@@ -29,7 +29,7 @@ func SolveWavefrontBarrier[E semiring.Elem](t *tri.Tiled[E], workers int) (kerne
 		return kernel.Stats{}, fmt.Errorf("npdp: workers must be positive, got %d", workers)
 	}
 	m := t.Blocks()
-	mul, err := stage1Kernel[E](perfmodel.KernelAuto, t)
+	mul, err := ResolveStage1[E](perfmodel.KernelAuto, t)
 	if err != nil {
 		return kernel.Stats{}, err
 	}

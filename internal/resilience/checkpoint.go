@@ -9,6 +9,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
 
 	"cellnpdp/internal/semiring"
 	"cellnpdp/internal/tableio"
@@ -304,10 +307,13 @@ func ReadCheckpoint[E semiring.Elem](r io.Reader) (*Checkpoint[E], error) {
 // SaveCheckpointFile atomically writes a snapshot to path: it serializes
 // into a temporary file in the same directory and renames it over the
 // target, so a crash mid-write never leaves a torn checkpoint where a
-// resume would find it.
+// resume would find it. The temp name carries the writer's pid
+// (`<base>.tmp-p<pid>-*`) so RemoveStaleTemps in another process sharing
+// the checkpoint dir — a cluster coordinator and a resuming single-process
+// run, say — can tell an in-flight peer temp from an orphan.
 func SaveCheckpointFile[E semiring.Elem](path string, meta Meta, done []bool, t *tri.Tiled[E], blocks [][2]int) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+tempPrefix(os.Getpid())+"*")
 	if err != nil {
 		return fmt.Errorf("resilience: creating checkpoint temp file: %w", err)
 	}
@@ -348,21 +354,68 @@ func LoadCheckpointFile[E semiring.Elem](path string) (*Checkpoint[E], error) {
 	return ReadCheckpoint[E](f)
 }
 
+// tempPrefix is the owner-tagged infix SaveCheckpointFile appends to the
+// checkpoint base name: `.tmp-p<pid>-` followed by os.CreateTemp's random
+// suffix. The pid is the ownership claim RemoveStaleTemps consults.
+func tempPrefix(pid int) string { return fmt.Sprintf(".tmp-p%d-", pid) }
+
+// tempOwner extracts the owner pid from a checkpoint temp file name given
+// the `<base>.tmp` stem, or ok=false for legacy un-tagged temps
+// (`<base>.tmp<random>` from older writers) which carry no claim.
+func tempOwner(name, stem string) (pid int, ok bool) {
+	rest, found := strings.CutPrefix(name, stem+"-p")
+	if !found {
+		return 0, false
+	}
+	digits, _, found := strings.Cut(rest, "-")
+	if !found || digits == "" {
+		return 0, false
+	}
+	pid, err := strconv.Atoi(digits)
+	if err != nil || pid <= 0 {
+		return 0, false
+	}
+	return pid, true
+}
+
+// pidAlive reports whether a process with the given pid exists right now.
+// Signal 0 performs the existence check without delivering anything; EPERM
+// means the pid exists but belongs to another user, which still counts as
+// alive — when in doubt a sweep must not delete a peer's in-flight temp.
+func pidAlive(pid int) bool {
+	proc, err := os.FindProcess(pid)
+	if err != nil {
+		return false // process is certainly gone (non-Unix semantics)
+	}
+	err = proc.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
 // RemoveStaleTemps deletes leftover temporary files of the checkpoint at
 // path — the `<base>.tmp*` files SaveCheckpointFile writes before its
 // atomic rename. A crash between creating the temp and renaming it
 // orphans one; resume calls this so crashed runs do not accumulate
 // snapshots-worth of dead bytes next to the live checkpoint. It returns
-// how many files were removed. Only exact `.tmp` siblings of this
-// checkpoint are touched, so unrelated files (and the checkpoint itself)
-// are never at risk.
+// how many files were removed.
+//
+// The sweep is safe under multiple processes sharing a checkpoint dir:
+// temps are owner-tagged with the writer's pid, and a temp whose owner is
+// a live process other than the caller is a peer's in-flight write and is
+// left alone. Own temps, temps of dead pids, and legacy un-tagged temps
+// are removed. Only `.tmp` siblings of this checkpoint are ever touched,
+// so unrelated files (and the checkpoint itself) are never at risk.
 func RemoveStaleTemps(path string) (int, error) {
-	matches, err := filepath.Glob(filepath.Join(filepath.Dir(path), filepath.Base(path)+".tmp*"))
+	stem := filepath.Base(path) + ".tmp"
+	matches, err := filepath.Glob(filepath.Join(filepath.Dir(path), stem+"*"))
 	if err != nil {
 		return 0, fmt.Errorf("resilience: scanning for stale checkpoint temps: %w", err)
 	}
+	self := os.Getpid()
 	removed := 0
 	for _, m := range matches {
+		if pid, ok := tempOwner(filepath.Base(m), stem); ok && pid != self && pidAlive(pid) {
+			continue // a live peer's in-flight write
+		}
 		if err := os.Remove(m); err != nil {
 			if errors.Is(err, os.ErrNotExist) {
 				continue // a concurrent writer's rename already consumed it

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -215,4 +216,104 @@ func TestRemoveStaleTemps(t *testing.T) {
 	if removed, err := RemoveStaleTemps(ck); err != nil || removed != 0 {
 		t.Fatalf("second sweep = (%d, %v), want (0, nil)", removed, err)
 	}
+}
+
+// TestTempOwnerParsing pins the owner-tag grammar: only a well-formed
+// `.tmp-p<pid>-<random>` name carries a claim; everything else is legacy.
+func TestTempOwnerParsing(t *testing.T) {
+	const stem = "solve.npck.tmp"
+	cases := []struct {
+		name string
+		pid  int
+		ok   bool
+	}{
+		{"solve.npck.tmp-p1234-567", 1234, true},
+		{"solve.npck.tmp-p1-x", 1, true},
+		{"solve.npck.tmp123", 0, false},     // legacy, no tag
+		{"solve.npck.tmp-p-5", 0, false},    // empty pid
+		{"solve.npck.tmp-pabc-5", 0, false}, // non-numeric pid
+		{"solve.npck.tmp-p99", 0, false},    // no closing dash
+		{"solve.npck.tmp-p0-x", 0, false},   // pid must be positive
+	}
+	for _, c := range cases {
+		pid, ok := tempOwner(c.name, stem)
+		if pid != c.pid || ok != c.ok {
+			t.Errorf("tempOwner(%q) = (%d, %v), want (%d, %v)", c.name, pid, ok, c.pid, c.ok)
+		}
+	}
+}
+
+// TestSaveCheckpointTempsCarryPid asserts the writer's temps are tagged
+// with its own pid, so a peer's sweep can recognize them as in-flight.
+func TestSaveCheckpointTempsCarryPid(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "solve.npck")
+	meta, done, tt, blocks := testSnapshot(t)
+	if err := SaveCheckpointFile(ck, meta, done, tt, blocks); err != nil {
+		t.Fatal(err)
+	}
+	// The rename consumed the temp; re-create one with the same prefix
+	// the writer uses and verify it parses back to our pid.
+	name := filepath.Base(ck) + tempPrefix(os.Getpid()) + "12345"
+	pid, ok := tempOwner(name, filepath.Base(ck)+".tmp")
+	if !ok || pid != os.Getpid() {
+		t.Fatalf("writer temp name %q parses to (%d, %v), want own pid %d", name, pid, ok, os.Getpid())
+	}
+}
+
+// TestRemoveStaleTempsSparesLivePeers is the two-processes-one-dir
+// scenario: a sweep must remove its own temps, dead owners' temps, and
+// legacy un-tagged temps — but never a live peer's in-flight temp.
+// Pid 1 stands in for the live peer (always running, never ours); a
+// spawned-and-reaped subprocess provides a genuinely dead pid.
+func TestRemoveStaleTempsSparesLivePeers(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "solve.npck")
+	base := filepath.Base(ck)
+
+	deadPid := reapedPid(t)
+	write := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	own := write(base + tempPrefix(os.Getpid()) + "aaa")
+	dead := write(base + tempPrefix(deadPid) + "bbb")
+	legacy := write(base + ".tmp777")
+	peer := write(base + tempPrefix(1) + "ccc")
+
+	removed, err := RemoveStaleTemps(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("removed %d temps, want 3 (own + dead + legacy)", removed)
+	}
+	for _, gone := range []string{own, dead, legacy} {
+		if _, err := os.Stat(gone); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("%s should have been swept (stat err %v)", filepath.Base(gone), err)
+		}
+	}
+	if _, err := os.Stat(peer); err != nil {
+		t.Fatalf("live peer's in-flight temp was deleted: %v", err)
+	}
+	if !pidAlive(os.Getpid()) {
+		t.Fatal("pidAlive(self) = false")
+	}
+	if pidAlive(deadPid) {
+		t.Fatalf("pidAlive(%d) = true for a reaped subprocess", deadPid)
+	}
+}
+
+// reapedPid spawns a trivial subprocess, waits for it, and returns its
+// now-dead pid.
+func reapedPid(t *testing.T) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	if err := cmd.Run(); err != nil {
+		t.Skipf("cannot spawn subprocess for dead-pid fixture: %v", err)
+	}
+	return cmd.Process.Pid
 }

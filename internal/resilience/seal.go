@@ -244,6 +244,34 @@ func ReadSeals(r io.Reader) (*SealTable, error) {
 	return st, nil
 }
 
+// ErrSealMismatch reports that one memory block's bytes do not digest to
+// the CRC32C seal that travelled with (or was recorded for) them. It is
+// the single-block, typed form of a seal-audit failure: a cluster
+// coordinator receiving a boundary block can use it to distinguish
+// transport/memory corruption (the carried seal does not match the
+// carried bytes) from a stale-version boundary block (generation
+// mismatch, which is not an error at all). Like CorruptionError it is
+// never transient — re-reading the same bytes cannot fix them; recovery
+// is a resend or the poisoned-cone heal path.
+type ErrSealMismatch struct {
+	// Bi, Bj are the memory block's tile coordinates.
+	Bi, Bj int
+	// BlockID is the dense memory-block ID (tri.Tiled.BlockID order);
+	// -1 when the reporter only knows coordinates.
+	BlockID int
+	// TaskID is the scheduler task that produced the block; -1 unknown.
+	TaskID int
+	// Want is the expected CRC32C (the seal); Got is the re-digest of
+	// the bytes actually observed.
+	Want, Got uint32
+}
+
+// Error names the block and both digests.
+func (e *ErrSealMismatch) Error() string {
+	return fmt.Sprintf("block seal mismatch: memory block (%d,%d) expected CRC32C %08x, got %08x",
+		e.Bi, e.Bj, e.Want, e.Got)
+}
+
 // CorruptionError reports memory blocks whose seals failed an audit —
 // the blocks' bytes changed after their tasks completed. It is never
 // transient: retrying the discovering task cannot fix another block's

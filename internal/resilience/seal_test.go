@@ -2,6 +2,8 @@ package resilience
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"hash/crc32"
 	"strings"
 	"testing"
@@ -183,4 +185,25 @@ func restamp(b []byte) {
 	b[len(b)-3] = byte(crc >> 8)
 	b[len(b)-2] = byte(crc >> 16)
 	b[len(b)-1] = byte(crc >> 24)
+}
+
+// TestErrSealMismatchTyped pins the typed seal-mismatch error: it carries
+// block identity and both digests, and surfaces through errors.As from a
+// wrapped chain the way a cluster coordinator consumes it.
+func TestErrSealMismatchTyped(t *testing.T) {
+	base := &ErrSealMismatch{Bi: 2, Bj: 5, BlockID: 17, TaskID: 4, Want: 0xdeadbeef, Got: 0x12345678}
+	wrapped := fmt.Errorf("installing boundary block: %w", base)
+	var sm *ErrSealMismatch
+	if !errors.As(wrapped, &sm) {
+		t.Fatal("errors.As failed to recover *ErrSealMismatch")
+	}
+	if sm.Bi != 2 || sm.Bj != 5 || sm.BlockID != 17 || sm.TaskID != 4 {
+		t.Fatalf("identity fields lost: %+v", sm)
+	}
+	msg := sm.Error()
+	for _, want := range []string{"(2,5)", "deadbeef", "12345678"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("Error() = %q, missing %q", msg, want)
+		}
+	}
 }

@@ -78,6 +78,10 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// Clock is the time source, injectable for tests; nil = time.Now.
 	Clock func() time.Time
+	// ClusterHealth, when non-nil, is polled by GET /healthz and its
+	// snapshot reported under "cluster" — the seam a co-located
+	// cluster coordinator publishes its live counters through.
+	ClusterHealth func() map[string]any
 }
 
 func (c Config) workers() int { return c.Workers } // 0 delegates to cellnpdp
@@ -288,6 +292,9 @@ type Health struct {
 	Degraded                   int64            `json:"degraded_solves"`
 	Healed                     int64            `json:"healed_solves"`
 	Outcomes                   map[string]int64 `json:"outcomes"`
+	// Cluster carries the co-located coordinator's snapshot when
+	// Config.ClusterHealth is wired; absent otherwise.
+	Cluster map[string]any `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -312,6 +319,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		h.Status = "draining"
+	}
+	if s.cfg.ClusterHealth != nil {
+		h.Cluster = s.cfg.ClusterHealth()
 	}
 	s.mu.Lock()
 	h.Degraded = s.degraded

@@ -608,3 +608,42 @@ func TestDrainWaitsForInflight(t *testing.T) {
 		t.Fatalf("outcomes = %v, want one 200 and one 503", got)
 	}
 }
+
+func TestHealthzClusterSnapshot(t *testing.T) {
+	s := New(Config{
+		ClusterHealth: func() map[string]any {
+			return map[string]any{"tasks": 36, "worker_deaths": 1}
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Cluster == nil || h.Cluster["tasks"] != float64(36) || h.Cluster["worker_deaths"] != float64(1) {
+		t.Fatalf("healthz cluster snapshot = %v", h.Cluster)
+	}
+
+	// Without the seam the field stays absent from the wire entirely.
+	s2 := New(Config{})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp2.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := raw["cluster"]; present {
+		t.Fatal("healthz carries a cluster field with no provider wired")
+	}
+}

@@ -2,19 +2,23 @@
 # Verify + benchmark entry point for the parallel CPU engine.
 #
 # Runs the static and race checks the scheduler/engine work depends on,
-# then the benchmark sweep — the workers × engine ablations plus, since
-# PR 6, the per-kernel stage-1 sweep (scalar / pure-Go panel / vector
-# assembly / Four-Russians) — and writes the JSON report. The artifact
-# name tracks the PR trajectory: BENCH_PR6.json by default, or the path
-# given as $1, so successive PRs diff BENCH_PR_N.json against their
-# predecessors.
+# then the benchmark sweeps — the workers × engine ablations plus the
+# per-kernel stage-1 sweep (PR 6), and the loopback-cluster sweep with
+# its kill-recovery scenario (PR 7) — and writes the JSON reports. The
+# artifact names track the PR trajectory: BENCH_PR6.json and
+# BENCH_PR7.json by default, or the paths given as $1/$2, so successive
+# PRs diff BENCH_PR_N.json against their predecessors.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_PR6.json}"
+cluster_out="${2:-BENCH_PR7.json}"
 
 echo "== preflight: scripts/ci.sh"
 ./scripts/ci.sh
 
 echo "== benchmark sweep (engines + stage-1 kernels) -> ${out}"
 go run ./cmd/benchtables -benchjson "${out}"
+
+echo "== cluster sweep (loopback workers + kill recovery) -> ${cluster_out}"
+go run ./cmd/benchtables -clusterjson "${cluster_out}"

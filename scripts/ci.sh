@@ -6,7 +6,9 @@
 # the resilience layer end to end: 5% loud faults healed through
 # retries, and 5% silent corruption caught by the block seals and
 # healed bit-identically (fallback disabled in both so recovery can't
-# mask a bug). Called standalone or as the bench.sh preflight.
+# mask a bug), plus a cluster chaos smoke that SIGKILLs a worker
+# mid-wavefront while corrupting boundary blocks and demands a
+# bit-identical finish. Called standalone or as the bench.sh preflight.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -127,3 +129,27 @@ go run ./cmd/cellnpdp -n 300 -engine serial -save "${healref}"
 go run -race ./cmd/cellnpdp -n 300 -engine parallel -timeout 30m \
     -faultkinds corrupt -faultrate 0.05 -faultseed 7 \
     -heal -fallback=false -check "${healref}"
+
+echo "== smoke: cluster chaos (3 workers, seeded SIGKILL + silent corruption, heal, verify)"
+# Loopback coordinator/worker cluster under the race detector: the
+# seeded chaos schedule SIGKILLs one worker mid-wavefront and every
+# worker silently corrupts ~25% of its tasks; the coordinator must
+# redispatch the dead worker's in-flight tasks, heal each seal mismatch
+# through the poisoned cone, and finish bit-identical to the serial
+# engine. The greps prove the chaos actually fired — a run where
+# nothing died and nothing corrupted would pass vacuously.
+cluster_log="$(mktemp)"
+trap 'rm -f "${healref}" "${cluster_log}"' EXIT
+go run -race ./cmd/cellnpdp cluster -n 704 -cluster-workers 3 \
+    -chaos-kills 1 -chaos-seed 5 -faultrate 0.25 -faultseed 42 \
+    -heal -verify -timeout 10m 2>&1 | tee "${cluster_log}"
+grep -q "verified against serial engine: identical" "${cluster_log}"
+stats="$(grep "cluster: tasks=" "${cluster_log}")"
+if grep -qE " deaths=0 " <<<"${stats}"; then
+    echo "cluster chaos smoke: no worker death observed" >&2
+    exit 1
+fi
+if grep -qE " mismatches=0 " <<<"${stats}"; then
+    echo "cluster chaos smoke: no seal mismatch observed" >&2
+    exit 1
+fi

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"net"
@@ -470,6 +472,132 @@ func TestClusterNoWorkers(t *testing.T) {
 	err := wait()
 	if !errors.Is(err, ErrNoWorkers) {
 		t.Fatalf("workerless run returned %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestWorkerSurvivesTrickledDispatch pins the stream-integrity fix: a
+// dispatch frame arriving in pieces, with gaps longer than several
+// heartbeat periods between them, must never desync the worker's frame
+// stream. The buggy shape this guards against: a heartbeat-period read
+// deadline expiring after io.ReadFull consumed part of a frame, the
+// partial bytes silently dropped, and the next read starting mid-frame.
+func TestWorkerSurvivesTrickledDispatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	wdone := make(chan error, 1)
+	go func() {
+		wdone <- RunWorker(ctx, ln.Addr().String(), WorkerOptions{Name: "trickle", MaxReconnects: 1, Logf: t.Logf})
+	}()
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(25 * time.Second))
+	if typ, _, err := readFrame(conn); err != nil || typ != frameHello {
+		t.Fatalf("handshake = (%d, %v), want hello", typ, err)
+	}
+	bw := bufio.NewWriter(conn)
+	welcome := welcomeMsg{
+		ElemBytes: 4, N: 8, Tile: 4, SchedSide: 1, Shards: 1, Slot: 0,
+		Stage1: uint8(perfmodel.KernelScalar), HeartbeatMS: 50, DeadlineMS: 2000,
+	}
+	if err := sendMsg(bw, frameWelcome, welcome.encode()); err != nil {
+		t.Fatal(err)
+	}
+	// One real dispatch (task 0 has no operand blocks; the worker's
+	// zeroed table is a valid input), framed, then fed to the worker in
+	// two pieces: 3 bytes of header, a pause spanning six heartbeat
+	// read slices, then the rest.
+	var frame bytes.Buffer
+	if err := writeFrame(&frame, frameDispatch, taskMsg{Gen: 0, TaskID: 0}.encode()); err != nil {
+		t.Fatal(err)
+	}
+	raw := frame.Bytes()
+	if _, err := conn.Write(raw[:3]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if _, err := conn.Write(raw[3:]); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			t.Fatalf("reading worker frames: %v", err)
+		}
+		if typ == framePing {
+			continue
+		}
+		if typ != frameResult {
+			f, _ := decodeFail(payload)
+			t.Fatalf("worker sent frame type %d (%s), want result", typ, f.Reason)
+		}
+		msg, err := decodeTaskMsg(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.TaskID != 0 || msg.Gen != 0 {
+			t.Fatalf("result for (task %d, gen %d), want (0, 0)", msg.TaskID, msg.Gen)
+		}
+		break
+	}
+	if err := sendMsg(bw, frameDone, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-wdone; err != nil {
+		t.Fatalf("worker exited %v after a trickled dispatch, want clean release", err)
+	}
+}
+
+// TestDeclareDeadBumpsGenerations pins the documented zombie defense:
+// declaring a worker dead requeues its in-flight tasks under bumped
+// generations, so a late result the dead worker already produced can
+// never match the task's current generation again.
+func TestDeclareDeadBumpsGenerations(t *testing.T) {
+	g, err := sched.NewGraph(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := &coordinator[float32]{
+		opts:     Options{MaxInflight: 2, Logf: t.Logf},
+		g:        g,
+		shards:   NewSharding(g.SchedTiles, 1),
+		state:    make([]int, len(g.Tasks)),
+		gen:      make([]uint32, len(g.Tasks)),
+		inflight: make(map[int]*session[float32]),
+		sessions: make(map[*session[float32]]struct{}),
+	}
+	co.queues = make([][]int, co.shards.NumShards())
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	sess := &session[float32]{id: 0, name: "zombie#0", conn: c1, out: make(chan outFrame, 4)}
+	co.sessions[sess] = struct{}{}
+	for _, id := range []int{0, 1} {
+		co.state[id] = tsInflight
+		co.inflight[id] = sess
+		co.gen[id] = 3
+		sess.inflight++
+	}
+	co.declareDead(sess, errors.New("test kill"))
+	for _, id := range []int{0, 1} {
+		if co.gen[id] != 4 {
+			t.Fatalf("task %d generation = %d after death, want 4 (bumped)", id, co.gen[id])
+		}
+		if co.state[id] != tsQueued {
+			t.Fatalf("task %d state = %d after death, want requeued", id, co.state[id])
+		}
+	}
+	if len(co.inflight) != 0 {
+		t.Fatalf("%d tasks still marked in flight on a dead session", len(co.inflight))
+	}
+	if co.stats.Redispatched != 2 || co.stats.WorkerDeaths != 1 {
+		t.Fatalf("stats = %+v, want 2 redispatched / 1 death", co.stats)
 	}
 }
 

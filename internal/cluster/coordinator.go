@@ -7,6 +7,7 @@ import (
 	"net"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"cellnpdp/internal/kernel"
@@ -30,9 +31,10 @@ import (
 // Failure model and recovery, one rung past the single-process ladder:
 //
 //	worker death      → re-dispatch its in-flight tasks to survivors
-//	                    (no recompute of installed state — installed
-//	                    blocks are seal-verified and never leave the
-//	                    coordinator)
+//	                    under bumped per-task generations, so a zombie's
+//	                    late result is recognizably stale (no recompute
+//	                    of installed state — installed blocks are
+//	                    seal-verified and never leave the coordinator)
 //	seal mismatch     → typed *resilience.ErrSealMismatch; with healing
 //	                    on, restore the poisoned cone (sched.Graph.Cone)
 //	                    from the pristine snapshot, bump the cone tasks'
@@ -155,20 +157,40 @@ const (
 	tsDone
 )
 
-// session is one live worker connection. All fields are owned by the
-// event loop; the per-session reader goroutine only touches the conn's
-// read half and posts events.
+// session is one live worker connection. All fields except out are
+// owned by the event loop; the per-session reader goroutine only
+// touches the conn's read half and posts events, and the per-session
+// writer goroutine only drains out onto the conn's write half.
 type session[E semiring.Elem] struct {
 	id      int
 	name    string
 	conn    net.Conn
 	shard   int
 	possess []bool // dense memory-block ID → worker holds the final bytes
+	// out is the bounded outbound frame queue feeding this session's
+	// writer goroutine; only the event loop sends, and declareDead (also
+	// on the event loop) closes it after marking the session dead.
+	out chan outFrame
 	// inflight is the number of dispatches outstanding on this worker.
 	inflight int
 	lastSeen time.Time
 	dead     bool
 }
+
+// outFrame is one queued outbound frame.
+type outFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// outboundQueueCap sizes a session's outbound queue: room for the
+// welcome, a generous multiple of the dispatch pipeline depth (heal
+// rounds can release and re-dispatch slots while the writer is mid
+// large frame), and the done/fail release. A full queue means the
+// writer has been stalled on a frame while the event loop kept
+// producing — the session is declared dead rather than ever blocking
+// the loop.
+func outboundQueueCap(maxInflight int) int { return 4*maxInflight + 16 }
 
 type evKind int
 
@@ -206,6 +228,7 @@ type coordinator[E semiring.Elem] struct {
 	sessions  map[*session[E]]struct{}
 	events    chan event[E]
 	stop      chan struct{}
+	writers   sync.WaitGroup
 	nextSess  int
 	done      int
 	sinceCkpt int
@@ -305,6 +328,22 @@ func Coordinate[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Ti
 	err = co.run(ctx)
 	close(co.stop)
 	ln.Close()
+	// The event loop has exited, so session state is safe to touch here.
+	// Closing the outbound queues lets each writer flush the queued
+	// done/fail release frames; the wait is bounded (writes carry
+	// deadlines, and the force-close below unblocks any straggler).
+	for sess := range co.sessions {
+		close(sess.out)
+	}
+	drained := make(chan struct{})
+	go func() {
+		co.writers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(opts.DeadlineAfter):
+	}
 	for sess := range co.sessions {
 		sess.conn.Close()
 	}
@@ -382,7 +421,13 @@ func (co *coordinator[E]) tick(now time.Time) error {
 			co.declareDead(sess, fmt.Errorf("heartbeat deadline %v exceeded", co.opts.DeadlineAfter))
 			continue
 		}
-		co.send(sess, framePing, nil)
+		// Any queued frame already proves coordinator liveness to the
+		// worker (it refreshes lastSeen on every frame), so pings only
+		// go out on an idle queue — they must never crowd it while the
+		// writer works through a large dispatch.
+		if len(sess.out) == 0 {
+			co.send(sess, framePing, nil)
+		}
 	}
 	if len(co.sessions) == 0 && co.done < len(co.g.Tasks) {
 		if co.noWorkerSince.IsZero() {
@@ -453,9 +498,12 @@ func (co *coordinator[E]) admit(conn net.Conn, hello helloMsg) {
 		conn:     conn,
 		shard:    shard,
 		possess:  make([]bool, co.seals.Len()),
+		out:      make(chan outFrame, outboundQueueCap(co.opts.MaxInflight)),
 		lastSeen: time.Now(),
 	}
 	co.nextSess++
+	co.writers.Add(1)
+	go co.writeLoop(sess)
 	var e E
 	welcome := welcomeMsg{
 		ElemBytes:   tableio.ElemWidth(e),
@@ -512,22 +560,47 @@ func (co *coordinator[E]) readLoop(sess *session[E]) {
 	}
 }
 
-// send writes one frame with a write deadline; failure declares the
-// session dead. Returns whether the send succeeded.
+// send enqueues one frame on the session's writer goroutine without
+// ever blocking the event loop; a full queue means the writer has
+// stalled past what the pipeline can legitimately produce, and the
+// session is declared dead. Returns whether the frame was queued.
 func (co *coordinator[E]) send(sess *session[E], typ byte, payload []byte) bool {
 	if sess.dead {
 		return false
 	}
-	sess.conn.SetWriteDeadline(time.Now().Add(co.opts.DeadlineAfter))
-	if err := writeFrame(sess.conn, typ, payload); err != nil {
-		co.declareDead(sess, fmt.Errorf("write: %w", err))
+	select {
+	case sess.out <- outFrame{typ: typ, payload: payload}:
+		return true
+	default:
+		co.declareDead(sess, fmt.Errorf("outbound queue full (%d frames): writer stalled", cap(sess.out)))
 		return false
 	}
-	return true
+}
+
+// writeLoop is a session's writer goroutine: it drains the outbound
+// queue onto the conn, each frame under a write deadline, so a slow or
+// partitioned worker can never stall the event loop — dispatch frames
+// run to many MB, and a synchronous write would block heartbeats and
+// dispatch to every other worker for up to the deadline per frame. A
+// write error posts the death and abandons the rest of the queue; a
+// closed queue (declareDead or shutdown) drains what was accepted,
+// then exits.
+func (co *coordinator[E]) writeLoop(sess *session[E]) {
+	defer co.writers.Done()
+	for f := range sess.out {
+		sess.conn.SetWriteDeadline(time.Now().Add(co.opts.DeadlineAfter))
+		if err := writeFrame(sess.conn, f.typ, f.payload); err != nil {
+			co.post(event[E]{kind: evDead, sess: sess, err: fmt.Errorf("write: %w", err)})
+			return
+		}
+	}
 }
 
 // declareDead removes a session and requeues its in-flight tasks at the
-// front of their shard queues — the death-recovery rung of the ladder.
+// front of their shard queues under bumped generations — the
+// death-recovery rung of the ladder. The bump makes any result the dead
+// worker already produced recognizably stale on its own (defense in
+// depth beyond the closed conn and the dead-session drop in handle).
 func (co *coordinator[E]) declareDead(sess *session[E], cause error) {
 	if sess.dead {
 		return
@@ -535,6 +608,7 @@ func (co *coordinator[E]) declareDead(sess *session[E], cause error) {
 	sess.dead = true
 	delete(co.sessions, sess)
 	sess.conn.Close() // a zombie's late frames can never arrive
+	close(sess.out)   // the writer drains what was queued, then exits
 	co.stats.WorkerDeaths++
 	var requeued []int
 	for id, s := range co.inflight {
@@ -546,6 +620,7 @@ func (co *coordinator[E]) declareDead(sess *session[E], cause error) {
 	for _, id := range requeued {
 		delete(co.inflight, id)
 		co.state[id] = tsQueued
+		co.gen[id]++
 		q := co.taskShard(id)
 		co.queues[q] = append([]int{id}, co.queues[q]...)
 	}

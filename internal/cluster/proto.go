@@ -253,6 +253,12 @@ func decodeTaskMsg(p []byte) (taskMsg, error) {
 		TaskID: int(binary.LittleEndian.Uint32(p[4:])),
 	}
 	nblocks := int(binary.LittleEndian.Uint32(p[8:]))
+	// Bound the count by what the payload could possibly hold (16 header
+	// bytes per block) before sizing the slice, so a CRC-valid frame with
+	// a huge nblocks and a tiny payload cannot force a giant allocation.
+	if nblocks > (len(p)-12)/16 {
+		return taskMsg{}, fmt.Errorf("cluster: task message claims %d blocks, payload holds at most %d", nblocks, (len(p)-12)/16)
+	}
 	off := 12
 	m.Blocks = make([]wireBlock, 0, nblocks)
 	for b := 0; b < nblocks; b++ {

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 
@@ -69,6 +70,29 @@ func TestMessageRoundTrips(t *testing.T) {
 	// Trailing garbage after a valid task message must be rejected.
 	if _, err := decodeTaskMsg(append(msg.encode(), 0)); err == nil {
 		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestDecodeTaskMsgBoundsBlockCount pins the allocation guard: a
+// CRC-valid frame claiming ~2^32 blocks over a tiny payload must be
+// rejected by arithmetic, not by attempting a multi-hundred-GB slice
+// allocation (the frame cap bounds payload bytes, not the count field).
+func TestDecodeTaskMsgBoundsBlockCount(t *testing.T) {
+	for _, nblocks := range []uint32{1, 1 << 20, ^uint32(0)} {
+		p := make([]byte, 12)
+		binary.LittleEndian.PutUint32(p[8:], nblocks)
+		if _, err := decodeTaskMsg(p); err == nil {
+			t.Fatalf("claimed %d blocks over an empty payload, accepted", nblocks)
+		}
+	}
+	// The bound must not reject genuine payloads: headers only, zero-byte
+	// cells, at the exact capacity the arithmetic allows.
+	legit := taskMsg{Gen: 1, TaskID: 2, Blocks: make([]wireBlock, 9)}
+	for i := range legit.Blocks {
+		legit.Blocks[i] = wireBlock{Bi: i, Bj: i, Raw: []byte{}}
+	}
+	if _, err := decodeTaskMsg(legit.encode()); err != nil {
+		t.Fatalf("exact-capacity message rejected: %v", err)
 	}
 }
 

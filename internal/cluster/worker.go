@@ -103,6 +103,23 @@ func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 	}
 }
 
+// sessionReader reads the connection under a rolling deadline: every
+// Read pushes the read deadline window ahead, so a frame read only
+// fails when the link makes no progress for a whole window. A multi-MB
+// dispatch frame trickling in on a slow link never times out mid-frame
+// — which matters, because abandoning a frame after io.ReadFull
+// consumed part of it would leave the next read starting mid-stream, a
+// permanent desync.
+type sessionReader struct {
+	conn   net.Conn
+	window time.Duration
+}
+
+func (r *sessionReader) Read(p []byte) (int, error) {
+	r.conn.SetReadDeadline(time.Now().Add(r.window))
+	return r.conn.Read(p)
+}
+
 // sleepCtx sleeps d unless ctx ends first; returns false on cancellation.
 func sleepCtx(ctx context.Context, d time.Duration) bool {
 	if d <= 0 {
@@ -137,11 +154,13 @@ func runSession(ctx context.Context, conn net.Conn, opts WorkerOptions) (done bo
 	}()
 
 	bw := bufio.NewWriter(conn)
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	sr := &sessionReader{conn: conn, window: 10 * time.Second}
+	br := bufio.NewReader(sr)
+	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
 	if err := sendMsg(bw, frameHello, helloMsg{Name: opts.Name}.encode()); err != nil {
 		return false, err
 	}
-	typ, payload, err := readFrame(conn)
+	typ, payload, err := readFrame(br)
 	if err != nil {
 		return false, err
 	}
@@ -156,22 +175,21 @@ func runSession(ctx context.Context, conn net.Conn, opts WorkerOptions) (done bo
 	if err != nil {
 		return false, err
 	}
-	conn.SetDeadline(time.Time{})
 	opts.Logf("cluster: worker %s joined shard %d/%d (n=%d tile=%d stage1=%v)",
 		opts.Name, welcome.Slot, welcome.Shards, welcome.N, welcome.Tile, perfmodel.Kernel(welcome.Stage1))
 	switch welcome.ElemBytes {
 	case 4:
-		return workerSession[float32](ctx, conn, bw, welcome, opts)
+		return workerSession[float32](ctx, conn, sr, br, bw, welcome, opts)
 	case 8:
-		return workerSession[float64](ctx, conn, bw, welcome, opts)
+		return workerSession[float64](ctx, conn, sr, br, bw, welcome, opts)
 	}
 	return false, fmt.Errorf("cluster: unsupported element width %d", welcome.ElemBytes)
 }
 
 // workerSession executes one connection's dispatch loop at a concrete
 // element type.
-func workerSession[E semiring.Elem](ctx context.Context, conn net.Conn, bw *bufio.Writer,
-	welcome welcomeMsg, opts WorkerOptions) (done bool, err error) {
+func workerSession[E semiring.Elem](ctx context.Context, conn net.Conn, sr *sessionReader, br *bufio.Reader,
+	bw *bufio.Writer, welcome welcomeMsg, opts WorkerOptions) (done bool, err error) {
 	t := tri.NewTiled[E](welcome.N, welcome.Tile)
 	g, err := sched.NewGraph(t.Blocks(), welcome.SchedSide)
 	if err != nil {
@@ -197,12 +215,17 @@ func workerSession[E semiring.Elem](ctx context.Context, conn net.Conn, bw *bufi
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
-		// Read with the heartbeat period as the slice, so pings flow
-		// even when no dispatch arrives; coordinator silence past the
-		// deadline drops the connection into the reconnect path.
-		conn.SetReadDeadline(time.Now().Add(heartbeat))
-		typ, payload, err := readFrame(conn)
-		if err != nil {
+		// Wait for the next frame with the heartbeat period as the
+		// slice, so pings flow even when no dispatch arrives and
+		// coordinator silence past the deadline drops the connection
+		// into the reconnect path. The one-byte peek makes a timeout
+		// unambiguous: it only ever fires with zero bytes consumed
+		// (anything already received sits in the bufio buffer), so idle
+		// waiting can never abandon a partially-read frame. Once a
+		// frame has begun, readFrame runs under the rolling deadline
+		// window, which fails only on a genuinely stalled link.
+		sr.window = heartbeat
+		if _, err := br.Peek(1); err != nil {
 			if netTimeout(err) {
 				if time.Since(lastSeen) > deadline {
 					return false, fmt.Errorf("cluster: coordinator silent for %v", deadline)
@@ -213,6 +236,11 @@ func workerSession[E semiring.Elem](ctx context.Context, conn net.Conn, bw *bufi
 				}
 				continue
 			}
+			return false, err
+		}
+		sr.window = deadline
+		typ, payload, err := readFrame(br)
+		if err != nil {
 			return false, err
 		}
 		lastSeen = time.Now()

@@ -9,6 +9,7 @@
 //	benchtables -list           # list experiment names
 //	benchtables -benchjson BENCH_PR6.json  # engine + kernel sweep → JSON
 //	benchtables -clusterjson BENCH_PR7.json  # loopback cluster vs single process → JSON
+//	benchtables -failoverjson BENCH_PR8.json  # coordinator-kill takeover recovery → JSON
 //	benchtables -calibrate scripts/kernel_calibration.txt  # per-kernel costs
 package main
 
@@ -36,6 +37,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables (with -run)")
 		bench   = flag.String("benchjson", "", "run the parallel-engine benchmark sweep (workers × engine ablations, -benchmem style) and write the JSON report to this path")
 		cbench  = flag.String("clusterjson", "", "run the loopback-cluster sweep (worker counts + kill recovery, verified bit-identical) and write the JSON report to this path")
+		fbench  = flag.String("failoverjson", "", "run the coordinator-kill warm-standby takeover (verified bit-identical) and write the recovery JSON report to this path")
 		calib   = flag.String("calibrate", "", "measure this machine's per-kernel stage-1 costs and write the calibration file (normally scripts/kernel_calibration.txt) to this path")
 	)
 	flag.Parse()
@@ -74,6 +76,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *cbench)
+		return
+	}
+	if *fbench != "" {
+		if err := harness.WriteFailoverBenchJSON(cfg, *fbench); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *fbench)
 		return
 	}
 	if *run != "" {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"os/exec"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -24,24 +26,30 @@ import (
 )
 
 // runCluster is the `cellnpdp cluster` subcommand: the sharded
-// coordinator/worker solve (see internal/cluster). Three modes:
+// coordinator/worker solve (see internal/cluster). Four modes:
 //
 //	loopback    (default) — coordinator plus -cluster-workers local
 //	            worker processes on a loopback port; the one-command
 //	            multi-process solve and the chaos harness's home
-//	coordinator — coordinator only; workers join from elsewhere
-//	worker      — one worker dialing -connect
+//	coordinator — coordinator only; workers join from elsewhere.
+//	            -replica streams its completion log to a warm standby
+//	worker      — one worker dialing -connect (a comma-separated
+//	            rotation list: "primary,standby")
+//	standby     — warm standby: tails a primary's replication stream
+//	            and takes over the solve when the lease expires
 //
 // Loopback mode carries the deterministic chaos harness: -chaos-kills
-// SIGKILLs workers mid-wavefront on a seeded completion schedule, and
+// SIGKILLs workers mid-wavefront on a seeded completion schedule,
+// -chaos-kill-coordinator runs the primary as a subprocess under an
+// in-process warm standby and SIGKILLs it mid-wavefront, and
 // -faultrate arms every worker's silent-corruption injector with a
 // shared seed so the corrupted task set is schedule-independent.
 func runCluster(args []string) error {
 	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
 	var (
-		mode    = fs.String("mode", "loopback", "loopback, coordinator or worker")
-		addr    = fs.String("addr", "127.0.0.1:0", "coordinator listen address")
-		connect = fs.String("connect", "", "worker mode: coordinator address to dial")
+		mode    = fs.String("mode", "loopback", "loopback, coordinator, worker or standby")
+		addr    = fs.String("addr", "127.0.0.1:0", "coordinator/standby listen address")
+		connect = fs.String("connect", "", "worker mode: coordinator address(es) to dial, comma-separated")
 		name    = fs.String("name", "worker", "worker mode: name in coordinator logs")
 
 		n         = fs.Int("n", 1024, "problem size (DP points)")
@@ -68,6 +76,12 @@ func runCluster(args []string) error {
 		chaosKills = fs.Int("chaos-kills", 0, "loopback: SIGKILL this many workers mid-wavefront")
 		chaosSeed  = fs.Int64("chaos-seed", 1, "seed of the kill schedule (completion counts and victims)")
 		restart    = fs.Bool("restart", true, "loopback: respawn each killed worker after a short delay")
+
+		replica    = fs.String("replica", "", "coordinator/loopback: stream the completion log to this warm-standby address")
+		lease      = fs.Duration("lease", 0, "standby: silence tolerated before takeover (0 = 2x deadline)")
+		maxReconn  = fs.Int("max-reconnects", 0, "worker: failed attempts tolerated per coordinator address (0 = default)")
+		chaosCoord = fs.Bool("chaos-kill-coordinator", false,
+			"loopback: run the coordinator as a subprocess replicating to an in-process standby, SIGKILL it mid-wavefront")
 
 		verify  = fs.Bool("verify", false, "re-solve with the serial engine and require bit-identity")
 		timeout = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
@@ -97,7 +111,7 @@ func runCluster(args []string) error {
 			}
 		}
 		return cluster.RunWorker(ctx, *connect, cluster.WorkerOptions{
-			Name: *name, Inject: inject, Logf: log.Printf,
+			Name: *name, Inject: inject, MaxReconnects: *maxReconn, Logf: log.Printf,
 		})
 	}
 
@@ -109,6 +123,7 @@ func runCluster(args []string) error {
 		checkpoint: *checkpoint, ckEvery: *ckEvery, resume: *resume,
 		faultRate: *faultRate, faultSeed: *faultSeed,
 		chaosKills: *chaosKills, chaosSeed: *chaosSeed, restartKilled: *restart,
+		replica: *replica, lease: *lease, maxReconnects: *maxReconn, chaosCoord: *chaosCoord,
 		verify: *verify,
 	}
 	switch *prec {
@@ -142,6 +157,10 @@ type clusterConfig struct {
 	chaosKills    int
 	chaosSeed     int64
 	restartKilled bool
+	replica       string
+	lease         time.Duration
+	maxReconnects int
+	chaosCoord    bool
 	verify        bool
 }
 
@@ -160,6 +179,13 @@ func clusterSolve[E semiring.Elem](ctx context.Context, cfg clusterConfig) error
 	src := workload.Chain[E](cfg.n, cfg.seed)
 	tbl := tri.ToTiled(src, tile)
 
+	if cfg.mode == "standby" {
+		return standbySolve(ctx, cfg, tbl)
+	}
+	if cfg.mode == "loopback" && cfg.chaosCoord {
+		return chaosCoordinatorKill(ctx, cfg, tbl, tile, precName)
+	}
+
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
@@ -177,7 +203,8 @@ func clusterSolve[E semiring.Elem](ctx context.Context, cfg clusterConfig) error
 		HeartbeatEvery: cfg.hbEvery, DeadlineAfter: cfg.deadline, WorkerlessAfter: cfg.workerless,
 		Heal: cfg.heal, HealAttempts: cfg.healMax,
 		CheckpointPath: cfg.checkpoint, CheckpointEvery: cfg.ckEvery, Resume: cfg.resume,
-		Stats: &stats, Logf: log.Printf,
+		ReplicaAddr: cfg.replica,
+		Stats:       &stats, Logf: log.Printf,
 	}
 
 	var fleet *workerFleet
@@ -199,28 +226,245 @@ func clusterSolve[E semiring.Elem](ctx context.Context, cfg clusterConfig) error
 		}
 	} else if cfg.mode != "coordinator" {
 		ln.Close()
-		return fmt.Errorf("unknown mode %q (want loopback, coordinator or worker)", cfg.mode)
+		return fmt.Errorf("unknown mode %q (want loopback, coordinator, worker or standby)", cfg.mode)
 	}
 
 	start := time.Now()
 	err = cluster.Coordinate(ctx, ln, tbl, opts)
-	wall := time.Since(start)
-	fmt.Printf("cluster: tasks=%d resumed=%d peak_workers=%d deaths=%d redispatched=%d mismatches=%d stale=%d healrounds=%d recomputed=%d restarts=%d blocks=%d bytes=%d wall=%.3fs\n",
-		stats.Tasks, stats.Resumed, stats.PeakWorkers, stats.WorkerDeaths, stats.Redispatched,
-		stats.SealMismatches, stats.StaleResults, stats.HealRounds, stats.RecomputedTasks,
-		stats.PristineRestarts, stats.BlocksStreamed, stats.BytesStreamed, wall.Seconds())
+	printClusterStats(&stats, time.Since(start))
 	if err != nil {
 		return err
 	}
-	if cfg.verify {
-		ref := workload.Chain[E](cfg.n, cfg.seed)
-		npdp.SolveSerial(ref)
-		if i, j, av, bv, diff := tri.FirstDiff[E](ref, tbl); diff {
-			return fmt.Errorf("cluster result diverges from serial engine at (%d,%d): serial %v vs cluster %v", i, j, av, bv)
-		}
-		fmt.Printf("verified against serial engine: identical\n")
+	return verifyAgainstSerial(cfg, tbl)
+}
+
+// printClusterStats emits the parseable end-of-run counter line.
+func printClusterStats(stats *cluster.Stats, wall time.Duration) {
+	fmt.Printf("cluster: tasks=%d resumed=%d peak_workers=%d deaths=%d redispatched=%d mismatches=%d stale=%d healrounds=%d recomputed=%d restarts=%d blocks=%d bytes=%d epoch=%d fenced=%d failovers=%d repl_records=%d repl_resyncs=%d wall=%.3fs\n",
+		stats.Tasks, stats.Resumed, stats.PeakWorkers, stats.WorkerDeaths, stats.Redispatched,
+		stats.SealMismatches, stats.StaleResults, stats.HealRounds, stats.RecomputedTasks,
+		stats.PristineRestarts, stats.BlocksStreamed, stats.BytesStreamed,
+		stats.Epoch, stats.FencedWrites, stats.Failovers, stats.ReplRecords, stats.ReplResyncs,
+		wall.Seconds())
+}
+
+// verifyAgainstSerial re-solves the workload with the serial engine and
+// requires bit-identity when -verify is set.
+func verifyAgainstSerial[E semiring.Elem](cfg clusterConfig, tbl *tri.Tiled[E]) error {
+	if !cfg.verify {
+		return nil
 	}
+	ref := workload.Chain[E](cfg.n, cfg.seed)
+	npdp.SolveSerial(ref)
+	if i, j, av, bv, diff := tri.FirstDiff[E](ref, tbl); diff {
+		return fmt.Errorf("cluster result diverges from serial engine at (%d,%d): serial %v vs cluster %v", i, j, av, bv)
+	}
+	fmt.Printf("verified against serial engine: identical\n")
 	return nil
+}
+
+// standbySolve is `-mode standby`: tail a primary's replication stream
+// and, if its lease expires, take the solve over at a bumped epoch. On
+// a clean primary finish the replicated table still lands here, so
+// -verify works in both outcomes.
+func standbySolve[E semiring.Elem](ctx context.Context, cfg clusterConfig, tbl *tri.Tiled[E]) error {
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	// Stdout, not the log: scripts parse this line for the bound port.
+	fmt.Printf("standing by on %s\n", ln.Addr())
+
+	var stats cluster.Stats
+	var sstats cluster.StandbyStats
+	opts := cluster.StandbyOptions{
+		Options: cluster.Options{
+			// Geometry (shards, scheduling side, heartbeat, deadline) is
+			// adopted from the primary's replication hello at takeover;
+			// these only seed the pre-adoption defaults.
+			Shards: cfg.shards, SchedSide: cfg.schedSide,
+			HeartbeatEvery: cfg.hbEvery, DeadlineAfter: cfg.deadline, WorkerlessAfter: cfg.workerless,
+			Heal: cfg.heal, HealAttempts: cfg.healMax,
+			CheckpointPath: cfg.checkpoint, CheckpointEvery: cfg.ckEvery,
+			Stats: &stats, Logf: log.Printf,
+		},
+		LeaseAfter: cfg.lease,
+		OnTakeover: func(epoch uint32) {
+			// Stdout: the chaos smoke greps for this exact prefix.
+			fmt.Printf("standby: takeover epoch=%d\n", epoch)
+		},
+		StandbyStats: &sstats,
+	}
+	start := time.Now()
+	err = cluster.RunStandby(ctx, ln, tbl, opts)
+	if sstats.TookOver {
+		printClusterStats(&stats, time.Since(start))
+	} else {
+		fmt.Printf("standby: primary finished clean: replicated=%d records=%d resyncs=%d fenced=%d wall=%.3fs\n",
+			sstats.ReplicatedTasks, sstats.Records, sstats.Resyncs, sstats.FencedWrites,
+			time.Since(start).Seconds())
+	}
+	if err != nil {
+		return err
+	}
+	return verifyAgainstSerial(cfg, tbl)
+}
+
+// chaosCoordinatorKill is `-chaos-kill-coordinator`: the coordinator
+// runs as a SUBPROCESS replicating to an in-process warm standby, so a
+// real SIGKILL lands on a real process mid-wavefront. The kill is keyed
+// on REPLICATED progress (the standby's delta count), proving the
+// takeover resumes from genuinely shipped state; workers dial the
+// "primary,standby" rotation list and re-home through the epoch fence.
+// The run FAILS if the primary finishes before the kill fires — a
+// chaos run that never exercised failover proves nothing.
+func chaosCoordinatorKill[E semiring.Elem](ctx context.Context, cfg clusterConfig, tbl *tri.Tiled[E], tile int, precName string) error {
+	sbLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	sbAddr := sbLn.Addr().String()
+
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	pri := exec.Command(exe, primaryArgs(cfg, sbAddr, precName)...)
+	pri.Stderr = os.Stderr
+	priOut, err := pri.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := pri.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		pri.Process.Kill()
+		pri.Wait()
+	}()
+
+	// Forward the primary's stdout, capturing its bound address.
+	addrC := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(priOut)
+		for sc.Scan() {
+			line := sc.Text()
+			if a, ok := strings.CutPrefix(line, "coordinating on "); ok {
+				select {
+				case addrC <- a:
+				default:
+				}
+			}
+			fmt.Printf("primary: %s\n", line)
+		}
+	}()
+	var priAddr string
+	select {
+	case priAddr = <-addrC:
+	case <-time.After(15 * time.Second):
+		return fmt.Errorf("primary coordinator never reported its address")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+
+	m := (cfg.n + tile - 1) / tile
+	g, err := sched.NewGraph(m, max(1, cfg.schedSide))
+	if err != nil {
+		return err
+	}
+	// Kill inside the first half of the wavefront, but only after real
+	// progress has been replicated.
+	killAfter := max(3, len(g.Tasks)/10)
+
+	wcfg := cfg
+	if wcfg.maxReconnects <= 0 {
+		// Workers must survive the whole leaderless window (primary dead,
+		// lease still ticking) on their rotation budget.
+		wcfg.maxReconnects = 100
+	}
+	fleet := newWorkerFleet(priAddr+","+sbAddr, wcfg, precName)
+	defer fleet.reap()
+	for i := 0; i < cfg.workers; i++ {
+		if err := fleet.spawn(); err != nil {
+			return err
+		}
+	}
+
+	var killOnce sync.Once
+	var stats cluster.Stats
+	var sstats cluster.StandbyStats
+	opts := cluster.StandbyOptions{
+		Options: cluster.Options{
+			Shards: cfg.shards, SchedSide: cfg.schedSide,
+			HeartbeatEvery: cfg.hbEvery, DeadlineAfter: cfg.deadline, WorkerlessAfter: cfg.workerless,
+			Heal: cfg.heal, HealAttempts: cfg.healMax,
+			Stats: &stats, Logf: log.Printf,
+		},
+		LeaseAfter: cfg.lease,
+		OnDelta: func(done int) {
+			if done >= killAfter {
+				killOnce.Do(func() {
+					log.Printf("cluster: chaos SIGKILL of coordinator (pid %d) after %d replicated tasks",
+						pri.Process.Pid, done)
+					pri.Process.Kill()
+				})
+			}
+		},
+		OnTakeover: func(epoch uint32) {
+			// Stdout: the chaos smoke greps for this exact prefix.
+			fmt.Printf("standby: takeover epoch=%d\n", epoch)
+		},
+		StandbyStats: &sstats,
+	}
+	if cfg.chaosKills > 0 {
+		// PR 7 worker chaos rides along: the hook is wired to the
+		// takeover coordinator, so these kills land post-failover, while
+		// the resumed wavefront is in flight.
+		opts.Options.OnTaskDone = fleet.chaosHook(len(g.Tasks), cfg.chaosKills, cfg.chaosSeed, cfg.restartKilled)
+	}
+
+	start := time.Now()
+	err = cluster.RunStandby(ctx, sbLn, tbl, opts)
+	printClusterStats(&stats, time.Since(start))
+	if err != nil {
+		return err
+	}
+	if !sstats.TookOver {
+		return fmt.Errorf("chaos: primary finished before the coordinator kill fired (replicated=%d of %d tasks); nothing was proven",
+			sstats.ReplicatedTasks, len(g.Tasks))
+	}
+	return verifyAgainstSerial(cfg, tbl)
+}
+
+// primaryArgs rebuilds the subprocess command line for the primary
+// coordinator of a -chaos-kill-coordinator run.
+func primaryArgs(cfg clusterConfig, sbAddr, prec string) []string {
+	shards := cfg.shards
+	if shards <= 0 {
+		shards = cfg.workers
+	}
+	args := []string{"cluster", "-mode", "coordinator",
+		"-addr", "127.0.0.1:0", "-replica", sbAddr,
+		"-n", strconv.Itoa(cfg.n), "-seed", strconv.FormatInt(cfg.seed, 10),
+		"-prec", prec, "-block", strconv.Itoa(cfg.block),
+		"-sched-side", strconv.Itoa(cfg.schedSide), "-shards", strconv.Itoa(shards),
+	}
+	if cfg.hbEvery > 0 {
+		args = append(args, "-heartbeat", cfg.hbEvery.String())
+	}
+	if cfg.deadline > 0 {
+		args = append(args, "-deadline", cfg.deadline.String())
+	}
+	if cfg.workerless > 0 {
+		args = append(args, "-workerless", cfg.workerless.String())
+	}
+	if cfg.heal {
+		args = append(args, "-heal")
+		if cfg.healMax > 0 {
+			args = append(args, "-heal-attempts", strconv.Itoa(cfg.healMax))
+		}
+	}
+	return args
 }
 
 // workerFleet owns the loopback worker subprocesses: spawning, the
@@ -251,6 +495,9 @@ func (f *workerFleet) spawn() error {
 	f.next++
 	args := []string{"cluster", "-mode", "worker",
 		"-connect", f.addr, "-name", "w" + strconv.Itoa(id)}
+	if f.cfg.maxReconnects > 0 {
+		args = append(args, "-max-reconnects", strconv.Itoa(f.cfg.maxReconnects))
+	}
 	if f.cfg.faultRate > 0 {
 		// Every worker shares the seed, so which (task, generation)
 		// attempts corrupt does not depend on who computes them.

@@ -6,19 +6,21 @@ import (
 	"go/types"
 )
 
-// ErrDrop guards the resilience layer's error contract: a
+// ErrDrop guards the fault-evidence error contract: a
 // *resilience.CorruptionError is the only evidence a silent fault ever
 // leaves behind, a *resilience.PanicError carries the one stack trace
 // of a dead task, a *resilience.ErrSealMismatch identifies the one
-// boundary block whose bytes failed their CRC32C seal in transit, and a
-// checkpoint/seal codec error is the difference between refusing a
-// corrupt snapshot and silently resuming bad state. None of them may be
-// discarded.
+// boundary block whose bytes failed their CRC32C seal in transit, a
+// *cluster.ErrEpochFenced is the sole proof a deposed leader's write
+// was rejected after failover, a *cluster.ErrProtocolVersion is the
+// difference between refusing a wire-incompatible peer and silently
+// mis-framing it, and a checkpoint/seal codec error is the difference
+// between refusing a corrupt snapshot and silently resuming bad state.
+// None of them may be discarded.
 //
 // Watched calls are (a) any function or method declared in the
 // resilience package whose results include an error, and (b) any
-// function returning *CorruptionError, *PanicError or *ErrSealMismatch
-// directly. For a
+// function returning one of the watchedErrTypes directly. For a
 // watched call the analyzer rejects:
 //
 //   - calling it as a bare statement, or under go/defer, so the error
@@ -105,20 +107,35 @@ func errResultIndex(sig *types.Signature) int {
 	return -1
 }
 
-// isWatchedErrType reports whether t is *CorruptionError or
-// *PanicError from a resilience package.
+// watchedErrTypes is the analyzer's watch list, keyed by package
+// (matched by import-path suffix, so fixtures with bare paths follow
+// the same rules as the real module packages): the named error types
+// whose loss would erase the only record of a fault.
+var watchedErrTypes = map[string][]string{
+	"resilience": {"CorruptionError", "PanicError", "ErrSealMismatch"},
+	"cluster":    {"ErrEpochFenced", "ErrProtocolVersion"},
+}
+
+// isWatchedErrType reports whether t (through pointers and aliases) is
+// one of the watchedErrTypes.
 func isWatchedErrType(t types.Type) bool {
 	n := namedType(t)
 	if n == nil {
 		return false
 	}
 	obj := n.Obj()
-	if obj == nil || !isPkgPath(obj, "resilience") {
+	if obj == nil {
 		return false
 	}
-	switch obj.Name() {
-	case "CorruptionError", "PanicError", "ErrSealMismatch":
-		return true
+	for pkg, names := range watchedErrTypes {
+		if !isPkgPath(obj, pkg) {
+			continue
+		}
+		for _, name := range names {
+			if obj.Name() == name {
+				return true
+			}
+		}
 	}
 	return false
 }

@@ -1,0 +1,29 @@
+// Package cluster is a fixture stand-in for the real cluster package:
+// the same watched error types and result shapes, no behavior. The
+// errdrop analyzer matches packages by import-path suffix, so this bare
+// "cluster" path exercises the same rules as cellnpdp/internal/cluster.
+package cluster
+
+// ErrEpochFenced is the fixture twin of the stale-epoch fence error —
+// the sole proof a deposed leader's write was rejected after failover.
+type ErrEpochFenced struct {
+	Epoch, Current uint32
+	Role           string
+}
+
+func (e *ErrEpochFenced) Error() string { return "epoch fenced" }
+
+// ErrProtocolVersion is the fixture twin of the wire-version error.
+type ErrProtocolVersion struct{ Got, Want uint16 }
+
+func (e *ErrProtocolVersion) Error() string { return "protocol version" }
+
+// CheckEpoch returns fencing evidence directly.
+func CheckEpoch() *ErrEpochFenced { return nil }
+
+// Negotiate returns version-mismatch evidence directly.
+func Negotiate() *ErrProtocolVersion { return nil }
+
+// Workers reports a count; no error result, so it is not watched even
+// though it is declared here (only resilience is watched wholesale).
+func Workers() int { return 1 }

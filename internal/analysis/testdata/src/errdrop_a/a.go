@@ -2,7 +2,10 @@
 // dropped errors from the (fixture) resilience package.
 package errdrop_a
 
-import "resilience"
+import (
+	"cluster"
+	"resilience"
+)
 
 func bareStmt() {
 	resilience.WriteSeals() // want `WriteSeals's error discarded`
@@ -90,4 +93,39 @@ func sealMismatchPropagated() error {
 		return err // ok: consumed by return
 	}
 	return nil
+}
+
+func epochFenceDrop() {
+	cluster.CheckEpoch() // want `CheckEpoch's error discarded`
+}
+
+func epochFenceBlank() {
+	_ = cluster.CheckEpoch() // want `CheckEpoch's error assigned to _`
+}
+
+func epochFenceChecked() bool {
+	err := cluster.CheckEpoch() // want `nil-checked but never consumed`
+	return err != nil
+}
+
+func versionDrop() {
+	go cluster.Negotiate() // want `discarded by go statement`
+}
+
+// mintFence returns the fence type from outside the cluster package.
+func mintFence() *cluster.ErrEpochFenced { return nil }
+
+func mintFenceDrop() {
+	mintFence() // want `mintFence's error discarded`
+}
+
+func epochFencePropagated() error {
+	if err := cluster.Negotiate(); err != nil {
+		return err // ok: consumed by return
+	}
+	return nil
+}
+
+func clusterUnwatched() {
+	cluster.Workers() // ok: no error result, and cluster is not watched wholesale
 }

@@ -217,7 +217,7 @@ func TestClusterHeartbeatPartition(t *testing.T) {
 	var wg sync.WaitGroup
 	startWorker(ctx, t, &wg, addr, WorkerOptions{
 		Name: "islanded",
-		Dial: func(ctx context.Context) (net.Conn, error) {
+		Dial: func(ctx context.Context, _ string) (net.Conn, error) {
 			var d net.Dialer
 			return d.DialContext(ctx, "tcp", proxy.Addr())
 		},

@@ -112,6 +112,23 @@ type Options struct {
 	OnTaskDone func(completed int, task sched.Task)
 	// Logf, when non-nil, receives progress and failure-path logging.
 	Logf func(format string, args ...any)
+	// Epoch is the leadership epoch this coordinator runs at; 0 means 1
+	// (a fresh primary). A standby taking over passes the deposed
+	// leader's epoch + 1, which is what fences the old leader's writes
+	// everywhere (see epoch.go).
+	Epoch uint32
+	// ReplicaAddr, when set, streams the completion log to a warm
+	// standby at that address (see RunStandby); the replication link is
+	// best-effort and never blocks or fails the solve.
+	ReplicaAddr string
+	// ReplicaDial overrides the replication connection factory (tests
+	// inject proxies); nil means a plain TCP dial of ReplicaAddr.
+	ReplicaDial func(ctx context.Context) (net.Conn, error)
+	// Die, when non-nil, kills the event loop the instant it is
+	// closed: run returns ErrDied with no fail broadcast, no final
+	// checkpoint, and no replication farewell — the in-process analogue
+	// of SIGKILL for failover tests and the harness.
+	Die <-chan struct{}
 }
 
 // Stats counts a coordinator run's work.
@@ -147,6 +164,44 @@ type Stats struct {
 	// sent to workers (the cluster's "DMA traffic").
 	BlocksStreamed int
 	BytesStreamed  int64
+	// Epoch is the leadership epoch the run executed at (1 for a fresh
+	// primary, deposed+1 after a takeover).
+	Epoch uint32
+	// FencedWrites counts frames rejected for carrying a stale epoch —
+	// results from a pre-failover dispatch, and replication or worker
+	// hellos from a deposed leader's cluster. Every one is a write the
+	// epoch fence stopped from landing.
+	FencedWrites int
+	// Failovers is 1 when this run is a standby resuming a dead
+	// primary's wavefront, 0 for a fresh primary.
+	Failovers int
+	// ReplRecords / ReplResyncs count completion-log records queued for
+	// the standby and full-state resyncs (stream (re)connects and
+	// overflow recoveries).
+	ReplRecords int
+	ReplResyncs int
+}
+
+// Health renders the counters in the shape serve.Config.ClusterHealth
+// expects, keyed to match the /healthz "cluster" object. It reads a
+// snapshot, so call it on a Stats copy taken after the run (or on one
+// the caller synchronizes itself).
+func (s *Stats) Health() map[string]any {
+	return map[string]any{
+		"tasks":           s.Tasks,
+		"accepted":        s.Accepted,
+		"dispatched":      s.Dispatched,
+		"worker_deaths":   s.WorkerDeaths,
+		"redispatched":    s.Redispatched,
+		"stale_results":   s.StaleResults,
+		"seal_mismatches": s.SealMismatches,
+		"heal_rounds":     s.HealRounds,
+		"epoch":           s.Epoch,
+		"fenced_writes":   s.FencedWrites,
+		"failovers":       s.Failovers,
+		"repl_records":    s.ReplRecords,
+		"repl_resyncs":    s.ReplResyncs,
+	}
 }
 
 // Task lifecycle states.
@@ -200,16 +255,40 @@ const (
 	evPing
 	evFail
 	evDead
+	evReplConn // a replication hello arrived on the worker listener
+	evFenced   // the standby (now leader) fenced our replication stream
 )
 
 type event[E semiring.Elem] struct {
 	kind  evKind
 	conn  net.Conn
 	hello helloMsg
+	repl  replHelloMsg
 	sess  *session[E]
 	msg   taskMsg
 	text  string
 	err   error
+}
+
+// replPull is the replicator goroutine asking the event loop for the
+// next batch of completion-log records. full forces a snapshot resync
+// (every stream (re)connect opens with one).
+type replPull struct {
+	full  bool
+	reply chan []resilience.Delta // cap 1; the loop replies synchronously
+}
+
+// maxReplPending bounds the queued completion log while the replication
+// stream is slow or down; overflow drops the queue and schedules a full
+// resync instead of growing without bound.
+const maxReplPending = 4096
+
+// replFinal is the disposition the replicator delivers to the standby
+// at shutdown. It is written before close(co.stop) — the close is the
+// release barrier the replicator reads it after.
+type replFinal struct {
+	typ    byte // frameDone, frameFail, or 0 for silent death
+	reason string
 }
 
 type coordinator[E semiring.Elem] struct {
@@ -220,6 +299,8 @@ type coordinator[E semiring.Elem] struct {
 	seals    *resilience.SealTable
 	shards   Sharding
 	stage1   perfmodel.Kernel
+
+	epoch uint32
 
 	state     []int
 	gen       []uint32
@@ -232,6 +313,14 @@ type coordinator[E semiring.Elem] struct {
 	nextSess  int
 	done      int
 	sinceCkpt int
+
+	// Replication state. replPullC is nil when no standby is
+	// configured; replPending/replFullSync are event-loop-owned;
+	// replFinal is written once before close(co.stop).
+	replPullC    chan replPull
+	replPending  []resilience.Delta
+	replFullSync bool
+	replFinal    replFinal
 
 	healRounds       int
 	healCounts       map[int]int // heals per block ID this restart epoch
@@ -248,6 +337,12 @@ type coordinator[E semiring.Elem] struct {
 // dependence-ordered block computation — the schedule cannot change the
 // values). The listener is closed before returning.
 func Coordinate[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Tiled[E], opts Options) error {
+	return coordinate(ctx, ln, t, opts, nil)
+}
+
+// coordinate is the shared coordinator body. pre, when non-nil, is a
+// replicated checkpoint a standby resumes from after taking over.
+func coordinate[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Tiled[E], opts Options, pre *resilience.Checkpoint[E]) error {
 	defer ln.Close()
 	if opts.SchedSide == 0 {
 		opts.SchedSide = 1
@@ -291,6 +386,10 @@ func Coordinate[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Ti
 		return err
 	}
 
+	if opts.Epoch == 0 {
+		opts.Epoch = 1
+	}
+
 	m := t.Blocks()
 	co := &coordinator[E]{
 		opts:       opts,
@@ -299,6 +398,7 @@ func Coordinate[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Ti
 		seals:      resilience.NewSealTable(m * (m + 1) / 2),
 		shards:     NewSharding(g.SchedTiles, opts.Shards),
 		stage1:     sel,
+		epoch:      opts.Epoch,
 		state:      make([]int, len(g.Tasks)),
 		gen:        make([]uint32, len(g.Tasks)),
 		inflight:   make(map[int]*session[E]),
@@ -309,8 +409,14 @@ func Coordinate[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Ti
 	}
 	co.queues = make([][]int, co.shards.NumShards())
 	co.stats.Tasks = len(g.Tasks)
+	co.stats.Epoch = co.epoch
 
-	if err := co.resume(); err != nil {
+	if pre != nil {
+		if err := co.applyCheckpoint(pre); err != nil {
+			return err
+		}
+		co.stats.Failovers = 1
+	} else if err := co.resume(); err != nil {
 		return err
 	}
 	// The pristine snapshot is taken after resume, so checkpoint-restored
@@ -325,7 +431,23 @@ func Coordinate[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Ti
 	}
 
 	go co.acceptLoop(ln)
+	if opts.ReplicaAddr != "" || opts.ReplicaDial != nil {
+		co.replPullC = make(chan replPull)
+		co.writers.Add(1)
+		go co.runReplicator(ctx)
+	}
 	err = co.run(ctx)
+	// The replicator reads the disposition after observing the stop
+	// close (the write below happens-before it). A silent death sends
+	// nothing — the standby's lease must expire, like a real crash.
+	switch {
+	case err == nil:
+		co.replFinal = replFinal{typ: frameDone}
+	case errors.Is(err, ErrDied):
+		co.replFinal = replFinal{}
+	default:
+		co.replFinal = replFinal{typ: frameFail, reason: err.Error()}
+	}
 	close(co.stop)
 	ln.Close()
 	// The event loop has exited, so session state is safe to touch here.
@@ -365,18 +487,24 @@ func (co *coordinator[E]) run(ctx context.Context) error {
 	}
 	for {
 		select {
+		case <-co.opts.Die:
+			// Chaos kill: no broadcast, no checkpoint, no farewell. The
+			// cluster must discover the death the hard way.
+			return ErrDied
 		case <-ctx.Done():
 			co.broadcastFail("coordinator context canceled")
 			return ctx.Err()
+		case pr := <-co.replPullC:
+			co.replReply(pr)
 		case now := <-ticker.C:
 			if err := co.tick(now); err != nil {
-				co.broadcastFail(err.Error())
+				co.broadcastAbort(err)
 				return err
 			}
 		case ev := <-co.events:
 			finished, err := co.handle(ev)
 			if err != nil {
-				co.broadcastFail(err.Error())
+				co.broadcastAbort(err)
 				return err
 			}
 			if finished {
@@ -386,12 +514,69 @@ func (co *coordinator[E]) run(ctx context.Context) error {
 	}
 }
 
+// replReply answers one replicator pull on the event loop: a full
+// resync snapshot when requested (or when overflow forced one),
+// otherwise the pending records accumulated since the last pull.
+func (co *coordinator[E]) replReply(pr replPull) {
+	if pr.full || co.replFullSync {
+		co.replFullSync = false
+		co.replPending = nil
+		co.stats.ReplResyncs++
+		pr.reply <- co.snapshotDeltas()
+		return
+	}
+	batch := co.replPending
+	co.replPending = nil
+	pr.reply <- batch
+}
+
+// snapshotDeltas renders the full completion log as of now: a sync
+// marker, then one done record per completed task with its installed
+// blocks re-encoded from the authoritative table.
+func (co *coordinator[E]) snapshotDeltas() []resilience.Delta {
+	out := []resilience.Delta{{Kind: resilience.DeltaSyncBegin, Epoch: co.epoch}}
+	for _, task := range co.g.Tasks {
+		if co.state[task.ID] != tsDone {
+			continue
+		}
+		d := resilience.Delta{Kind: resilience.DeltaTaskDone, Epoch: co.epoch, TaskID: task.ID, Gen: co.gen[task.ID]}
+		for _, mb := range task.MemoryBlockOrder() {
+			raw := encodeCells(co.t.Block(mb[0], mb[1]))
+			d.Blocks = append(d.Blocks, resilience.DeltaBlock{Bi: mb[0], Bj: mb[1], CRC: rawCRC(raw), Raw: raw})
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// replRecord queues one completion-log record for the standby. A full
+// queue (stream down or slow) drops everything and schedules a resync —
+// replication is best-effort and never backpressures the solve.
+func (co *coordinator[E]) replRecord(d resilience.Delta) {
+	if co.replPullC == nil || co.replFullSync {
+		return
+	}
+	if len(co.replPending) >= maxReplPending {
+		co.replPending = nil
+		co.replFullSync = true
+		return
+	}
+	co.replPending = append(co.replPending, d)
+	co.stats.ReplRecords++
+}
+
 // handle processes one event; finished=true means every task installed
 // and the final audit passed.
 func (co *coordinator[E]) handle(ev event[E]) (finished bool, err error) {
 	switch ev.kind {
 	case evConn:
-		co.admit(ev.conn, ev.hello)
+		return false, co.admit(ev.conn, ev.hello)
+	case evReplConn:
+		return false, co.handleReplConn(ev.conn, ev.repl)
+	case evFenced:
+		// The standby we replicate to has become the leader; we are
+		// deposed. Terminal — our epoch can never win again.
+		return false, &ErrEpochFenced{Epoch: co.epoch, Current: ev.repl.Epoch, Role: "coordinator"}
 	case evPing:
 		if !ev.sess.dead {
 			ev.sess.lastSeen = time.Now()
@@ -453,17 +638,42 @@ func (co *coordinator[E]) acceptLoop(ln net.Listener) {
 		go func(conn net.Conn) {
 			conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 			typ, payload, err := readFrame(conn)
-			if err != nil || typ != frameHello {
-				conn.Close()
-				return
-			}
-			hello, err := decodeHello(payload)
 			if err != nil {
 				conn.Close()
 				return
 			}
-			conn.SetReadDeadline(time.Time{})
-			co.post(event[E]{kind: evConn, conn: conn, hello: hello})
+			switch typ {
+			case frameHello:
+				hello, err := decodeHello(payload)
+				if err != nil {
+					// A version mismatch gets a reasoned rejection — the
+					// worker fails fast and loud instead of seeing a bare
+					// close (or, pre-typed-errors, a checksum mismatch).
+					var vErr *ErrProtocolVersion
+					if errors.As(err, &vErr) {
+						conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+						writeFrame(conn, frameFail, failMsg{Reason: err.Error()}.encode())
+					}
+					conn.Close()
+					return
+				}
+				conn.SetReadDeadline(time.Time{})
+				co.post(event[E]{kind: evConn, conn: conn, hello: hello})
+			case frameReplHello:
+				// A deposed primary's replication stream found us (the
+				// worker listener and the standby listener are the same
+				// port once a standby takes over). The event loop judges
+				// its epoch.
+				repl, err := decodeReplHello(payload)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				conn.SetReadDeadline(time.Time{})
+				co.post(event[E]{kind: evReplConn, conn: conn, repl: repl})
+			default:
+				conn.Close()
+			}
 		}(conn)
 	}
 }
@@ -480,8 +690,20 @@ func (co *coordinator[E]) post(ev event[E]) {
 }
 
 // admit turns a hello'd connection into a live session on the
-// least-loaded shard and starts its reader.
-func (co *coordinator[E]) admit(conn net.Conn, hello helloMsg) {
+// least-loaded shard and starts its reader. A worker that has been
+// welcomed at a higher epoch than ours proves we are deposed: the run
+// aborts, because any state we install from here on diverges from the
+// real leader's.
+func (co *coordinator[E]) admit(conn net.Conn, hello helloMsg) error {
+	if hello.Epoch > co.epoch {
+		co.opts.Logf("cluster: worker %s has seen epoch %d > ours (%d); we are deposed", hello.Name, hello.Epoch, co.epoch)
+		go func() {
+			conn.SetWriteDeadline(time.Now().Add(co.opts.DeadlineAfter))
+			writeFrame(conn, frameStandby, nil)
+			conn.Close()
+		}()
+		return &ErrEpochFenced{Epoch: co.epoch, Current: hello.Epoch, Role: "coordinator"}
+	}
 	shard, least := 0, -1
 	live := make([]int, co.shards.NumShards())
 	for sess := range co.sessions {
@@ -515,6 +737,7 @@ func (co *coordinator[E]) admit(conn net.Conn, hello helloMsg) {
 		Stage1:      uint8(co.stage1),
 		HeartbeatMS: uint32(co.opts.HeartbeatEvery / time.Millisecond),
 		DeadlineMS:  uint32(co.opts.DeadlineAfter / time.Millisecond),
+		Epoch:       co.epoch,
 	}
 	co.sessions[sess] = struct{}{}
 	if len(co.sessions) > co.stats.PeakWorkers {
@@ -522,10 +745,29 @@ func (co *coordinator[E]) admit(conn net.Conn, hello helloMsg) {
 	}
 	co.opts.Logf("cluster: worker %s joined (shard %d of %d)", sess.name, shard, co.shards.NumShards())
 	if !co.send(sess, frameWelcome, welcome.encode()) {
-		return
+		return nil
 	}
 	go co.readLoop(sess)
 	co.fill(sess)
+	return nil
+}
+
+// handleReplConn judges a replication hello that arrived on the worker
+// listener: a stale pusher (a deposed primary that has not yet noticed)
+// is fenced, a pusher from the future means we are the deposed one.
+func (co *coordinator[E]) handleReplConn(conn net.Conn, repl replHelloMsg) error {
+	if repl.Epoch > co.epoch {
+		conn.Close()
+		return &ErrEpochFenced{Epoch: co.epoch, Current: repl.Epoch, Role: "coordinator"}
+	}
+	co.stats.FencedWrites++
+	co.opts.Logf("cluster: fenced replication stream %q at stale epoch %d (current %d)", repl.Name, repl.Epoch, co.epoch)
+	go func() {
+		conn.SetWriteDeadline(time.Now().Add(co.opts.DeadlineAfter))
+		writeFrame(conn, frameFenced, encodeEpoch(co.epoch))
+		conn.Close()
+	}()
+	return nil
 }
 
 // readLoop decodes a session's frames and posts them to the event loop.
@@ -693,7 +935,7 @@ func (co *coordinator[E]) fillAll() {
 // the paper's SPE procedure, lifted to the wire.
 func (co *coordinator[E]) dispatch(sess *session[E], id int) {
 	task := co.g.Tasks[id]
-	msg := taskMsg{Gen: co.gen[id], TaskID: id}
+	msg := taskMsg{Epoch: co.epoch, Gen: co.gen[id], TaskID: id}
 	addBlock := func(bi, bj int, final bool) {
 		bid := co.t.BlockID(bi, bj)
 		if sess.possess[bid] {
@@ -767,6 +1009,16 @@ func operandBlocks(task sched.Task) [][2]int {
 // answer — and is dropped without error; a CRC mismatch is transport or
 // memory corruption and enters the heal ladder.
 func (co *coordinator[E]) install(sess *session[E], msg taskMsg) (finished bool, err error) {
+	// The epoch fence comes before everything else: a result produced
+	// under another leader's epoch (a pre-failover dispatch replayed at
+	// us, or a frame laundered through a deposed coordinator) must not
+	// even reach the generation logic. No pipeline slot is released —
+	// this session never owned a dispatch for that frame.
+	if msg.Epoch != co.epoch {
+		co.stats.FencedWrites++
+		co.opts.Logf("cluster: fenced result from %s: epoch %d, current %d", sess.name, msg.Epoch, co.epoch)
+		return false, nil
+	}
 	id := msg.TaskID
 	if id < 0 || id >= len(co.g.Tasks) {
 		co.declareDead(sess, fmt.Errorf("result for unknown task %d", id))
@@ -829,6 +1081,15 @@ func (co *coordinator[E]) install(sess *session[E], msg taskMsg) (finished bool,
 	co.state[id] = tsDone
 	co.done++
 	co.stats.Accepted++
+	if co.replPullC != nil {
+		// Reusing the result's Raw slices is safe: frame payloads are
+		// never recycled after decode.
+		d := resilience.Delta{Kind: resilience.DeltaTaskDone, Epoch: co.epoch, TaskID: id, Gen: msg.Gen}
+		for _, wb := range msg.Blocks {
+			d.Blocks = append(d.Blocks, resilience.DeltaBlock{Bi: wb.Bi, Bj: wb.Bj, CRC: wb.CRC, Raw: wb.Raw})
+		}
+		co.replRecord(d)
+	}
 	for _, succ := range task.Succs {
 		if co.state[succ] == tsNotReady && co.depsDone(succ) {
 			co.enqueue(succ)
@@ -912,6 +1173,13 @@ func (co *coordinator[E]) resetTask(id int) {
 	if s, ok := co.inflight[id]; ok {
 		s.inflight--
 		delete(co.inflight, id)
+	}
+	if co.state[id] == tsDone && co.replPullC != nil {
+		d := resilience.Delta{Kind: resilience.DeltaTaskReset, Epoch: co.epoch, TaskID: id}
+		for _, mb := range co.g.Tasks[id].MemoryBlockOrder() {
+			d.Blocks = append(d.Blocks, resilience.DeltaBlock{Bi: mb[0], Bj: mb[1]})
+		}
+		co.replRecord(d)
 	}
 	co.state[id] = tsNotReady
 	co.gen[id]++
@@ -1056,6 +1324,20 @@ func (co *coordinator[E]) resume() error {
 		co.opts.Logf("cluster: ignoring checkpoint: %v", err)
 		return nil
 	}
+	if err := co.applyCheckpoint(ck); err != nil {
+		return err
+	}
+	co.opts.Logf("cluster: resumed %d/%d tasks from %s", co.stats.Resumed, len(co.g.Tasks), co.opts.CheckpointPath)
+	return nil
+}
+
+// applyCheckpoint pre-completes tasks from a validated snapshot —
+// either a loaded NPCK file (resume) or a replica's delta-built shadow
+// (failover takeover). Restored blocks are sealed so audits cover them.
+func (co *coordinator[E]) applyCheckpoint(ck *resilience.Checkpoint[E]) error {
+	if err := ck.Matches(co.t.Len(), co.t.Tile(), co.opts.SchedSide); err != nil {
+		return fmt.Errorf("cluster: applying checkpoint: %w", err)
+	}
 	for _, task := range co.g.Tasks {
 		if !ck.Done[task.ID] {
 			continue
@@ -1076,7 +1358,7 @@ func (co *coordinator[E]) resume() error {
 		co.stats.Resumed++
 	}
 	if err := ck.Apply(co.t); err != nil {
-		return fmt.Errorf("cluster: resume: %w", err)
+		return fmt.Errorf("cluster: applying checkpoint: %w", err)
 	}
 	for _, task := range co.g.Tasks {
 		if co.state[task.ID] != tsDone {
@@ -1086,8 +1368,23 @@ func (co *coordinator[E]) resume() error {
 			co.seals.Seal(co.t.BlockID(mb[0], mb[1]), resilience.BlockCRC(co.t.Block(mb[0], mb[1])))
 		}
 	}
-	co.opts.Logf("cluster: resumed %d/%d tasks from %s", co.stats.Resumed, len(co.g.Tasks), co.opts.CheckpointPath)
 	return nil
+}
+
+// broadcastAbort ends the run toward the workers. A fenced abort (we
+// were deposed) broadcasts frameFenced with the winning epoch — a
+// re-home signal, the workers' solve is still alive under the new
+// leader — while every other abort is terminal.
+func (co *coordinator[E]) broadcastAbort(err error) {
+	var fenced *ErrEpochFenced
+	if errors.As(err, &fenced) {
+		payload := encodeEpoch(fenced.Current)
+		for sess := range co.sessions {
+			co.send(sess, frameFenced, payload)
+		}
+		return
+	}
+	co.broadcastFail(err.Error())
 }
 
 // broadcastFail tells every live worker the run is over and why, so

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Epoch fencing is the cluster's cross-leader staleness defense, one
+// level above PR 7's per-task generations. Generations order dispatches
+// within one coordinator's lifetime; the epoch orders coordinator
+// lifetimes themselves. Every welcome, dispatch, and result frame
+// carries the leader's monotonic epoch, sealed under the frame CRC like
+// every other field. A worker learns the epoch at (re)connect and never
+// accepts a smaller one again; a coordinator drops any result whose
+// epoch is not its own before even looking at the generation. A standby
+// assumes leadership only after its lease on the old primary expires,
+// and takes over at old-epoch+1 — so a deposed primary that was merely
+// partitioned (not dead) finds every write path fenced: workers reject
+// its welcome, the new leader rejects its replication stream, and its
+// own install path never sees post-failover results.
+
+// ErrEpochFenced reports a frame or connection rejected because it
+// carried a stale epoch — the sender is a deposed leader (or a worker
+// still bound to one). It is retryable for workers (re-home to the new
+// leader) and terminal for a deposed coordinator.
+type ErrEpochFenced struct {
+	// Epoch is the stale epoch the rejected frame carried.
+	Epoch uint32
+	// Current is the fencing side's epoch at rejection time.
+	Current uint32
+	// Role describes the rejected party ("coordinator", "worker",
+	// "replica") for logs.
+	Role string
+}
+
+func (e *ErrEpochFenced) Error() string {
+	return fmt.Sprintf("cluster: %s fenced: epoch %d is stale (current epoch %d)", e.Role, e.Epoch, e.Current)
+}
+
+// ErrProtocolVersion reports a hello/welcome version mismatch. Before
+// this type existed a version skew surfaced as a confusing downstream
+// decode or checksum error; now both ends fail fast with the two
+// versions in hand. It is terminal: no amount of reconnecting fixes a
+// build mismatch.
+type ErrProtocolVersion struct {
+	Got, Want uint16
+}
+
+func (e *ErrProtocolVersion) Error() string {
+	return fmt.Sprintf("cluster: protocol version %d, want %d", e.Got, e.Want)
+}
+
+// ErrDied reports that the coordinator's Options.Die channel fired: the
+// in-process analogue of SIGKILL for failover tests and the harness.
+// Unlike context cancellation, dying is silent — no fail broadcast, no
+// final checkpoint, no replication farewell — exactly what a real
+// coordinator crash looks like to the rest of the cluster.
+var ErrDied = errors.New("cluster: coordinator died (chaos)")

@@ -1,0 +1,657 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cellnpdp/internal/npdp"
+	"cellnpdp/internal/resilience"
+	"cellnpdp/internal/sched"
+	"cellnpdp/internal/tri"
+	"cellnpdp/internal/workload"
+)
+
+// failoverN sizes the chaos workloads: large enough that the solve runs
+// long past several replication heartbeats, so a kill keyed on
+// replicated progress genuinely lands mid-wavefront (the testN workload
+// finishes inside one heartbeat and the race never opens).
+const failoverN = 768
+
+// failoverTile is deliberately small (48×48 block lattice, 1176 tasks)
+// so the post-takeover solve has enough runway for chaos injected AFTER
+// the failover — a worker kill, a fenced split-brain write — to land
+// while the wavefront is still in flight.
+const failoverTile = 16
+
+// failoverRef solves the failover workload serially — the oracle.
+func failoverRef(t *testing.T) *tri.RowMajor[float32] {
+	t.Helper()
+	m := workload.Chain[float32](failoverN, testSeed)
+	npdp.SolveSerial(m)
+	return m
+}
+
+// failoverTable builds the failover workload's tiled input.
+func failoverTable(t *testing.T) *tri.Tiled[float32] {
+	t.Helper()
+	return tri.ToTiled(workload.Chain[float32](failoverN, testSeed), failoverTile)
+}
+
+// failoverWorkerOptions are worker options tuned for failover tests: a
+// generous reconnect budget, a short handshake timeout so a blackholed
+// address is abandoned quickly, and a low backoff ceiling so the
+// rotation reaches the live leader within a lease period.
+func failoverWorkerOptions(name string) WorkerOptions {
+	return WorkerOptions{
+		Name:             name,
+		MaxReconnects:    60,
+		HandshakeTimeout: time.Second,
+		Reconnect: resilience.RetryPolicy{
+			BaseDelay: 25 * time.Millisecond,
+			MaxDelay:  250 * time.Millisecond,
+			Jitter:    true,
+		},
+	}
+}
+
+// TestFailoverMidWavefront is the tentpole chaos test: a primary
+// replicating to a warm standby is killed silently (the Die channel, the
+// in-process SIGKILL) mid-wavefront, after the standby has replicated at
+// least five tasks; the standby's lease expires, it takes over at epoch
+// 2, the workers re-home through their address rotation, one worker is
+// ALSO killed after takeover (the PR 7 chaos riding along), and the
+// resumed solve still finishes bit-identical to SolveSerial.
+func TestFailoverMidWavefront(t *testing.T) {
+	ref := failoverRef(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	sbLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbTbl := failoverTable(t)
+	var tstats Stats
+	var sstats StandbyStats
+	die := make(chan struct{})
+	var dieOnce sync.Once
+	var tookOver atomic.Bool
+	var killVictim context.CancelFunc // set before any worker connects
+
+	sbOpts := StandbyOptions{
+		Options:    testOptions(&tstats),
+		LeaseAfter: 700 * time.Millisecond,
+		OnDelta: func(done int) {
+			// The kill is keyed on REPLICATED progress, not primary
+			// progress, so the takeover provably resumes mid-wavefront
+			// with real state instead of restarting from zero.
+			if done >= 5 {
+				dieOnce.Do(func() { close(die) })
+			}
+		},
+		OnTakeover: func(epoch uint32) {
+			tookOver.Store(true)
+		},
+		StandbyStats: &sstats,
+	}
+	sbOpts.Shards = 2
+	sbOpts.Logf = t.Logf
+	sbErr := make(chan error, 1)
+	go func() { sbErr <- RunStandby(ctx, sbLn, sbTbl, sbOpts) }()
+
+	priTbl := failoverTable(t)
+	var pstats Stats
+	pOpts := testOptions(&pstats)
+	pOpts.Shards = 2
+	pOpts.Logf = t.Logf
+	// A fast replication pull cadence, so the standby's view trails the
+	// wavefront by milliseconds and the kill gate opens early.
+	pOpts.HeartbeatEvery = 5 * time.Millisecond
+	pOpts.ReplicaAddr = sbLn.Addr().String()
+	pOpts.Die = die
+	priAddr, priWait := startCoordinator(ctx, t, priTbl, pOpts)
+
+	addrs := priAddr + "," + sbLn.Addr().String()
+	var wg sync.WaitGroup
+	// The victim's kill (the PR 7 chaos riding along) fires only after
+	// it has re-homed to the NEW leader — its first successful dial
+	// post-takeover — so the takeover coordinator provably absorbs a
+	// worker death of its own, not just the inherited wavefront.
+	rejoined := make(chan struct{})
+	var rejoinOnce sync.Once
+	vopts := failoverWorkerOptions("victim")
+	// Near-continuous redial: the victim must be among the first to
+	// re-home after takeover or the kill window could close before it
+	// ever holds a session on the new leader.
+	vopts.Reconnect.BaseDelay = 2 * time.Millisecond
+	vopts.Reconnect.MaxDelay = 15 * time.Millisecond
+	vopts.MaxReconnects = 2000
+	vopts.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
+		var d net.Dialer
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil && tookOver.Load() {
+			rejoinOnce.Do(func() { close(rejoined) })
+		}
+		return c, err
+	}
+	killVictim = startWorker(ctx, t, &wg, addrs, vopts)
+	go func() {
+		select {
+		case <-rejoined:
+			time.Sleep(100 * time.Millisecond) // deep enough into the session to hold dispatches
+			killVictim()
+		case <-ctx.Done():
+		}
+	}()
+	for w := 0; w < 2; w++ {
+		startWorker(ctx, t, &wg, addrs, failoverWorkerOptions("survivor"))
+	}
+
+	if err := priWait(); !errors.Is(err, ErrDied) {
+		t.Fatalf("killed primary returned %v, want ErrDied", err)
+	}
+	select {
+	case err := <-sbErr:
+		if err != nil {
+			t.Fatalf("standby/takeover run: %v", err)
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("standby did not finish within 90s")
+	}
+	cancel()
+	wg.Wait()
+
+	requireIdentical(t, ref, sbTbl)
+	if !sstats.TookOver || sstats.Epoch != 2 {
+		t.Fatalf("standby stats = %+v, want a takeover at epoch 2", sstats)
+	}
+	if sstats.ReplicatedTasks < 5 {
+		t.Fatalf("takeover resumed from %d replicated tasks, want >= 5 (the kill gate)", sstats.ReplicatedTasks)
+	}
+	if tstats.Failovers != 1 || tstats.Epoch != 2 {
+		t.Fatalf("takeover coordinator stats failovers=%d epoch=%d, want 1 and 2", tstats.Failovers, tstats.Epoch)
+	}
+	if tstats.Resumed < 5 {
+		t.Fatalf("takeover pre-completed %d tasks from the replica, want >= 5", tstats.Resumed)
+	}
+	if tstats.Resumed+tstats.Accepted != tstats.Tasks {
+		t.Fatalf("resumed %d + accepted %d != %d tasks", tstats.Resumed, tstats.Accepted, tstats.Tasks)
+	}
+	if tstats.WorkerDeaths < 1 {
+		t.Fatalf("post-takeover worker kill was never observed: deaths=%d", tstats.WorkerDeaths)
+	}
+	t.Logf("takeover: resumed=%d accepted=%d deaths=%d replRecords(primary)=%d",
+		tstats.Resumed, tstats.Accepted, tstats.WorkerDeaths, pstats.ReplRecords)
+}
+
+// TestFailoverPrimaryFinishesClean pins the no-fault HA path: the
+// primary finishes normally, delivers the completion-log tail plus the
+// done frame, and the standby returns nil WITHOUT taking over — holding
+// the complete solved table, bit-identical to SolveSerial, built from
+// delta records alone.
+func TestFailoverPrimaryFinishesClean(t *testing.T) {
+	ref := serialRef(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	sbLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbTbl := testTable(t)
+	var tstats Stats
+	var sstats StandbyStats
+	sbOpts := StandbyOptions{Options: testOptions(&tstats), StandbyStats: &sstats}
+	sbOpts.Logf = t.Logf
+	sbErr := make(chan error, 1)
+	go func() { sbErr <- RunStandby(ctx, sbLn, sbTbl, sbOpts) }()
+
+	priTbl := testTable(t)
+	var pstats Stats
+	pOpts := testOptions(&pstats)
+	pOpts.Logf = t.Logf
+	pOpts.ReplicaAddr = sbLn.Addr().String()
+	priAddr, priWait := startCoordinator(ctx, t, priTbl, pOpts)
+
+	var wg sync.WaitGroup
+	startWorker(ctx, t, &wg, priAddr, WorkerOptions{Name: "w"})
+
+	if err := priWait(); err != nil {
+		t.Fatalf("primary: %v", err)
+	}
+	select {
+	case err := <-sbErr:
+		if err != nil {
+			t.Fatalf("standby returned %v, want nil on a clean primary finish", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("standby did not release after the primary finished")
+	}
+	cancel()
+	wg.Wait()
+
+	if sstats.TookOver {
+		t.Fatal("standby took over a healthy primary")
+	}
+	if sstats.ReplicatedTasks != pstats.Tasks {
+		t.Fatalf("standby replicated %d of %d tasks at release", sstats.ReplicatedTasks, pstats.Tasks)
+	}
+	// The strongest check in the file: the standby's table was built
+	// exclusively from streamed NPKD records, and must still be
+	// bit-identical to the serial oracle.
+	requireIdentical(t, ref, sbTbl)
+	requireIdentical(t, ref, priTbl)
+	if pstats.ReplRecords < 1 || sstats.Resyncs < 1 {
+		t.Fatalf("replication never flowed: records=%d resyncs=%d", pstats.ReplRecords, sstats.Resyncs)
+	}
+}
+
+// TestSplitBrainFencedWrites is the partition adversary: the old primary
+// is blackholed (via proxies) but NEVER killed. The standby's lease
+// expires and it takes over at epoch 2; when the partition heals, the
+// deposed primary's replication stream reconnects — into the new leader
+// — and must be fenced without landing a single write. The primary's run
+// ends with the typed *ErrEpochFenced, the new leader's fenced-write
+// counter increments, and the solve still finishes bit-identical.
+func TestSplitBrainFencedWrites(t *testing.T) {
+	ref := failoverRef(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	sbLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbTbl := failoverTable(t)
+
+	// The primary reaches its standby through this relay; blackholing it
+	// starves the lease without any EOF.
+	replProxy, err := NewProxy(sbLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replProxy.Close()
+
+	var tstats Stats
+	var sstats StandbyStats
+	sbOpts := StandbyOptions{
+		Options:    testOptions(&tstats),
+		LeaseAfter: 800 * time.Millisecond,
+		OnTakeover: func(uint32) {
+			// Heal the replication path the moment leadership changes, so
+			// the zombie primary's stream can find the new leader and be
+			// fenced — the split-brain write this test exists to stop.
+			replProxy.Heal()
+		},
+		StandbyStats: &sstats,
+	}
+	sbOpts.Logf = t.Logf
+	sbErr := make(chan error, 1)
+	go func() { sbErr <- RunStandby(ctx, sbLn, sbTbl, sbOpts) }()
+
+	priTbl := failoverTable(t)
+	var pstats Stats
+	var once sync.Once
+	var cutoff func()
+	pOpts := testOptions(&pstats)
+	pOpts.Logf = t.Logf
+	// The primary must survive its own isolation long enough to be
+	// fenced, not die of worker starvation first.
+	pOpts.WorkerlessAfter = 60 * time.Second
+	pOpts.ReplicaAddr = replProxy.Addr()
+	pOpts.OnTaskDone = func(completed int, _ sched.Task) {
+		if completed == 30 {
+			once.Do(func() { go cutoff() })
+		}
+	}
+	priAddr, priWait := startCoordinator(ctx, t, priTbl, pOpts)
+
+	// Workers reach the primary through their own relay, so the same
+	// cutoff blackholes them too — the primary keeps running, hearing
+	// nothing, killing nothing.
+	workProxy, err := NewProxy(priAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer workProxy.Close()
+	cutoff = func() {
+		workProxy.Partition()
+		replProxy.Partition()
+	}
+
+	addrs := workProxy.Addr() + "," + sbLn.Addr().String()
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		startWorker(ctx, t, &wg, addrs, failoverWorkerOptions("w"))
+	}
+
+	select {
+	case err := <-sbErr:
+		if err != nil {
+			t.Fatalf("standby/takeover run: %v", err)
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("takeover run did not finish within 90s")
+	}
+	requireIdentical(t, ref, sbTbl)
+
+	err = priWait()
+	var fenced *ErrEpochFenced
+	if !errors.As(err, &fenced) {
+		t.Fatalf("blackholed primary returned %v, want *ErrEpochFenced", err)
+	}
+	if fenced.Epoch != 1 || fenced.Current != 2 {
+		t.Fatalf("fence carries epochs %d/%d, want deposed 1, current 2", fenced.Epoch, fenced.Current)
+	}
+	cancel()
+	wg.Wait()
+
+	if !sstats.TookOver || sstats.Epoch != 2 {
+		t.Fatalf("standby stats = %+v, want a takeover at epoch 2", sstats)
+	}
+	if tstats.FencedWrites < 1 {
+		t.Fatalf("new leader fenced %d writes, want >= 1 (the zombie's replication hello)", tstats.FencedWrites)
+	}
+	t.Logf("fenced=%d resumed=%d accepted=%d", tstats.FencedWrites, tstats.Resumed, tstats.Accepted)
+}
+
+// TestInstallEpochFence pins the install-side fence point with direct
+// coordinator state: a result sealed under another leader's epoch —
+// whether a pre-failover replay (stale) or a forged future epoch — is
+// dropped before the generation logic runs, counts as a fenced write,
+// and releases no pipeline slot. A same-epoch stale-generation result
+// still takes the PR 7 stale path, not the fence.
+func TestInstallEpochFence(t *testing.T) {
+	g, err := sched.NewGraph(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := &coordinator[float32]{
+		opts:     Options{MaxInflight: 2, Logf: t.Logf},
+		g:        g,
+		shards:   NewSharding(g.SchedTiles, 1),
+		epoch:    2,
+		state:    make([]int, len(g.Tasks)),
+		gen:      make([]uint32, len(g.Tasks)),
+		inflight: make(map[int]*session[float32]),
+		sessions: make(map[*session[float32]]struct{}),
+	}
+	co.queues = make([][]int, co.shards.NumShards())
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	sess := &session[float32]{id: 0, name: "w#0", conn: c1, out: make(chan outFrame, 8)}
+	co.sessions[sess] = struct{}{}
+	co.state[0] = tsInflight
+	co.inflight[0] = sess
+	co.gen[0] = 5
+	sess.inflight = 1
+
+	check := func(step string, wantFenced, wantStale int) {
+		t.Helper()
+		if co.stats.FencedWrites != wantFenced || co.stats.StaleResults != wantStale {
+			t.Fatalf("%s: fenced=%d stale=%d, want %d/%d", step, co.stats.FencedWrites, co.stats.StaleResults, wantFenced, wantStale)
+		}
+		if co.state[0] != tsInflight || co.inflight[0] != sess || sess.inflight != 1 {
+			t.Fatalf("%s: task state disturbed (state=%d inflight=%d)", step, co.state[0], sess.inflight)
+		}
+		if co.stats.Accepted != 0 {
+			t.Fatalf("%s: a rejected result was installed", step)
+		}
+	}
+
+	// A pre-failover result replayed at the new leader: right task,
+	// right generation, stale epoch.
+	if fin, err := co.install(sess, taskMsg{Epoch: 1, Gen: 5, TaskID: 0}); fin || err != nil {
+		t.Fatalf("stale-epoch install = (%v, %v)", fin, err)
+	}
+	check("stale epoch", 1, 0)
+
+	// A forged frame from the future is equally not ours to install.
+	if fin, err := co.install(sess, taskMsg{Epoch: 3, Gen: 5, TaskID: 0}); fin || err != nil {
+		t.Fatalf("future-epoch install = (%v, %v)", fin, err)
+	}
+	check("future epoch", 2, 0)
+
+	// Same epoch, stale generation: the PR 7 path, distinct counter.
+	if fin, err := co.install(sess, taskMsg{Epoch: 2, Gen: 4, TaskID: 0}); fin || err != nil {
+		t.Fatalf("stale-gen install = (%v, %v)", fin, err)
+	}
+	check("stale generation", 2, 1)
+}
+
+// standbyResponder is a fake never-leading standby: it answers every
+// worker hello with the retryable standby frame and closes.
+func standbyResponder(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.SetDeadline(time.Now().Add(10 * time.Second))
+				if typ, _, err := readFrame(c); err != nil || typ != frameHello {
+					return
+				}
+				writeFrame(c, frameStandby, nil)
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+// TestWorkerBackoffCarriesAcrossTargets pins the satellite fix: a worker
+// rotating between two coordinators that both refuse to lead keeps ONE
+// consecutive-failure count, so its backoff keeps doubling across the
+// address switches instead of restarting at the base on every new
+// target — the hot-loop a flapping pair could otherwise sustain. The
+// injected Sleep seam makes the schedule exactly Backoff(1..budget).
+func TestWorkerBackoffCarriesAcrossTargets(t *testing.T) {
+	a1, stop1 := standbyResponder(t)
+	defer stop1()
+	a2, stop2 := standbyResponder(t)
+	defer stop2()
+
+	var slept []time.Duration
+	policy := resilience.RetryPolicy{
+		BaseDelay: 10 * time.Millisecond,
+		Jitter:    false,
+		Sleep:     func(d time.Duration) { slept = append(slept, d) },
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := RunWorker(ctx, a1+" , "+a2, WorkerOptions{
+		Name:          "flapper",
+		MaxReconnects: 2, // budget = 2 per address × 2 addresses = 4
+		Reconnect:     policy,
+	})
+	if err == nil || !strings.Contains(err.Error(), "reconnect budget") {
+		t.Fatalf("flapping pair returned %v, want a budget-exhausted error", err)
+	}
+	if len(slept) != 4 {
+		t.Fatalf("worker slept %d times (%v), want 4 (the whole budget)", len(slept), slept)
+	}
+	for i, d := range slept {
+		if want := policy.Backoff(i + 1); d != want {
+			t.Fatalf("sleep %d = %v, want %v: the failure count restarted across a target switch", i+1, d, want)
+		}
+	}
+}
+
+// TestWorkerRefusesDeposedLeader pins the worker half of the split-brain
+// fence: a worker that has been welcomed at epoch 3 refuses a welcome
+// from an epoch-1 coordinator (a deposed leader still answering its
+// door) with the typed rejection, before computing anything.
+func TestWorkerRefusesDeposedLeader(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c2.SetDeadline(time.Now().Add(10 * time.Second))
+		typ, payload, err := readFrame(c2)
+		if err != nil || typ != frameHello {
+			t.Errorf("handshake = (%d, %v), want hello", typ, err)
+			return
+		}
+		h, err := decodeHello(payload)
+		if err != nil || h.Epoch != 3 {
+			t.Errorf("hello advertises epoch %d (%v), want the worker's highest (3)", h.Epoch, err)
+			return
+		}
+		w := welcomeMsg{ElemBytes: 4, N: 8, Tile: 4, SchedSide: 1, Shards: 1,
+			HeartbeatMS: 50, DeadlineMS: 2000, Epoch: 1}
+		writeFrame(c2, frameWelcome, w.encode())
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	highest := uint32(3)
+	outcome, err := runSession(ctx, c1, WorkerOptions{
+		Name: "fencer", HandshakeTimeout: 5 * time.Second,
+		Logf: func(string, ...any) {},
+	}, &highest)
+	<-done
+	if outcome != sessRejected {
+		t.Fatalf("outcome = %d, want sessRejected", outcome)
+	}
+	var fenced *ErrEpochFenced
+	if !errors.As(err, &fenced) || fenced.Epoch != 1 || fenced.Current != 3 {
+		t.Fatalf("error = %v, want *ErrEpochFenced{1, 3}", err)
+	}
+	if highest != 3 {
+		t.Fatalf("highest epoch regressed to %d", highest)
+	}
+}
+
+// TestVersionMismatchFailsFast pins the satellite: both sides of a
+// protocol version skew fail loudly and terminally — no reconnect loop
+// against a build that can never match.
+func TestVersionMismatchFailsFast(t *testing.T) {
+	t.Run("coordinator-rejects-old-worker", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		tbl := testTable(t)
+		opts := testOptions(nil)
+		opts.WorkerlessAfter = 10 * time.Second
+		addr, _ := startCoordinator(ctx, t, tbl, opts)
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		hello := helloMsg{Name: "old"}.encode()
+		binary.LittleEndian.PutUint16(hello[4:], 1) // an archaic build
+		if err := writeFrame(conn, frameHello, hello); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := readFrame(conn)
+		if err != nil || typ != frameFail {
+			t.Fatalf("reply = (%d, %v), want a reasoned fail frame", typ, err)
+		}
+		f, _ := decodeFail(payload)
+		if !strings.Contains(f.Reason, "protocol version 1") {
+			t.Fatalf("rejection reason %q does not name the version skew", f.Reason)
+		}
+	})
+	t.Run("worker-rejects-old-coordinator", func(t *testing.T) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		go func() {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			c.SetDeadline(time.Now().Add(10 * time.Second))
+			if typ, _, err := readFrame(c); err != nil || typ != frameHello {
+				return
+			}
+			// A version-1 welcome: 37 bytes, no epoch field.
+			w := make([]byte, 0, 37)
+			w = binary.LittleEndian.AppendUint16(w, 1)
+			w = binary.LittleEndian.AppendUint16(w, 4)
+			w = binary.LittleEndian.AppendUint64(w, 8)
+			w = binary.LittleEndian.AppendUint32(w, 4)
+			w = binary.LittleEndian.AppendUint32(w, 1)
+			w = binary.LittleEndian.AppendUint32(w, 1)
+			w = binary.LittleEndian.AppendUint32(w, 0)
+			w = append(w, 0)
+			w = binary.LittleEndian.AppendUint32(w, 50)
+			w = binary.LittleEndian.AppendUint32(w, 2000)
+			writeFrame(c, frameWelcome, w)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		err = RunWorker(ctx, ln.Addr().String(), WorkerOptions{Name: "new", MaxReconnects: 1})
+		var vErr *ErrProtocolVersion
+		if !errors.As(err, &vErr) {
+			t.Fatalf("worker returned %v, want the typed *ErrProtocolVersion (terminal, no retries)", err)
+		}
+		if vErr.Got != 1 || vErr.Want != ProtoVersion {
+			t.Fatalf("version error carries %d/%d, want 1/%d", vErr.Got, vErr.Want, ProtoVersion)
+		}
+	})
+}
+
+// TestEpochProtoRoundTrips covers the PR 8 codec surface: epoch-bearing
+// hellos and welcomes, the replication hello with its full job
+// description, and the bare epoch payload — plus truncation at every
+// boundary, which must error rather than hang or mis-parse.
+func TestEpochProtoRoundTrips(t *testing.T) {
+	h, err := decodeHello(helloMsg{Epoch: 9, Name: "w"}.encode())
+	if err != nil || h.Epoch != 9 || h.Name != "w" {
+		t.Fatalf("hello round trip = (%+v, %v)", h, err)
+	}
+	w := welcomeMsg{ElemBytes: 8, N: 512, Tile: 64, SchedSide: 1, Shards: 2, Slot: 1,
+		Stage1: 1, HeartbeatMS: 100, DeadlineMS: 900, Epoch: 4}
+	gotW, err := decodeWelcome(w.encode())
+	if err != nil || gotW != w {
+		t.Fatalf("welcome round trip = (%+v, %v), want %+v", gotW, err, w)
+	}
+	r := replHelloMsg{Epoch: 4, ElemBytes: 4, N: 256, Tile: 32, SchedSide: 2, Shards: 3,
+		Stage1: 2, HeartbeatMS: 50, DeadlineMS: 2000, Name: "primary"}
+	gotR, err := decodeReplHello(r.encode())
+	if err != nil || gotR != r {
+		t.Fatalf("replication hello round trip = (%+v, %v), want %+v", gotR, err, r)
+	}
+	wire := r.encode()
+	for cut := 0; cut < len(wire); cut++ {
+		if _, err := decodeReplHello(wire[:cut]); err == nil {
+			t.Fatalf("replication hello truncated at %d accepted", cut)
+		}
+	}
+	if _, err := decodeReplHello(append(r.encode(), 0)); err == nil {
+		t.Fatal("trailing bytes after replication hello accepted")
+	}
+	ep, err := decodeEpoch(encodeEpoch(7))
+	if err != nil || ep != 7 {
+		t.Fatalf("epoch round trip = (%d, %v)", ep, err)
+	}
+	if _, err := decodeEpoch([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short epoch payload accepted")
+	}
+	// A taskMsg's epoch must survive the trip — it is the fence's input.
+	m := taskMsg{Epoch: 6, Gen: 2, TaskID: 3}
+	back, err := decodeTaskMsg(m.encode())
+	if err != nil || back.Epoch != 6 {
+		t.Fatalf("task epoch round trip = (%+v, %v)", back, err)
+	}
+}

@@ -33,16 +33,31 @@ import (
 //
 // Messages (payload layouts, all little-endian):
 //
-//	hello    magic "NPCL", version uint16, nameLen uint16, name
+//	hello    magic "NPCL", version uint16, epoch uint32, nameLen uint16,
+//	         name (epoch = highest the worker has ever been welcomed at,
+//	         0 on first contact)
 //	welcome  version uint16, elem uint16, n uint64, tile uint32,
 //	         sched uint32, shards uint32, slot uint32, stage1 uint8,
-//	         heartbeatMS uint32, deadlineMS uint32
-//	dispatch gen uint32, task uint32, nblocks uint32, then per block:
-//	         bi uint32, bj uint32, crc uint32, nbytes uint32, cells
+//	         heartbeatMS uint32, deadlineMS uint32, epoch uint32
+//	dispatch epoch uint32, gen uint32, task uint32, nblocks uint32,
+//	         then per block: bi uint32, bj uint32, crc uint32,
+//	         nbytes uint32, cells
 //	result   same layout as dispatch
 //	ping     empty
 //	done     empty
 //	fail     msgLen uint16, message
+//	standby  empty (a standby telling a worker it is not a leader yet:
+//	         retryable, unlike fail)
+//	fenced   epoch uint32 (the fencing side's current epoch; to a worker
+//	         it means re-home, to a deposed coordinator it is terminal)
+//	rhello   magic "NPCL", version uint16, epoch uint32, elem uint16,
+//	         n uint64, tile uint32, sched uint32, shards uint32,
+//	         stage1 uint8, heartbeatMS uint32, deadlineMS uint32,
+//	         nameLen uint16, name (a primary opening its replication
+//	         stream to a standby: the full job description, so a
+//	         takeover resumes with identical geometry and kernel)
+//	rwelcome epoch uint32 (the standby accepting the stream)
+//	delta    one resilience NPKD delta record (see resilience/delta.go)
 //
 // Block cells travel in the canonical tableio element encoding
 // (little-endian at the element width), so the per-block crc field —
@@ -54,8 +69,9 @@ import (
 const ProtoMagic = "NPCL"
 
 // ProtoVersion is the current protocol version; coordinator and worker
-// must match exactly.
-const ProtoVersion uint16 = 1
+// must match exactly. Version 2 added epoch fencing and the standby
+// replication stream.
+const ProtoVersion uint16 = 2
 
 // Frame kinds.
 const (
@@ -66,6 +82,11 @@ const (
 	framePing
 	frameDone
 	frameFail
+	frameStandby
+	frameFenced
+	frameReplHello
+	frameReplWelcome
+	frameDelta
 )
 
 // maxFramePayload bounds what a reader will buffer for one frame. The
@@ -124,31 +145,38 @@ func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	return hdr[0], payload, nil
 }
 
-// helloMsg is a worker's opening frame.
+// helloMsg is a worker's opening frame. Epoch is the highest epoch the
+// worker has ever been welcomed at (0 before first contact): a
+// coordinator seeing a hello from the future knows it has been deposed.
 type helloMsg struct {
-	Name string
+	Epoch uint32
+	Name  string
 }
 
 func (m helloMsg) encode() []byte {
-	buf := make([]byte, 0, 8+len(m.Name))
+	buf := make([]byte, 0, 12+len(m.Name))
 	buf = append(buf, ProtoMagic...)
 	buf = binary.LittleEndian.AppendUint16(buf, ProtoVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Epoch)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Name)))
 	return append(buf, m.Name...)
 }
 
 func decodeHello(p []byte) (helloMsg, error) {
-	if len(p) < 8 || string(p[:4]) != ProtoMagic {
+	if len(p) < 12 || string(p[:4]) != ProtoMagic {
 		return helloMsg{}, fmt.Errorf("cluster: bad hello magic")
 	}
 	if v := binary.LittleEndian.Uint16(p[4:]); v != ProtoVersion {
-		return helloMsg{}, fmt.Errorf("cluster: protocol version %d, want %d", v, ProtoVersion)
+		return helloMsg{}, &ErrProtocolVersion{Got: v, Want: ProtoVersion}
 	}
-	n := int(binary.LittleEndian.Uint16(p[6:]))
-	if len(p) != 8+n {
+	n := int(binary.LittleEndian.Uint16(p[10:]))
+	if len(p) != 12+n {
 		return helloMsg{}, fmt.Errorf("cluster: hello length mismatch")
 	}
-	return helloMsg{Name: string(p[8:])}, nil
+	return helloMsg{
+		Epoch: binary.LittleEndian.Uint32(p[6:]),
+		Name:  string(p[12:]),
+	}, nil
 }
 
 // welcomeMsg is the coordinator's job description: everything a worker
@@ -165,10 +193,11 @@ type welcomeMsg struct {
 	Stage1      uint8
 	HeartbeatMS uint32
 	DeadlineMS  uint32
+	Epoch       uint32
 }
 
 func (m welcomeMsg) encode() []byte {
-	buf := make([]byte, 0, 37)
+	buf := make([]byte, 0, 41)
 	buf = binary.LittleEndian.AppendUint16(buf, ProtoVersion)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(m.ElemBytes))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.N))
@@ -178,15 +207,19 @@ func (m welcomeMsg) encode() []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Slot))
 	buf = append(buf, m.Stage1)
 	buf = binary.LittleEndian.AppendUint32(buf, m.HeartbeatMS)
-	return binary.LittleEndian.AppendUint32(buf, m.DeadlineMS)
+	buf = binary.LittleEndian.AppendUint32(buf, m.DeadlineMS)
+	return binary.LittleEndian.AppendUint32(buf, m.Epoch)
 }
 
 func decodeWelcome(p []byte) (welcomeMsg, error) {
-	if len(p) != 37 {
-		return welcomeMsg{}, fmt.Errorf("cluster: welcome length %d, want 37", len(p))
+	if len(p) < 2 {
+		return welcomeMsg{}, fmt.Errorf("cluster: welcome truncated")
 	}
 	if v := binary.LittleEndian.Uint16(p[0:]); v != ProtoVersion {
-		return welcomeMsg{}, fmt.Errorf("cluster: protocol version %d, want %d", v, ProtoVersion)
+		return welcomeMsg{}, &ErrProtocolVersion{Got: v, Want: ProtoVersion}
+	}
+	if len(p) != 41 {
+		return welcomeMsg{}, fmt.Errorf("cluster: welcome length %d, want 41", len(p))
 	}
 	m := welcomeMsg{
 		ElemBytes:   int(binary.LittleEndian.Uint16(p[2:])),
@@ -198,6 +231,7 @@ func decodeWelcome(p []byte) (welcomeMsg, error) {
 		Stage1:      p[28],
 		HeartbeatMS: binary.LittleEndian.Uint32(p[29:]),
 		DeadlineMS:  binary.LittleEndian.Uint32(p[33:]),
+		Epoch:       binary.LittleEndian.Uint32(p[37:]),
 	}
 	if m.ElemBytes != 4 && m.ElemBytes != 8 {
 		return welcomeMsg{}, fmt.Errorf("cluster: welcome element width %d not 4 or 8", m.ElemBytes)
@@ -217,20 +251,25 @@ type wireBlock struct {
 }
 
 // taskMsg is the shared payload of dispatch and result frames: one task,
-// the dispatch generation it belongs to, and the blocks travelling with
-// it (operands + pristine own blocks outward, computed own blocks back).
+// the leader epoch and dispatch generation it belongs to, and the blocks
+// travelling with it (operands + pristine own blocks outward, computed
+// own blocks back). The epoch is sealed under the frame CRC with
+// everything else, so a deposed leader cannot launder a stale result by
+// rewriting it.
 type taskMsg struct {
+	Epoch  uint32
 	Gen    uint32
 	TaskID int
 	Blocks []wireBlock
 }
 
 func (m taskMsg) encode() []byte {
-	size := 12
+	size := 16
 	for _, b := range m.Blocks {
 		size += 16 + len(b.Raw)
 	}
 	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Epoch)
 	buf = binary.LittleEndian.AppendUint32(buf, m.Gen)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.TaskID))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Blocks)))
@@ -245,21 +284,22 @@ func (m taskMsg) encode() []byte {
 }
 
 func decodeTaskMsg(p []byte) (taskMsg, error) {
-	if len(p) < 12 {
+	if len(p) < 16 {
 		return taskMsg{}, fmt.Errorf("cluster: task message truncated")
 	}
 	m := taskMsg{
-		Gen:    binary.LittleEndian.Uint32(p[0:]),
-		TaskID: int(binary.LittleEndian.Uint32(p[4:])),
+		Epoch:  binary.LittleEndian.Uint32(p[0:]),
+		Gen:    binary.LittleEndian.Uint32(p[4:]),
+		TaskID: int(binary.LittleEndian.Uint32(p[8:])),
 	}
-	nblocks := int(binary.LittleEndian.Uint32(p[8:]))
+	nblocks := int(binary.LittleEndian.Uint32(p[12:]))
 	// Bound the count by what the payload could possibly hold (16 header
 	// bytes per block) before sizing the slice, so a CRC-valid frame with
 	// a huge nblocks and a tiny payload cannot force a giant allocation.
-	if nblocks > (len(p)-12)/16 {
-		return taskMsg{}, fmt.Errorf("cluster: task message claims %d blocks, payload holds at most %d", nblocks, (len(p)-12)/16)
+	if nblocks > (len(p)-16)/16 {
+		return taskMsg{}, fmt.Errorf("cluster: task message claims %d blocks, payload holds at most %d", nblocks, (len(p)-16)/16)
 	}
-	off := 12
+	off := 16
 	m.Blocks = make([]wireBlock, 0, nblocks)
 	for b := 0; b < nblocks; b++ {
 		if len(p)-off < 16 {
@@ -347,4 +387,88 @@ func sendMsg(w *bufio.Writer, typ byte, payload []byte) error {
 		return err
 	}
 	return w.Flush()
+}
+
+// replHelloMsg opens a primary's replication stream to a standby: the
+// complete job description (geometry, kernel, liveness parameters), so
+// the standby can validate its table matches and, on takeover, run the
+// resumed solve with identical scheduling and bit-identical kernels.
+type replHelloMsg struct {
+	Epoch       uint32
+	ElemBytes   int
+	N           int
+	Tile        int
+	SchedSide   int
+	Shards      int
+	Stage1      uint8
+	HeartbeatMS uint32
+	DeadlineMS  uint32
+	Name        string
+}
+
+func (m replHelloMsg) encode() []byte {
+	buf := make([]byte, 0, 43+len(m.Name))
+	buf = append(buf, ProtoMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, ProtoVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Epoch)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(m.ElemBytes))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.N))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Tile))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.SchedSide))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Shards))
+	buf = append(buf, m.Stage1)
+	buf = binary.LittleEndian.AppendUint32(buf, m.HeartbeatMS)
+	buf = binary.LittleEndian.AppendUint32(buf, m.DeadlineMS)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Name)))
+	return append(buf, m.Name...)
+}
+
+func decodeReplHello(p []byte) (replHelloMsg, error) {
+	if len(p) < 6 || string(p[:4]) != ProtoMagic {
+		return replHelloMsg{}, fmt.Errorf("cluster: bad replication hello magic")
+	}
+	if v := binary.LittleEndian.Uint16(p[4:]); v != ProtoVersion {
+		return replHelloMsg{}, &ErrProtocolVersion{Got: v, Want: ProtoVersion}
+	}
+	if len(p) < 43 {
+		return replHelloMsg{}, fmt.Errorf("cluster: replication hello truncated")
+	}
+	m := replHelloMsg{
+		Epoch:       binary.LittleEndian.Uint32(p[6:]),
+		ElemBytes:   int(binary.LittleEndian.Uint16(p[10:])),
+		N:           int(binary.LittleEndian.Uint64(p[12:])),
+		Tile:        int(binary.LittleEndian.Uint32(p[20:])),
+		SchedSide:   int(binary.LittleEndian.Uint32(p[24:])),
+		Shards:      int(binary.LittleEndian.Uint32(p[28:])),
+		Stage1:      p[32],
+		HeartbeatMS: binary.LittleEndian.Uint32(p[33:]),
+		DeadlineMS:  binary.LittleEndian.Uint32(p[37:]),
+	}
+	n := int(binary.LittleEndian.Uint16(p[41:]))
+	if len(p) != 43+n {
+		return replHelloMsg{}, fmt.Errorf("cluster: replication hello length mismatch")
+	}
+	m.Name = string(p[43:])
+	if m.ElemBytes != 4 && m.ElemBytes != 8 {
+		return replHelloMsg{}, fmt.Errorf("cluster: replication hello element width %d not 4 or 8", m.ElemBytes)
+	}
+	if m.N <= 0 || m.Tile <= 0 || m.SchedSide <= 0 || m.Shards <= 0 {
+		return replHelloMsg{}, fmt.Errorf("cluster: replication hello geometry implausible: %+v", m)
+	}
+	return m, nil
+}
+
+// encodeEpoch is the shared payload of fenced and rwelcome frames: the
+// sender's current epoch as a bare uint32.
+func encodeEpoch(epoch uint32) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], epoch)
+	return buf[:]
+}
+
+func decodeEpoch(p []byte) (uint32, error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("cluster: epoch payload length %d, want 4", len(p))
+	}
+	return binary.LittleEndian.Uint32(p), nil
 }

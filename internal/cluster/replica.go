@@ -1,0 +1,693 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"cellnpdp/internal/perfmodel"
+	"cellnpdp/internal/resilience"
+	"cellnpdp/internal/semiring"
+	"cellnpdp/internal/tableio"
+	"cellnpdp/internal/tri"
+)
+
+// Coordinator high availability: a warm standby tails the primary's
+// completion log and takes over its wavefront when the primary goes
+// silent. The direction of replication is primary-dials-standby — the
+// primary is the only side that knows a solve exists — and the stream
+// reuses the cluster frame codec: a replication hello carrying the full
+// job description, then one frameDelta per completion-log record (NPKD,
+// see resilience/delta.go), with pings renewing the standby's lease
+// while the wavefront is quiet.
+//
+// The failover ladder (DESIGN.md §10):
+//
+//	lease expiry   → the standby heard nothing (frames or pings) for
+//	                 LeaseAfter; the primary is presumed dead
+//	epoch bump     → the standby becomes leader at old-epoch+1; every
+//	                 frame it emits carries the new epoch
+//	worker re-home → workers' reconnect rotation reaches the standby's
+//	                 address; their hellos carry the highest epoch seen,
+//	                 so a zombie primary that answers first deposes
+//	                 itself instead of splitting the brain
+//	resume         → the replicated checkpoint pre-completes every
+//	                 fully-replicated task; the remaining wavefront
+//	                 re-dispatches and the solve finishes bit-identical
+//	                 (min-plus relaxation is idempotent, so recomputing
+//	                 a partially-replicated task cannot change bytes)
+
+// runReplicator is the primary-side push goroutine: it maintains one
+// connection to the standby, opens every (re)connect with a full-state
+// resync, then streams incremental completion-log records pulled from
+// the event loop. Replication is best-effort — a dead standby costs the
+// solve nothing but log lines.
+func (co *coordinator[E]) runReplicator(ctx context.Context) {
+	defer co.writers.Done()
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		<-co.stop
+		cancel()
+	}()
+	dial := co.opts.ReplicaDial
+	if dial == nil {
+		addr := co.opts.ReplicaAddr
+		dial = func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	backoff := resilience.RetryPolicy{BaseDelay: 100 * time.Millisecond, Jitter: true}
+	attempt := 0
+	for {
+		if co.stopped() {
+			return // never connected at shutdown: the standby's lease decides
+		}
+		conn, err := dial(rctx)
+		if err != nil {
+			attempt++
+			if attempt == 1 || attempt%8 == 0 {
+				co.opts.Logf("cluster: replica dial failed (attempt %d): %v", attempt, err)
+			}
+			if !sleepCtx(rctx, backoff.Backoff(attempt)) {
+				return
+			}
+			continue
+		}
+		attempt = 0
+		fenced, err := co.replSession(conn)
+		conn.Close()
+		if fenced {
+			// evFenced is on its way to the event loop; the run is about
+			// to abort. Pushing anywhere else would be a fenced write.
+			<-co.stop
+			return
+		}
+		if co.stopped() {
+			return
+		}
+		co.opts.Logf("cluster: replica stream lost: %v", err)
+		if !sleepCtx(rctx, backoff.Backoff(1)) {
+			return
+		}
+	}
+}
+
+// replSession runs one replication connection: handshake, full resync,
+// then incremental pulls until the stream breaks, the standby fences
+// us, or the run ends (which delivers the final disposition in-band).
+func (co *coordinator[E]) replSession(conn net.Conn) (fenced bool, err error) {
+	var e E
+	bw := bufio.NewWriter(conn)
+	hello := replHelloMsg{
+		Epoch:       co.epoch,
+		ElemBytes:   tableio.ElemWidth(e),
+		N:           co.t.Len(),
+		Tile:        co.t.Tile(),
+		SchedSide:   co.opts.SchedSide,
+		Shards:      co.shards.NumShards(),
+		Stage1:      uint8(co.stage1),
+		HeartbeatMS: uint32(co.opts.HeartbeatEvery / time.Millisecond),
+		DeadlineMS:  uint32(co.opts.DeadlineAfter / time.Millisecond),
+		Name:        "primary",
+	}
+	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	if err := sendMsg(bw, frameReplHello, hello.encode()); err != nil {
+		return false, err
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return false, err
+	}
+	switch typ {
+	case frameReplWelcome:
+	case frameFenced:
+		cur, _ := decodeEpoch(payload)
+		co.post(event[E]{kind: evFenced, repl: replHelloMsg{Epoch: cur}})
+		return true, &ErrEpochFenced{Epoch: co.epoch, Current: cur, Role: "coordinator"}
+	case frameFail:
+		f, _ := decodeFail(payload)
+		return false, fmt.Errorf("cluster: standby rejected replication: %s", f.Reason)
+	default:
+		return false, fmt.Errorf("cluster: expected replication welcome, got frame type %d", typ)
+	}
+
+	// The reader half watches for a post-handshake fence — the standby
+	// took over while we were partitioned, then our stream reconnected
+	// into the new leader. Any other inbound traffic or a read error
+	// ends the session.
+	readerFenced := make(chan uint32, 1)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		conn.SetReadDeadline(time.Time{})
+		for {
+			typ, payload, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			if typ == frameFenced {
+				if cur, derr := decodeEpoch(payload); derr == nil {
+					readerFenced <- cur
+					co.post(event[E]{kind: evFenced, repl: replHelloMsg{Epoch: cur}})
+				}
+				return
+			}
+		}
+	}()
+
+	full := true
+	for {
+		select {
+		case <-co.stop:
+			co.sendReplFinal(conn, bw, full)
+			return false, nil
+		case <-readerDone:
+			select {
+			case cur := <-readerFenced:
+				return true, &ErrEpochFenced{Epoch: co.epoch, Current: cur, Role: "coordinator"}
+			default:
+				return false, errors.New("cluster: replica closed the stream")
+			}
+		default:
+		}
+		pull := replPull{full: full, reply: make(chan []resilience.Delta, 1)}
+		select {
+		case co.replPullC <- pull:
+		case <-co.stop:
+			co.sendReplFinal(conn, bw, full)
+			return false, nil
+		case <-readerDone:
+			select {
+			case cur := <-readerFenced:
+				return true, &ErrEpochFenced{Epoch: co.epoch, Current: cur, Role: "coordinator"}
+			default:
+				return false, errors.New("cluster: replica closed the stream")
+			}
+		}
+		// Once the event loop accepted the pull it replies synchronously
+		// within the same select case, so this receive cannot hang.
+		batch := <-pull.reply
+		full = false
+		for _, d := range batch {
+			conn.SetWriteDeadline(time.Now().Add(co.opts.DeadlineAfter))
+			if err := sendMsg(bw, frameDelta, d.Encode()); err != nil {
+				return false, err
+			}
+		}
+		if len(batch) == 0 {
+			// Nothing to push: renew the standby's lease and idle one
+			// heartbeat.
+			conn.SetWriteDeadline(time.Now().Add(co.opts.DeadlineAfter))
+			if err := sendMsg(bw, framePing, nil); err != nil {
+				return false, err
+			}
+			t := time.NewTimer(co.opts.HeartbeatEvery)
+			select {
+			case <-co.stop:
+			case <-readerDone:
+			case <-t.C:
+			}
+			t.Stop()
+		}
+	}
+}
+
+// sendReplFinal delivers the run's disposition to the standby: done
+// (the standby applies its checkpoint and returns without taking over),
+// fail (the standby surfaces the error), or nothing for a silent death.
+// needFull means this session never flushed its opening resync, so the
+// tail below must be a whole snapshot rather than incremental records.
+func (co *coordinator[E]) sendReplFinal(conn net.Conn, bw *bufio.Writer, needFull bool) {
+	f := co.replFinal
+	if f.typ == 0 {
+		return
+	}
+	if f.typ == frameDone {
+		// The event loop has exited — close(co.stop) is the release
+		// barrier — so the un-pulled tail of the completion log is stable
+		// and safe to read from this goroutine. Flushing it before the
+		// done frame means the standby's clean-finish return hands back
+		// the complete solved table, not the table minus the last batch.
+		tail := co.replPending
+		if needFull || co.replFullSync {
+			tail = co.snapshotDeltas()
+		}
+		for _, d := range tail {
+			conn.SetWriteDeadline(time.Now().Add(co.opts.DeadlineAfter))
+			if err := sendMsg(bw, frameDelta, d.Encode()); err != nil {
+				return
+			}
+		}
+	}
+	var payload []byte
+	if f.typ == frameFail {
+		payload = failMsg{Reason: f.reason}.encode()
+	}
+	conn.SetWriteDeadline(time.Now().Add(co.opts.DeadlineAfter))
+	sendMsg(bw, f.typ, payload)
+}
+
+// stopped reports whether the run has ended.
+func (co *coordinator[E]) stopped() bool {
+	select {
+	case <-co.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// StandbyOptions configures RunStandby.
+type StandbyOptions struct {
+	// Options configures the coordinator the standby becomes on
+	// takeover. Geometry-and-schedule fields (SchedSide, Shards,
+	// Stage1, HeartbeatEvery, DeadlineAfter) are overridden by the
+	// primary's replication hello — one schedule and one kernel choice
+	// cluster-wide is what makes the resumed solve bit-identical.
+	Options
+	// LeaseAfter is how long the standby tolerates silence (no deltas,
+	// no pings) from the primary before assuming leadership; 0 means
+	// twice the effective DeadlineAfter. It must exceed the primary's
+	// heartbeat period by enough to absorb scheduling jitter, or the
+	// standby will depose a healthy primary.
+	LeaseAfter time.Duration
+	// OnDelta, when non-nil, observes replication progress: it is
+	// called after each applied record with the replicated-done task
+	// count. Chaos schedules key coordinator kills on it.
+	OnDelta func(done int)
+	// OnTakeover, when non-nil, fires once when the lease expires,
+	// before the takeover coordinator starts, with the new epoch.
+	OnTakeover func(epoch uint32)
+	// StandbyStats, when non-nil, receives the standby-phase counters
+	// (takeover coordinator counters go to Options.Stats as usual).
+	StandbyStats *StandbyStats
+}
+
+// StandbyStats counts the replication phase of a standby's life.
+type StandbyStats struct {
+	// TookOver reports whether the lease expired and this standby
+	// became the leader.
+	TookOver bool
+	// Epoch is the epoch the standby took over at (0 if it never did).
+	Epoch uint32
+	// Records / Resyncs count applied delta records and full-state
+	// resyncs (every stream (re)connect starts one).
+	Records int
+	Resyncs int
+	// FencedWrites counts replication frames rejected for a stale
+	// epoch while standing by.
+	FencedWrites int
+	// ReplicatedTasks is the completed-task count in the replica
+	// checkpoint when the standby phase ended.
+	ReplicatedTasks int
+}
+
+// standby event kinds (standbyEv.kind).
+const (
+	sbReplConn = iota
+	sbPing
+	sbDelta
+	sbDone
+	sbFail
+	sbLost
+)
+
+type standbyEv struct {
+	kind   int
+	conn   net.Conn
+	hello  replHelloMsg
+	delta  resilience.Delta
+	reason string
+	err    error
+}
+
+// RunStandby runs a warm-standby coordinator: it accepts the primary's
+// replication stream on ln, folds completion-log deltas into an
+// in-memory checkpoint, and — if the primary goes silent past the
+// lease — takes over the solve on the same listener at epoch+1,
+// resuming from the replicated state. Worker connections arriving
+// before takeover are answered with a retryable "standby" frame so
+// their reconnect rotation keeps probing.
+//
+// Returns nil without taking over when the primary reports the solve
+// complete (the replicated result is applied to t), the primary's
+// error when it reports failure, or the takeover coordinator's result
+// after a failover. The lease clock only starts at first contact from
+// a primary; cancel ctx to abandon a standby that never hears one.
+func RunStandby[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Tiled[E], opts StandbyOptions) error {
+	defer ln.Close()
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	lease := opts.LeaseAfter
+	if lease <= 0 {
+		d := opts.DeadlineAfter
+		if d <= 0 {
+			d = DefaultDeadlineAfter
+		}
+		lease = 2 * d
+	}
+
+	conns := make(chan net.Conn, 16)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				close(conns)
+				return
+			}
+			conns <- c
+		}
+	}()
+
+	events := make(chan standbyEv, 64)
+	stopped := make(chan struct{})
+	defer close(stopped)
+	post := func(ev standbyEv) bool {
+		select {
+		case events <- ev:
+			return true
+		case <-stopped:
+			if ev.conn != nil && ev.kind == sbReplConn {
+				ev.conn.Close()
+			}
+			return false
+		}
+	}
+
+	handshake := func(c net.Conn) {
+		c.SetReadDeadline(time.Now().Add(10 * time.Second))
+		typ, payload, err := readFrame(c)
+		if err != nil {
+			c.Close()
+			return
+		}
+		switch typ {
+		case frameHello:
+			// A worker probing for a leader. Standby is retryable — the
+			// worker's rotation keeps both addresses warm.
+			c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			if _, derr := decodeHello(payload); derr != nil {
+				var vErr *ErrProtocolVersion
+				if errors.As(derr, &vErr) {
+					writeFrame(c, frameFail, failMsg{Reason: derr.Error()}.encode())
+				}
+			} else {
+				writeFrame(c, frameStandby, nil)
+			}
+			c.Close()
+		case frameReplHello:
+			m, derr := decodeReplHello(payload)
+			if derr != nil {
+				var vErr *ErrProtocolVersion
+				if errors.As(derr, &vErr) {
+					c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+					writeFrame(c, frameFail, failMsg{Reason: derr.Error()}.encode())
+				}
+				c.Close()
+				return
+			}
+			c.SetReadDeadline(time.Time{})
+			post(standbyEv{kind: sbReplConn, conn: c, hello: m})
+		default:
+			c.Close()
+		}
+	}
+
+	tail := func(c net.Conn) {
+		for {
+			typ, payload, err := readFrame(c)
+			if err != nil {
+				post(standbyEv{kind: sbLost, conn: c, err: err})
+				return
+			}
+			switch typ {
+			case framePing:
+				post(standbyEv{kind: sbPing, conn: c})
+			case frameDelta:
+				d, derr := resilience.DecodeDelta(payload)
+				if derr != nil {
+					post(standbyEv{kind: sbLost, conn: c, err: derr})
+					return
+				}
+				if !post(standbyEv{kind: sbDelta, conn: c, delta: d}) {
+					return
+				}
+			case frameDone:
+				post(standbyEv{kind: sbDone, conn: c})
+				return
+			case frameFail:
+				f, _ := decodeFail(payload)
+				post(standbyEv{kind: sbFail, conn: c, reason: f.Reason})
+				return
+			default:
+				post(standbyEv{kind: sbLost, conn: c, err: fmt.Errorf("cluster: unexpected frame type %d on replication stream", typ)})
+				return
+			}
+		}
+	}
+
+	var (
+		sstats   StandbyStats
+		ck       *resilience.Checkpoint[E]
+		cur      net.Conn
+		curHello replHelloMsg
+		maxSeen  uint32 = 1
+		doneN    int
+		leaseT   *time.Timer
+		leaseC   <-chan time.Time
+	)
+	flushStats := func() {
+		sstats.ReplicatedTasks = doneN
+		if opts.StandbyStats != nil {
+			*opts.StandbyStats = sstats
+		}
+	}
+	defer flushStats()
+	var e E
+	width := tableio.ElemWidth(e)
+
+	fence := func(c net.Conn, epoch uint32) {
+		sstats.FencedWrites++
+		c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+		writeFrame(c, frameFenced, encodeEpoch(maxSeen))
+		c.Close()
+		opts.Logf("cluster: standby fenced replication at stale epoch %d (highest seen %d)", epoch, maxSeen)
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			if cur != nil {
+				cur.Close()
+			}
+			return ctx.Err()
+
+		case c, ok := <-conns:
+			if !ok {
+				if cur != nil {
+					cur.Close()
+				}
+				return errors.New("cluster: standby listener closed")
+			}
+			go handshake(c)
+
+		case <-leaseC:
+			// Lease expired: the primary is dead (or unreachably
+			// partitioned, which the epoch fence makes equivalent).
+			if cur != nil {
+				cur.Close()
+			}
+			epoch := maxSeen + 1
+			sstats.TookOver = true
+			sstats.Epoch = epoch
+			flushStats()
+			opts.Logf("cluster: standby lease expired after %v; taking over at epoch %d with %d/%d tasks replicated",
+				lease, epoch, doneN, len(ck.Done))
+			copts := opts.Options
+			copts.Epoch = epoch
+			copts.SchedSide = curHello.SchedSide
+			copts.Shards = curHello.Shards
+			copts.Stage1 = perfmodel.Kernel(curHello.Stage1)
+			copts.HeartbeatEvery = time.Duration(curHello.HeartbeatMS) * time.Millisecond
+			copts.DeadlineAfter = time.Duration(curHello.DeadlineMS) * time.Millisecond
+			if opts.OnTakeover != nil {
+				opts.OnTakeover(epoch)
+			}
+			return coordinate(ctx, &gateListener{ch: conns, real: ln}, t, copts, ck)
+
+		case ev := <-events:
+			if ev.kind == sbReplConn {
+				m := ev.hello
+				if m.N != t.Len() || m.Tile != t.Tile() || m.ElemBytes != width {
+					ev.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+					writeFrame(ev.conn, frameFail, failMsg{Reason: fmt.Sprintf(
+						"standby geometry n=%d tile=%d elem=%d does not match stream n=%d tile=%d elem=%d",
+						t.Len(), t.Tile(), width, m.N, m.Tile, m.ElemBytes)}.encode())
+					ev.conn.Close()
+					continue
+				}
+				if m.Epoch < maxSeen {
+					fence(ev.conn, m.Epoch)
+					continue
+				}
+				// Adopt the stream. Rebuilding the checkpoint is safe:
+				// every stream opens with a full resync, so no increment
+				// is ever lost to the reset.
+				mblocks := (m.N + m.Tile - 1) / m.Tile
+				ms := (mblocks + m.SchedSide - 1) / m.SchedSide
+				meta := resilience.Meta{
+					N: m.N, Tile: m.Tile, SchedSide: m.SchedSide,
+					Tasks: ms * (ms + 1) / 2, ElemBytes: m.ElemBytes,
+				}
+				nck, err := resilience.NewCheckpoint[E](meta)
+				if err != nil {
+					ev.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+					writeFrame(ev.conn, frameFail, failMsg{Reason: err.Error()}.encode())
+					ev.conn.Close()
+					continue
+				}
+				if cur != nil {
+					cur.Close()
+				}
+				cur, curHello, ck, doneN = ev.conn, m, nck, 0
+				maxSeen = m.Epoch
+				ev.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+				if err := writeFrame(ev.conn, frameReplWelcome, encodeEpoch(m.Epoch)); err != nil {
+					ev.conn.Close()
+					cur = nil
+					continue
+				}
+				if leaseT == nil {
+					leaseT = time.NewTimer(lease)
+					leaseC = leaseT.C
+					defer leaseT.Stop()
+				} else {
+					resetLease(leaseT, leaseC, lease)
+				}
+				opts.Logf("cluster: standby tailing %s at epoch %d (n=%d tile=%d shards=%d)",
+					m.Name, m.Epoch, m.N, m.Tile, m.Shards)
+				go tail(ev.conn)
+				continue
+			}
+			if ev.conn != cur {
+				continue // a closed-over stream's last gasp
+			}
+			switch ev.kind {
+			case sbPing:
+				resetLease(leaseT, leaseC, lease)
+			case sbDelta:
+				d := ev.delta
+				if d.Epoch != curHello.Epoch {
+					fence(cur, d.Epoch)
+					cur = nil
+					continue
+				}
+				resetLease(leaseT, leaseC, lease)
+				if err := applyDelta(ck, d, &doneN); err != nil {
+					opts.Logf("cluster: standby rejecting delta: %v", err)
+					cur.Close()
+					cur = nil
+					continue
+				}
+				sstats.Records++
+				if d.Kind == resilience.DeltaSyncBegin {
+					sstats.Resyncs++
+				}
+				if opts.OnDelta != nil {
+					opts.OnDelta(doneN)
+				}
+			case sbLost:
+				// The stream broke but the lease keeps ticking from the
+				// last good frame: a primary that is alive will redial,
+				// a dead one will run the lease out.
+				opts.Logf("cluster: standby lost replication stream: %v", ev.err)
+				cur = nil
+			case sbDone:
+				if err := ck.Apply(t); err != nil {
+					return fmt.Errorf("cluster: standby applying final state: %w", err)
+				}
+				flushStats()
+				opts.Logf("cluster: primary finished; standby releasing (%d tasks replicated)", doneN)
+				cur.Close()
+				return nil
+			case sbFail:
+				cur.Close()
+				return fmt.Errorf("cluster: primary failed: %s", ev.reason)
+			}
+		}
+	}
+}
+
+// applyDelta folds one validated record into the replica checkpoint.
+func applyDelta[E semiring.Elem](ck *resilience.Checkpoint[E], d resilience.Delta, doneN *int) error {
+	switch d.Kind {
+	case resilience.DeltaSyncBegin:
+		ck.Reset()
+		*doneN = 0
+	case resilience.DeltaTaskDone:
+		for _, b := range d.Blocks {
+			if err := ck.PutBlock(b.Bi, b.Bj, b.Raw); err != nil {
+				return err
+			}
+		}
+		if d.TaskID >= 0 && d.TaskID < len(ck.Done) && !ck.Done[d.TaskID] {
+			*doneN++
+		}
+		if err := ck.MarkDone(d.TaskID); err != nil {
+			return err
+		}
+	case resilience.DeltaTaskReset:
+		if d.TaskID >= 0 && d.TaskID < len(ck.Done) && ck.Done[d.TaskID] {
+			*doneN--
+		}
+		ck.ClearDone(d.TaskID)
+		for _, b := range d.Blocks {
+			ck.DropBlock(b.Bi, b.Bj)
+		}
+	}
+	return nil
+}
+
+// resetLease re-arms the lease timer, draining a stale expiry so a
+// frame that raced the timer does not leave a pending takeover signal.
+func resetLease(t *time.Timer, c <-chan time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	if !t.Stop() {
+		select {
+		case <-c:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
+// gateListener hands the standby's accept stream to the takeover
+// coordinator: the accept-pump goroutine keeps pushing raw connections
+// into ch (including any buffered before the takeover), and the
+// coordinator's acceptLoop pops them here exactly as if it owned the
+// socket. Close closes the real listener, which ends the pump and then
+// this listener.
+type gateListener struct {
+	ch   chan net.Conn
+	real net.Listener
+}
+
+func (g *gateListener) Accept() (net.Conn, error) {
+	c, ok := <-g.ch
+	if !ok {
+		return nil, net.ErrClosed
+	}
+	return c, nil
+}
+
+func (g *gateListener) Close() error   { return g.real.Close() }
+func (g *gateListener) Addr() net.Addr { return g.real.Addr() }

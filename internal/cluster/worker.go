@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"time"
 
 	"cellnpdp/internal/npdp"
@@ -37,23 +38,54 @@ type WorkerOptions struct {
 	Inject *resilience.Injector
 	// Reconnect is the backoff schedule between dial attempts after a
 	// lost connection; the zero value gets BaseDelay 50ms, capped
-	// full-jitter (resilience.DefaultMaxDelay ceiling).
+	// full-jitter (resilience.DefaultMaxDelay ceiling). Its Rand and
+	// Sleep seams make reconnect schedules deterministic in tests.
 	Reconnect resilience.RetryPolicy
-	// MaxReconnects bounds consecutive failed dials before giving up;
-	// 0 means 8. A successful session resets the count.
+	// MaxReconnects bounds consecutive failed attempts per address
+	// before giving up; 0 means 8. With multiple addresses the total
+	// budget is MaxReconnects × len(addresses). Only a session that
+	// made real progress (a dispatch executed, or a long-lived idle
+	// connection) resets the count — merely reaching a different
+	// address does NOT, so a flapping coordinator pair cannot hot-loop
+	// the worker through an ever-restarting backoff.
 	MaxReconnects int
+	// HandshakeTimeout bounds the hello→welcome exchange per attempt;
+	// 0 means 10s. Failover tests lower it so a blackholed address is
+	// abandoned quickly and the rotation reaches the live leader.
+	HandshakeTimeout time.Duration
 	// Logf, when non-nil, receives connection lifecycle logging.
 	Logf func(format string, args ...any)
 	// Dial overrides the connection factory (tests inject proxies);
-	// nil means a plain TCP dial of the address given to RunWorker.
-	Dial func(ctx context.Context) (net.Conn, error)
+	// nil means a plain TCP dial of the given address.
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
 }
 
-// RunWorker connects to the coordinator at addr and executes dispatched
-// tasks until the coordinator sends done (returns nil), the context is
-// canceled, the coordinator reports failure, or the reconnect budget is
-// exhausted. Lost connections are re-dialed with capped full-jitter
-// backoff — the reconnect half of the coordinator's heartbeat protocol.
+// sessOutcome classifies how a worker session ended.
+type sessOutcome int
+
+const (
+	// sessLost: the connection or session broke; retry with backoff.
+	sessLost sessOutcome = iota
+	// sessWorked: the session made real progress before breaking;
+	// the consecutive-failure count resets.
+	sessWorked
+	// sessRejected: the peer is not our leader (standby, fenced, or a
+	// stale epoch); rotate to the next address, failure count carries.
+	sessRejected
+	// sessTerminal: the run is over for good (done, coordinator
+	// failure, protocol version mismatch); do not reconnect.
+	sessTerminal
+)
+
+// RunWorker connects to the coordinator at addr — a comma-separated
+// list of candidate addresses when a warm standby exists — and executes
+// dispatched tasks until a coordinator sends done (returns nil), the
+// context is canceled, a coordinator reports terminal failure, or the
+// reconnect budget is exhausted. Lost connections are re-dialed with
+// capped full-jitter backoff, rotating through the candidate addresses;
+// the worker remembers the highest epoch it has been welcomed at and
+// refuses any leader older than that, which is the worker half of the
+// failover fence.
 func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 	if opts.Name == "" {
 		opts.Name = "worker"
@@ -68,36 +100,71 @@ func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 	if opts.MaxReconnects <= 0 {
 		opts.MaxReconnects = 8
 	}
+	if opts.HandshakeTimeout <= 0 {
+		opts.HandshakeTimeout = 10 * time.Second
+	}
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("cluster: worker %s: no coordinator address", opts.Name)
+	}
 	dial := opts.Dial
 	if dial == nil {
-		dial = func(ctx context.Context) (net.Conn, error) {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
 			var d net.Dialer
 			return d.DialContext(ctx, "tcp", addr)
 		}
 	}
+	// One failure count across every address: the budget is per-target
+	// (MaxReconnects × len(addrs) attempts total) but the count never
+	// restarts just because the rotation reached a new address — the
+	// pre-failover bug where each address got a fresh cap let a
+	// flapping pair keep a worker hot-looping forever.
+	budget := opts.MaxReconnects * len(addrs)
 	failures := 0
+	target := 0
+	var highest uint32 // highest epoch ever welcomed at; never accept less
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		conn, err := dial(ctx)
+		a := addrs[target%len(addrs)]
+		conn, err := dial(ctx, a)
 		if err == nil {
-			var done bool
-			done, err = runSession(ctx, conn, opts)
-			if done {
-				return err // nil on coordinator done, terminal on coordinator fail
+			var outcome sessOutcome
+			outcome, err = runSession(ctx, conn, opts, &highest)
+			if outcome == sessTerminal {
+				return err // nil on coordinator done, terminal otherwise
 			}
 			if cerr := ctx.Err(); cerr != nil {
 				return cerr
 			}
-			failures = 0 // the dial succeeded; only count consecutive dial failures
-			opts.Logf("cluster: worker %s lost coordinator: %v", opts.Name, err)
+			if outcome == sessWorked {
+				failures = 0 // real progress; stay on this address
+				opts.Logf("cluster: worker %s lost coordinator at %s: %v", opts.Name, a, err)
+			} else {
+				opts.Logf("cluster: worker %s leaving %s: %v", opts.Name, a, err)
+				target++ // not (or no longer) a leader here; rotate
+			}
+		} else {
+			target++
 		}
 		failures++
-		if failures > opts.MaxReconnects {
-			return fmt.Errorf("cluster: worker %s: reconnect budget (%d) exhausted: %w", opts.Name, opts.MaxReconnects, err)
+		if failures > budget {
+			return fmt.Errorf("cluster: worker %s: reconnect budget (%d across %d addresses) exhausted: %w",
+				opts.Name, budget, len(addrs), err)
 		}
-		if !sleepCtx(ctx, opts.Reconnect.Backoff(failures)) {
+		d := opts.Reconnect.Backoff(failures)
+		if opts.Reconnect.Sleep != nil {
+			opts.Reconnect.Sleep(d) // injectable seam for deterministic tests
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		} else if !sleepCtx(ctx, d) {
 			return ctx.Err()
 		}
 	}
@@ -136,10 +203,10 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 }
 
 // runSession performs one handshake and runs the typed session for the
-// element width the welcome announces. done=true means the run is over
-// for good (coordinator finished or reported terminal failure) and the
-// worker must not reconnect.
-func runSession(ctx context.Context, conn net.Conn, opts WorkerOptions) (done bool, err error) {
+// element width the welcome announces. highest is the worker's epoch
+// memory: the hello advertises it, a welcome below it is refused (the
+// peer is a deposed leader), and a welcome at or above it raises it.
+func runSession(ctx context.Context, conn net.Conn, opts WorkerOptions, highest *uint32) (sessOutcome, error) {
 	defer conn.Close()
 	// Unblock the session's reads if the context dies mid-solve; the
 	// watcher is reclaimed at session end.
@@ -154,53 +221,72 @@ func runSession(ctx context.Context, conn net.Conn, opts WorkerOptions) (done bo
 	}()
 
 	bw := bufio.NewWriter(conn)
-	sr := &sessionReader{conn: conn, window: 10 * time.Second}
+	sr := &sessionReader{conn: conn, window: opts.HandshakeTimeout}
 	br := bufio.NewReader(sr)
-	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
-	if err := sendMsg(bw, frameHello, helloMsg{Name: opts.Name}.encode()); err != nil {
-		return false, err
+	conn.SetWriteDeadline(time.Now().Add(opts.HandshakeTimeout))
+	if err := sendMsg(bw, frameHello, helloMsg{Epoch: *highest, Name: opts.Name}.encode()); err != nil {
+		return sessLost, err
 	}
 	typ, payload, err := readFrame(br)
 	if err != nil {
-		return false, err
+		return sessLost, err
 	}
-	if typ == frameFail {
+	switch typ {
+	case frameFail:
 		f, _ := decodeFail(payload)
-		return true, fmt.Errorf("cluster: coordinator rejected %s: %s", opts.Name, f.Reason)
-	}
-	if typ != frameWelcome {
-		return false, fmt.Errorf("cluster: expected welcome, got frame type %d", typ)
+		return sessTerminal, fmt.Errorf("cluster: coordinator rejected %s: %s", opts.Name, f.Reason)
+	case frameStandby:
+		return sessRejected, fmt.Errorf("cluster: %s is a standby, not a leader yet", conn.RemoteAddr())
+	case frameFenced:
+		if ep, derr := decodeEpoch(payload); derr == nil && ep > *highest {
+			*highest = ep
+		}
+		return sessRejected, fmt.Errorf("cluster: %s fenced our connection", conn.RemoteAddr())
+	case frameWelcome:
+	default:
+		return sessLost, fmt.Errorf("cluster: expected welcome, got frame type %d", typ)
 	}
 	welcome, err := decodeWelcome(payload)
 	if err != nil {
-		return false, err
+		var vErr *ErrProtocolVersion
+		if errors.As(err, &vErr) {
+			return sessTerminal, err // a build mismatch never heals by retrying
+		}
+		return sessLost, err
 	}
-	opts.Logf("cluster: worker %s joined shard %d/%d (n=%d tile=%d stage1=%v)",
-		opts.Name, welcome.Slot, welcome.Shards, welcome.N, welcome.Tile, perfmodel.Kernel(welcome.Stage1))
+	if welcome.Epoch < *highest {
+		// A deposed leader still answering its door. Refusing it here is
+		// the split-brain fence: nothing we computed for it could ever
+		// install anywhere that matters, so don't compute at all.
+		return sessRejected, &ErrEpochFenced{Epoch: welcome.Epoch, Current: *highest, Role: "coordinator"}
+	}
+	*highest = welcome.Epoch
+	opts.Logf("cluster: worker %s joined shard %d/%d at epoch %d (n=%d tile=%d stage1=%v)",
+		opts.Name, welcome.Slot, welcome.Shards, welcome.Epoch, welcome.N, welcome.Tile, perfmodel.Kernel(welcome.Stage1))
 	switch welcome.ElemBytes {
 	case 4:
-		return workerSession[float32](ctx, conn, sr, br, bw, welcome, opts)
+		return workerSession[float32](ctx, conn, sr, br, bw, welcome, opts, highest)
 	case 8:
-		return workerSession[float64](ctx, conn, sr, br, bw, welcome, opts)
+		return workerSession[float64](ctx, conn, sr, br, bw, welcome, opts, highest)
 	}
-	return false, fmt.Errorf("cluster: unsupported element width %d", welcome.ElemBytes)
+	return sessLost, fmt.Errorf("cluster: unsupported element width %d", welcome.ElemBytes)
 }
 
 // workerSession executes one connection's dispatch loop at a concrete
 // element type.
 func workerSession[E semiring.Elem](ctx context.Context, conn net.Conn, sr *sessionReader, br *bufio.Reader,
-	bw *bufio.Writer, welcome welcomeMsg, opts WorkerOptions) (done bool, err error) {
+	bw *bufio.Writer, welcome welcomeMsg, opts WorkerOptions, highest *uint32) (sessOutcome, error) {
 	t := tri.NewTiled[E](welcome.N, welcome.Tile)
 	g, err := sched.NewGraph(t.Blocks(), welcome.SchedSide)
 	if err != nil {
-		return false, err
+		return sessLost, err
 	}
 	mul, err := npdp.ResolveStage1(perfmodel.Kernel(welcome.Stage1), t)
 	if err != nil {
 		// The coordinator pinned a kernel this build cannot resolve;
 		// that is terminal, not a reconnect case.
 		sendMsg(bw, frameFail, failMsg{Reason: err.Error()}.encode())
-		return true, err
+		return sessTerminal, err
 	}
 	heartbeat := time.Duration(welcome.HeartbeatMS) * time.Millisecond
 	deadline := time.Duration(welcome.DeadlineMS) * time.Millisecond
@@ -210,10 +296,23 @@ func workerSession[E semiring.Elem](ctx context.Context, conn net.Conn, sr *sess
 	if deadline <= 0 {
 		deadline = DefaultDeadlineAfter
 	}
+	// A session "worked" — resetting the shared reconnect-failure count
+	// — once it executes a dispatch, or once it has simply stayed up
+	// past the backoff ceiling (a healthy-but-idle connection is not a
+	// failure). Anything less (a welcome, pings) can come from a
+	// flapping coordinator faster than the backoff can contain it.
+	started := time.Now()
+	worked := func(base sessOutcome) sessOutcome {
+		if base == sessLost && time.Since(started) >= resilience.DefaultMaxDelay {
+			return sessWorked
+		}
+		return base
+	}
+	outcome := sessLost
 	lastSeen := time.Now()
 	for {
 		if err := ctx.Err(); err != nil {
-			return false, err
+			return worked(outcome), err
 		}
 		// Wait for the next frame with the heartbeat period as the
 		// slice, so pings flow even when no dispatch arrives and
@@ -228,20 +327,20 @@ func workerSession[E semiring.Elem](ctx context.Context, conn net.Conn, sr *sess
 		if _, err := br.Peek(1); err != nil {
 			if netTimeout(err) {
 				if time.Since(lastSeen) > deadline {
-					return false, fmt.Errorf("cluster: coordinator silent for %v", deadline)
+					return worked(outcome), fmt.Errorf("cluster: coordinator silent for %v", deadline)
 				}
 				conn.SetWriteDeadline(time.Now().Add(deadline))
 				if err := sendMsg(bw, framePing, nil); err != nil {
-					return false, err
+					return worked(outcome), err
 				}
 				continue
 			}
-			return false, err
+			return worked(outcome), err
 		}
 		sr.window = deadline
 		typ, payload, err := readFrame(br)
 		if err != nil {
-			return false, err
+			return worked(outcome), err
 		}
 		lastSeen = time.Now()
 		switch typ {
@@ -249,14 +348,34 @@ func workerSession[E semiring.Elem](ctx context.Context, conn net.Conn, sr *sess
 			continue
 		case frameDone:
 			opts.Logf("cluster: worker %s released", opts.Name)
-			return true, nil
+			return sessTerminal, nil
 		case frameFail:
 			f, _ := decodeFail(payload)
-			return true, fmt.Errorf("cluster: coordinator failed: %s", f.Reason)
+			return sessTerminal, fmt.Errorf("cluster: coordinator failed: %s", f.Reason)
+		case frameStandby:
+			// The leader demoted mid-session? Treat like a rejection and
+			// rotate — somewhere a newer leader exists.
+			return sessRejected, fmt.Errorf("cluster: %s declared itself a standby", conn.RemoteAddr())
+		case frameFenced:
+			// A failover happened: this session's leader is gone and a
+			// newer epoch rules. Rotate and re-home.
+			if ep, derr := decodeEpoch(payload); derr == nil && ep > *highest {
+				*highest = ep
+			}
+			return sessRejected, fmt.Errorf("cluster: re-homed by epoch fence (session epoch %d)", welcome.Epoch)
 		case frameDispatch:
 			msg, err := decodeTaskMsg(payload)
 			if err != nil {
-				return false, err
+				return worked(outcome), err
+			}
+			if msg.Epoch != welcome.Epoch {
+				// A dispatch from outside this session's epoch can only
+				// be a protocol violation or a replayed frame; computing
+				// it would produce a result the fence must then catch.
+				conn.SetWriteDeadline(time.Now().Add(deadline))
+				ferr := &ErrEpochFenced{Epoch: msg.Epoch, Current: welcome.Epoch, Role: "worker"}
+				sendMsg(bw, frameFail, failMsg{Reason: ferr.Error()}.encode())
+				return worked(outcome), ferr
 			}
 			result, err := executeDispatch(t, g, mul, msg, opts.Inject)
 			if err != nil {
@@ -265,14 +384,15 @@ func workerSession[E semiring.Elem](ctx context.Context, conn net.Conn, sr *sess
 				// report and reconnect fresh.
 				conn.SetWriteDeadline(time.Now().Add(deadline))
 				sendMsg(bw, frameFail, failMsg{Reason: err.Error()}.encode())
-				return false, err
+				return worked(outcome), err
 			}
+			outcome = sessWorked
 			conn.SetWriteDeadline(time.Now().Add(deadline))
 			if err := sendMsg(bw, frameResult, result.encode()); err != nil {
-				return false, err
+				return worked(outcome), err
 			}
 		default:
-			return false, fmt.Errorf("cluster: unexpected frame type %d", typ)
+			return worked(outcome), fmt.Errorf("cluster: unexpected frame type %d", typ)
 		}
 	}
 }
@@ -321,7 +441,7 @@ func executeDispatch[E semiring.Elem](t *tri.Tiled[E], g *sched.Graph, mul npdp.
 		mb := own[int((draw>>48)%uint64(len(own)))]
 		resilience.CorruptBit(t.Block(mb[0], mb[1]), draw)
 	}
-	result := taskMsg{Gen: msg.Gen, TaskID: msg.TaskID, Blocks: make([]wireBlock, len(own))}
+	result := taskMsg{Epoch: msg.Epoch, Gen: msg.Gen, TaskID: msg.TaskID, Blocks: make([]wireBlock, len(own))}
 	for i, mb := range own {
 		result.Blocks[i] = wireBlock{
 			Bi: mb[0], Bj: mb[1],

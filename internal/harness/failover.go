@@ -1,0 +1,264 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"cellnpdp/internal/cluster"
+	"cellnpdp/internal/npdp"
+	"cellnpdp/internal/resilience"
+	"cellnpdp/internal/stats"
+	"cellnpdp/internal/tri"
+	"cellnpdp/internal/workload"
+)
+
+// The failover experiment and BENCH_PR8.json characterize coordinator
+// high availability (internal/cluster's warm standby): how much of the
+// wavefront the replication stream had shipped when the primary was
+// killed, how long the lease + takeover + resumed solve took from the
+// kill to the final block, and that the epoch fence held (the result is
+// verified bit-identical to SolveSerial in every run).
+
+// failoverTile is deliberately smaller than the paper tile so the
+// standard instance yields enough tasks for a kill keyed on replicated
+// progress to land genuinely mid-wavefront.
+const failoverTileSide = 24
+
+// failoverRun is one measured primary-death takeover.
+type failoverRun struct {
+	secs      float64 // standby wall time: tailing + lease + takeover solve
+	recovery  float64 // primary-kill-to-completion seconds
+	killAfter int     // replicated-task threshold that triggered the kill
+	stats     cluster.Stats
+	sstats    cluster.StandbyStats
+}
+
+// failoverTasks is the g=1 task count of the failover instance at size n.
+func failoverTasks(n int) int {
+	m := (n + failoverTileSide - 1) / failoverTileSide
+	return m * (m + 1) / 2
+}
+
+// runFailover solves the standard instance on an in-process loopback
+// cluster with a warm standby, kills the primary (the Die seam, the
+// in-process SIGKILL) once killAfter tasks have been REPLICATED, and
+// measures the standby's recovery. The takeover result is verified
+// bit-identical to the serial reference before returning.
+func runFailover(ctx context.Context, cfg Config, n, workers int, ref *tri.RowMajor[float32]) (failoverRun, error) {
+	priTbl := tri.ToTiled(cfg.chainF32(n), failoverTileSide)
+	sbTbl := tri.ToTiled(cfg.chainF32(n), failoverTileSide)
+
+	priLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return failoverRun{}, err
+	}
+	sbLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		priLn.Close()
+		return failoverRun{}, err
+	}
+
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	run := failoverRun{killAfter: maxInt(3, failoverTasks(n)/4)}
+	die := make(chan struct{})
+	var dieOnce sync.Once
+	var killTime time.Time
+	sbOpts := cluster.StandbyOptions{
+		Options: cluster.Options{
+			Stats: &run.stats,
+		},
+		LeaseAfter: 500 * time.Millisecond,
+		OnDelta: func(done int) {
+			// Keyed on REPLICATED progress, so the takeover provably
+			// resumes from shipped state, never from zero.
+			if done >= run.killAfter {
+				dieOnce.Do(func() {
+					killTime = time.Now()
+					close(die)
+				})
+			}
+		},
+		StandbyStats: &run.sstats,
+	}
+
+	var priStats cluster.Stats
+	priOpts := cluster.Options{
+		Shards:         workers,
+		HeartbeatEvery: 10 * time.Millisecond, // replication batches flush fast
+		ReplicaAddr:    sbLn.Addr().String(),
+		Die:            die,
+		Stats:          &priStats,
+	}
+
+	priErr := make(chan error, 1)
+	go func() { priErr <- cluster.Coordinate(runCtx, priLn, priTbl, priOpts) }()
+
+	addrs := priLn.Addr().String() + "," + sbLn.Addr().String()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			err := cluster.RunWorker(runCtx, addrs, cluster.WorkerOptions{
+				Name:          fmt.Sprintf("w%d", w),
+				MaxReconnects: 500,
+				Reconnect: resilience.RetryPolicy{
+					BaseDelay: 5 * time.Millisecond,
+					MaxDelay:  50 * time.Millisecond,
+					Jitter:    true,
+				},
+			})
+			if err != nil && !errors.Is(err, context.Canceled) {
+				fmt.Fprintf(cfg.out(), "failover harness: worker w%d: %v\n", w, err)
+			}
+		}(w)
+	}
+
+	run.secs = timeIt(func() { err = cluster.RunStandby(runCtx, sbLn, sbTbl, sbOpts) })
+	// OnDelta runs on RunStandby's own event loop — this goroutine — so
+	// killTime is settled (and race-free) once RunStandby returns.
+	if !killTime.IsZero() {
+		run.recovery = time.Since(killTime).Seconds()
+	}
+	cancelRun()
+	wg.Wait()
+	if err != nil {
+		return failoverRun{}, err
+	}
+	if perr := <-priErr; !errors.Is(perr, cluster.ErrDied) {
+		return failoverRun{}, fmt.Errorf("killed primary returned %v, want ErrDied", perr)
+	}
+	if !run.sstats.TookOver {
+		return failoverRun{}, fmt.Errorf("primary finished before the kill fired (replicated=%d of %d); nothing was measured",
+			run.sstats.ReplicatedTasks, failoverTasks(n))
+	}
+	if i, j, a, b, diff := tri.FirstDiff[float32](ref, sbTbl); diff {
+		return failoverRun{}, fmt.Errorf("takeover solve diverged at (%d,%d): %v vs %v", i, j, a, b)
+	}
+	return run, nil
+}
+
+// Failover is the experiment entry point (see FailoverCtx).
+func Failover(cfg Config) (*stats.Table, error) {
+	return FailoverCtx(context.Background(), cfg)
+}
+
+// FailoverCtx renders the coordinator-HA characterization table: the
+// primary killed mid-wavefront at two replication depths, the standby's
+// takeover epoch, how much state it resumed from, and the kill-to-done
+// recovery time — each run verified bit-identical to the serial engine.
+func FailoverCtx(ctx context.Context, cfg Config) (*stats.Table, error) {
+	// The kill is keyed on replicated progress, so the instance needs
+	// enough wavefront runway that the primary cannot finish before the
+	// replication stream ships killAfter tasks — smoke configs with tiny
+	// Sizes must not shrink it, so n is the experiment's own floor.
+	n := 600
+	ref := cfg.chainF32(n)
+	npdp.SolveSerial(ref)
+
+	t := stats.NewTable(
+		fmt.Sprintf("Coordinator failover — warm standby resumes a killed primary (n=%d, tile=%d, %d tasks)",
+			n, failoverTileSide, failoverTasks(n)),
+		"configuration", "workers", "replicated", "resumed", "epoch", "fenced", "recovery ms", "wall ms", "verified")
+
+	for _, workers := range []int{2, 3} {
+		run, err := runFailover(ctx, cfg, n, workers, ref)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("primary killed, %d workers", workers), fmt.Sprint(workers),
+			fmt.Sprint(run.sstats.ReplicatedTasks), fmt.Sprint(run.stats.Resumed),
+			fmt.Sprint(run.stats.Epoch), fmt.Sprint(run.stats.FencedWrites),
+			fmt.Sprintf("%.2f", run.recovery*1e3), fmt.Sprintf("%.2f", run.secs*1e3), "yes")
+	}
+	return t, nil
+}
+
+// FailoverBench is the BENCH_PR8.json document: the measured
+// coordinator-death takeover on the acceptance-scale instance.
+type FailoverBench struct {
+	Schema          string  `json:"schema"`
+	Generated       string  `json:"generated"`
+	GoVersion       string  `json:"go_version"`
+	GOARCH          string  `json:"goarch"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	N               int     `json:"n"`
+	Tile            int     `json:"tile"`
+	Tasks           int     `json:"tasks"`
+	Workers         int     `json:"workers"`
+	KillAfterTasks  int     `json:"kill_after_tasks"`
+	ReplicatedTasks int     `json:"replicated_tasks"`
+	ResumedTasks    int     `json:"resumed_tasks"`
+	Epoch           uint32  `json:"epoch"`
+	FencedWrites    int     `json:"fenced_writes"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	TotalSeconds    float64 `json:"total_seconds"`
+	Verified        bool    `json:"verified"`
+}
+
+// WriteFailoverBenchJSON is the no-cancellation entry point (see
+// WriteFailoverBenchJSONCtx).
+func WriteFailoverBenchJSON(cfg Config, path string) error {
+	return WriteFailoverBenchJSONCtx(context.Background(), cfg, path)
+}
+
+// WriteFailoverBenchJSONCtx runs the coordinator-kill takeover on the
+// acceptance-scale instance and writes BENCH_PR8.json: how deep into
+// the wavefront the kill landed, what the standby resumed from, and the
+// kill-to-completion recovery time.
+func WriteFailoverBenchJSONCtx(ctx context.Context, cfg Config, path string) error {
+	n := 1024
+	if cfg.Full {
+		n = 2048
+	}
+	// cfg.Sizes can shrink the instance for tests, but never below the
+	// 600-point runway the replication-keyed kill needs (see FailoverCtx).
+	if sizes := cfg.Sizes; len(sizes) > 0 && sizes[len(sizes)-1] < n {
+		n = maxInt(600, sizes[len(sizes)-1])
+	}
+	ref := workload.Chain[float32](n, cfg.Seed+int64(n))
+	npdp.SolveSerial(ref)
+
+	const workers = 3
+	run, err := runFailover(ctx, cfg, n, workers, ref)
+	if err != nil {
+		return err
+	}
+	rep := FailoverBench{
+		Schema:          "cellnpdp-failover-bench/v1",
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		GOARCH:          runtime.GOARCH,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		N:               n,
+		Tile:            failoverTileSide,
+		Tasks:           failoverTasks(n),
+		Workers:         workers,
+		KillAfterTasks:  run.killAfter,
+		ReplicatedTasks: run.sstats.ReplicatedTasks,
+		ResumedTasks:    run.stats.Resumed,
+		Epoch:           run.stats.Epoch,
+		FencedWrites:    run.stats.FencedWrites,
+		RecoverySeconds: run.recovery,
+		TotalSeconds:    run.secs,
+		Verified:        true, // runFailover fails on any diff
+	}
+	fmt.Fprintf(cfg.out(), "failover bench n=%-5d kill@%d replicated=%d resumed=%d epoch=%d recovery=%.3fs total=%.3fs\n",
+		n, run.killAfter, run.sstats.ReplicatedTasks, run.stats.Resumed, run.stats.Epoch,
+		run.recovery, run.secs)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -154,6 +154,7 @@ func All() []Experiment {
 		{"selfheal", "silent-corruption detection and poisoned-cone healing", SelfHeal},
 		{"serve", "serving layer under overload: admission, shedding, integrity", ServeLoad},
 		{"cluster", "sharded coordinator/worker solve: loopback scaling, kill recovery, cone healing", Cluster},
+		{"failover", "coordinator HA: warm-standby takeover of a killed primary, epoch-fenced", Failover},
 		{"model", "Section V analytic model report", ModelReport},
 		{"utilization", "processor utilization accounting", UtilizationReport},
 	}

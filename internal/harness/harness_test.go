@@ -305,6 +305,60 @@ func TestClusterExperiment(t *testing.T) {
 	}
 }
 
+func TestFailoverExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback failover cluster runs in -short mode")
+	}
+	// fastCfg's tiny Sizes are ignored: the experiment pins its own
+	// 600-point instance so the replication-keyed kill always lands.
+	tbl, err := Failover(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"primary killed, 2 workers", "primary killed, 3 workers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("failover table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "no") {
+		t.Fatalf("a failover row failed verification:\n%s", out)
+	}
+	for _, row := range tbl.Rows {
+		if row[4] != "2" {
+			t.Fatalf("takeover epoch = %s, want 2:\n%s", row[4], out)
+		}
+	}
+}
+
+func TestWriteFailoverBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback failover cluster runs in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_PR8.json")
+	cfg := fastCfg()
+	cfg.Sizes = []int{96, 600}
+	cfg.Out = io.Discard
+	if err := WriteFailoverBenchJSON(cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep FailoverBench
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "cellnpdp-failover-bench/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if !rep.Verified || rep.Epoch != 2 || rep.ReplicatedTasks < rep.KillAfterTasks ||
+		rep.ResumedTasks <= 0 || rep.RecoverySeconds <= 0 || rep.TotalSeconds <= 0 {
+		t.Fatalf("failover bench implausible: %+v", rep)
+	}
+}
+
 func TestWriteClusterBenchJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loopback cluster runs in -short mode")

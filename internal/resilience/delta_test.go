@@ -1,0 +1,243 @@
+package resilience
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"cellnpdp/internal/tableio"
+)
+
+// deltaRaw encodes cells in the canonical element encoding, as the
+// coordinator ships them.
+func deltaRaw(cells []float32) []byte {
+	raw := make([]byte, 4*len(cells))
+	for i, v := range cells {
+		tableio.PutElem(raw[i*4:(i+1)*4], v)
+	}
+	return raw
+}
+
+// testDelta builds a representative DeltaTaskDone with two sealed blocks.
+func testDelta(t *testing.T) Delta {
+	t.Helper()
+	mk := func(seed float32, n int) DeltaBlock {
+		cells := make([]float32, n)
+		for i := range cells {
+			cells[i] = seed + float32(i)
+		}
+		raw := deltaRaw(cells)
+		return DeltaBlock{CRC: BlockCRC(cells), Raw: raw}
+	}
+	b0 := mk(1.5, 9)
+	b0.Bi, b0.Bj = 0, 2
+	b1 := mk(-3.25, 9)
+	b1.Bi, b1.Bj = 1, 1
+	return Delta{
+		Kind:   DeltaTaskDone,
+		Epoch:  7,
+		TaskID: 42,
+		Gen:    3,
+		Blocks: []DeltaBlock{b0, b1},
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		d    Delta
+	}{
+		{"done", testDelta(t)},
+		{"reset", Delta{Kind: DeltaTaskReset, Epoch: 2, TaskID: 5, Gen: 9,
+			Blocks: []DeltaBlock{{Bi: 0, Bj: 1}, {Bi: 3, Bj: 3}}}},
+		{"syncbegin", Delta{Kind: DeltaSyncBegin, Epoch: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DecodeDelta(tc.d.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind != tc.d.Kind || got.Epoch != tc.d.Epoch ||
+				got.TaskID != tc.d.TaskID || got.Gen != tc.d.Gen {
+				t.Fatalf("header round-trip: got %+v, want %+v", got, tc.d)
+			}
+			if len(got.Blocks) != len(tc.d.Blocks) {
+				t.Fatalf("got %d blocks, want %d", len(got.Blocks), len(tc.d.Blocks))
+			}
+			for i, b := range got.Blocks {
+				w := tc.d.Blocks[i]
+				if b.Bi != w.Bi || b.Bj != w.Bj || b.CRC != w.CRC {
+					t.Fatalf("block %d: got (%d,%d) crc %08x, want (%d,%d) crc %08x",
+						i, b.Bi, b.Bj, b.CRC, w.Bi, w.Bj, w.CRC)
+				}
+				if string(b.Raw) != string(w.Raw) {
+					t.Fatalf("block %d cells differ", i)
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaResetBlocksCarryNoCells pins the reset wire contract: block
+// coordinates only, zero bytes of cells, and a zero CRC (the CRC32C of
+// the empty string) that still verifies under the seal re-digest.
+func TestDeltaResetBlocksCarryNoCells(t *testing.T) {
+	d := Delta{Kind: DeltaTaskReset, Epoch: 1, TaskID: 0,
+		Blocks: []DeltaBlock{{Bi: 2, Bj: 4}}}
+	enc := d.Encode()
+	if want := deltaHeaderLen + 16 + 4; len(enc) != want {
+		t.Fatalf("reset record is %d bytes, want %d", len(enc), want)
+	}
+	got, err := DecodeDelta(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := got.Blocks[0]; b.CRC != 0 || len(b.Raw) != 0 {
+		t.Fatalf("reset block carries crc %08x, %d raw bytes; want 0, 0", b.CRC, len(b.Raw))
+	}
+}
+
+func TestDeltaRejectsBitFlips(t *testing.T) {
+	enc := testDelta(t).Encode()
+	// Flip one bit at every position: the trailer must catch each.
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x10
+		if _, err := DecodeDelta(mut); err == nil {
+			t.Fatalf("bit flip at byte %d decoded cleanly", i)
+		}
+	}
+}
+
+func TestDeltaRejectsTruncation(t *testing.T) {
+	enc := testDelta(t).Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeDelta(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded cleanly", cut, len(enc))
+		}
+	}
+	if _, err := DecodeDelta(append(append([]byte(nil), enc...), 0xAA)); err == nil {
+		t.Fatal("trailing garbage decoded cleanly")
+	}
+}
+
+// reseal recomputes a mutated record's trailer so the mutation reaches
+// the structural validators instead of dying at the CRC.
+func reseal(p []byte) []byte {
+	body := p[:len(p)-4]
+	return binary.LittleEndian.AppendUint32(append([]byte(nil), body...),
+		crc32.Checksum(body, sealCastagnoli))
+}
+
+// TestDeltaRejectsBlockCountBomb patches nblocks to a huge value (with a
+// recomputed trailer, so the CRC passes) and checks the count is bounded
+// by payload capacity before any allocation happens.
+func TestDeltaRejectsBlockCountBomb(t *testing.T) {
+	enc := testDelta(t).Encode()
+	mut := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint32(mut[19:], 1<<30)
+	_, err := DecodeDelta(reseal(mut))
+	if err == nil || !strings.Contains(err.Error(), "claims") {
+		t.Fatalf("nblocks bomb: got %v, want block-count bound error", err)
+	}
+}
+
+// TestDeltaRejectsStructuralLies covers resealed mutations of each
+// validated field: magic, version, kind, a per-block seal, and a block
+// byte count that overruns the payload.
+func TestDeltaRejectsStructuralLies(t *testing.T) {
+	enc := testDelta(t).Encode()
+	mutate := func(f func(p []byte)) error {
+		mut := append([]byte(nil), enc...)
+		f(mut)
+		_, err := DecodeDelta(reseal(mut))
+		return err
+	}
+	for _, tc := range []struct {
+		name, want string
+		f          func(p []byte)
+	}{
+		{"magic", "magic", func(p []byte) { p[0] = 'X' }},
+		{"version", "version", func(p []byte) { binary.LittleEndian.PutUint16(p[4:], 99) }},
+		{"kind", "kind", func(p []byte) { p[6] = 0 }},
+		{"kind-high", "kind", func(p []byte) { p[6] = 200 }},
+		{"block-seal", "seal mismatch", func(p []byte) {
+			// Corrupt the first block's sealed CRC field only.
+			binary.LittleEndian.PutUint32(p[deltaHeaderLen+8:], 0xDEADBEEF)
+		}},
+		{"block-overrun", "truncated", func(p []byte) {
+			// First block claims more cell bytes than the record holds.
+			binary.LittleEndian.PutUint32(p[deltaHeaderLen+12:], 1<<20)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := mutate(tc.f)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckpointFold exercises the standby-side fold surface: building
+// an empty checkpoint, installing and dropping blocks, marking and
+// clearing tasks, and a full reset.
+func TestCheckpointFold(t *testing.T) {
+	meta := Meta{N: 20, Tile: 8, SchedSide: 1, Tasks: 6, ElemBytes: 4}
+	ck, err := NewCheckpoint[float32](meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := deltaRaw(make([]float32, 64)) // 8×8 tile
+	if err := ck.PutBlock(0, 2, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.MarkDone(3); err != nil {
+		t.Fatal(err)
+	}
+	if !ck.HasBlock(0, 2) || ck.DoneCount() != 1 {
+		t.Fatalf("fold state: hasBlock=%v done=%d", ck.HasBlock(0, 2), ck.DoneCount())
+	}
+
+	// Reverting a task (DeltaTaskReset) forgets both records.
+	ck.ClearDone(3)
+	ck.DropBlock(0, 2)
+	if ck.HasBlock(0, 2) || ck.DoneCount() != 0 {
+		t.Fatalf("after reset fold: hasBlock=%v done=%d", ck.HasBlock(0, 2), ck.DoneCount())
+	}
+
+	// Bounds and byte-count validation.
+	if err := ck.PutBlock(2, 1, raw); err == nil {
+		t.Fatal("lower-triangle block accepted")
+	}
+	if err := ck.PutBlock(0, 3, raw); err == nil {
+		t.Fatal("out-of-lattice block accepted")
+	}
+	if err := ck.PutBlock(0, 0, raw[:8]); err == nil {
+		t.Fatal("short block accepted")
+	}
+	if err := ck.MarkDone(6); err == nil {
+		t.Fatal("out-of-graph task accepted")
+	}
+
+	// Reset clears everything (DeltaSyncBegin).
+	if err := ck.PutBlock(1, 1, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.MarkDone(0); err != nil {
+		t.Fatal(err)
+	}
+	ck.Reset()
+	if ck.HasBlock(1, 1) || ck.DoneCount() != 0 {
+		t.Fatalf("after Reset: hasBlock=%v done=%d", ck.HasBlock(1, 1), ck.DoneCount())
+	}
+
+	// Geometry mismatches are refused at construction.
+	if _, err := NewCheckpoint[float64](meta); err == nil {
+		t.Fatal("element-width mismatch accepted")
+	}
+	if _, err := NewCheckpoint[float32](Meta{N: 20, Tile: 8, SchedSide: 1, Tasks: 5, ElemBytes: 4}); err == nil {
+		t.Fatal("inconsistent task count accepted")
+	}
+}

@@ -80,7 +80,11 @@ type Config struct {
 	Clock func() time.Time
 	// ClusterHealth, when non-nil, is polled by GET /healthz and its
 	// snapshot reported under "cluster" — the seam a co-located
-	// cluster coordinator publishes its live counters through.
+	// cluster coordinator publishes its live counters through,
+	// including the HA triple an operator watches during failover:
+	// "epoch" (the leadership term serving writes), "fenced_writes"
+	// (results rejected from deposed leaders or stale workers), and
+	// "failovers" (1 when this coordinator resumed from a replica).
 	ClusterHealth func() map[string]any
 }
 

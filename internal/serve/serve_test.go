@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cellnpdp"
+	"cellnpdp/internal/cluster"
 )
 
 // post sends a SolveRequest to the test server and decodes the outcome.
@@ -645,5 +646,44 @@ func TestHealthzClusterSnapshot(t *testing.T) {
 	}
 	if _, present := raw["cluster"]; present {
 		t.Fatal("healthz carries a cluster field with no provider wired")
+	}
+}
+
+// TestHealthzFailoverCounters wires a REAL cluster.Stats snapshot —
+// mid-failover shape: epoch bumped, a fenced write from the deposed
+// leader, a resume from replica — through the ClusterHealth seam and
+// asserts the HA triple an operator watches lands on the wire.
+func TestHealthzFailoverCounters(t *testing.T) {
+	stats := &cluster.Stats{
+		Tasks:        300,
+		Accepted:     270,
+		Epoch:        2,
+		FencedWrites: 3,
+		Failovers:    1,
+		ReplRecords:  30,
+		ReplResyncs:  1,
+	}
+	s := New(Config{ClusterHealth: stats.Health})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]float64{
+		"epoch":         2,
+		"fenced_writes": 3,
+		"failovers":     1,
+		"repl_records":  30,
+		"repl_resyncs":  1,
+	} {
+		if got := h.Cluster[key]; got != want {
+			t.Fatalf("healthz cluster[%q] = %v, want %v (full: %v)", key, got, want, h.Cluster)
+		}
 	}
 }

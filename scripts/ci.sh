@@ -8,7 +8,10 @@
 # healed bit-identically (fallback disabled in both so recovery can't
 # mask a bug), plus a cluster chaos smoke that SIGKILLs a worker
 # mid-wavefront while corrupting boundary blocks and demands a
-# bit-identical finish. Called standalone or as the bench.sh preflight.
+# bit-identical finish, and a coordinator-kill failover smoke that
+# SIGKILLs the primary coordinator mid-wavefront and demands the warm
+# standby take over and finish bit-identically. Called standalone or as
+# the bench.sh preflight.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -151,5 +154,32 @@ if grep -qE " deaths=0 " <<<"${stats}"; then
 fi
 if grep -qE " mismatches=0 " <<<"${stats}"; then
     echo "cluster chaos smoke: no seal mismatch observed" >&2
+    exit 1
+fi
+
+echo "== smoke: coordinator-kill failover (warm standby, SIGKILL primary mid-wavefront, verify)"
+# Coordinator HA under the race detector: the primary coordinator runs
+# as a subprocess replicating its completion log to an in-process warm
+# standby; once enough tasks have REPLICATED, the primary is SIGKILLed
+# mid-wavefront, the standby's lease expires, it takes over at epoch 2,
+# the workers re-home through the epoch fence, and the resumed solve
+# must finish bit-identical to the serial engine. The binary itself
+# fails if the primary finishes before the kill fires, and the greps
+# prove the takeover actually happened — failover that never fired
+# would pass vacuously.
+failover_log="$(mktemp)"
+trap 'rm -f "${healref}" "${cluster_log}" "${failover_log}"' EXIT
+go run -race ./cmd/cellnpdp cluster -n 1536 -cluster-workers 3 \
+    -chaos-kill-coordinator -heartbeat 25ms -deadline 500ms -lease 1s \
+    -verify -timeout 10m 2>&1 | tee "${failover_log}"
+grep -q "standby: takeover epoch=" "${failover_log}"
+grep -q "verified against serial engine: identical" "${failover_log}"
+fstats="$(grep "cluster: tasks=" "${failover_log}")"
+if grep -qE " failovers=0 " <<<"${fstats}"; then
+    echo "failover smoke: takeover coordinator reported no failover" >&2
+    exit 1
+fi
+if grep -qE " resumed=0 " <<<"${fstats}"; then
+    echo "failover smoke: takeover resumed from zero replicated tasks" >&2
     exit 1
 fi

@@ -30,11 +30,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"cellnpdp/internal/cellsim"
 	"cellnpdp/internal/npdp"
+	"cellnpdp/internal/pager"
 	"cellnpdp/internal/perfmodel"
 	"cellnpdp/internal/pipeline"
 	"cellnpdp/internal/resilience"
@@ -142,6 +145,33 @@ type Options struct {
 	// NoFallback disables the Parallel→Tiled graceful degradation, so a
 	// parallel compute failure surfaces instead of being recovered.
 	NoFallback bool
+	// MemoryBudget, when positive, runs the Tiled and Parallel engines
+	// out of core: the NDL table lives in a crash-consistent spill file
+	// and only a working set of roughly MemoryBudget bytes of blocks
+	// stays resident (clamped up to the minimum the worker count needs).
+	// The budget is soft — disk failures degrade to residency growth
+	// rather than data loss. Incompatible with CheckpointPath/ResumePath
+	// (the committed spill index is the checkpoint), FaultRate, and
+	// AuditEvery; Serial and Cell reject it.
+	MemoryBudget int64
+	// SpillPath locates the spill data file (its index rides beside it at
+	// SpillPath+".idx"). Empty means a private temp file removed after
+	// the solve; a named path persists across SIGKILL for ResumeSpill.
+	// Requires MemoryBudget > 0.
+	SpillPath string
+	// ResumeSpill resumes a paged solve from an existing spill file at
+	// SpillPath: blocks recovered from the committed index are trusted
+	// (CRC-verified on page-in) and only the remainder is recomputed.
+	ResumeSpill bool
+	// DiskFaultRate, when positive, turns on the deterministic disk-fault
+	// injector on the pager's spill I/O (the out-of-core counterpart of
+	// FaultRate). Requires MemoryBudget > 0.
+	DiskFaultRate float64
+	// DiskFaultSeed seeds the disk-fault plan.
+	DiskFaultSeed int64
+	// DiskFaultKinds selects injected disk faults, comma-separated from
+	// "eio", "torn", "flip", "enospc"; empty means all four.
+	DiskFaultKinds string
 	// Logf, when non-nil, receives operational messages (degradation
 	// reasons). Nil is silent; the reason is still recorded in the
 	// Result.
@@ -180,6 +210,12 @@ type Result struct {
 	// HealFallback reports that heal rounds were exhausted and the solve
 	// restarted once from the pristine snapshot.
 	HealFallback bool
+	// Paged reports the solve ran out of core through the block pager;
+	// PagerStats then carries the disk-traffic and recovery counters
+	// (bytes spilled and fetched, faulted pages, heals, ENOSPC
+	// degradations).
+	Paged      bool
+	PagerStats *pager.Stats
 }
 
 // Table is an n-point upper-triangular DP table. Cells (i, j) with
@@ -282,6 +318,34 @@ func SolveCtx[E Elem](ctx context.Context, t *Table[E], opts Options) (*Result, 
 	if err != nil {
 		return nil, fmt.Errorf("cellnpdp: %w", err)
 	}
+	diskFaultKinds, err := pager.ParseDiskFaultKinds(opts.DiskFaultKinds)
+	if err != nil {
+		return nil, fmt.Errorf("cellnpdp: %w", err)
+	}
+	paged := opts.MemoryBudget != 0 || opts.SpillPath != "" || opts.ResumeSpill
+	if paged {
+		if opts.MemoryBudget <= 0 {
+			return nil, fmt.Errorf("cellnpdp: SpillPath/ResumeSpill require a positive MemoryBudget, got %d", opts.MemoryBudget)
+		}
+		if opts.Engine != Tiled && opts.Engine != Parallel {
+			return nil, fmt.Errorf("cellnpdp: MemoryBudget supports the Tiled and Parallel engines, not %v", opts.Engine)
+		}
+		if opts.CheckpointPath != "" || opts.ResumePath != "" {
+			return nil, fmt.Errorf("cellnpdp: MemoryBudget is incompatible with CheckpointPath/ResumePath — the committed spill index is the checkpoint (resume with ResumeSpill)")
+		}
+		if opts.FaultRate > 0 || opts.AuditEvery > 0 {
+			return nil, fmt.Errorf("cellnpdp: MemoryBudget is incompatible with FaultRate/AuditEvery (use DiskFaultRate; page-in CRC checks replace the seal audit)")
+		}
+		if opts.ResumeSpill && opts.SpillPath == "" {
+			return nil, fmt.Errorf("cellnpdp: ResumeSpill requires SpillPath")
+		}
+	}
+	if opts.DiskFaultRate < 0 || opts.DiskFaultRate > 1 {
+		return nil, fmt.Errorf("cellnpdp: DiskFaultRate must be in [0, 1], got %g", opts.DiskFaultRate)
+	}
+	if opts.DiskFaultRate > 0 && !paged {
+		return nil, fmt.Errorf("cellnpdp: DiskFaultRate requires MemoryBudget (there is no spill I/O to fault)")
+	}
 	blockBytes := opts.BlockBytes
 	if blockBytes <= 0 {
 		blockBytes = 32 * 1024
@@ -305,6 +369,14 @@ func SolveCtx[E Elem](ctx context.Context, t *Table[E], opts Options) (*Result, 
 		}
 		res.Relaxations = relax
 	case Tiled:
+		if paged {
+			relax, err := solvePaged(ctx, t, res, tile, 1, opts, diskFaultKinds)
+			if err != nil {
+				return nil, err
+			}
+			res.Relaxations = relax
+			break
+		}
 		tt := tri.ToTiled(t.rm, tile)
 		st, err := npdp.SolveTiledCtx(ctx, tt)
 		if err != nil {
@@ -313,6 +385,14 @@ func SolveCtx[E Elem](ctx context.Context, t *Table[E], opts Options) (*Result, 
 		res.Relaxations = st.Relaxations()
 		tri.Copy[E](tri.Table[E](t.rm), tt)
 	case Parallel:
+		if paged {
+			relax, err := solvePaged(ctx, t, res, tile, workers, opts, diskFaultKinds)
+			if err != nil {
+				return nil, err
+			}
+			res.Relaxations = relax
+			break
+		}
 		relax, err := solveParallel(ctx, t, res, tile, workers, schedSide, opts, faultKinds)
 		if err != nil {
 			return nil, err
@@ -459,6 +539,97 @@ func solveParallel[E Elem](ctx context.Context, t *Table[E], res *Result, tile, 
 	return st.Relaxations(), nil
 }
 
+// solvePaged runs a solve out of core through the crash-consistent block
+// pager: the NDL table is spilled to a CRC-sealed, versioned file and
+// only a MemoryBudget-sized working set stays resident. The row-major
+// source is only overwritten after a successful solve (materialized from
+// the pager), so any failure leaves the caller's table untouched and —
+// with a named SpillPath — the committed spill index on disk for
+// ResumeSpill.
+func solvePaged[E Elem](ctx context.Context, t *Table[E], res *Result, tile, workers int, opts Options, diskFaultKinds []pager.DiskFaultKind) (int64, error) {
+	res.Paged = true
+	elem := int64(precisionOf[E]().ElemBytes())
+	frameBytes := int64(tile)*int64(tile)*elem + 4
+	frames := int(opts.MemoryBudget / frameBytes)
+	// Each worker pins at most three blocks at once (destination plus one
+	// operand pair), and the prefetch pipeline holds two more in flight —
+	// below that floor the solve cannot make progress, so the budget is
+	// soft there (the pager counts the overshoot in OverBudget).
+	if minFrames := workers*3 + 2; frames < minFrames {
+		if opts.Logf != nil {
+			opts.Logf("cellnpdp: memory budget %d B is below the %d-worker minimum working set (%d B); clamping to %d frames",
+				opts.MemoryBudget, workers, int64(minFrames)*frameBytes, minFrames)
+		}
+		frames = minFrames
+	}
+	popts := pager.Options{Frames: frames, Logf: opts.Logf}
+	if opts.DiskFaultRate > 0 {
+		popts.Faults = &pager.DiskFaults{Rate: opts.DiskFaultRate, Seed: opts.DiskFaultSeed, Kinds: diskFaultKinds}
+	}
+	path := opts.SpillPath
+	if path == "" {
+		dir, err := os.MkdirTemp("", "cellnpdp-spill-")
+		if err != nil {
+			return 0, fmt.Errorf("cellnpdp: spill temp dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		path = filepath.Join(dir, "solve.npsp")
+	}
+	var p *pager.Pager[E]
+	var err error
+	if opts.ResumeSpill {
+		p, err = pager.Open[E](path, popts)
+		if err != nil {
+			return 0, fmt.Errorf("cellnpdp: resume spill: %w", err)
+		}
+		if p.Len() != t.Len() || p.Tile() != tile {
+			p.Close()
+			return 0, fmt.Errorf("cellnpdp: spill file is an n=%d tile=%d instance, solve wants n=%d tile=%d", p.Len(), p.Tile(), t.Len(), tile)
+		}
+	} else {
+		tt := tri.ToTiled(t.rm, tile)
+		p, err = pager.Create(path, tt, popts)
+		if err != nil {
+			return 0, fmt.Errorf("cellnpdp: create spill: %w", err)
+		}
+	}
+	defer p.Close()
+	if opts.ResumeSpill {
+		m := p.Blocks()
+		for bi := 0; bi < m; bi++ {
+			for bj := bi; bj < m; bj++ {
+				if p.IsFinal(bi, bj) {
+					res.ResumedTasks++
+				}
+			}
+		}
+	}
+	st, err := npdp.SolvePagedCtx(ctx, p, npdp.PagedOptions{
+		Workers:      workers,
+		Resume:       opts.ResumeSpill,
+		HealAttempts: opts.HealAttempts,
+		Logf:         opts.Logf,
+	})
+	stats := p.Stats()
+	res.PagerStats = &stats
+	res.HealRounds = int(stats.PageHeals)
+	if err != nil {
+		// Close (deferred) commits the index, so a graceful failure with a
+		// named SpillPath is resumable; the caller's table is untouched.
+		return 0, err
+	}
+	out := tri.NewTiled[E](t.Len(), tile)
+	if err := p.Materialize(out); err != nil {
+		return 0, fmt.Errorf("cellnpdp: materialize solved table: %w", err)
+	}
+	// Refresh the stats after materialization — the final page-ins are
+	// disk traffic the bound comparison must see.
+	stats = p.Stats()
+	res.PagerStats = &stats
+	tri.Copy[E](tri.Table[E](t.rm), out)
+	return st.Relaxations(), nil
+}
+
 // degradable reports whether a parallel failure is a compute-layer fault
 // the Tiled engine can recover from (a task failure, panic, or detected
 // block corruption — degradation restarts from the clean row-major
@@ -508,8 +679,14 @@ type SolveEstimate struct {
 	// CheckpointBytes bounds a full snapshot of the solve (header,
 	// bitmap, every block), the extra footprint when checkpointing.
 	CheckpointBytes int64
+	// SpillFileBytes is the (sparse) on-disk size of a paged solve's
+	// spill data file — pristine and final versions of every block plus
+	// the header — the disk-side cost of running under MemoryBudget.
+	SpillFileBytes int64
 	// FootprintBytes is the total the solve pins: table + staging, plus
-	// the checkpoint bound when Options.CheckpointPath is set.
+	// the checkpoint bound when Options.CheckpointPath is set. Under
+	// MemoryBudget the tiled table's contribution is capped at the
+	// budget — the resident working set replaces the full table.
 	FootprintBytes int64
 	// PredictedSeconds is T_All = max(T_M, T_C) from the Section V
 	// model, instantiated with the solve's geometry and worker count.
@@ -564,7 +741,11 @@ func EstimateSolve[E Elem](n int, opts Options) (SolveEstimate, error) {
 	// Checkpoint layout: 32-byte header + completion bitmap + every block
 	// with its 8-byte coordinates + 4-byte CRC (see checkpoint.go).
 	est.CheckpointBytes = 32 + (tasks+7)/8 + nblocks*(8+blockCells*elem) + 4
+	est.SpillFileBytes = pager.SpillFileSize(n, tile, int(elem))
 	est.FootprintBytes = est.TableBytes + est.StagingBytes
+	if opts.MemoryBudget > 0 && opts.MemoryBudget < est.TableBytes {
+		est.FootprintBytes = opts.MemoryBudget + est.StagingBytes
+	}
 	if opts.CheckpointPath != "" {
 		est.FootprintBytes += est.CheckpointBytes
 	}

@@ -238,6 +238,80 @@ func TestCLIKillAndResume(t *testing.T) {
 	}
 }
 
+// TestCLIKillMidSpillResume is the out-of-core acceptance scenario with
+// a real SIGKILL: a paged solve under a memory budget far below the
+// table footprint is killed mid-spill — no flush, no farewell, torn
+// in-flight state — and a fresh process resumes from the committed
+// spill index and finishes bit-identical to the serial reference
+// (verified through -check, which compares every cell).
+func TestCLIKillMidSpillResume(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.npdp")
+	spill := filepath.Join(dir, "solve.npsp")
+	runCLI(t, "cellnpdp", "-n", "1024", "-engine", "serial", "-save", ref)
+
+	// Run 1: paged solve (tile 16 → 64×64 blocks). SIGKILL lands as soon
+	// as a committed index carrying final-block records appears (the
+	// temp+rename discipline makes each commit an atomic all-or-nothing
+	// event; Create's initial commit is empty, so require records: the
+	// NPSX layout is a 28-byte header, 8 bytes per record, 4-byte CRC).
+	cmd := exec.Command(cliPath(t, "cellnpdp"), "-n", "1024", "-engine", "parallel",
+		"-workers", "2", "-block", "1024", "-memory-budget", "32768", "-spill", spill)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if fi, err := os.Stat(spill + ".idx"); err == nil && fi.Size() >= 28+8+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no spill index with committed records ever appeared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	if err := cmd.Wait(); err == nil {
+		t.Fatal("solve finished before the kill fired; nothing was proven")
+	}
+
+	// Run 2: a fresh process recovers the committed blocks, recomputes
+	// the rest, and must match the serial reference cell for cell.
+	out := runCLI(t, "cellnpdp", "-n", "1024", "-engine", "parallel",
+		"-workers", "2", "-block", "1024", "-memory-budget", "32768",
+		"-spill", spill, "-resume-spill", "-check", ref)
+	if !strings.Contains(out, "resumed ") {
+		t.Fatalf("resume not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "identical") {
+		t.Fatalf("resumed paged solve not bit-identical to serial reference:\n%s", out)
+	}
+}
+
+// TestCLIPagedDiskFaults drives the paged solve through the injected
+// disk-fault ladder end to end: torn writes and read-back bit flips at
+// 5% must be detected (CRC), healed (pristine demote + cone recompute),
+// and still produce the serial reference bit for bit.
+func TestCLIPagedDiskFaults(t *testing.T) {
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref.npdp")
+	runCLI(t, "cellnpdp", "-n", "400", "-engine", "serial", "-save", ref)
+	out := runCLI(t, "cellnpdp", "-n", "400", "-engine", "parallel",
+		"-block", "1024", "-memory-budget", "16384",
+		"-disk-faultrate", "0.05", "-disk-faultseed", "3", "-disk-faultkinds", "torn,flip",
+		"-check", ref)
+	if !strings.Contains(out, "identical") {
+		t.Fatalf("paged solve under disk faults not bit-identical:\n%s", out)
+	}
+	if !strings.Contains(out, "paged ") {
+		t.Fatalf("pager counters not reported:\n%s", out)
+	}
+}
+
 // TestCLISelfHeal is the corruption acceptance scenario end to end:
 // silent bit flips injected at 5% with -heal produce the serial
 // reference bit-for-bit (verified through -check, which compares every

@@ -10,6 +10,7 @@
 //	benchtables -benchjson BENCH_PR6.json  # engine + kernel sweep → JSON
 //	benchtables -clusterjson BENCH_PR7.json  # loopback cluster vs single process → JSON
 //	benchtables -failoverjson BENCH_PR8.json  # coordinator-kill takeover recovery → JSON
+//	benchtables -pagerjson BENCH_PR9.json  # out-of-core resident sweep + kill recovery → JSON
 //	benchtables -calibrate scripts/kernel_calibration.txt  # per-kernel costs
 package main
 
@@ -38,6 +39,7 @@ func main() {
 		bench   = flag.String("benchjson", "", "run the parallel-engine benchmark sweep (workers × engine ablations, -benchmem style) and write the JSON report to this path")
 		cbench  = flag.String("clusterjson", "", "run the loopback-cluster sweep (worker counts + kill recovery, verified bit-identical) and write the JSON report to this path")
 		fbench  = flag.String("failoverjson", "", "run the coordinator-kill warm-standby takeover (verified bit-identical) and write the recovery JSON report to this path")
+		pbench  = flag.String("pagerjson", "", "run the out-of-core resident-set sweep vs the I/O lower bound plus kill-mid-spill recovery (verified bit-identical) and write the JSON report to this path")
 		calib   = flag.String("calibrate", "", "measure this machine's per-kernel stage-1 costs and write the calibration file (normally scripts/kernel_calibration.txt) to this path")
 	)
 	flag.Parse()
@@ -83,6 +85,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *fbench)
+		return
+	}
+	if *pbench != "" {
+		if err := harness.WriteOutOfCoreBenchJSON(cfg, *pbench); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *pbench)
 		return
 	}
 	if *run != "" {

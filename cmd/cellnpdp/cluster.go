@@ -83,6 +83,9 @@ func runCluster(args []string) error {
 		chaosCoord = fs.Bool("chaos-kill-coordinator", false,
 			"loopback: run the coordinator as a subprocess replicating to an in-process standby, SIGKILL it mid-wavefront")
 
+		spill     = fs.String("spill", "", "coordinator/loopback: page the authoritative table to this spill file")
+		memBudget = fs.Int64("memory-budget", 0, "coordinator/loopback: resident-set budget in bytes for the paged table (requires -spill)")
+
 		verify  = fs.Bool("verify", false, "re-solve with the serial engine and require bit-identity")
 		timeout = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
@@ -91,6 +94,9 @@ func runCluster(args []string) error {
 	}
 	if *faultRate < 0 || *faultRate > 1 {
 		return fmt.Errorf("-faultrate must be in [0, 1], got %g", *faultRate)
+	}
+	if *memBudget < 0 {
+		return fmt.Errorf("-memory-budget must be non-negative, got %d", *memBudget)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -124,6 +130,7 @@ func runCluster(args []string) error {
 		faultRate: *faultRate, faultSeed: *faultSeed,
 		chaosKills: *chaosKills, chaosSeed: *chaosSeed, restartKilled: *restart,
 		replica: *replica, lease: *lease, maxReconnects: *maxReconn, chaosCoord: *chaosCoord,
+		spill: *spill, memBudget: *memBudget,
 		verify: *verify,
 	}
 	switch *prec {
@@ -161,6 +168,8 @@ type clusterConfig struct {
 	lease         time.Duration
 	maxReconnects int
 	chaosCoord    bool
+	spill         string
+	memBudget     int64
 	verify        bool
 }
 
@@ -204,7 +213,8 @@ func clusterSolve[E semiring.Elem](ctx context.Context, cfg clusterConfig) error
 		Heal: cfg.heal, HealAttempts: cfg.healMax,
 		CheckpointPath: cfg.checkpoint, CheckpointEvery: cfg.ckEvery, Resume: cfg.resume,
 		ReplicaAddr: cfg.replica,
-		Stats:       &stats, Logf: log.Printf,
+		SpillPath:   cfg.spill, MemoryBudget: cfg.memBudget,
+		Stats: &stats, Logf: log.Printf,
 	}
 
 	var fleet *workerFleet
@@ -246,6 +256,11 @@ func printClusterStats(stats *cluster.Stats, wall time.Duration) {
 		stats.PristineRestarts, stats.BlocksStreamed, stats.BytesStreamed,
 		stats.Epoch, stats.FencedWrites, stats.Failovers, stats.ReplRecords, stats.ReplResyncs,
 		wall.Seconds())
+	if ps := stats.PagerStats; ps != nil {
+		fmt.Printf("cluster paged: spilled_blocks=%d spilled_bytes=%d fetched_blocks=%d fetched_bytes=%d faulted_pages=%d page_heals=%d resident_peak=%d\n",
+			ps.SpilledBlocks, ps.SpilledBytes, ps.FetchedBlocks, ps.FetchedBytes,
+			ps.FaultedPages, ps.PageHeals, ps.ResidentPeak)
+	}
 }
 
 // verifyAgainstSerial re-solves the workload with the serial engine and

@@ -29,6 +29,7 @@ import (
 	"os"
 
 	"cellnpdp"
+	"cellnpdp/internal/cachesim"
 	"cellnpdp/internal/tableio"
 	"cellnpdp/internal/tri"
 )
@@ -70,6 +71,13 @@ func main() {
 		heal       = flag.Bool("heal", false, "seal completed blocks and recompute the poisoned cone on corruption")
 		healMax    = flag.Int("heal-attempts", 0, "max poisoned-cone recompute rounds (0 = engine default)")
 		auditEvery = flag.Int("audit-every", 0, "parallel engine: re-verify block seals every N task executions (0 = post-solve only)")
+
+		memBudget     = flag.Int64("memory-budget", 0, "run out of core: cap the resident block working set at roughly this many bytes (tiled/parallel engines)")
+		spill         = flag.String("spill", "", "out of core: spill file path (persists for -resume-spill; empty = private temp)")
+		resumeSpill   = flag.Bool("resume-spill", false, "resume a paged solve from the committed spill index at -spill")
+		diskFaultRate = flag.Float64("disk-faultrate", 0, "out of core: inject disk faults into spill I/O at this per-operation rate")
+		diskFaultSeed = flag.Int64("disk-faultseed", 1, "disk-fault-injection seed (deterministic per seed)")
+		diskFaults    = flag.String("disk-faultkinds", "", "comma-separated injected disk fault kinds: eio, torn, flip, enospc (empty = all)")
 	)
 	flag.Parse()
 
@@ -94,6 +102,12 @@ func main() {
 	if *auditEvery < 0 {
 		log.Fatalf("-audit-every must be non-negative, got %d", *auditEvery)
 	}
+	if *diskFaultRate < 0 || *diskFaultRate > 1 {
+		log.Fatalf("-disk-faultrate must be in [0, 1], got %g", *diskFaultRate)
+	}
+	if *memBudget < 0 {
+		log.Fatalf("-memory-budget must be non-negative, got %d", *memBudget)
+	}
 	opts := cellnpdp.Options{
 		Engine: eng, Workers: *workers, BlockBytes: *block,
 		MaxRetries: *retries, FaultRate: *faultRate, FaultSeed: *faultSeed,
@@ -101,6 +115,8 @@ func main() {
 		CheckpointPath: *checkpoint, CheckpointEvery: *ckEvery, ResumePath: *resume,
 		NoFallback: !*fallback, Logf: log.Printf,
 		Heal: *heal, HealAttempts: *healMax, AuditEvery: *auditEvery,
+		MemoryBudget: *memBudget, SpillPath: *spill, ResumeSpill: *resumeSpill,
+		DiskFaultRate: *diskFaultRate, DiskFaultSeed: *diskFaultSeed, DiskFaultKinds: *diskFaults,
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -159,7 +175,23 @@ func run[E cellnpdp.Elem](ctx context.Context, n int, seed int64, opts cellnpdp.
 		return err
 	}
 	if res.ResumedTasks > 0 {
-		fmt.Printf("resumed %d tasks from %s\n", res.ResumedTasks, opts.ResumePath)
+		src := opts.ResumePath
+		if res.Paged {
+			src = opts.SpillPath
+		}
+		fmt.Printf("resumed %d tasks from %s\n", res.ResumedTasks, src)
+	}
+	if res.Paged && res.PagerStats != nil {
+		ps := res.PagerStats
+		fmt.Printf("paged spilled_blocks=%d spilled_bytes=%d fetched_blocks=%d fetched_bytes=%d pristine_bytes=%d faulted_pages=%d page_heals=%d enospc_degradations=%d resident_peak=%d\n",
+			ps.SpilledBlocks, ps.SpilledBytes, ps.FetchedBlocks, ps.FetchedBytes, ps.PristineBytes,
+			ps.FaultedPages, ps.PageHeals, ps.ENOSPCDegradations, ps.ResidentPeak)
+		var e E
+		if bound := cachesim.IOLowerBound(n, tableio.ElemWidth(e), opts.MemoryBudget); bound > 0 {
+			achieved := ps.DiskBytes()
+			fmt.Printf("paged disk traffic: achieved=%d bytes, io_lower_bound=%d bytes (ratio %.2f)\n",
+				achieved, bound, float64(achieved)/float64(bound))
+		}
 	}
 	if res.Degraded {
 		fmt.Printf("degraded to tiled engine: %s\n", res.DegradedReason)

@@ -14,9 +14,12 @@ import (
 // *cluster.ErrEpochFenced is the sole proof a deposed leader's write
 // was rejected after failover, a *cluster.ErrProtocolVersion is the
 // difference between refusing a wire-incompatible peer and silently
-// mis-framing it, and a checkpoint/seal codec error is the difference
-// between refusing a corrupt snapshot and silently resuming bad state.
-// None of them may be discarded.
+// mis-framing it, a *pager.ErrPageCorrupt names the one spilled block
+// whose bytes came back wrong from disk, a *pager.ErrSpillSpace is the
+// only record that an out-of-core solve hit its hard residency wall,
+// and a checkpoint/seal codec error is the difference between refusing
+// a corrupt snapshot and silently resuming bad state. None of them may
+// be discarded.
 //
 // Watched calls are (a) any function or method declared in the
 // resilience package whose results include an error, and (b) any
@@ -114,6 +117,7 @@ func errResultIndex(sig *types.Signature) int {
 var watchedErrTypes = map[string][]string{
 	"resilience": {"CorruptionError", "PanicError", "ErrSealMismatch"},
 	"cluster":    {"ErrEpochFenced", "ErrProtocolVersion"},
+	"pager":      {"ErrPageCorrupt", "ErrSpillSpace"},
 }
 
 // isWatchedErrType reports whether t (through pointers and aliases) is

@@ -4,6 +4,7 @@ package errdrop_a
 
 import (
 	"cluster"
+	"pager"
 	"resilience"
 )
 
@@ -128,4 +129,44 @@ func epochFencePropagated() error {
 
 func clusterUnwatched() {
 	cluster.Workers() // ok: no error result, and cluster is not watched wholesale
+}
+
+func pageCorruptDrop() {
+	pager.PageIn() // want `PageIn's error discarded`
+}
+
+func pageCorruptBlank() {
+	_ = pager.PageIn() // want `PageIn's error assigned to _`
+}
+
+func pageCorruptChecked() bool {
+	err := pager.PageIn() // want `nil-checked but never consumed`
+	return err != nil
+}
+
+func spillSpaceDrop() {
+	go pager.Reserve() // want `discarded by go statement`
+}
+
+func spillSpaceDefer() {
+	defer pager.Reserve() // want `discarded by defer`
+}
+
+// mintPageErr returns the page-corruption type from outside the pager
+// package.
+func mintPageErr() *pager.ErrPageCorrupt { return nil }
+
+func mintPageErrDrop() {
+	mintPageErr() // want `mintPageErr's error discarded`
+}
+
+func pageCorruptPropagated() error {
+	if err := pager.PageIn(); err != nil {
+		return err // ok: consumed by return
+	}
+	return nil
+}
+
+func pagerUnwatched() {
+	pager.Resident() // ok: no error result, and pager is not watched wholesale
 }

@@ -1,0 +1,30 @@
+// Package pager is a fixture stand-in for the real pager package: the
+// same watched error types and result shapes, no behavior. The errdrop
+// analyzer matches packages by import-path suffix, so this bare "pager"
+// path exercises the same rules as cellnpdp/internal/pager.
+package pager
+
+// ErrPageCorrupt is the fixture twin of the page-in digest mismatch —
+// the only record that a spilled block's bytes came back wrong.
+type ErrPageCorrupt struct {
+	Bi, Bj    int
+	Pristine  bool
+	Want, Got uint32
+}
+
+func (e *ErrPageCorrupt) Error() string { return "page corrupt" }
+
+// ErrSpillSpace is the fixture twin of the hard residency-wall error.
+type ErrSpillSpace struct{ Resident, Limit int }
+
+func (e *ErrSpillSpace) Error() string { return "spill space" }
+
+// PageIn returns corruption evidence directly.
+func PageIn() *ErrPageCorrupt { return nil }
+
+// Reserve returns residency-wall evidence directly.
+func Reserve() *ErrSpillSpace { return nil }
+
+// Resident reports a count; no error result, so it is not watched even
+// though it is declared here (only resilience is watched wholesale).
+func Resident() int { return 0 }

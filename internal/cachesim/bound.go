@@ -1,0 +1,36 @@
+package cachesim
+
+import "math"
+
+// IOLowerBound returns the red-blue pebbling lower bound, in bytes, on
+// the traffic between a fast memory of fastBytes and an unbounded slow
+// memory for the n-cell NPDP/CYK recurrence family. De Stefani and
+// Gupta (arXiv:2410.20337) prove the n³-work family needs
+// Q = Ω(n³/√M) words of I/O for a fast memory of M words; the constant
+// used here is the Hong–Kung-style n³/(8√M), the same one matrix
+// multiplication is normally quoted with, so the figure is comparable
+// across the literature. Two compulsory floors apply regardless of
+// schedule: the n(n+1)/2-cell table must be written out once when it
+// does not fit (its bytes beyond fast memory), and a computation that
+// fits entirely in fast memory moves nothing — the bound is then 0.
+//
+// The pager reports Stats.DiskBytes() against this figure: achieved
+// spill traffic over the bound is the blocking schedule's distance
+// from I/O-optimal.
+func IOLowerBound(n, elemBytes int, fastBytes int64) int64 {
+	if n <= 0 || elemBytes <= 0 || fastBytes <= 0 {
+		return 0
+	}
+	tableBytes := int64(n) * int64(n+1) / 2 * int64(elemBytes)
+	if tableBytes <= fastBytes {
+		return 0 // fits in fast memory: no traffic is forced
+	}
+	m := float64(fastBytes) / float64(elemBytes) // fast capacity in words
+	nf := float64(n)
+	words := nf * nf * nf / (8 * math.Sqrt(m))
+	q := int64(words) * int64(elemBytes)
+	if compulsory := tableBytes - fastBytes; q < compulsory {
+		q = compulsory
+	}
+	return q
+}

@@ -236,3 +236,29 @@ func TestStatsHelpers(t *testing.T) {
 		t.Error("empty MissRate not 0")
 	}
 }
+
+func TestIOLowerBound(t *testing.T) {
+	// Fits in fast memory: nothing is forced.
+	if got := IOLowerBound(64, 4, 1<<20); got != 0 {
+		t.Errorf("in-memory bound = %d, want 0", got)
+	}
+	// Degenerate inputs.
+	for _, got := range []int64{IOLowerBound(0, 4, 1024), IOLowerBound(64, 0, 1024), IOLowerBound(64, 4, 0)} {
+		if got != 0 {
+			t.Errorf("degenerate bound = %d, want 0", got)
+		}
+	}
+	// Out of core: the bound is positive and at least the compulsory
+	// write-out of the table's overflow past fast memory.
+	n, elem, fast := 4096, 4, int64(1<<20)
+	got := IOLowerBound(n, elem, fast)
+	table := int64(n) * int64(n+1) / 2 * int64(elem)
+	if got < table-fast {
+		t.Errorf("bound %d below compulsory floor %d", got, table-fast)
+	}
+	// Shrinking fast memory can only raise the bound (n³/√M is
+	// monotone decreasing in M).
+	if smaller := IOLowerBound(n, elem, fast/4); smaller < got {
+		t.Errorf("bound fell from %d to %d as fast memory shrank", got, smaller)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"net"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -666,5 +667,83 @@ func TestConeAcrossShardCut(t *testing.T) {
 	}
 	if remote != wantRemote {
 		t.Fatalf("cone crossed the cut %d times, closure says %d", remote, wantRemote)
+	}
+}
+
+// TestClusterPagedMatchesSerial runs the coordinator with its
+// authoritative table paged out to a spill file under a memory budget
+// well below the table footprint, kills a worker mid-wavefront, and
+// proves the solve still converges bit-identically with real spill
+// traffic (blocks written to and re-fetched from disk).
+func TestClusterPagedMatchesSerial(t *testing.T) {
+	ref := serialRef(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	tbl := testTable(t)
+	var stats Stats
+	var once sync.Once
+	var killVictim context.CancelFunc
+	opts := testOptions(&stats)
+	opts.Shards = 2
+	opts.Logf = t.Logf
+	opts.SpillPath = filepath.Join(t.TempDir(), "cluster.npsp")
+	// 8 resident frames for 36 memory blocks: most of the table lives
+	// on disk for most of the solve.
+	opts.MemoryBudget = 8 * (int64(testTile)*int64(testTile)*4 + 4)
+	opts.OnTaskDone = func(completed int, _ sched.Task) {
+		if completed == 8 {
+			once.Do(func() { go killVictim() })
+		}
+	}
+	addr, wait := startCoordinator(ctx, t, tbl, opts)
+	var wg sync.WaitGroup
+	killVictim = startWorker(ctx, t, &wg, addr, WorkerOptions{Name: "victim"})
+	for w := 0; w < 2; w++ {
+		startWorker(ctx, t, &wg, addr, WorkerOptions{Name: "survivor"})
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("Coordinate (paged): %v", err)
+	}
+	cancel()
+	wg.Wait()
+	requireIdentical(t, ref, tbl)
+	if stats.WorkerDeaths < 1 {
+		t.Fatalf("kill was never observed: deaths=%d", stats.WorkerDeaths)
+	}
+	if stats.PagerStats == nil {
+		t.Fatal("paged run exported no pager stats")
+	}
+	if stats.PagerStats.SpilledBlocks == 0 || stats.PagerStats.FetchedBlocks == 0 {
+		t.Errorf("budget below footprint but no spill traffic: %+v", *stats.PagerStats)
+	}
+	t.Logf("paged cluster: spilled=%d fetched=%d resident_peak=%d",
+		stats.PagerStats.SpilledBlocks, stats.PagerStats.FetchedBlocks, stats.PagerStats.ResidentPeak)
+}
+
+// TestClusterPagedRejectsBadCombos pins the paged-mode option fences.
+func TestClusterPagedRejectsBadCombos(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, tc := range []struct {
+		name string
+		mut  func(*Options)
+		want string
+	}{
+		{"spill+checkpoint", func(o *Options) { o.SpillPath = "x.npsp"; o.CheckpointPath = "x.npck" }, "incompatible"},
+		{"budget-without-spill", func(o *Options) { o.MemoryBudget = 1 << 20 }, "requires SpillPath"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			opts := testOptions(nil)
+			tc.mut(&opts)
+			err = Coordinate(ctx, ln, testTable(t), opts)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
 	}
 }

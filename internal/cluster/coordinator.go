@@ -12,6 +12,7 @@ import (
 
 	"cellnpdp/internal/kernel"
 	"cellnpdp/internal/npdp"
+	"cellnpdp/internal/pager"
 	"cellnpdp/internal/perfmodel"
 	"cellnpdp/internal/resilience"
 	"cellnpdp/internal/sched"
@@ -129,6 +130,17 @@ type Options struct {
 	// checkpoint, and no replication farewell — the in-process analogue
 	// of SIGKILL for failover tests and the harness.
 	Die <-chan struct{}
+	// SpillPath, when set, backs the coordinator's authoritative table
+	// with the crash-consistent block pager instead of a full in-memory
+	// copy plus pristine clone: installed boundary blocks are sealed into
+	// a CRC-verified spill file, heals demote to the on-disk pristine
+	// region, and only a MemoryBudget-sized working set stays resident.
+	// Incompatible with CheckpointPath — the committed spill index is the
+	// checkpoint.
+	SpillPath string
+	// MemoryBudget caps the pager's resident working set in bytes; 0
+	// leaves only the pager's minimum. Requires SpillPath.
+	MemoryBudget int64
 }
 
 // Stats counts a coordinator run's work.
@@ -180,6 +192,10 @@ type Stats struct {
 	// overflow recoveries).
 	ReplRecords int
 	ReplResyncs int
+	// PagerStats carries the spill pager's disk-traffic and recovery
+	// counters when the run used a paged authoritative table (SpillPath
+	// set); nil otherwise.
+	PagerStats *pager.Stats
 }
 
 // Health renders the counters in the shape serve.Config.ClusterHealth
@@ -292,13 +308,23 @@ type replFinal struct {
 }
 
 type coordinator[E semiring.Elem] struct {
-	opts     Options
-	t        *tri.Tiled[E]
+	opts Options
+	t    *tri.Tiled[E]
+	// pristine is the in-memory level-0 snapshot; nil in paged mode,
+	// where the spill file's pristine region plays its role.
 	pristine *tri.Tiled[E]
-	g        *sched.Graph
-	seals    *resilience.SealTable
-	shards   Sharding
-	stage1   perfmodel.Kernel
+	// pager, when non-nil, is the authoritative table: every block read,
+	// install, and pristine restore goes through it, and co.t is only the
+	// input source and the final materialization target.
+	pager *pager.Pager[E]
+	// pageErr records the first spill page-in failure hit inside a path
+	// that cannot return an error (dispatch); the event loop surfaces it
+	// after the current event, healing if it can.
+	pageErr error
+	g       *sched.Graph
+	seals   *resilience.SealTable
+	shards  Sharding
+	stage1  perfmodel.Kernel
 
 	epoch uint32
 
@@ -389,6 +415,12 @@ func coordinate[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Ti
 	if opts.Epoch == 0 {
 		opts.Epoch = 1
 	}
+	if opts.SpillPath != "" && opts.CheckpointPath != "" {
+		return fmt.Errorf("cluster: SpillPath is incompatible with CheckpointPath — the committed spill index is the checkpoint")
+	}
+	if opts.MemoryBudget != 0 && opts.SpillPath == "" {
+		return fmt.Errorf("cluster: MemoryBudget requires SpillPath")
+	}
 
 	m := t.Blocks()
 	co := &coordinator[E]{
@@ -411,6 +443,18 @@ func coordinate[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Ti
 	co.stats.Tasks = len(g.Tasks)
 	co.stats.Epoch = co.epoch
 
+	if opts.SpillPath != "" {
+		elem := tableio.ElemWidth(e)
+		frameBytes := int64(t.Tile())*int64(t.Tile())*int64(elem) + 4
+		frames := int(opts.MemoryBudget / frameBytes)
+		p, err := pager.Create(opts.SpillPath, t, pager.Options{Frames: frames, Logf: opts.Logf})
+		if err != nil {
+			return fmt.Errorf("cluster: creating spill pager: %w", err)
+		}
+		co.pager = p
+		defer co.pager.Close()
+	}
+
 	if pre != nil {
 		if err := co.applyCheckpoint(pre); err != nil {
 			return err
@@ -422,8 +466,12 @@ func coordinate[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Ti
 	// The pristine snapshot is taken after resume, so checkpoint-restored
 	// blocks count as known-good state (their tasks stay done across a
 	// heal; min-plus relaxation is idempotent, so even a restored-final
-	// block recomputes bit-identically).
-	co.pristine = t.Clone()
+	// block recomputes bit-identically). In paged mode the spill file's
+	// pristine region already holds it — no in-memory clone, which is the
+	// paged coordinator's memory win.
+	if co.pager == nil {
+		co.pristine = t.Clone()
+	}
 	for _, task := range g.Tasks {
 		if co.state[task.ID] != tsDone && co.depsDone(task.ID) {
 			co.enqueue(task.ID)
@@ -469,9 +517,21 @@ func coordinate[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Ti
 	for sess := range co.sessions {
 		sess.conn.Close()
 	}
+	if err == nil && co.pager != nil {
+		// The solve finished against the paged authority; the caller's
+		// table gets the materialized result (final page-ins included in
+		// the pager's traffic counters).
+		if merr := co.pager.Materialize(t); merr != nil {
+			err = fmt.Errorf("cluster: materializing solved table from spill: %w", merr)
+		}
+	}
 	if opts.Stats != nil {
 		co.stats.HealRounds = co.healRounds
 		co.stats.PristineRestarts = co.pristineRestarts
+		if co.pager != nil {
+			ps := co.pager.Stats()
+			co.stats.PagerStats = &ps
+		}
 		*opts.Stats = co.stats
 	}
 	return err
@@ -511,6 +571,12 @@ func (co *coordinator[E]) run(ctx context.Context) error {
 				return nil
 			}
 		}
+		// Spill page-in failures from paths that cannot return errors
+		// (dispatch, install, audit) surface here, once per event.
+		if err := co.checkPageErr(); err != nil {
+			co.broadcastAbort(err)
+			return err
+		}
 	}
 }
 
@@ -540,11 +606,22 @@ func (co *coordinator[E]) snapshotDeltas() []resilience.Delta {
 			continue
 		}
 		d := resilience.Delta{Kind: resilience.DeltaTaskDone, Epoch: co.epoch, TaskID: task.ID, Gen: co.gen[task.ID]}
+		readable := true
 		for _, mb := range task.MemoryBlockOrder() {
-			raw := encodeCells(co.t.Block(mb[0], mb[1]))
+			var raw []byte
+			if err := co.blockRead(mb[0], mb[1], func(cells []E) { raw = encodeCells(cells) }); err != nil {
+				// Replication is best-effort: omit this task's record and
+				// let the standby recompute it after takeover rather than
+				// stall the solve on a spill read.
+				co.opts.Logf("cluster: snapshot read of block (%d,%d) failed: %v; omitting task %d", mb[0], mb[1], err, task.ID)
+				readable = false
+				break
+			}
 			d.Blocks = append(d.Blocks, resilience.DeltaBlock{Bi: mb[0], Bj: mb[1], CRC: rawCRC(raw), Raw: raw})
 		}
-		out = append(out, d)
+		if readable {
+			out = append(out, d)
+		}
 	}
 	return out
 }
@@ -871,6 +948,92 @@ func (co *coordinator[E]) declareDead(sess *session[E], cause error) {
 	co.fillAll()
 }
 
+// blockRead pins memory block (bi, bj) and calls fn with its current
+// authoritative cells — a resident/in-memory read or a CRC-verified
+// page-in. The cells are only valid inside fn.
+func (co *coordinator[E]) blockRead(bi, bj int, fn func(cells []E)) error {
+	if co.pager == nil {
+		fn(co.t.Block(bi, bj))
+		return nil
+	}
+	cells, err := co.pager.Acquire(bi, bj)
+	if err != nil {
+		return err
+	}
+	fn(cells)
+	co.pager.Release(bi, bj)
+	return nil
+}
+
+// blockInstall overwrites memory block (bi, bj) with a worker's audited
+// result bytes and, in paged mode, seals it final (CRC32C, spill-once).
+func (co *coordinator[E]) blockInstall(bi, bj int, raw []byte) error {
+	if co.pager == nil {
+		return decodeCells(co.t.Block(bi, bj), raw)
+	}
+	cells, err := co.pager.Acquire(bi, bj)
+	if err != nil {
+		return err
+	}
+	defer co.pager.Release(bi, bj)
+	if err := decodeCells(cells, raw); err != nil {
+		return err
+	}
+	return co.pager.Complete(bi, bj)
+}
+
+// blockRestore reverts memory block (bi, bj) to its pristine input
+// version: an in-memory copy from the level-0 clone, or a pager demote
+// to the spill file's pristine region.
+func (co *coordinator[E]) blockRestore(bi, bj int) {
+	if co.pager == nil {
+		copy(co.t.Block(bi, bj), co.pristine.Block(bi, bj))
+		return
+	}
+	co.pager.Demote(bi, bj)
+}
+
+// notePageErr records the first spill page-in failure from a path that
+// cannot return an error; the event loop surfaces it after the current
+// event (healing a corrupt final block, aborting otherwise).
+func (co *coordinator[E]) notePageErr(err error) {
+	if co.pageErr == nil {
+		co.pageErr = err
+	}
+}
+
+// checkPageErr drains recorded page-in failures: a corrupt spilled
+// final block heals through the standard poisoned-cone rung (demote to
+// pristine + re-dispatch — the pager re-reads the pristine region),
+// anything else — a corrupt pristine block, spill-space exhaustion, a
+// persistent EIO — aborts the solve. Healing re-dispatches, which can
+// fault again, so this loops until quiet; the per-block heal budget
+// inside heal bounds the loop.
+func (co *coordinator[E]) checkPageErr() error {
+	for co.pageErr != nil {
+		err := co.pageErr
+		co.pageErr = nil
+		var pe *pager.ErrPageCorrupt
+		if co.opts.Heal && errors.As(err, &pe) && !pe.Pristine {
+			if id, ok := co.taskOfBlock(pe.Bi, pe.Bj); ok {
+				co.opts.Logf("cluster: %v; healing its cone", pe)
+				if herr := co.heal([]int{id}, [][2]int{{pe.Bi, pe.Bj}}); herr != nil {
+					return herr
+				}
+				continue
+			}
+		}
+		return fmt.Errorf("cluster: paged authoritative table failed: %w", err)
+	}
+	return nil
+}
+
+// taskOfBlock maps a memory block to the task owning it.
+func (co *coordinator[E]) taskOfBlock(bi, bj int) (int, bool) {
+	g := co.opts.SchedSide
+	return co.g.TaskID(bi/g, bj/g)
+}
+
 // taskShard maps a task to the shard owning its scheduling column.
 func (co *coordinator[E]) taskShard(id int) int { return co.shards.Of(co.g.Tasks[id].Bj) }
 
@@ -911,7 +1074,12 @@ func (co *coordinator[E]) fill(sess *session[E]) {
 		}
 		id := co.queues[q][0]
 		co.queues[q] = co.queues[q][1:]
-		co.dispatch(sess, id)
+		if !co.dispatch(sess, id) {
+			// A spill page-in failed while assembling the dispatch; the
+			// task is requeued and the fault is recorded for the event
+			// loop. Stop filling — retrying now would fault again.
+			return
+		}
 	}
 }
 
@@ -932,36 +1100,60 @@ func (co *coordinator[E]) fillAll() {
 // their installed final values plus its own blocks at pristine values —
 // each only if the worker does not already hold those exact bytes, each
 // carrying its CRC32C seal. This is the DMA-of-nearest-operands step of
-// the paper's SPE procedure, lifted to the wire.
-func (co *coordinator[E]) dispatch(sess *session[E], id int) {
+// the paper's SPE procedure, lifted to the wire. In paged mode the
+// bytes come through the pager (resident frame or CRC-verified
+// page-in); a page-in failure requeues the task, records the fault for
+// the event loop, and reports false.
+func (co *coordinator[E]) dispatch(sess *session[E], id int) bool {
 	task := co.g.Tasks[id]
 	msg := taskMsg{Epoch: co.epoch, Gen: co.gen[id], TaskID: id}
-	addBlock := func(bi, bj int, final bool) {
+	var marked []int
+	addBlock := func(bi, bj int, final bool) error {
 		bid := co.t.BlockID(bi, bj)
 		if sess.possess[bid] {
-			return
+			return nil
 		}
-		raw := encodeCells(co.t.Block(bi, bj))
+		var raw []byte
+		if err := co.blockRead(bi, bj, func(cells []E) { raw = encodeCells(cells) }); err != nil {
+			return err
+		}
 		msg.Blocks = append(msg.Blocks, wireBlock{Bi: bi, Bj: bj, CRC: rawCRC(raw), Raw: raw})
 		if final {
 			// Operands are final; own pristine blocks are not — the
 			// worker overwrites them, so they are never "possessed".
 			sess.possess[bid] = true
+			marked = append(marked, bid)
 		}
 		co.stats.BlocksStreamed++
 		co.stats.BytesStreamed += int64(len(raw))
+		return nil
+	}
+	abort := func(err error) bool {
+		// Nothing was sent: unmark possession claimed for this message.
+		for _, bid := range marked {
+			sess.possess[bid] = false
+		}
+		co.opts.Logf("cluster: paging in blocks for task %d failed: %v; requeueing", id, err)
+		co.enqueue(id)
+		co.notePageErr(err)
+		return false
 	}
 	for _, mb := range operandBlocks(task) {
-		addBlock(mb[0], mb[1], true)
+		if err := addBlock(mb[0], mb[1], true); err != nil {
+			return abort(err)
+		}
 	}
 	for _, mb := range task.MemoryBlockOrder() {
-		addBlock(mb[0], mb[1], false)
+		if err := addBlock(mb[0], mb[1], false); err != nil {
+			return abort(err)
+		}
 	}
 	co.state[id] = tsInflight
 	co.inflight[id] = sess
 	sess.inflight++
 	co.stats.Dispatched++
 	co.send(sess, frameDispatch, msg.encode())
+	return true
 }
 
 // operandBlocks enumerates the memory blocks outside task that any of
@@ -1065,7 +1257,18 @@ func (co *coordinator[E]) install(sess *session[E], msg taskMsg) (finished bool,
 	// The whole result audited clean; install it.
 	for _, wb := range msg.Blocks {
 		bid := co.t.BlockID(wb.Bi, wb.Bj)
-		if err := decodeCells(co.t.Block(wb.Bi, wb.Bj), wb.Raw); err != nil {
+		if err := co.blockInstall(wb.Bi, wb.Bj, wb.Raw); err != nil {
+			if co.pager != nil {
+				// Disk trouble installing an audited result is not the
+				// worker's fault: put the task back on its queue and let
+				// the event loop surface the fault (heal or abort).
+				// Blocks already installed re-seal on the retry.
+				sess.inflight--
+				delete(co.inflight, id)
+				co.enqueue(id)
+				co.notePageErr(err)
+				return false, nil
+			}
 			co.declareDead(sess, err)
 			return false, nil
 		}
@@ -1161,7 +1364,7 @@ func (co *coordinator[E]) heal(seedTasks []int, badBlocks [][2]int) error {
 func (co *coordinator[E]) resetTask(id int) {
 	for _, mb := range co.g.Tasks[id].MemoryBlockOrder() {
 		bid := co.t.BlockID(mb[0], mb[1])
-		copy(co.t.Block(mb[0], mb[1]), co.pristine.Block(mb[0], mb[1]))
+		co.blockRestore(mb[0], mb[1])
 		co.seals.Unseal(bid)
 		for sess := range co.sessions {
 			sess.possess[bid] = false
@@ -1240,7 +1443,10 @@ func (co *coordinator[E]) maybeFinish() (bool, error) {
 	return true, nil
 }
 
-// audit re-digests every sealed block against its seal.
+// audit re-digests every sealed block against its seal. In paged mode
+// a block that cannot even be paged back in counts as bad — the heal
+// rung demotes it to pristine and recomputes, which is also the right
+// response to an unreadable final slot.
 func (co *coordinator[E]) audit() (bad [][2]int, tasks []int) {
 	seen := make(map[int]bool)
 	for _, task := range co.g.Tasks {
@@ -1250,7 +1456,11 @@ func (co *coordinator[E]) audit() (bad [][2]int, tasks []int) {
 			if !ok {
 				continue
 			}
-			if resilience.BlockCRC(co.t.Block(mb[0], mb[1])) != want {
+			clean := false
+			if err := co.blockRead(mb[0], mb[1], func(cells []E) { clean = resilience.BlockCRC(cells) == want }); err != nil {
+				co.opts.Logf("cluster: audit page-in of block (%d,%d) failed: %v", mb[0], mb[1], err)
+			}
+			if !clean {
 				bad = append(bad, mb)
 				if !seen[task.ID] {
 					seen[task.ID] = true
@@ -1356,6 +1566,32 @@ func (co *coordinator[E]) applyCheckpoint(ck *resilience.Checkpoint[E]) error {
 		co.state[task.ID] = tsDone
 		co.done++
 		co.stats.Resumed++
+	}
+	if co.pager != nil {
+		// Paged mode: restored blocks go through the pager (written,
+		// sealed final, spillable) instead of the input table.
+		for _, task := range co.g.Tasks {
+			if co.state[task.ID] != tsDone {
+				continue
+			}
+			for _, mb := range task.MemoryBlockOrder() {
+				cells, ok := ck.Block(mb[0], mb[1])
+				if !ok {
+					continue // completeness was verified above
+				}
+				dst, err := co.pager.Acquire(mb[0], mb[1])
+				if err == nil {
+					copy(dst, cells)
+					err = co.pager.Complete(mb[0], mb[1])
+					co.pager.Release(mb[0], mb[1])
+				}
+				if err != nil {
+					return fmt.Errorf("cluster: applying checkpoint block (%d,%d): %w", mb[0], mb[1], err)
+				}
+				co.seals.Seal(co.t.BlockID(mb[0], mb[1]), resilience.BlockCRC(cells))
+			}
+		}
+		return nil
 	}
 	if err := ck.Apply(co.t); err != nil {
 		return fmt.Errorf("cluster: applying checkpoint: %w", err)

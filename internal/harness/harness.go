@@ -155,6 +155,7 @@ func All() []Experiment {
 		{"serve", "serving layer under overload: admission, shedding, integrity", ServeLoad},
 		{"cluster", "sharded coordinator/worker solve: loopback scaling, kill recovery, cone healing", Cluster},
 		{"failover", "coordinator HA: warm-standby takeover of a killed primary, epoch-fenced", Failover},
+		{"outofcore", "block pager: resident-budget sweep vs the I/O lower bound, verified", OutOfCore},
 		{"model", "Section V analytic model report", ModelReport},
 		{"utilization", "processor utilization accounting", UtilizationReport},
 	}

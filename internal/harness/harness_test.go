@@ -395,3 +395,65 @@ func TestWriteClusterBenchJSON(t *testing.T) {
 		t.Fatalf("recovery not verified or unmeasured: %+v", rep.Recovery)
 	}
 }
+
+func TestOutOfCoreExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paged solve sweep runs in -short mode")
+	}
+	// fastCfg's tiny Sizes are ignored: the experiment pins its own
+	// 600-point instance so the sweep's smallest budget still spills.
+	tbl, err := OutOfCore(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "Out-of-core paging") {
+		t.Fatalf("unexpected table title:\n%s", out)
+	}
+	if len(tbl.Rows) < 2 {
+		t.Fatalf("sweep produced %d rows, want the in-core point plus spilling points", len(tbl.Rows))
+	}
+	// The smallest budget must actually have gone out of core.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[2] == "0" {
+		t.Fatalf("smallest budget spilled nothing:\n%s", out)
+	}
+	if strings.Contains(out, "no") {
+		t.Fatalf("an out-of-core row failed verification:\n%s", out)
+	}
+}
+
+func TestWriteOutOfCoreBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paged solve sweep runs in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_PR9.json")
+	cfg := fastCfg()
+	cfg.Sizes = []int{96, 600}
+	cfg.Out = io.Discard
+	if err := WriteOutOfCoreBenchJSON(cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep OutOfCoreBench
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "cellnpdp-outofcore-bench/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Sweep) < 2 {
+		t.Fatalf("sweep has %d points: %+v", len(rep.Sweep), rep)
+	}
+	smallest := rep.Sweep[len(rep.Sweep)-1]
+	if !smallest.Verified || smallest.SpilledBytes <= 0 || smallest.LowerBound <= 0 || smallest.BoundRatio < 1 {
+		t.Fatalf("smallest-budget point implausible: %+v", smallest)
+	}
+	if !rep.KillVerified || rep.ResumedTasks <= 0 || rep.KillRecoverySeconds <= 0 {
+		t.Fatalf("kill recovery implausible: resumed=%d recovery=%.3fs verified=%v",
+			rep.ResumedTasks, rep.KillRecoverySeconds, rep.KillVerified)
+	}
+}

@@ -31,12 +31,19 @@ type Stage1Func[E semiring.Elem] func(c, a, b []E, t int) kernel.Stats
 // one. KernelFourRussians is rejected: the lattice kernel is not a
 // min-plus block product (use zuker.MaxPairs for that workload).
 func ResolveStage1[E semiring.Elem](sel perfmodel.Kernel, t *tri.Tiled[E]) (Stage1Func[E], error) {
+	return ResolveStage1Shape[E](sel, t.Tile(), t.Len())
+}
+
+// ResolveStage1Shape is ResolveStage1 for engines that know the problem
+// shape but do not hold the table in memory — the paged solve resolves
+// its kernel from the pager's geometry before any block is resident.
+func ResolveStage1Shape[E semiring.Elem](sel perfmodel.Kernel, tile, n int) (Stage1Func[E], error) {
 	var e E
 	_, isF32 := any(e).(float32)
 	if sel == perfmodel.KernelAuto {
 		sel = perfmodel.PickKernel(perfmodel.Shape{
-			Block:   t.Tile(),
-			N:       t.Len(),
+			Block:   tile,
+			N:       n,
 			Float32: isF32,
 		}, runtime.GOARCH, kernel.VectorISA())
 	}

@@ -1,0 +1,68 @@
+package pager
+
+import "fmt"
+
+// ErrPageCorrupt reports that a block paged in from the spill file does
+// not digest to the CRC32C seal recorded for it — a torn write, a bit
+// flip at rest, or a read fault the retry could not clear. It is the
+// disk-domain twin of *resilience.ErrSealMismatch and is never
+// transient: re-reading the same bytes cannot fix them. Recovery depends
+// on which version was hit: a corrupt final block is re-derivable (the
+// engine demotes the block's dependence cone to pristine and recomputes
+// it — sched.Graph.Cone, exactly the in-memory heal discipline), while a
+// corrupt pristine block has no earlier version to fall back to and
+// fails the solve.
+type ErrPageCorrupt struct {
+	// Bi, Bj are the memory block's tile coordinates.
+	Bi, Bj int
+	// Pristine reports the corrupt slot was the block's pristine version
+	// (unrecoverable) rather than its spilled final version (healable).
+	Pristine bool
+	// Want is the expected CRC32C; Got is the re-digest of the bytes
+	// actually read back.
+	Want, Got uint32
+	// Err carries the underlying read error when the fault was an I/O
+	// failure rather than a digest mismatch.
+	Err error
+}
+
+// Error names the block, the version hit, and both digests.
+func (e *ErrPageCorrupt) Error() string {
+	version := "final"
+	if e.Pristine {
+		version = "pristine"
+	}
+	if e.Err != nil {
+		return fmt.Sprintf("pager: page-in of %s block (%d,%d) failed: %v", version, e.Bi, e.Bj, e.Err)
+	}
+	return fmt.Sprintf("pager: %s block (%d,%d) corrupt on page-in: expected CRC32C %08x, got %08x",
+		version, e.Bi, e.Bj, e.Want, e.Got)
+}
+
+// Unwrap exposes the underlying I/O error for errors.Is chains.
+func (e *ErrPageCorrupt) Unwrap() error { return e.Err }
+
+// ErrSpillSpace reports that the pager could neither spill (the disk is
+// full or failing — every eviction path errored) nor keep growing the
+// resident set (the hard in-memory ceiling is reached). It is the typed
+// end of the ENOSPC degradation ladder: spill → shrink the working set →
+// run fully in memory if the ceiling allows → this failure.
+type ErrSpillSpace struct {
+	// Resident is the resident frame count at failure; Limit is the hard
+	// frame ceiling that stopped further growth.
+	Resident, Limit int
+	// Err is the spill failure that forced residency growth (ENOSPC,
+	// EIO), when one was observed.
+	Err error
+}
+
+// Error names the ceiling and the spill failure behind it.
+func (e *ErrSpillSpace) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("pager: cannot spill (%v) and resident set %d reached the hard limit of %d frames", e.Err, e.Resident, e.Limit)
+	}
+	return fmt.Sprintf("pager: resident set %d reached the hard limit of %d frames with every frame pinned", e.Resident, e.Limit)
+}
+
+// Unwrap exposes the spill failure for errors.Is chains.
+func (e *ErrSpillSpace) Unwrap() error { return e.Err }

@@ -122,6 +122,14 @@ func (c *Checkpoint[E]) HasBlock(bi, bj int) bool {
 	return ok
 }
 
+// Block returns the saved cells of memory block (bi, bj), if the
+// snapshot carries it. The slice is the checkpoint's own storage — the
+// caller copies, never mutates.
+func (c *Checkpoint[E]) Block(bi, bj int) ([]E, bool) {
+	cells, ok := c.blocks[[2]int{bi, bj}]
+	return cells, ok
+}
+
 // Matches verifies the snapshot belongs to a solve with this geometry.
 func (c *Checkpoint[E]) Matches(n, tile, schedSide int) error {
 	var e E
@@ -312,8 +320,7 @@ func ReadCheckpoint[E semiring.Elem](r io.Reader) (*Checkpoint[E], error) {
 // the checkpoint dir — a cluster coordinator and a resuming single-process
 // run, say — can tell an in-flight peer temp from an orphan.
 func SaveCheckpointFile[E semiring.Elem](path string, meta Meta, done []bool, t *tri.Tiled[E], blocks [][2]int) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+tempPrefix(os.Getpid())+"*")
+	tmp, err := CreateOwnedTemp(path)
 	if err != nil {
 		return fmt.Errorf("resilience: creating checkpoint temp file: %w", err)
 	}
@@ -354,10 +361,21 @@ func LoadCheckpointFile[E semiring.Elem](path string) (*Checkpoint[E], error) {
 	return ReadCheckpoint[E](f)
 }
 
-// tempPrefix is the owner-tagged infix SaveCheckpointFile appends to the
-// checkpoint base name: `.tmp-p<pid>-` followed by os.CreateTemp's random
+// tempPrefix is the owner-tagged infix CreateOwnedTemp appends to the
+// target's base name: `.tmp-p<pid>-` followed by os.CreateTemp's random
 // suffix. The pid is the ownership claim RemoveStaleTemps consults.
 func tempPrefix(pid int) string { return fmt.Sprintf(".tmp-p%d-", pid) }
+
+// CreateOwnedTemp creates a pid-tagged temporary file next to path, named
+// `<base>.tmp-p<pid>-<random>` — the naming contract every atomic
+// temp+rename writer in the repo shares (checkpoint snapshots, the
+// pager's spill data file and spill index), so one RemoveStaleTemps sweep
+// over the target path reclaims any of their crash orphans while leaving
+// a live peer's in-flight write alone. The caller writes, syncs, and
+// renames the file over path (or removes it on failure).
+func CreateOwnedTemp(path string) (*os.File, error) {
+	return os.CreateTemp(filepath.Dir(path), filepath.Base(path)+tempPrefix(os.Getpid())+"*")
+}
 
 // tempOwner extracts the owner pid from a checkpoint temp file name given
 // the `<base>.tmp` stem, or ok=false for legacy un-tagged temps
@@ -391,19 +409,21 @@ func pidAlive(pid int) bool {
 	return err == nil || errors.Is(err, syscall.EPERM)
 }
 
-// RemoveStaleTemps deletes leftover temporary files of the checkpoint at
-// path — the `<base>.tmp*` files SaveCheckpointFile writes before its
-// atomic rename. A crash between creating the temp and renaming it
-// orphans one; resume calls this so crashed runs do not accumulate
-// snapshots-worth of dead bytes next to the live checkpoint. It returns
-// how many files were removed.
+// RemoveStaleTemps deletes leftover temporary files of the target at
+// path — the `<base>.tmp*` files CreateOwnedTemp-based writers (the
+// checkpoint snapshotter, the pager's spill data file and spill index)
+// produce before their atomic rename. A crash — or a SIGKILL mid-spill —
+// between creating the temp and renaming it orphans one; resume and
+// pager open call this so crashed runs do not accumulate file-size-worth
+// of dead bytes next to the live target. It returns how many files were
+// removed.
 //
-// The sweep is safe under multiple processes sharing a checkpoint dir:
-// temps are owner-tagged with the writer's pid, and a temp whose owner is
-// a live process other than the caller is a peer's in-flight write and is
+// The sweep is safe under multiple processes sharing a directory: temps
+// are owner-tagged with the writer's pid, and a temp whose owner is a
+// live process other than the caller is a peer's in-flight write and is
 // left alone. Own temps, temps of dead pids, and legacy un-tagged temps
-// are removed. Only `.tmp` siblings of this checkpoint are ever touched,
-// so unrelated files (and the checkpoint itself) are never at risk.
+// are removed. Only `.tmp` siblings of this target are ever touched, so
+// unrelated files (and the target itself) are never at risk.
 func RemoveStaleTemps(path string) (int, error) {
 	stem := filepath.Base(path) + ".tmp"
 	matches, err := filepath.Glob(filepath.Join(filepath.Dir(path), stem+"*"))

@@ -86,6 +86,17 @@ type Config struct {
 	// (results rejected from deposed leaders or stale workers), and
 	// "failovers" (1 when this coordinator resumed from a replica).
 	ClusterHealth func() map[string]any
+	// PagerHealth, when non-nil, is polled by GET /healthz and its
+	// snapshot reported under "pager" — the seam an out-of-core solve
+	// (a paged engine run or a paged cluster coordinator) publishes its
+	// spill counters through. The keys an operator watches during a
+	// disk incident: "spilled_blocks" (final blocks written out),
+	// "faulted_pages" (page-ins that failed CRC or I/O),
+	// "page_heals" (faults recovered by retry or pristine demote), and
+	// "enospc_degradations" (spills abandoned for lack of disk space —
+	// the pager is running in-memory past its budget). pager.Stats
+	// .Health() renders the expected map.
+	PagerHealth func() map[string]any
 }
 
 func (c Config) workers() int { return c.Workers } // 0 delegates to cellnpdp
@@ -299,6 +310,9 @@ type Health struct {
 	// Cluster carries the co-located coordinator's snapshot when
 	// Config.ClusterHealth is wired; absent otherwise.
 	Cluster map[string]any `json:"cluster,omitempty"`
+	// Pager carries the out-of-core spill pager's snapshot when
+	// Config.PagerHealth is wired; absent otherwise.
+	Pager map[string]any `json:"pager,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -326,6 +340,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.ClusterHealth != nil {
 		h.Cluster = s.cfg.ClusterHealth()
+	}
+	if s.cfg.PagerHealth != nil {
+		h.Pager = s.cfg.PagerHealth()
 	}
 	s.mu.Lock()
 	h.Degraded = s.degraded

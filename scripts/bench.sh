@@ -4,11 +4,13 @@
 # Runs the static and race checks the scheduler/engine work depends on,
 # then the benchmark sweeps — the workers × engine ablations plus the
 # per-kernel stage-1 sweep (PR 6), the loopback-cluster sweep with its
-# kill-recovery scenario (PR 7), and the coordinator-kill warm-standby
-# takeover with its failover recovery time (PR 8) — and writes the JSON
-# reports. The artifact names track the PR trajectory: BENCH_PR6.json,
-# BENCH_PR7.json and BENCH_PR8.json by default, or the paths given as
-# $1/$2/$3, so successive PRs diff BENCH_PR_N.json against their
+# kill-recovery scenario (PR 7), the coordinator-kill warm-standby
+# takeover with its failover recovery time (PR 8), and the out-of-core
+# resident-set sweep vs the I/O lower bound with its kill-mid-spill
+# recovery (PR 9) — and writes the JSON reports. The artifact names
+# track the PR trajectory: BENCH_PR6.json, BENCH_PR7.json,
+# BENCH_PR8.json and BENCH_PR9.json by default, or the paths given as
+# $1/$2/$3/$4, so successive PRs diff BENCH_PR_N.json against their
 # predecessors.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,6 +18,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_PR6.json}"
 cluster_out="${2:-BENCH_PR7.json}"
 failover_out="${3:-BENCH_PR8.json}"
+pager_out="${4:-BENCH_PR9.json}"
 
 echo "== preflight: scripts/ci.sh"
 ./scripts/ci.sh
@@ -28,3 +31,6 @@ go run ./cmd/benchtables -clusterjson "${cluster_out}"
 
 echo "== failover sweep (coordinator kill + standby takeover) -> ${failover_out}"
 go run ./cmd/benchtables -failoverjson "${failover_out}"
+
+echo "== out-of-core sweep (resident budget vs I/O bound + kill-mid-spill recovery) -> ${pager_out}"
+go run ./cmd/benchtables -pagerjson "${pager_out}"

@@ -8,10 +8,13 @@
 # healed bit-identically (fallback disabled in both so recovery can't
 # mask a bug), plus a cluster chaos smoke that SIGKILLs a worker
 # mid-wavefront while corrupting boundary blocks and demands a
-# bit-identical finish, and a coordinator-kill failover smoke that
+# bit-identical finish, a coordinator-kill failover smoke that
 # SIGKILLs the primary coordinator mid-wavefront and demands the warm
-# standby take over and finish bit-identically. Called standalone or as
-# the bench.sh preflight.
+# standby take over and finish bit-identically, and an out-of-core
+# disk-fault smoke that pages a solve through a budget-bounded working
+# set while injecting torn spill writes (must heal) and ENOSPC (must
+# degrade gracefully), both bit-identical to serial. Called standalone
+# or as the bench.sh preflight.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -133,6 +136,45 @@ go run -race ./cmd/cellnpdp -n 300 -engine parallel -timeout 30m \
     -faultkinds corrupt -faultrate 0.05 -faultseed 7 \
     -heal -fallback=false -check "${healref}"
 
+echo "== fuzz smoke: spill index codec (20s)"
+# Same discipline for the NPSX spill index: truncated, bit-flipped or
+# oversized index bytes must be rejected, never crash or page in from
+# a slot the committed index does not vouch for.
+go test -run='^$' -fuzz FuzzSpillRoundTrip -fuzztime 20s ./internal/pager
+
+echo "== smoke: out-of-core disk faults (torn writes healed + ENOSPC degraded, verify)"
+# The paged solve under the race detector, both arms of the disk-failure
+# ladder. Arm 1: torn spill writes — the CRC trailer lands in the
+# missing suffix, so the refetch detects corruption and the solve must
+# demote the block's cone to pristine and recompute (page_heals). Arm 2:
+# every spill write draws ENOSPC — the pager must degrade to a growing
+# in-memory working set and still finish (enospc_degradations). Both
+# runs must be bit-identical to the serial engine, and the greps prove
+# each failure actually fired — a run where nothing tore and nothing
+# filled up would pass vacuously.
+ooc_ref="$(mktemp)"
+ooc_log="$(mktemp)"
+trap 'rm -f "${healref}" "${ooc_ref}" "${ooc_log}"' EXIT
+go run ./cmd/cellnpdp -n 400 -engine serial -save "${ooc_ref}"
+go run -race ./cmd/cellnpdp -n 400 -engine parallel -workers 2 \
+    -block 1024 -memory-budget 16384 -timeout 10m \
+    -disk-faultrate 0.02 -disk-faultseed 11 -disk-faultkinds torn \
+    -check "${ooc_ref}" 2>&1 | tee "${ooc_log}"
+grep -q "verified against .*: identical" "${ooc_log}"
+if grep "^paged " "${ooc_log}" | grep -qE " page_heals=0 "; then
+    echo "out-of-core smoke: torn writes never triggered a heal" >&2
+    exit 1
+fi
+go run -race ./cmd/cellnpdp -n 400 -engine parallel -workers 2 \
+    -block 1024 -memory-budget 16384 -timeout 10m \
+    -disk-faultrate 0.3 -disk-faultseed 9 -disk-faultkinds enospc \
+    -check "${ooc_ref}" 2>&1 | tee "${ooc_log}"
+grep -q "verified against .*: identical" "${ooc_log}"
+if grep "^paged " "${ooc_log}" | grep -qE " enospc_degradations=0 "; then
+    echo "out-of-core smoke: ENOSPC injection never degraded the pager" >&2
+    exit 1
+fi
+
 echo "== smoke: cluster chaos (3 workers, seeded SIGKILL + silent corruption, heal, verify)"
 # Loopback coordinator/worker cluster under the race detector: the
 # seeded chaos schedule SIGKILLs one worker mid-wavefront and every
@@ -142,7 +184,7 @@ echo "== smoke: cluster chaos (3 workers, seeded SIGKILL + silent corruption, he
 # engine. The greps prove the chaos actually fired — a run where
 # nothing died and nothing corrupted would pass vacuously.
 cluster_log="$(mktemp)"
-trap 'rm -f "${healref}" "${cluster_log}"' EXIT
+trap 'rm -f "${healref}" "${ooc_ref}" "${ooc_log}" "${cluster_log}"' EXIT
 go run -race ./cmd/cellnpdp cluster -n 704 -cluster-workers 3 \
     -chaos-kills 1 -chaos-seed 5 -faultrate 0.25 -faultseed 42 \
     -heal -verify -timeout 10m 2>&1 | tee "${cluster_log}"
@@ -168,7 +210,7 @@ echo "== smoke: coordinator-kill failover (warm standby, SIGKILL primary mid-wav
 # prove the takeover actually happened — failover that never fired
 # would pass vacuously.
 failover_log="$(mktemp)"
-trap 'rm -f "${healref}" "${cluster_log}" "${failover_log}"' EXIT
+trap 'rm -f "${healref}" "${ooc_ref}" "${ooc_log}" "${cluster_log}" "${failover_log}"' EXIT
 go run -race ./cmd/cellnpdp cluster -n 1536 -cluster-workers 3 \
     -chaos-kill-coordinator -heartbeat 25ms -deadline 500ms -lease 1s \
     -verify -timeout 10m 2>&1 | tee "${failover_log}"

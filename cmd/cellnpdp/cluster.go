@@ -555,6 +555,7 @@ func (f *workerFleet) chaosHook(tasks, kills int, seed int64, respawn bool) func
 		for nextKill < len(killAt) && completed >= killAt[nextKill] {
 			draw := victims[nextKill]
 			nextKill++
+			//nolint:npdplint(gospawn) fire-and-forget chaos SIGKILL: one bounded sleep and a signal, reaped with the fleet at process exit
 			go f.kill(draw, respawn)
 		}
 	}

@@ -1,7 +1,8 @@
 // npdplint is the repo's invariant multichecker: it runs the custom
 // static analyzers of internal/analysis (atomicfield, ctxdispatch,
-// hotpath, errdrop) over the module, mirroring an x/tools multichecker
-// without the external dependency. The standard analyzer suite runs
+// hotpath, errdrop, allocbound, gospawn, netdeadline, verifyfirst)
+// over the module, mirroring an x/tools multichecker without the
+// external dependency. The standard analyzer suite runs
 // alongside via the toolchain-pinned `go vet` (pass -vet to run it from
 // here); the compiler-output half of the hotpath invariant is the
 // codegen gate (-codegen, or scripts/codegen_gate.sh).
@@ -32,6 +33,16 @@ func main() {
 	os.Exit(run())
 }
 
+// listAnalyzers renders the -list output: one line per registered
+// analyzer, name then doc string.
+func listAnalyzers() string {
+	var b strings.Builder
+	for _, a := range analysis.All() {
+		fmt.Fprintf(&b, "%-12s %s\n", a.Name, a.Doc)
+	}
+	return b.String()
+}
+
 func run() int {
 	var (
 		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array for tooling consumers")
@@ -46,9 +57,7 @@ func run() int {
 	flag.Parse()
 
 	if *list {
-		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
+		fmt.Print(listAnalyzers())
 		return 0
 	}
 

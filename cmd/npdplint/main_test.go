@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestListNamesEightAnalyzers pins the -list roster: the suite is
+// exactly the eight analyzers DESIGN.md §8 documents, in reporting
+// order. A new analyzer (or a dropped one) must update this test, the
+// registry test, and the docs together.
+func TestListNamesEightAnalyzers(t *testing.T) {
+	want := []string{
+		"atomicfield", "ctxdispatch", "hotpath", "errdrop",
+		"allocbound", "gospawn", "netdeadline", "verifyfirst",
+	}
+	out := listAnalyzers()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(want) {
+		t.Fatalf("-list printed %d analyzers, want %d:\n%s", len(lines), len(want), out)
+	}
+	for i, name := range want {
+		fields := strings.Fields(lines[i])
+		if len(fields) < 2 {
+			t.Fatalf("-list line %d has no doc string: %q", i, lines[i])
+		}
+		if fields[0] != name {
+			t.Errorf("-list line %d names %q, want %q", i, fields[0], name)
+		}
+	}
+}

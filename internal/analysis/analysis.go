@@ -1,10 +1,13 @@
 // Package analysis is the repo's static-invariant suite: a minimal,
 // dependency-free re-implementation of the golang.org/x/tools/go/analysis
-// driver model plus the four npdplint analyzers that encode invariants
+// driver model plus the eight npdplint analyzers that encode invariants
 // the engines rely on but the compiler cannot check — atomic publication
 // discipline in the lock-free scheduler and seal table, per-dispatch
 // context checks in every cancellable engine, allocation-free hot-path
-// kernels, and never-dropped corruption/codec errors.
+// kernels, never-dropped corruption/codec errors, bound-checked
+// allocations from decoded wire fields, lifecycle-tied goroutine spawns,
+// deadline-armed net.Conn I/O, and verify-before-trust ordering for
+// sealed payloads and epoch fences.
 //
 // The container this repo builds in has no module proxy access, so the
 // real x/tools module cannot be fetched; the Analyzer/Pass/Diagnostic
@@ -64,7 +67,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the npdplint analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomicField, CtxDispatch, HotPath, ErrDrop}
+	return []*Analyzer{
+		AtomicField, CtxDispatch, HotPath, ErrDrop,
+		AllocBound, GoSpawn, NetDeadline, VerifyFirst,
+	}
 }
 
 // ByName resolves a comma-selected analyzer name; nil if unknown.

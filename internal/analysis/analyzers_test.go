@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"go/types"
 	"strings"
 	"testing"
 
@@ -74,7 +75,10 @@ func TestNolintDiscipline(t *testing.T) {
 // TestAllRegistry pins the suite roster: cmd/npdplint -c and the nolint
 // scoping both resolve analyzers by these names.
 func TestAllRegistry(t *testing.T) {
-	want := []string{"atomicfield", "ctxdispatch", "hotpath", "errdrop"}
+	want := []string{
+		"atomicfield", "ctxdispatch", "hotpath", "errdrop",
+		"allocbound", "gospawn", "netdeadline", "verifyfirst",
+	}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("want %d analyzers, got %d", len(want), len(all))
@@ -89,5 +93,117 @@ func TestAllRegistry(t *testing.T) {
 	}
 	if analysis.ByName("nosuch") != nil {
 		t.Error("ByName should return nil for unknown names")
+	}
+}
+
+func TestAllocBound(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(analysis.AllocBound), "allocbound_a")
+}
+
+func TestGoSpawn(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(analysis.GoSpawn), "gospawn_a")
+}
+
+func TestNetDeadline(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(analysis.NetDeadline), "netdeadline_a")
+}
+
+func TestVerifyFirst(t *testing.T) {
+	analysistest.Run(t, "testdata/src", one(analysis.VerifyFirst), "verifyfirst_a")
+}
+
+// TestSeededRegression is the positive direction of the ci.sh lint
+// gate: re-introducing the PR 7 nblocks alloc bomb or deleting the
+// session read deadline must make the suite report (and so npdplint
+// exit non-zero). The seed package mirrors the real decodeTaskMsg and
+// runSession shapes with the guard and the arming deleted.
+func TestSeededRegression(t *testing.T) {
+	pkg, err := driver.LoadFixture("testdata/src", "regression_seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := pkg.Run(analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAnalyzer := make(map[string]int)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	if byAnalyzer["allocbound"] == 0 {
+		t.Errorf("re-seeded nblocks bomb not caught by allocbound; findings: %+v", diags)
+	}
+	if byAnalyzer["netdeadline"] < 2 {
+		t.Errorf("deleted deadline + bufio-over-conn expected >= 2 netdeadline findings, got %d: %+v",
+			byAnalyzer["netdeadline"], diags)
+	}
+	if len(diags) == 0 {
+		t.Fatal("seeded regression produced no findings: the ci.sh gate would pass a re-introduced bomb")
+	}
+}
+
+// TestLiveTreeClean is the negative direction of the ci.sh lint gate:
+// the real tree must be clean under all eight analyzers, through the
+// same go list -export / gc-importer path npdplint itself uses. This is
+// also the cross-package watch-directive test for source-loaded
+// packages: cluster, pager, and resilience carry //npdplint:watch
+// types and import each other's consumers.
+func TestLiveTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	pkgs, err := driver.Load("cellnpdp/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := pkg.Run(analysis.All())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s:%d: [%s] %s", pkg.ImportPath, d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+}
+
+// TestWatchAcrossExportData proves the directive survives the gc
+// export-data boundary: a package that only sees cluster through its
+// compiled export data must still resolve //npdplint:watch on
+// ErrEpochFenced, because the type's object position points back into
+// the declaring source file.
+func TestWatchAcrossExportData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	pkgs, err := driver.Load("cellnpdp/cmd/cellnpdp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	pkg := pkgs[0]
+	var clusterPkg *types.Package
+	for _, imp := range pkg.Pkg.Imports() {
+		if imp.Path() == "cellnpdp/internal/cluster" {
+			clusterPkg = imp
+		}
+	}
+	if clusterPkg == nil {
+		t.Fatal("cmd/cellnpdp does not import internal/cluster")
+	}
+	for name, want := range map[string]bool{
+		"ErrEpochFenced":     true,
+		"ErrProtocolVersion": true,
+		"Options":            false,
+	} {
+		obj := clusterPkg.Scope().Lookup(name)
+		if obj == nil {
+			t.Fatalf("cluster.%s not found in export data", name)
+		}
+		if got := analysis.IsWatchedErrTypeForTest(pkg.Fset, obj.Type()); got != want {
+			t.Errorf("watch(%s) through export data = %v, want %v", name, got, want)
+		}
 	}
 }

@@ -23,7 +23,9 @@ import (
 //
 // Watched calls are (a) any function or method declared in the
 // resilience package whose results include an error, and (b) any
-// function returning one of the watchedErrTypes directly. For a
+// function returning a //npdplint:watch-annotated type directly (the
+// directive sits in the type declaration's doc comment, so a new typed
+// error is watched the moment it is declared — see watch.go). For a
 // watched call the analyzer rejects:
 //
 //   - calling it as a bare statement, or under go/defer, so the error
@@ -39,6 +41,7 @@ var ErrDrop = &Analyzer{
 }
 
 func runErrDrop(pass *Pass) error {
+	fset := pass.Fset
 	info := pass.TypesInfo
 	parents := buildParents(pass.Files)
 
@@ -47,20 +50,20 @@ func runErrDrop(pass *Pass) error {
 			switch n := n.(type) {
 			case *ast.ExprStmt:
 				if call, ok := unparen(n.X).(*ast.CallExpr); ok {
-					if name, ok := watchedCall(info, call); ok {
+					if name, ok := watchedCall(fset, info, call); ok {
 						pass.Reportf(n.Pos(), "%s's error discarded: the call's result is the only record of the fault", name)
 					}
 				}
 			case *ast.GoStmt:
-				if name, ok := watchedCall(info, n.Call); ok {
+				if name, ok := watchedCall(fset, info, n.Call); ok {
 					pass.Reportf(n.Pos(), "%s's error discarded by go statement", name)
 				}
 			case *ast.DeferStmt:
-				if name, ok := watchedCall(info, n.Call); ok {
+				if name, ok := watchedCall(fset, info, n.Call); ok {
 					pass.Reportf(n.Pos(), "%s's error discarded by defer; capture it into a named return instead", name)
 				}
 			case *ast.AssignStmt:
-				checkErrDropAssign(pass, info, parents, n)
+				checkErrDropAssign(pass, fset, info, parents, n)
 			}
 			return true
 		})
@@ -72,7 +75,7 @@ func runErrDrop(pass *Pass) error {
 // the callee's name for diagnostics. A call is watched when its callee
 // is declared in the resilience package and returns an error, or when
 // any of its results is *CorruptionError / *PanicError.
-func watchedCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+func watchedCall(fset *token.FileSet, info *types.Info, call *ast.CallExpr) (string, bool) {
 	obj := calleeObject(info, call)
 	fn, ok := obj.(*types.Func)
 	if !ok {
@@ -82,7 +85,7 @@ func watchedCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	if errResultIndex(sig) < 0 {
+	if errResultIndex(fset, sig) < 0 {
 		return "", false
 	}
 	if isPkgPath(fn, "resilience") {
@@ -91,7 +94,7 @@ func watchedCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	// Functions elsewhere that mint the watched error types directly
 	// (e.g. the npdp healer's corruption constructor).
 	for i := 0; i < sig.Results().Len(); i++ {
-		if isWatchedErrType(sig.Results().At(i).Type()) {
+		if isWatchedErrType(fset, sig.Results().At(i).Type()) {
 			return fn.Name(), true
 		}
 	}
@@ -100,53 +103,32 @@ func watchedCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 
 // errResultIndex returns the index of the last error-like result, -1 if
 // none.
-func errResultIndex(sig *types.Signature) int {
+func errResultIndex(fset *token.FileSet, sig *types.Signature) int {
 	for i := sig.Results().Len() - 1; i >= 0; i-- {
 		t := sig.Results().At(i).Type()
-		if isErrorType(t) || isWatchedErrType(t) {
+		if isErrorType(t) || isWatchedErrType(fset, t) {
 			return i
 		}
 	}
 	return -1
 }
 
-// watchedErrTypes is the analyzer's watch list, keyed by package
-// (matched by import-path suffix, so fixtures with bare paths follow
-// the same rules as the real module packages): the named error types
-// whose loss would erase the only record of a fault.
-var watchedErrTypes = map[string][]string{
-	"resilience": {"CorruptionError", "PanicError", "ErrSealMismatch"},
-	"cluster":    {"ErrEpochFenced", "ErrProtocolVersion"},
-	"pager":      {"ErrPageCorrupt", "ErrSpillSpace"},
-}
-
 // isWatchedErrType reports whether t (through pointers and aliases) is
-// one of the watchedErrTypes.
-func isWatchedErrType(t types.Type) bool {
+// a //npdplint:watch-annotated named type. The watch list lives on the
+// type declarations themselves (watch.go), so new typed errors in the
+// cluster/pager/resilience packages cannot silently escape the
+// analyzer.
+func isWatchedErrType(fset *token.FileSet, t types.Type) bool {
 	n := namedType(t)
 	if n == nil {
 		return false
 	}
-	obj := n.Obj()
-	if obj == nil {
-		return false
-	}
-	for pkg, names := range watchedErrTypes {
-		if !isPkgPath(obj, pkg) {
-			continue
-		}
-		for _, name := range names {
-			if obj.Name() == name {
-				return true
-			}
-		}
-	}
-	return false
+	return typeHasWatchDirective(fset, n.Obj())
 }
 
 // checkErrDropAssign flags blank-discarded and checked-but-dropped
 // error bindings from watched calls.
-func checkErrDropAssign(pass *Pass, info *types.Info, parents parentMap, as *ast.AssignStmt) {
+func checkErrDropAssign(pass *Pass, fset *token.FileSet, info *types.Info, parents parentMap, as *ast.AssignStmt) {
 	if len(as.Rhs) != 1 {
 		return
 	}
@@ -154,7 +136,7 @@ func checkErrDropAssign(pass *Pass, info *types.Info, parents parentMap, as *ast
 	if !ok {
 		return
 	}
-	name, ok := watchedCall(info, call)
+	name, ok := watchedCall(fset, info, call)
 	if !ok {
 		return
 	}
@@ -162,7 +144,7 @@ func checkErrDropAssign(pass *Pass, info *types.Info, parents parentMap, as *ast
 	// map results positionally; single-value assignments bind result 0.
 	obj := calleeObject(info, call)
 	sig := obj.(*types.Func).Type().(*types.Signature)
-	idx := errResultIndex(sig)
+	idx := errResultIndex(fset, sig)
 	if idx >= len(as.Lhs) {
 		return // tuple mismatch; the compiler rejects it anyway
 	}

@@ -1,0 +1,12 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+)
+
+// IsWatchedErrTypeForTest exposes directive-based watch resolution to
+// the external test package, so the export-data path can be pinned.
+func IsWatchedErrTypeForTest(fset *token.FileSet, t types.Type) bool {
+	return isWatchedErrType(fset, t)
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// NetDeadline enforces the PR 7 liveness fix as a structural rule:
+// blocking I/O on a raw net.Conn must run under a deadline regime. A
+// read with no deadline turns a silently dead peer into a goroutine
+// parked forever; PR 7's heartbeat bug went further — a *partial* frame
+// read under a naive per-frame timer desynced the stream — so the
+// repo's sanctioned pattern is the rolling-progress deadline
+// (sessionReader: re-arm SetReadDeadline before every Read), which this
+// analyzer recognizes naturally.
+//
+// Within each function scope (function literals are scoped separately —
+// a spawned reader cannot borrow the deadline its parent armed for a
+// different conn), the analyzer flags:
+//
+//   - conn.Read / conn.Write with no lexically-earlier arming of that
+//     conn's SetReadDeadline / SetWriteDeadline (SetDeadline arms both);
+//   - passing a net.Conn to a deadline-blind io.Reader/io.Writer
+//     parameter (readFrame, writeFrame, io.ReadFull) with no earlier
+//     arming — downgrading the conn to a plain stream strips the callee
+//     of any way to bound the call. Handing the conn to a net.Conn
+//     parameter is fine: the callee owns the regime and is analyzed on
+//     its own.
+//   - bufio.NewReader over a raw conn, always: buffered reads escape
+//     every deadline the caller arms later (the PR 7 frame-desync
+//     shape); buffer above a deadline-arming wrapper instead.
+//     bufio.NewWriter is allowed — writes flush under the caller's
+//     per-send arming.
+//
+// Arming is tracked per conn expression (src vs dst in a relay are
+// distinct regimes) and per direction.
+var NetDeadline = &Analyzer{
+	Name: "netdeadline",
+	Doc:  "net.Conn reads/writes must run under a SetReadDeadline/SetWriteDeadline regime (rolling-progress recognized)",
+	Run:  runNetDeadline,
+}
+
+func runNetDeadline(pass *Pass) error {
+	for _, f := range pass.Files {
+		if inTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Each function literal is its own deadline scope; collect every
+		// scope root and analyze its body with nested literals excluded.
+		var scopes []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scopes = append(scopes, n)
+				}
+			case *ast.FuncLit:
+				scopes = append(scopes, n)
+			}
+			return true
+		})
+		for _, s := range scopes {
+			checkDeadlineScope(pass, s)
+		}
+	}
+	return nil
+}
+
+// connKey renders the conn expression for per-conn arming: "conn",
+// "sess.conn", "r.conn". Distinct expressions are distinct regimes.
+func connKey(e ast.Expr) string { return describeExpr(e) }
+
+type deadlineArm struct {
+	pos   token.Pos
+	key   string
+	read  bool
+	write bool
+}
+
+func checkDeadlineScope(pass *Pass, scope ast.Node) {
+	info := pass.TypesInfo
+	var body *ast.BlockStmt
+	switch s := scope.(type) {
+	case *ast.FuncDecl:
+		body = s.Body
+	case *ast.FuncLit:
+		body = s.Body
+	}
+
+	// Pass 1: collect arming events in this scope.
+	var arms []deadlineArm
+	inspectScope(scope, body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isNetConnType(exprType(info, sel.X)) {
+			return
+		}
+		switch sel.Sel.Name {
+		case "SetDeadline":
+			arms = append(arms, deadlineArm{call.Pos(), connKey(sel.X), true, true})
+		case "SetReadDeadline":
+			arms = append(arms, deadlineArm{call.Pos(), connKey(sel.X), true, false})
+		case "SetWriteDeadline":
+			arms = append(arms, deadlineArm{call.Pos(), connKey(sel.X), false, true})
+		}
+	})
+	sort.Slice(arms, func(i, j int) bool { return arms[i].pos < arms[j].pos })
+
+	armed := func(key string, pos token.Pos, write bool) bool {
+		for _, a := range arms {
+			if a.pos >= pos {
+				return false
+			}
+			if a.key != key {
+				continue
+			}
+			if (write && a.write) || (!write && a.read) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: flag unarmed blocking I/O.
+	inspectScope(scope, body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		// Direct conn.Read / conn.Write.
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && isNetConnType(exprType(info, sel.X)) {
+			switch sel.Sel.Name {
+			case "Read":
+				if !armed(connKey(sel.X), call.Pos(), false) {
+					pass.Reportf(call.Pos(),
+						"%s.Read with no deadline armed: a dead peer parks this goroutine forever; arm SetReadDeadline before each read (rolling-progress)", connKey(sel.X))
+				}
+			case "Write":
+				if !armed(connKey(sel.X), call.Pos(), true) {
+					pass.Reportf(call.Pos(),
+						"%s.Write with no deadline armed: a stalled peer blocks this path forever; arm SetWriteDeadline first", connKey(sel.X))
+				}
+			}
+			return
+		}
+		checkConnArgs(pass, info, call, armed)
+	})
+}
+
+// checkConnArgs flags net.Conn values downgraded to deadline-blind
+// stream parameters, and bufio.NewReader over a raw conn.
+func checkConnArgs(pass *Pass, info *types.Info, call *ast.CallExpr, armed func(string, token.Pos, bool) bool) {
+	obj := calleeObject(info, call)
+	if obj == nil {
+		// A func-typed variable still has a signature to check.
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+
+	// bufio.NewReader(conn): buffered bytes outlive every later deadline.
+	if isPkgPath(obj, "bufio") && (obj.Name() == "NewReader" || obj.Name() == "NewReaderSize") {
+		if len(call.Args) > 0 && isNetConnType(exprType(info, call.Args[0])) {
+			pass.Reportf(call.Args[0].Pos(),
+				"bufio.NewReader over a raw net.Conn: buffered reads escape the deadline regime (the PR 7 frame-desync shape); wrap the conn in a deadline-arming reader first")
+		}
+		return
+	}
+	if isPkgPath(obj, "bufio") {
+		return // NewWriter flushes under the caller's per-send arming
+	}
+
+	params := sig.Params()
+	for i, arg := range call.Args {
+		e := unparen(arg)
+		if _, isSel := e.(*ast.SelectorExpr); !isSel {
+			if _, isIdent := e.(*ast.Ident); !isIdent {
+				continue // only direct conn values, not composites
+			}
+		}
+		if !isNetConnType(exprType(info, e)) {
+			continue
+		}
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !isDeadlineBlindReaderWriter(pt) {
+			continue
+		}
+		// Reader-shaped params need a read arm; writer-shaped a write arm;
+		// ReadWriter either direction armed is not enough — require both
+		// halves it exposes.
+		iface := types.Unalias(pt).Underlying().(*types.Interface)
+		needRead, needWrite := false, false
+		for m := 0; m < iface.NumMethods(); m++ {
+			switch iface.Method(m).Name() {
+			case "Read":
+				needRead = true
+			case "Write":
+				needWrite = true
+			}
+		}
+		key := connKey(e)
+		if needRead && !armed(key, call.Pos(), false) {
+			pass.Reportf(arg.Pos(),
+				"%s handed to a deadline-blind reader with no deadline armed: the callee cannot bound the read; arm SetReadDeadline first or pass a deadline-arming wrapper", key)
+		} else if needWrite && !armed(key, call.Pos(), true) {
+			pass.Reportf(arg.Pos(),
+				"%s handed to a deadline-blind writer with no deadline armed: the callee cannot bound the write; arm SetWriteDeadline first", key)
+		}
+	}
+}
+
+// inspectScope walks body, skipping nested function literals: each
+// literal is its own deadline scope.
+func inspectScope(root ast.Node, body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != root {
+			return false
+		}
+		fn(n)
+		return true
+	})
+}

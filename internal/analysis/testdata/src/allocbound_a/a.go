@@ -1,0 +1,102 @@
+// Package allocbound_a exercises the allocbound analyzer: allocation
+// sizes lifted from wire/disk bytes must be bounded before make().
+package allocbound_a
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// unboundedMake is the PR 7 alloc-bomb shape: a count decoded straight
+// off the wire sizes an allocation with no plausibility check.
+func unboundedMake(p []byte) []uint64 {
+	n := int(binary.LittleEndian.Uint32(p))
+	return make([]uint64, n) // want `allocation sized by n with no preceding bound check`
+}
+
+// boundedMake is the sanctioned decodeTaskMsg shape: the count is
+// compared against what the payload can actually hold before allocating.
+func boundedMake(p []byte) []uint64 {
+	n := int(binary.LittleEndian.Uint32(p))
+	if n > (len(p)-4)/8 {
+		return nil
+	}
+	return make([]uint64, n) // ok: bounded above
+}
+
+// inlineDecode feeds the raw decode into make directly — no variable,
+// no check, still a bomb.
+func inlineDecode(p []byte) []byte {
+	return make([]byte, binary.LittleEndian.Uint16(p)) // want `allocation sized by a raw binary decode with no preceding bound check`
+}
+
+type spillHeader struct {
+	Magic   uint32
+	NBlocks uint32
+}
+
+// check is the header's own plausibility validator.
+func (h *spillHeader) check(limit int) bool { return int(h.NBlocks) <= limit }
+
+// binaryReadUnbounded: binary.Read fills the header with raw disk
+// bytes; sizing from it before any validation is the bomb.
+func binaryReadUnbounded(r *bytes.Reader) []byte {
+	var hdr spillHeader
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil
+	}
+	return make([]byte, hdr.NBlocks) // want `allocation sized by hdr with no preceding bound check`
+}
+
+// binaryReadValidated: the named validator (check*/valid*/verify*/
+// audit* prefix) vouches for every value it receives.
+func binaryReadValidated(r *bytes.Reader, limit int) []byte {
+	var hdr spillHeader
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil
+	}
+	if !hdr.check(limit) {
+		return nil
+	}
+	return make([]byte, hdr.NBlocks) // ok: validated by the header's check method
+}
+
+// propagated taint: arithmetic on an unbounded count is still the
+// count.
+func propagated(p []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(p))
+	total := n * 16
+	return make([]byte, total) // want `allocation sized by total with no preceding bound check`
+}
+
+// comparisonBounds: any relational or equality comparison mentioning the
+// value counts as the bound (the == magic-check idiom).
+func comparisonBounds(p []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(p))
+	if n != 64 {
+		return nil
+	}
+	return make([]byte, n) // ok: equality-pinned
+}
+
+// cleanRebind: overwriting the tainted variable with a clean value
+// clears it.
+func cleanRebind(p []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(p))
+	n = len(p)
+	return make([]byte, n) // ok: rebound from len(p)
+}
+
+// sliceCapSink: a full-slice-expression capacity is the same sink as a
+// make size.
+func sliceCapSink(p []byte, buf []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(p))
+	return buf[0:2:n] // want `slice capacity from n with no preceding bound check`
+}
+
+// suppressed shows the justified-nolint escape hatch: the finding is
+// real but the author vouches for the caller's framing guarantee.
+func suppressed(p []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(p))
+	return make([]byte, n) //nolint:npdplint(allocbound) caller framed p from a length-prefixed read already bounded at 1 MiB
+}

@@ -1,0 +1,9 @@
+package allocbound_a
+
+import "encoding/binary"
+
+// Test files are exempt: fixtures and fuzzers allocate from raw bytes
+// on purpose.
+func unboundedInTest(p []byte) []byte {
+	return make([]byte, binary.LittleEndian.Uint32(p)) // ok: _test.go
+}

@@ -6,6 +6,8 @@ package cluster
 
 // ErrEpochFenced is the fixture twin of the stale-epoch fence error —
 // the sole proof a deposed leader's write was rejected after failover.
+//
+//npdplint:watch
 type ErrEpochFenced struct {
 	Epoch, Current uint32
 	Role           string
@@ -14,6 +16,8 @@ type ErrEpochFenced struct {
 func (e *ErrEpochFenced) Error() string { return "epoch fenced" }
 
 // ErrProtocolVersion is the fixture twin of the wire-version error.
+//
+//npdplint:watch
 type ErrProtocolVersion struct{ Got, Want uint16 }
 
 func (e *ErrProtocolVersion) Error() string { return "protocol version" }
@@ -27,3 +31,14 @@ func Negotiate() *ErrProtocolVersion { return nil }
 // Workers reports a count; no error result, so it is not watched even
 // though it is declared here (only resilience is watched wholesale).
 func Workers() int { return 1 }
+
+// ErrAdvisory is deliberately NOT annotated //npdplint:watch: an
+// advisory condition whose loss is acceptable. errdrop must not flag
+// callers that drop it — the directive, not the package or the shape,
+// is what makes a type watched.
+type ErrAdvisory struct{ Hint string }
+
+func (e *ErrAdvisory) Error() string { return "advisory" }
+
+// Advise returns an unwatched typed error.
+func Advise() *ErrAdvisory { return nil }

@@ -170,3 +170,24 @@ func pageCorruptPropagated() error {
 func pagerUnwatched() {
 	pager.Resident() // ok: no error result, and pager is not watched wholesale
 }
+
+// Directive discipline: the watch list is discovered from
+// //npdplint:watch annotations on the type declarations, so a typed
+// error without the directive is not watched no matter how watched it
+// looks, and a newly annotated type is watched with no analyzer change.
+
+func advisoryDrop() {
+	cluster.Advise() // ok: *ErrAdvisory carries no directive, so dropping it is legal
+}
+
+func advisoryBlank() {
+	_ = cluster.Advise() // ok: unwatched type
+}
+
+func shadowDrop() {
+	pager.Shadow() // want `Shadow's error discarded`
+}
+
+func shadowBlank() {
+	_ = pager.Shadow() // want `Shadow's error assigned to _`
+}

@@ -1,0 +1,9 @@
+package gospawn_a
+
+// Test files are exempt: a test goroutine's lifetime is the test's.
+func untiedInTest() {
+	go func() { // ok: _test.go
+		for {
+		}
+	}()
+}

@@ -1,0 +1,136 @@
+// Package netdeadline_a exercises the netdeadline analyzer: blocking
+// I/O on a raw net.Conn must run under a deadline regime, tracked per
+// conn and per direction, with function literals scoped separately.
+package netdeadline_a
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"time"
+)
+
+// unarmedRead is the canonical park-forever bug.
+func unarmedRead(conn net.Conn) {
+	var buf [64]byte
+	conn.Read(buf[:]) // want `conn.Read with no deadline armed`
+}
+
+// armedRead is the minimal sanctioned form.
+func armedRead(conn net.Conn) {
+	var buf [64]byte
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	conn.Read(buf[:]) // ok: armed above
+}
+
+// setDeadlineArmsBoth: SetDeadline covers both directions.
+func setDeadlineArmsBoth(conn net.Conn) {
+	var buf [64]byte
+	conn.SetDeadline(time.Now().Add(time.Second))
+	conn.Read(buf[:])
+	conn.Write(buf[:])
+}
+
+// directionMatters: a read arm does not license writes.
+func directionMatters(conn net.Conn) {
+	var buf [64]byte
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	conn.Read(buf[:])
+	conn.Write(buf[:]) // want `conn.Write with no deadline armed`
+}
+
+// perConn: arming src says nothing about dst (the relay-pump shape).
+func perConn(src, dst net.Conn) {
+	var buf [4096]byte
+	src.SetReadDeadline(time.Now().Add(time.Second))
+	n, _ := src.Read(buf[:])
+	dst.Write(buf[:n]) // want `dst.Write with no deadline armed`
+}
+
+// litScoped: each function literal is its own deadline scope — the
+// spawned reader cannot borrow the arm its parent set up.
+func litScoped(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	go func() {
+		var buf [64]byte
+		conn.Read(buf[:]) // want `conn.Read with no deadline armed`
+	}()
+}
+
+// sessionReader is the sanctioned rolling-progress wrapper: re-arm
+// before every read, so a stream making progress never times out and a
+// dead peer is detected within one window.
+type sessionReader struct {
+	conn   net.Conn
+	window time.Duration
+}
+
+func (r *sessionReader) Read(p []byte) (int, error) {
+	r.conn.SetReadDeadline(time.Now().Add(r.window))
+	return r.conn.Read(p) // ok: rolling-progress
+}
+
+// readFrame is a deadline-blind helper: an io.Reader gives it no way to
+// bound the call.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	return hdr[:], nil
+}
+
+// blindDowngradeUnarmed hands the raw conn to the blind helper.
+func blindDowngradeUnarmed(conn net.Conn) {
+	readFrame(conn) // want `conn handed to a deadline-blind reader with no deadline armed`
+}
+
+// blindDowngradeArmed is fine: the single framed read is bounded by the
+// arm.
+func blindDowngradeArmed(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	readFrame(conn) // ok: armed above
+}
+
+// stdlibBlind: io.ReadFull's io.Reader parameter is just as blind.
+func stdlibBlind(conn net.Conn) {
+	var buf [16]byte
+	io.ReadFull(conn, buf[:]) // want `conn handed to a deadline-blind reader with no deadline armed`
+}
+
+// handoff passes the conn to a net.Conn parameter: the callee owns the
+// regime and is analyzed on its own.
+func serveConn(c net.Conn) {
+	c.SetDeadline(time.Now().Add(time.Second))
+	var buf [1]byte
+	c.Read(buf[:])
+}
+
+func handoff(conn net.Conn) {
+	serveConn(conn) // ok: net.Conn parameter keeps the deadline surface
+}
+
+// buffering: bufio.NewReader over the raw conn buffers bytes that
+// escape every later deadline (the PR 7 frame-desync shape) — always a
+// finding. Buffer above the deadline-arming wrapper instead. Writers
+// flush under the caller's per-send arming and are allowed.
+func bufferedRaw(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	br := bufio.NewReader(conn) // want `bufio.NewReader over a raw net.Conn`
+	br.ReadByte()
+}
+
+func bufferedWrapped(conn net.Conn, lease time.Duration) {
+	sr := &sessionReader{conn: conn, window: lease}
+	br := bufio.NewReader(sr) // ok: the wrapper re-arms per read
+	br.ReadByte()
+	bw := bufio.NewWriter(conn) // ok: writes flush under per-send arming
+	bw.Flush()
+}
+
+// suppressed: the justified escape hatch for a conn whose regime lives
+// elsewhere by construction.
+func suppressed(conn net.Conn) {
+	var buf [1]byte
+	conn.Read(buf[:]) //nolint:npdplint(netdeadline) loopback self-pipe drained by the test harness
+}

@@ -6,6 +6,8 @@ package pager
 
 // ErrPageCorrupt is the fixture twin of the page-in digest mismatch —
 // the only record that a spilled block's bytes came back wrong.
+//
+//npdplint:watch
 type ErrPageCorrupt struct {
 	Bi, Bj    int
 	Pristine  bool
@@ -15,6 +17,8 @@ type ErrPageCorrupt struct {
 func (e *ErrPageCorrupt) Error() string { return "page corrupt" }
 
 // ErrSpillSpace is the fixture twin of the hard residency-wall error.
+//
+//npdplint:watch
 type ErrSpillSpace struct{ Resident, Limit int }
 
 func (e *ErrSpillSpace) Error() string { return "spill space" }
@@ -28,3 +32,15 @@ func Reserve() *ErrSpillSpace { return nil }
 // Resident reports a count; no error result, so it is not watched even
 // though it is declared here (only resilience is watched wholesale).
 func Resident() int { return 0 }
+
+// ErrShadowTorn is a later-added watched type: annotating the
+// declaration is the entire registration step, so errdrop watches it
+// with no analyzer change.
+//
+//npdplint:watch
+type ErrShadowTorn struct{ Page int }
+
+func (e *ErrShadowTorn) Error() string { return "shadow torn" }
+
+// Shadow returns torn-shadow evidence directly.
+func Shadow() *ErrShadowTorn { return nil }

@@ -1,0 +1,51 @@
+// Package regression_seed re-introduces, shape-for-shape, the two bugs
+// the wire-era analyzers were built to catch, so the suite's regression
+// test can prove the lint gate fails when either comes back:
+//
+//   - the PR 7 alloc bomb: decodeTaskMsg's nblocks lifted off the wire
+//     with its bound check deleted, feeding make() directly;
+//   - the deleted deadline: a session read loop whose
+//     SetReadDeadline arming has been removed, parking the goroutine
+//     forever on a dead peer (and the bufio-over-raw-conn desync shape
+//     that came with it).
+//
+// No //nolint directives and no `// want` comments here on purpose:
+// this package is loaded by TestSeededRegression, which asserts that
+// allocbound and netdeadline both report — the positive direction of
+// the ci.sh gate. TestLiveTreeClean proves the negative direction.
+package regression_seed
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+)
+
+type seedBlock struct {
+	Bi, Bj int
+	Raw    []byte
+}
+
+// decodeTaskMsg is the PR 7 bomb: nblocks is wire-controlled and the
+// `nblocks > (len(p)-16)/16` guard has been deleted.
+func decodeTaskMsg(p []byte) []seedBlock {
+	nblocks := int(binary.LittleEndian.Uint32(p[12:]))
+	blocks := make([]seedBlock, nblocks)
+	return blocks
+}
+
+// runSession is the deleted-deadline seed: the rolling SetReadDeadline
+// is gone, and the buffered reader sits on the raw conn.
+func runSession(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	var hdr [16]byte
+	for {
+		if _, err := br.Read(hdr[:]); err != nil {
+			return
+		}
+		var buf [512]byte
+		if _, err := conn.Read(buf[:]); err != nil {
+			return
+		}
+	}
+}

@@ -8,11 +8,15 @@ package resilience
 import "errors"
 
 // CorruptionError is the fixture twin of the seal-audit error.
+//
+//npdplint:watch
 type CorruptionError struct{ Block int }
 
 func (e *CorruptionError) Error() string { return "corruption" }
 
 // PanicError is the fixture twin of the recovered-panic error.
+//
+//npdplint:watch
 type PanicError struct{ TaskID int }
 
 func (e *PanicError) Error() string { return "panic" }
@@ -33,6 +37,8 @@ func Checkpoint(data []byte) (int, error) { return len(data), nil }
 func Workers() int { return 1 }
 
 // ErrSealMismatch is the fixture twin of the boundary-block seal error.
+//
+//npdplint:watch
 type ErrSealMismatch struct{ Bi, Bj int }
 
 func (e *ErrSealMismatch) Error() string { return "seal mismatch" }

@@ -1,0 +1,114 @@
+// Package verifyfirst_a exercises the verifyfirst analyzer: sealed
+// payloads may not flow before their CRC check, and epoch frames may
+// not feed generation/install logic before the fence.
+package verifyfirst_a
+
+import "hash/crc32"
+
+// wireBlock is a sealed record: a uint32 CRC field paired with a []byte
+// payload.
+type wireBlock struct {
+	Bi, Bj int
+	CRC    uint32
+	Raw    []byte
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// rawCRC names the digest, so calls to it count as CRC computation.
+func rawCRC(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
+// sumRaw is an assembly stub: no body, nothing to analyze, must not
+// crash the pass.
+func sumRaw(p []byte) uint32
+
+// useBeforeCheck flows the payload into state before the digest runs.
+func useBeforeCheck(wb wireBlock, dst []byte) {
+	copy(dst, wb.Raw) // want `wb.Raw read before its CRC seal is verified`
+	if rawCRC(wb.Raw) != wb.CRC {
+		return
+	}
+}
+
+// digestFirst is the sanctioned executeDispatch shape: digest, compare,
+// then trust.
+func digestFirst(wb wireBlock, dst []byte) bool {
+	if rawCRC(wb.Raw) != wb.CRC {
+		return false
+	}
+	copy(dst, wb.Raw) // ok: after the seal check
+	return true
+}
+
+// installRaw never checks at all: hostile bytes straight into state.
+func installRaw(wb wireBlock, table map[int][]byte) {
+	table[wb.Bi] = wb.Raw // want `wb.Raw read before its CRC seal is verified`
+}
+
+// sizedBeforeCheck: len/cap are sizing, not trust — always allowed.
+func sizedBeforeCheck(wb wireBlock) bool {
+	if len(wb.Raw) == 0 {
+		return false
+	}
+	return rawCRC(wb.Raw) == wb.CRC
+}
+
+// decodeInto writes the payload field; assignment targets are how the
+// record is built, not a read.
+func decodeInto(wb *wireBlock, p []byte) {
+	wb.Raw = p
+	wb.CRC = rawCRC(p)
+}
+
+// encodeBlock is exempt by name: serialization writes the seal, it does
+// not trust it.
+func encodeBlock(wb wireBlock, buf []byte) []byte {
+	buf = append(buf, wb.Raw...)
+	return buf
+}
+
+// suppressed: the justified escape hatch when the seal was verified at
+// an earlier layer by construction.
+func suppressed(wb wireBlock, table map[int][]byte) {
+	table[wb.Bi] = wb.Raw //nolint:npdplint(verifyfirst) decode layer re-digested every block before this record could exist
+}
+
+// taskMsg is an epoch-carrying frame: Epoch alongside Gen/Blocks state.
+type taskMsg struct {
+	Epoch  uint32
+	Gen    uint64
+	Blocks uint32
+}
+
+// installBeforeFence reads generation state before the fence — exactly
+// the deposed-leader write the fence exists to reject.
+func installBeforeFence(tm taskMsg, cur uint32) uint64 {
+	g := tm.Gen // want `tm.Gen read before the frame's epoch fence`
+	if tm.Epoch < cur {
+		return 0
+	}
+	return g
+}
+
+// blocksBeforeFence: Blocks is install state too.
+func blocksBeforeFence(tm taskMsg, cur uint32) uint32 {
+	n := tm.Blocks // want `tm.Blocks read before the frame's epoch fence`
+	if tm.Epoch == cur {
+		return n
+	}
+	return 0
+}
+
+// fencedInstall is the sanctioned order: fence, then trust.
+func fencedInstall(tm taskMsg, cur uint32) uint64 {
+	if tm.Epoch < cur {
+		return 0
+	}
+	return tm.Gen // ok: after the fence
+}
+
+// preFenced never fences: its caller vetted the frame (the
+// executeDispatch contract), so its reads are exempt.
+func preFenced(tm taskMsg) uint64 {
+	return tm.Gen // ok: unfenced function, pre-fenced by the caller
+}

@@ -182,3 +182,73 @@ func docHasDirective(doc *ast.CommentGroup, marker string) bool {
 func isErrorType(t types.Type) bool {
 	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
 }
+
+// isNetConnType reports whether t (through pointers) is net.Conn or one
+// of the net package's concrete connection types — the values whose
+// blocking Read/Write the netdeadline analyzer polices.
+func isNetConnType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net" {
+		return false
+	}
+	switch obj.Name() {
+	case "Conn", "TCPConn", "UDPConn", "UnixConn", "IPConn":
+		return true
+	}
+	return false
+}
+
+// isDeadlineBlindReaderWriter reports whether t is an interface that
+// exposes stream I/O (a Read or Write method) but no Set*Deadline —
+// io.Reader/io.Writer shaped. Handing a raw net.Conn to such a
+// parameter strips the callee of any way to bound the blocking call.
+func isDeadlineBlindReaderWriter(t types.Type) bool {
+	iface, ok := types.Unalias(t).Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	hasIO := false
+	for i := 0; i < iface.NumMethods(); i++ {
+		switch name := iface.Method(i).Name(); name {
+		case "Read", "Write":
+			hasIO = true
+		case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+			return false
+		}
+	}
+	return hasIO
+}
+
+// isWaitGroupType reports whether t (through pointers) is
+// sync.WaitGroup.
+func isWaitGroupType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isChanType reports whether t's underlying type is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := types.Unalias(t).Underlying().(*types.Chan)
+	return ok
+}
+
+// isCancelFuncType reports whether t is context.CancelFunc (calling it
+// is a lifecycle action in its own right).
+func isCancelFuncType(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	return n.Obj().Name() == "CancelFunc" && isPkgPath(n.Obj(), "context")
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+	"sync"
+)
+
+// The errdrop watch list used to be a hand-maintained map in this
+// package — which meant a new typed error in cluster or pager silently
+// escaped the analyzer until someone remembered the list. The list is
+// now discovered from source: declaring
+//
+//	//npdplint:watch
+//	type ErrPageCorrupt struct { ... }
+//
+// (the directive anywhere in the doc comment) is what makes a type
+// watched. The declaration site travels with the type, so the analyzer
+// follows it through gc export data: a type's object position points
+// into its declaring file, and the directive is read from the lines
+// above the declaration. Works identically for source-loaded fixture
+// packages and for real packages seen only through their export data.
+const watchMarker = "npdplint:watch"
+
+// watchCache memoizes per-object decisions and per-file line splits:
+// one package's analysis asks about the same handful of error types at
+// every call site.
+var watchCache = struct {
+	sync.Mutex
+	decided map[types.Object]bool
+	files   map[string][]string
+}{
+	decided: make(map[types.Object]bool),
+	files:   make(map[string][]string),
+}
+
+// typeHasWatchDirective reports whether the declaration of obj is
+// annotated //npdplint:watch in its doc comment.
+func typeHasWatchDirective(fset *token.FileSet, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	watchCache.Lock()
+	defer watchCache.Unlock()
+	if v, ok := watchCache.decided[obj]; ok {
+		return v
+	}
+	v := readWatchDirective(fset, obj)
+	watchCache.decided[obj] = v
+	return v
+}
+
+func readWatchDirective(fset *token.FileSet, obj types.Object) bool {
+	pos := fset.Position(obj.Pos())
+	if !pos.IsValid() || pos.Filename == "" {
+		return false
+	}
+	lines, ok := watchCache.files[pos.Filename]
+	if !ok {
+		data, err := os.ReadFile(pos.Filename)
+		if err != nil {
+			watchCache.files[pos.Filename] = nil
+			return false
+		}
+		lines = strings.Split(string(data), "\n")
+		watchCache.files[pos.Filename] = lines
+	}
+	if pos.Line-1 >= len(lines) {
+		return false
+	}
+	// Scan the contiguous comment block above the declaration line.
+	for i := pos.Line - 2; i >= 0; i-- {
+		text := strings.TrimSpace(lines[i])
+		if !strings.HasPrefix(text, "//") {
+			return false
+		}
+		if isDirective(text, watchMarker) {
+			return true
+		}
+	}
+	return false
+}

@@ -23,6 +23,8 @@ import (
 // carried a stale epoch — the sender is a deposed leader (or a worker
 // still bound to one). It is retryable for workers (re-home to the new
 // leader) and terminal for a deposed coordinator.
+//
+//npdplint:watch
 type ErrEpochFenced struct {
 	// Epoch is the stale epoch the rejected frame carried.
 	Epoch uint32
@@ -42,6 +44,8 @@ func (e *ErrEpochFenced) Error() string {
 // decode or checksum error; now both ends fail fast with the two
 // versions in hand. It is terminal: no amount of reconnecting fixes a
 // build mismatch.
+//
+//npdplint:watch
 type ErrProtocolVersion struct {
 	Got, Want uint16
 }

@@ -1,0 +1,15 @@
+package cluster
+
+import (
+	"os"
+	"testing"
+
+	"cellnpdp/internal/testutil"
+)
+
+// TestMain runs the suite under the goroutine-leak gate: every session,
+// writer, pump, prefetcher, and replicator this package spawns must be
+// gone within the grace window after the last test, or the suite fails
+// even when each test passed. This is the dynamic half of the gospawn
+// analyzer's lifecycle contract.
+func TestMain(m *testing.M) { os.Exit(testutil.CheckMain(m)) }

@@ -17,6 +17,7 @@ type Proxy struct {
 	ln        net.Listener
 	target    string
 	blackhole atomic.Bool
+	closed    atomic.Bool
 
 	mu    sync.Mutex
 	conns []net.Conn
@@ -45,6 +46,7 @@ func (p *Proxy) Heal() { p.blackhole.Store(false) }
 
 // Close tears the relay down, closing every tracked connection.
 func (p *Proxy) Close() {
+	p.closed.Store(true)
 	p.ln.Close()
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -85,6 +87,9 @@ func (p *Proxy) acceptLoop() {
 func (p *Proxy) pump(src, dst net.Conn) {
 	buf := make([]byte, 32<<10)
 	for {
+		if p.closed.Load() {
+			return // a pump parked in the blackhole spin must still observe Close
+		}
 		if p.blackhole.Load() {
 			time.Sleep(10 * time.Millisecond)
 			continue
@@ -95,6 +100,10 @@ func (p *Proxy) pump(src, dst net.Conn) {
 			if p.blackhole.Load() {
 				continue // drop bytes read just as the partition hit
 			}
+			// A generous per-chunk write bound: chunks are <= 32 KiB to a
+			// loopback peer, so a second of no progress means the other
+			// pump half (or the peer) is gone, not that the pipe is slow.
+			dst.SetWriteDeadline(time.Now().Add(time.Second))
 			if _, werr := dst.Write(buf[:n]); werr != nil {
 				src.Close()
 				return

@@ -421,8 +421,13 @@ func RunStandby[E semiring.Elem](ctx context.Context, ln net.Listener, t *tri.Ti
 	}
 
 	tail := func(c net.Conn) {
+		// Rolling-progress deadline, window = the lease: a stream making
+		// progress never times out, and a read parked past the lease is a
+		// dead primary by this protocol's own definition — the event loop
+		// will have taken over, so unpark and report the loss.
+		sr := &sessionReader{conn: c, window: lease}
 		for {
-			typ, payload, err := readFrame(c)
+			typ, payload, err := readFrame(sr)
 			if err != nil {
 				post(standbyEv{kind: sbLost, conn: c, err: err})
 				return
@@ -633,6 +638,7 @@ func applyDelta[E semiring.Elem](ck *resilience.Checkpoint[E], d resilience.Delt
 		*doneN = 0
 	case resilience.DeltaTaskDone:
 		for _, b := range d.Blocks {
+			//nolint:npdplint(verifyfirst) DecodeDelta re-digested every block seal before this record could exist
 			if err := ck.PutBlock(b.Bi, b.Bj, b.Raw); err != nil {
 				return err
 			}

@@ -12,6 +12,8 @@ import "fmt"
 // it — sched.Graph.Cone, exactly the in-memory heal discipline), while a
 // corrupt pristine block has no earlier version to fall back to and
 // fails the solve.
+//
+//npdplint:watch
 type ErrPageCorrupt struct {
 	// Bi, Bj are the memory block's tile coordinates.
 	Bi, Bj int
@@ -47,6 +49,8 @@ func (e *ErrPageCorrupt) Unwrap() error { return e.Err }
 // resident set (the hard in-memory ceiling is reached). It is the typed
 // end of the ENOSPC degradation ladder: spill → shrink the working set →
 // run fully in memory if the ceiling allows → this failure.
+//
+//npdplint:watch
 type ErrSpillSpace struct {
 	// Resident is the resident frame count at failure; Limit is the hard
 	// frame ceiling that stopped further growth.

@@ -25,6 +25,8 @@ import (
 // PanicError is a worker panic converted to an error, carrying the
 // identity of the task that panicked so failures are attributable even
 // when the panic came from deep inside a kernel.
+//
+//npdplint:watch
 type PanicError struct {
 	// TaskID is the scheduler task that panicked.
 	TaskID int

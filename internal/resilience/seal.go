@@ -253,6 +253,8 @@ func ReadSeals(r io.Reader) (*SealTable, error) {
 // mismatch, which is not an error at all). Like CorruptionError it is
 // never transient — re-reading the same bytes cannot fix them; recovery
 // is a resend or the poisoned-cone heal path.
+//
+//npdplint:watch
 type ErrSealMismatch struct {
 	// Bi, Bj are the memory block's tile coordinates.
 	Bi, Bj int
@@ -276,6 +278,8 @@ func (e *ErrSealMismatch) Error() string {
 // the blocks' bytes changed after their tasks completed. It is never
 // transient: retrying the discovering task cannot fix another block's
 // bytes; recovery is the heal path (restore + recompute the cone).
+//
+//npdplint:watch
 type CorruptionError struct {
 	// Blocks are the corrupted memory blocks' tile coordinates.
 	Blocks [][2]int

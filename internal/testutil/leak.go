@@ -1,0 +1,144 @@
+// Package testutil holds shared test harness helpers. The one export
+// that matters is CheckMain: a goroutine-leak gate that the serve,
+// cluster, and pager suites run under, so that the lifecycle discipline
+// the gospawn analyzer enforces statically is also observed dynamically
+// — a goroutine that outlives every test is exactly the leak the
+// analyzer's "provably exits" wording promises cannot happen.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakGrace is how long CheckMain waits for straggler goroutines to
+// drain after the suite finishes: long enough for deadline-armed
+// readers (50ms pump slices, heartbeat windows) and connection
+// teardowns to observe their close, short enough not to mask a real
+// leak behind a slow exit.
+const leakGrace = 5 * time.Second
+
+// benignPrefixes are goroutine stack markers that do not indicate a
+// test leak: the runtime's own helpers, the testing framework, and
+// netpoll plumbing whose goroutines the runtime parks and reuses.
+var benignPrefixes = []string{
+	"testing.(*T).Run",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.tRunner",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+	"runtime.runfinq",
+	"runtime/trace",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+}
+
+// CheckMain wraps testing.M.Run with a goroutine-leak gate:
+//
+//	func TestMain(m *testing.M) { os.Exit(testutil.CheckMain(m)) }
+//
+// It snapshots the goroutines alive before the suite, runs the suite,
+// and then polls for up to leakGrace until every goroutine created by
+// the tests has exited. If stragglers remain, it prints their stacks
+// and fails the suite even when every individual test passed.
+func CheckMain(m *testing.M) int {
+	before := goroutineSet()
+	code := m.Run()
+	if code != 0 {
+		return code // real failures first; leak output would bury them
+	}
+	deadline := time.Now().Add(leakGrace)
+	var leaked []string
+	for {
+		leaked = leakedSince(before)
+		if len(leaked) == 0 {
+			return code
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "testutil: %d goroutine(s) leaked past the suite (grace %v):\n", len(leaked), leakGrace)
+	for _, g := range leaked {
+		fmt.Fprintf(os.Stderr, "goroutine %s\n", g)
+	}
+	return 1
+}
+
+// goroutineSet returns the identities of all live goroutines, keyed by
+// their header line ("<id> [<state>...]" with the state dropped, since
+// a parked goroutine may change state without being a new goroutine).
+func goroutineSet() map[string]bool {
+	set := make(map[string]bool)
+	for _, g := range goroutineDump() {
+		set[goroutineID(g)] = true
+	}
+	return set
+}
+
+// leakedSince returns the stacks of non-benign goroutines that are
+// alive now but were not in the before set.
+func leakedSince(before map[string]bool) []string {
+	var leaked []string
+	for _, g := range goroutineDump() {
+		if before[goroutineID(g)] {
+			continue
+		}
+		if benign(g) {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}
+
+// goroutineDump splits a full runtime stack dump into one entry per
+// goroutine, without the "goroutine " prefix.
+func goroutineDump() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	entries := strings.Split(string(buf), "\n\ngoroutine ")
+	if len(entries) > 0 {
+		entries[0] = strings.TrimPrefix(entries[0], "goroutine ")
+	}
+	return entries
+}
+
+// goroutineID extracts the numeric goroutine id from a dump entry.
+func goroutineID(g string) string {
+	if i := strings.IndexByte(g, ' '); i > 0 {
+		return g[:i]
+	}
+	return g
+}
+
+// benign reports whether the goroutine's stack is runtime or testing
+// plumbing rather than test-spawned work. The current goroutine (the
+// one running CheckMain) is benign by definition.
+func benign(g string) bool {
+	if strings.Contains(g, "testutil.goroutineDump") {
+		return true
+	}
+	for _, p := range benignPrefixes {
+		if strings.Contains(g, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLeakDetection pins both directions of the gate: a goroutine
+// spawned after the snapshot is reported until it exits, and nothing is
+// reported once it drains.
+func TestLeakDetection(t *testing.T) {
+	before := goroutineSet()
+
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(started)
+		<-stop
+	}()
+	<-started
+
+	if leaked := leakedSince(before); len(leaked) == 0 {
+		t.Fatal("a parked test goroutine was not reported as leaked")
+	}
+
+	close(stop)
+	<-done
+	deadline := time.Now().Add(leakGrace)
+	for {
+		if leaked := leakedSince(before); len(leaked) == 0 {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("drained goroutine still reported leaked: %q", leaked)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBenignFilter keeps the filter honest: runtime plumbing is benign,
+// a user frame is not.
+func TestBenignFilter(t *testing.T) {
+	if !benign("7 [syscall]:\nos/signal.signal_recv()") {
+		t.Error("signal plumbing should be benign")
+	}
+	if benign("9 [chan receive]:\ncellnpdp/internal/cluster.(*coordinator).writeLoop()") {
+		t.Error("a parked writeLoop is exactly the leak the gate exists for")
+	}
+}

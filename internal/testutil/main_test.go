@@ -1,0 +1,8 @@
+package testutil
+
+import (
+	"os"
+	"testing"
+)
+
+func TestMain(m *testing.M) { os.Exit(CheckMain(m)) }

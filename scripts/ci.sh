@@ -63,11 +63,29 @@ else
     echo "== govulncheck not installed; skipping"
 fi
 
-echo "== npdplint ./... (repo invariant suite)"
+echo "== npdplint ./... (repo invariant suite, 8 analyzers)"
 # Custom analyzers: atomic publication discipline, context dispatch
-# contract, hot-path purity, resilience error-drop rules. Suppressions
-# require a justified //nolint:npdplint, which the tool itself audits.
+# contract, hot-path purity, resilience error-drop rules (watch list
+# discovered from //npdplint:watch directives), wire-bounded
+# allocations, goroutine lifecycles, net.Conn deadline regimes, and
+# verify-before-trust ordering for sealed payloads and epoch fences.
+# Suppressions require a justified //nolint:npdplint, which the tool
+# itself audits. The whole suite must land inside a wall-clock budget:
+# a lint gate developers wait on has a latency contract too.
+npdplint_budget_s=180
+npdplint_start="$(date +%s)"
 go run ./cmd/npdplint ./...
+# Self-lint: the analyzer suite obeys its own invariants. Kept as a
+# separate pass so a finding inside internal/analysis names itself in
+# the log rather than hiding in the module-wide sweep above.
+echo "== npdplint self-lint (./internal/analysis/...)"
+go run ./cmd/npdplint ./internal/analysis/...
+npdplint_elapsed=$(($(date +%s) - npdplint_start))
+echo "npdplint wall time: ${npdplint_elapsed}s (budget ${npdplint_budget_s}s)"
+if ((npdplint_elapsed > npdplint_budget_s)); then
+    echo "npdplint exceeded its ${npdplint_budget_s}s wall-clock budget (took ${npdplint_elapsed}s)" >&2
+    exit 1
+fi
 
 echo "== codegen gate (hot-path escape/bounds-check baseline)"
 # Compiler-output half of the hotpath invariant: diffs -m and check_bce
